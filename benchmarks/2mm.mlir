@@ -1,0 +1,7 @@
+func.func @mm_chain(%m0: tensor<100x10xf64>, %m1: tensor<10x150xf64>, %m2: tensor<150x8xf64>) -> tensor<100x8xf64> {
+  %e1 = tensor.empty() : tensor<100x150xf64>
+  %acc1 = linalg.matmul ins(%m0, %m1 : tensor<100x10xf64>, tensor<10x150xf64>) outs(%e1 : tensor<100x150xf64>) -> tensor<100x150xf64>
+  %e2 = tensor.empty() : tensor<100x8xf64>
+  %acc2 = linalg.matmul ins(%acc1, %m2 : tensor<100x150xf64>, tensor<150x8xf64>) outs(%e2 : tensor<100x8xf64>) -> tensor<100x8xf64>
+  func.return %acc2 : tensor<100x8xf64>
+}

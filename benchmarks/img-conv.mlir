@@ -1,0 +1,30 @@
+
+func.func @img_to_gray(%img: tensor<144x256x3xi64>) -> tensor<144x256xi64> {
+  %c0 = arith.constant 0 : index
+  %c1 = arith.constant 1 : index
+  %c2 = arith.constant 2 : index
+  %h = arith.constant 144 : index
+  %w = arith.constant 256 : index
+  %w77 = arith.constant 77 : i64
+  %w150 = arith.constant 150 : i64
+  %w29 = arith.constant 29 : i64
+  %c256 = arith.constant 256 : i64
+  %init = tensor.empty() : tensor<144x256xi64>
+  %out = scf.for %i = %c0 to %h step %c1 iter_args(%acc = %init) -> (tensor<144x256xi64>) {
+    %row = scf.for %j = %c0 to %w step %c1 iter_args(%acc2 = %acc) -> (tensor<144x256xi64>) {
+      %r = tensor.extract %img[%i, %j, %c0] : tensor<144x256x3xi64>
+      %g = tensor.extract %img[%i, %j, %c1] : tensor<144x256x3xi64>
+      %b = tensor.extract %img[%i, %j, %c2] : tensor<144x256x3xi64>
+      %tr = arith.muli %r, %w77 : i64
+      %tg = arith.muli %g, %w150 : i64
+      %tb = arith.muli %b, %w29 : i64
+      %s1 = arith.addi %tr, %tg : i64
+      %s2 = arith.addi %s1, %tb : i64
+      %gray = arith.divsi %s2, %c256 : i64
+      %acc3 = tensor.insert %gray into %acc2[%i, %j] : tensor<144x256xi64>
+      scf.yield %acc3 : tensor<144x256xi64>
+    }
+    scf.yield %row : tensor<144x256xi64>
+  }
+  func.return %out : tensor<144x256xi64>
+}

@@ -1,0 +1,28 @@
+
+func.func @poly_eval(%coeffs: tensor<20000x4xf64>, %x: f64) -> tensor<20000xf64> {
+  %i0 = arith.constant 0 : index
+  %i1 = arith.constant 1 : index
+  %i2 = arith.constant 2 : index
+  %i3 = arith.constant 3 : index
+  %n = arith.constant 20000 : index
+  %two = arith.constant 2.0 : f64
+  %three = arith.constant 3.0 : f64
+  %init = tensor.empty() : tensor<20000xf64>
+  %out = scf.for %i = %i0 to %n step %i1 iter_args(%acc = %init) -> (tensor<20000xf64>) {
+    %c0 = tensor.extract %coeffs[%i, %i0] : tensor<20000x4xf64>
+    %c1 = tensor.extract %coeffs[%i, %i1] : tensor<20000x4xf64>
+    %c2 = tensor.extract %coeffs[%i, %i2] : tensor<20000x4xf64>
+    %c3 = tensor.extract %coeffs[%i, %i3] : tensor<20000x4xf64>
+    %x2 = math.powf %x, %two : f64
+    %x3 = math.powf %x, %three : f64
+    %t1 = arith.mulf %c1, %x : f64
+    %t2 = arith.mulf %c2, %x2 : f64
+    %t3 = arith.mulf %c3, %x3 : f64
+    %s1 = arith.addf %c0, %t1 : f64
+    %s2 = arith.addf %s1, %t2 : f64
+    %v = arith.addf %s2, %t3 : f64
+    %acc2 = tensor.insert %v into %acc[%i] : tensor<20000xf64>
+    scf.yield %acc2 : tensor<20000xf64>
+  }
+  func.return %out : tensor<20000xf64>
+}

@@ -1,0 +1,41 @@
+
+func.func @vec_norm(%vs: tensor<20000x3xf32>) -> tensor<20000xf32> {
+  %c0 = arith.constant 0 : index
+  %c1i = arith.constant 1 : index
+  %c2 = arith.constant 2 : index
+  %n = arith.constant 20000 : index
+  %one = arith.constant 1.0 : f32
+  %init = tensor.empty() : tensor<20000xf32>
+  %out = scf.for %i = %c0 to %n step %c1i iter_args(%acc = %init) -> (tensor<20000xf32>) {
+    %x = tensor.extract %vs[%i, %c0] : tensor<20000x3xf32>
+    %y = tensor.extract %vs[%i, %c1i] : tensor<20000x3xf32>
+    %z = tensor.extract %vs[%i, %c2] : tensor<20000x3xf32>
+    %xx = arith.mulf %x, %x fastmath<fast> : f32
+    %yy = arith.mulf %y, %y fastmath<fast> : f32
+    %zz = arith.mulf %z, %z fastmath<fast> : f32
+    %s1 = arith.addf %xx, %yy fastmath<fast> : f32
+    %s2 = arith.addf %s1, %zz fastmath<fast> : f32
+    %norm = math.sqrt %s2 fastmath<fast> : f32
+    %inv = arith.divf %one, %norm fastmath<fast> : f32
+    %acc2 = tensor.insert %inv into %acc[%i] : tensor<20000xf32>
+    scf.yield %acc2 : tensor<20000xf32>
+  }
+  func.return %out : tensor<20000xf32>
+}
+
+func.func @fast_inv_sqrt(%x: f32) -> f32 {
+  %bits = arith.bitcast %x : f32 to i32
+  %c1 = arith.constant 1 : i32
+  %half_bits = arith.shrsi %bits, %c1 : i32
+  %magic = arith.constant 1597463007 : i32
+  %guess_bits = arith.subi %magic, %half_bits : i32
+  %y0 = arith.bitcast %guess_bits : i32 to f32
+  %half = arith.constant 0.5 : f32
+  %three_halves = arith.constant 1.5 : f32
+  %hx = arith.mulf %half, %x fastmath<fast> : f32
+  %yy = arith.mulf %y0, %y0 fastmath<fast> : f32
+  %t = arith.mulf %hx, %yy fastmath<fast> : f32
+  %s = arith.subf %three_halves, %t fastmath<fast> : f32
+  %y1 = arith.mulf %y0, %s fastmath<fast> : f32
+  func.return %y1 : f32
+}

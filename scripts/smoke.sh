@@ -1,0 +1,34 @@
+#!/bin/sh
+# End-to-end smoke test of the command-line tools against the shipped
+# benchmark and rule files.  Exits non-zero on the first failure.
+set -e
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build @all
+
+echo "== dialegg-opt: div-by-pow2 =="
+dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir \
+  --egg rules/div_pow2.egg | grep -q arith.shrsi
+echo ok
+
+echo "== dialegg-opt: 2MM re-association =="
+dune exec bin/dialegg_opt.exe -- benchmarks/2mm.mlir \
+  --egg rules/matmul_assoc.egg | grep -q 'tensor<10x8xf64>'
+echo ok
+
+echo "== dialegg-opt: --dump-egg round-trips through the egglog CLI =="
+dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir --dump-egg \
+  | cat rules/prelude.egg - > /tmp/dialegg_smoke.egg
+dune exec bin/egglog_repl.exe -- /tmp/dialegg_smoke.egg --stats
+echo ok
+
+echo "== mlir-opt: canonicalize + greedy pass =="
+dune exec bin/mlir_opt.exe -- benchmarks/3mm.mlir -p canonicalize -p matmul-reassoc >/dev/null
+echo ok
+
+echo "== mlir-run: interpret =="
+dune exec bin/mlir_run.exe -- benchmarks/div_pow2_demo.mlir -f divs 51200 | grep -q '200:i64'
+echo ok
+
+echo "all smoke tests passed"
