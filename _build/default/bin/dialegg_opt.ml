@@ -1,0 +1,105 @@
+(* dialegg-opt: the artifact's `egg-opt` equivalent.  Reads an MLIR file and
+   an Egglog rules file, optimizes every function with equality saturation,
+   and prints the optimized MLIR. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
+    dump_egg =
+  try
+    let src = read_file input in
+    let m = Mlir.Parser.parse_module src in
+    Mlir.Verifier.verify_exn m;
+    let rules = match egg_file with Some f -> read_file f | None -> "" in
+    let config =
+      {
+        Dialegg.Pipeline.default_config with
+        rules;
+        max_iterations = iterations;
+        max_nodes;
+        timeout = Some timeout;
+        run_dce = not no_dce;
+      }
+    in
+    let only = match funcs with [] -> None | fs -> Some fs in
+    if dump_egg then begin
+      (* dump the Egglog translation of the first selected function *)
+      let engine = Egglog.Interp.create () in
+      Egglog.Interp.run_commands engine (Lazy.force Dialegg.Prelude.commands);
+      Egglog.Interp.run_string engine rules;
+      let sigs = Dialegg.Sigs.scan (Egglog.Interp.egraph engine) in
+      Egglog.Interp.run_commands engine (Dialegg.Sigs.type_of_rules sigs);
+      let hooks = Dialegg.Translate.make_hooks () in
+      List.iter
+        (fun op ->
+          if op.Mlir.Ir.op_name = "func.func"
+             && (only = None || List.mem (Mlir.Ir.func_name op) (Option.value ~default:[] only))
+          then begin
+            let eggify = Dialegg.Eggify.create ~engine ~sigs ~hooks in
+            ignore (Dialegg.Eggify.translate_function eggify op);
+            print_endline ("; function @" ^ Mlir.Ir.func_name op);
+            print_endline (Dialegg.Eggify.to_source eggify)
+          end)
+        (Mlir.Ir.module_ops m);
+      `Ok ()
+    end
+    else begin
+      let timings = Dialegg.Pipeline.optimize_module ~config ?only m in
+      if show_timings then
+        Fmt.epr "%a@." Dialegg.Pipeline.pp_timings timings;
+      print_string (Mlir.Printer.module_to_string m);
+      `Ok ()
+    end
+  with
+  | Sys_error e -> `Error (false, e)
+  | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Mlir.Typ.Parse_error e -> `Error (false, "type parse error: " ^ e)
+  | Dialegg.Pipeline.Error e -> `Error (false, "pipeline error: " ^ e)
+  | Egglog.Parser.Error e -> `Error (false, "egglog parse error: " ^ e)
+  | Egglog.Interp.Error e -> `Error (false, "egglog error: " ^ e)
+  | Failure e -> `Error (false, e)
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.mlir" ~doc:"MLIR input file")
+
+let egg_file =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "egg" ] ~docv:"RULES.egg" ~doc:"Egglog file with user declarations and rewrite rules")
+
+let iterations =
+  Arg.(value & opt int 64 & info [ "iterations"; "i" ] ~doc:"Max saturation iterations")
+
+let max_nodes =
+  Arg.(value & opt int 100_000 & info [ "max-nodes" ] ~doc:"E-graph node budget")
+
+let timeout =
+  Arg.(value & opt float 30.0 & info [ "timeout" ] ~doc:"Per-function saturation timeout (s)")
+
+let no_dce = Arg.(value & flag & info [ "no-dce" ] ~doc:"Skip dead-code elimination after extraction")
+
+let funcs =
+  Arg.(value & opt_all string [] & info [ "function"; "f" ] ~doc:"Only optimize this function (repeatable)")
+
+let show_timings = Arg.(value & flag & info [ "timings"; "t" ] ~doc:"Print the phase timing breakdown to stderr")
+
+let dump_egg =
+  Arg.(value & flag & info [ "dump-egg" ] ~doc:"Print the Egglog translation instead of optimizing")
+
+let cmd =
+  let doc = "dialect-agnostic MLIR optimizer using equality saturation with Egglog" in
+  Cmd.v
+    (Cmd.info "dialegg-opt" ~version:"1.0.0" ~doc)
+    Term.(
+      ret
+        (const run $ input $ egg_file $ iterations $ max_nodes $ timeout $ no_dce
+        $ funcs $ show_timings $ dump_egg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,106 @@
+(* egglog: run Egglog programs from files or an interactive REPL.
+
+   A standalone front-end to the equality-saturation engine, independent of
+   MLIR — useful for experimenting with rule sets before wiring them into
+   DialEgg, and for running the paper's listings directly:
+
+     dune exec bin/egglog_repl.exe -- rules/prelude.egg myprog.egg
+     dune exec bin/egglog_repl.exe            # interactive *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let print_outputs outs =
+  List.iter
+    (fun o ->
+      match o with
+      | Egglog.Interp.O_extracted (term, cost) ->
+        Printf.printf "%s  ; cost %d\n%!" (Egglog.Extract.term_to_string term) cost
+      | Egglog.Interp.O_variants vs ->
+        List.iteri
+          (fun i (term, cost) ->
+            Printf.printf "; variant %d (cost %d):\n%s\n%!" i cost
+              (Egglog.Extract.term_to_string term))
+          vs
+      | Egglog.Interp.O_ran s ->
+        Printf.printf "; ran %d iterations, %d matches (%s, %.2f ms)\n%!"
+          s.Egglog.Interp.iterations s.Egglog.Interp.matches
+          (Fmt.str "%a" Egglog.Interp.pp_stop_reason s.Egglog.Interp.stop)
+          (s.Egglog.Interp.sat_time *. 1000.)
+      | Egglog.Interp.O_checked -> Printf.printf "; check passed\n%!"
+      | Egglog.Interp.O_msg m -> print_string m)
+    outs
+
+let repl engine =
+  Printf.printf "egglog repl — enter commands, :q to quit\n%!";
+  let buf = Buffer.create 256 in
+  let depth s =
+    String.fold_left
+      (fun d c -> if c = '(' then d + 1 else if c = ')' then d - 1 else d)
+      0 s
+  in
+  let rec loop pending_depth =
+    print_string (if pending_depth > 0 then "... " else ">>> ");
+    match read_line () with
+    | exception End_of_file -> ()
+    | ":q" | ":quit" -> ()
+    | line ->
+      Buffer.add_string buf line;
+      Buffer.add_char buf '\n';
+      let d = pending_depth + depth line in
+      if d > 0 then loop d
+      else begin
+        let src = Buffer.contents buf in
+        Buffer.clear buf;
+        let before = List.length (Egglog.Interp.outputs engine) in
+        (try Egglog.Interp.run_string engine src with
+        | Egglog.Parser.Error e -> Printf.printf "parse error: %s\n%!" e
+        | Egglog.Interp.Error e -> Printf.printf "error: %s\n%!" e
+        | Egglog.Egraph.Error e -> Printf.printf "e-graph error: %s\n%!" e
+        | Egglog.Matcher.Error e -> Printf.printf "match error: %s\n%!" e
+        | Egglog.Primitives.Error e -> Printf.printf "primitive error: %s\n%!" e);
+        let outs = Egglog.Interp.outputs engine in
+        print_outputs (List.filteri (fun i _ -> i >= before) outs);
+        loop 0
+      end
+  in
+  loop 0
+
+let run files max_nodes timeout stats =
+  let engine = Egglog.Interp.create ~max_nodes ~timeout () in
+  try
+    List.iter (fun f -> Egglog.Interp.run_string engine (read_file f)) files;
+    print_outputs (Egglog.Interp.outputs engine);
+    if stats then
+      Fmt.epr "%a@." Egglog.Egraph.pp_stats (Egglog.Interp.egraph engine);
+    if files = [] then repl engine;
+    `Ok ()
+  with
+  | Sys_error e -> `Error (false, e)
+  | Egglog.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Egglog.Interp.Error e -> `Error (false, e)
+  | Egglog.Egraph.Error e -> `Error (false, e)
+  | Egglog.Matcher.Error e -> `Error (false, e)
+
+let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE.egg")
+
+let max_nodes =
+  Arg.(value & opt int 500_000 & info [ "max-nodes" ] ~doc:"E-graph node budget")
+
+let timeout =
+  Arg.(value & opt float 60.0 & info [ "timeout" ] ~doc:"Saturation wall-clock budget (s)")
+
+let stats = Arg.(value & flag & info [ "stats" ] ~doc:"Print e-graph statistics at the end")
+
+let cmd =
+  let doc = "equality saturation engine (Egglog-subset interpreter)" in
+  Cmd.v
+    (Cmd.info "egglog" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ files $ max_nodes $ timeout $ stats))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,65 @@
+(* mlir-opt: run classical passes (canonicalize, cse, dce, the greedy matmul
+   re-association baseline) over an MLIR file and print the result. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run input passes verify_only =
+  try
+    let m = Mlir.Parser.parse_module (read_file input) in
+    (match Mlir.Verifier.verify m with
+    | [] -> ()
+    | errs ->
+      Fmt.epr "verification errors:@\n%a@." (Fmt.list ~sep:Fmt.cut Mlir.Verifier.pp_error) errs;
+      exit 1);
+    if verify_only then (
+      print_endline "OK";
+      `Ok ())
+    else begin
+      List.iter
+        (fun pass ->
+          match pass with
+          | "canonicalize" ->
+            let s = Mlir.Transforms.canonicalize m in
+            Fmt.epr "canonicalize: %d folds, %d cse, %d dce@." s.Mlir.Transforms.folds
+              s.Mlir.Transforms.cse_removed s.Mlir.Transforms.dce_removed
+          | "cse" -> Fmt.epr "cse: %d removed@." (Mlir.Transforms.cse m)
+          | "dce" -> Fmt.epr "dce: %d removed@." (Mlir.Transforms.dce m)
+          | "matmul-reassoc" ->
+            Fmt.epr "matmul-reassoc: %d rewrites@." (Mlir.Matmul_reassoc.run m)
+          | "licm" -> Fmt.epr "licm: %d hoisted@." (Mlir.Licm.run m)
+          | p -> failwith ("unknown pass " ^ p))
+        passes;
+      Mlir.Verifier.verify_exn m;
+      print_string (Mlir.Printer.module_to_string m);
+      `Ok ()
+    end
+  with
+  | Sys_error e -> `Error (false, e)
+  | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Failure e -> `Error (false, e)
+
+let input =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.mlir" ~doc:"MLIR input file")
+
+let passes =
+  Arg.(
+    value
+    & opt_all string [ "canonicalize" ]
+    & info [ "pass"; "p" ]
+        ~doc:"Pass to run (canonicalize, cse, dce, licm, matmul-reassoc); repeatable, in order")
+
+let verify_only = Arg.(value & flag & info [ "verify" ] ~doc:"Only verify the input")
+
+let cmd =
+  let doc = "classical MLIR optimization passes (canonicalization baseline)" in
+  Cmd.v
+    (Cmd.info "mlir-opt" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ input $ passes $ verify_only))
+
+let () = exit (Cmd.eval cmd)

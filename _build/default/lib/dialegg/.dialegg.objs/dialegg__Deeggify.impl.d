@@ -1,0 +1,1 @@
+lib/dialegg/deeggify.ml: Array Eggify Egglog Fmt Hashtbl List Mlir Sigs Translate

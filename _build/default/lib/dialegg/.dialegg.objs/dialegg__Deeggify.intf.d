@@ -1,0 +1,1 @@
+lib/dialegg/deeggify.mli: Eggify Egglog Mlir Sigs Translate

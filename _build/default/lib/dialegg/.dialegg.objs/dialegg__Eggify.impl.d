@@ -1,0 +1,1 @@
+lib/dialegg/eggify.ml: Array Egglog Fmt Hashtbl Int64 List Mlir Printf Sigs String Translate

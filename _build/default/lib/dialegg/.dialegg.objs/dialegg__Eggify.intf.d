@@ -1,0 +1,1 @@
+lib/dialegg/eggify.mli: Egglog Hashtbl Mlir Sigs Translate

@@ -1,0 +1,1 @@
+lib/dialegg/pipeline.ml: Deeggify Eggify Egglog Fmt Lazy List Mlir Option Prelude Sigs Translate Unix

@@ -1,0 +1,1 @@
+lib/dialegg/pipeline.mli: Egglog Format Mlir Translate

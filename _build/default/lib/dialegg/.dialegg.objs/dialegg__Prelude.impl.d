@@ -1,0 +1,1 @@
+lib/dialegg/prelude.ml: Egglog

@@ -1,0 +1,1 @@
+lib/dialegg/sigs.ml: Array Egglog Fmt Hashtbl List Option Printf String

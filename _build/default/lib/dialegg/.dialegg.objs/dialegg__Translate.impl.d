@@ -1,0 +1,1 @@
+lib/dialegg/translate.ml: Egglog Fmt Int64 List Mlir

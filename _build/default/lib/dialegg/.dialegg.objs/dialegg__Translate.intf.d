@@ -1,0 +1,1 @@
+lib/dialegg/translate.mli: Egglog Mlir

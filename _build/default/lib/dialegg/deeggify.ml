@@ -1,0 +1,272 @@
+(** Egglog → MLIR translation (paper §5.3, backward direction).
+
+    Consumes the term extracted from the saturated e-graph and rebuilds the
+    function body.  Key invariants relied on:
+    - extracted terms are memoized per e-class, so shared sub-terms are
+      physically shared and carry their e-class id ([t_class]) — e-nodes
+      appearing multiple times become a single SSA definition with multiple
+      uses;
+    - values are rebuilt in dependency order (post-order), which restores
+      SSA dominance;
+    - a sub-term first needed inside a nested region is materialized in
+      that region's block; if needed again in an outer block it is rebuilt
+      there (memoization is scoped per block, preserving dominance at the
+      cost of occasional duplication, which CSE cleans up);
+    - region-bearing ops reuse the block-argument structure of the original
+      op that produced their e-class (recorded by {!Eggify}); rewrite rules
+      in this project never synthesize new region-bearing ops, matching the
+      paper's use cases. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+open Egglog.Extract
+
+type t = {
+  sigs : Sigs.t;
+  hooks : Translate.hooks;
+  extractor : Egglog.Extract.t;
+  eggify : Eggify.t;  (** side tables from the forward translation *)
+  rebuilt_opaque : (int, Mlir.Ir.op) Hashtbl.t;  (** orig op id -> new op *)
+  mutable arg_remap : (int * Mlir.Ir.value) list;  (** orig block-arg value id -> new *)
+}
+
+(** A build scope: the block ops are being appended to, plus the chain of
+    per-block memo tables (e-class -> built value). *)
+type scope = { block : Mlir.Ir.block; memos : (int, Mlir.Ir.value option) Hashtbl.t list }
+
+let create ~sigs ~hooks ~extractor ~eggify =
+  { sigs; hooks; extractor; eggify; rebuilt_opaque = Hashtbl.create 16; arg_remap = [] }
+
+let push_scope scope block = { block; memos = Hashtbl.create 32 :: scope.memos }
+
+let memo_find scope cls =
+  List.find_map (fun tbl -> Hashtbl.find_opt tbl cls) scope.memos
+
+let memo_add scope cls v =
+  match scope.memos with
+  | tbl :: _ -> Hashtbl.replace tbl cls v
+  | [] -> assert false
+
+let term_head t =
+  match t.t_kind with
+  | Node (sym, args) -> (Egglog.Symbol.name sym, args)
+  | _ -> error "expected a constructor term, got %s" (term_to_string t)
+
+(* ------------------------------------------------------------------ *)
+(* Value reconstruction                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Build (or look up) the MLIR value for [term] in [scope].  Returns
+    [None] for zero-result operations (anchors). *)
+let rec build (d : t) (scope : scope) (term : term) : Mlir.Ir.value option =
+  let cls =
+    match term.t_class with
+    | Some c -> c
+    | None -> error "extracted op term has no e-class annotation"
+  in
+  match memo_find scope cls with
+  | Some v -> v
+  | None ->
+    let v = build_uncached d scope term in
+    memo_add scope cls v;
+    v
+
+and build_uncached d scope term : Mlir.Ir.value option =
+  let name, args = term_head term in
+  if name = "Value" then build_value_node d scope term args
+  else
+    match Sigs.find_egg d.sigs name with
+    | Some s -> build_op d scope term s args
+    | None -> error "extracted term has unknown head %s" name
+
+and build_value_node d scope _term args : Mlir.Ir.value option =
+  let id =
+    match args with
+    | [ idt; _ty ] -> Translate.prim_i64 idt
+    | _ -> error "malformed Value term"
+  in
+  match Hashtbl.find_opt d.eggify.Eggify.id_sources id with
+  | None -> error "Value id %d has no recorded origin" id
+  | Some (Eggify.Func_arg v) -> Some v
+  | Some (Eggify.Region_arg v) -> (
+    match List.assoc_opt v.Mlir.Ir.v_id d.arg_remap with
+    | Some v' -> Some v'
+    | None ->
+      error
+        "block argument (value id %d) referenced outside a rebuilt region — \
+         rewrite rules may not move values across region boundaries"
+        v.Mlir.Ir.v_id)
+  | Some (Eggify.Opaque_result (op, i)) ->
+    let new_op = ensure_opaque d scope op in
+    Some new_op.Mlir.Ir.results.(i)
+  | Some (Eggify.Opaque_anchor op) ->
+    ignore (ensure_opaque d scope op);
+    None
+
+and build_op d scope term (s : Sigs.op_sig) args : Mlir.Ir.value option =
+  (* split the argument terms according to the registered signature *)
+  let expect_len =
+    s.Sigs.n_operands + s.Sigs.n_attrs + s.Sigs.n_regions + if s.Sigs.has_type then 1 else 0
+  in
+  if List.length args <> expect_len then
+    error "%s: expected %d argument terms, got %d" s.Sigs.egg_name expect_len
+      (List.length args);
+  let take n l =
+    let rec go acc n l =
+      if n = 0 then (List.rev acc, l)
+      else match l with x :: rest -> go (x :: acc) (n - 1) rest | [] -> assert false
+    in
+    go [] n l
+  in
+  let operand_terms, rest = take s.Sigs.n_operands args in
+  let attr_terms, rest = take s.Sigs.n_attrs rest in
+  let region_terms, rest = take s.Sigs.n_regions rest in
+  let type_term = match rest with [ ty ] -> Some ty | [] -> None | _ -> assert false in
+  let operands =
+    List.map
+      (fun ot ->
+        match build d scope ot with
+        | Some v -> v
+        | None -> error "%s: operand is a zero-result op" s.Sigs.egg_name)
+      operand_terms
+  in
+  let attrs = List.map (Translate.named_attr_of_term ~hooks:d.hooks) attr_terms in
+  let regions =
+    List.mapi (fun i rt -> build_region d scope term s i rt) region_terms
+  in
+  let result_types =
+    match type_term with
+    | Some ty -> [ Translate.type_of_term ~hooks:d.hooks ty ]
+    | None -> []
+  in
+  let op =
+    Mlir.Ir.create_op s.Sigs.mlir_name ~operands ~attrs ~regions ~result_types
+  in
+  Mlir.Ir.append_op scope.block op;
+  if result_types = [] then None else Some (Mlir.Ir.result1 op)
+
+(** Rebuild region [i] of the op whose e-class produced [op_term]. *)
+and build_region d scope (op_term : term) (s : Sigs.op_sig) i (rt : term) : Mlir.Ir.region =
+  let blk_terms =
+    match term_head rt with
+    | "Reg", [ v ] -> Translate.vec_items v
+    | _ -> error "malformed Region term"
+  in
+  let blk_term = match blk_terms with [ b ] -> b | _ -> error "only single-block regions are supported" in
+  (* find the original op to recover the block-argument structure *)
+  let orig_block : Mlir.Ir.block option =
+    match op_term.t_class with
+    | None -> None
+    | Some cls -> (
+      match Hashtbl.find_opt d.eggify.Eggify.class_to_op cls with
+      | Some orig
+        when orig.Mlir.Ir.op_name = s.Sigs.mlir_name
+             && List.length orig.Mlir.Ir.regions = s.Sigs.n_regions -> (
+        match (List.nth orig.Mlir.Ir.regions i).Mlir.Ir.blocks with
+        | [ b ] -> Some b
+        | _ -> None)
+      | _ -> None)
+  in
+  let arg_types =
+    match orig_block with
+    | Some b -> Array.to_list (Array.map (fun (a : Mlir.Ir.value) -> a.Mlir.Ir.v_type) b.Mlir.Ir.blk_args)
+    | None -> []
+  in
+  let new_block = Mlir.Ir.create_block ~arg_types () in
+  (* map original block args to the new block's args while building inside *)
+  let saved_remap = d.arg_remap in
+  (match orig_block with
+  | Some b ->
+    Array.iteri
+      (fun j (a : Mlir.Ir.value) ->
+        d.arg_remap <- (a.Mlir.Ir.v_id, new_block.Mlir.Ir.blk_args.(j)) :: d.arg_remap)
+      b.Mlir.Ir.blk_args
+  | None -> ());
+  let inner = push_scope scope new_block in
+  build_block_body d inner blk_term;
+  d.arg_remap <- saved_remap;
+  Mlir.Ir.create_region [ new_block ]
+
+(** Build the anchors of a [(Blk (vec-of ...))] term into [scope.block]. *)
+and build_block_body d scope (blk_term : term) : unit =
+  let anchors =
+    match term_head blk_term with
+    | "Blk", [ v ] -> Translate.vec_items v
+    | _ -> error "malformed Block term"
+  in
+  List.iter (fun a -> ignore (build d scope a)) anchors
+
+(** Re-emit an opaque op: new op with the original name/attributes/result
+    types; operands rebuilt from their recorded e-classes; regions moved
+    from the original op with free-value uses remapped. *)
+and ensure_opaque d scope (orig : Mlir.Ir.op) : Mlir.Ir.op =
+  match Hashtbl.find_opt d.rebuilt_opaque orig.Mlir.Ir.op_id with
+  | Some op -> op
+  | None ->
+    let operand_classes =
+      match Hashtbl.find_opt d.eggify.Eggify.opaque_operands orig.Mlir.Ir.op_id with
+      | Some cs -> cs
+      | None -> error "opaque op %s has no recorded operands" orig.Mlir.Ir.op_name
+    in
+    let operands =
+      List.map
+        (fun cls ->
+          let term = Egglog.Extract.extract_class d.extractor cls in
+          match build d scope term with
+          | Some v -> v
+          | None -> error "opaque operand extracted to a zero-result op")
+        operand_classes
+    in
+    let result_types =
+      Array.to_list (Array.map (fun (r : Mlir.Ir.value) -> r.Mlir.Ir.v_type) orig.Mlir.Ir.results)
+    in
+    (* move the original regions wholesale; remap free uses of rebuilt values *)
+    let regions = orig.Mlir.Ir.regions in
+    let op =
+      Mlir.Ir.create_op orig.Mlir.Ir.op_name ~operands ~attrs:orig.Mlir.Ir.attrs
+        ~regions ~result_types
+    in
+    List.iter
+      (fun (r : Mlir.Ir.region) ->
+        List.iter
+          (fun (b : Mlir.Ir.block) ->
+            Mlir.Ir.walk_block
+              (fun o ->
+                Array.iteri
+                  (fun k (v : Mlir.Ir.value) ->
+                    match Hashtbl.find_opt d.eggify.Eggify.value_class v.Mlir.Ir.v_id with
+                    | Some cls -> (
+                      match memo_find scope cls with
+                      | Some (Some nv) -> o.Mlir.Ir.operands.(k) <- nv
+                      | _ -> (
+                        (* value defined outside the opaque region: rebuild *)
+                        match v.Mlir.Ir.v_def with
+                        | Mlir.Ir.Block_arg (bb, _) when List.memq bb r.Mlir.Ir.blocks -> ()
+                        | _ -> (
+                          let term = Egglog.Extract.extract_class d.extractor cls in
+                          match build d scope term with
+                          | Some nv -> o.Mlir.Ir.operands.(k) <- nv
+                          | None -> ())))
+                    | None -> ())
+                  o.Mlir.Ir.operands)
+              b)
+          r.Mlir.Ir.blocks)
+      regions;
+    Mlir.Ir.append_op scope.block op;
+    Hashtbl.replace d.rebuilt_opaque orig.Mlir.Ir.op_id op;
+    op
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Rebuild the body of [func] from the extracted root term (the [Blk] of
+    body anchors).  The function's entry block (and therefore its argument
+    values) is reused; its op list is replaced. *)
+let rebuild_function (d : t) (func : Mlir.Ir.op) (root : term) : unit =
+  let entry = Mlir.Ir.func_body func in
+  Mlir.Ir.set_ops entry [];
+  let scope = { block = entry; memos = [ Hashtbl.create 64 ] } in
+  build_block_body d scope root

@@ -1,0 +1,25 @@
+(** Egglog → MLIR translation (paper §5.3, backward direction).
+
+    Rebuilds a function body from the extracted term.  Relies on the
+    extractor memoizing terms per e-class (shared e-nodes become one SSA
+    definition with many uses), builds values in dependency order (which
+    restores dominance), and reuses the block-argument structure recorded
+    by {!Eggify} when reconstructing region-bearing operations.  Opaque
+    operations are re-emitted with operands rebuilt from their recorded
+    e-classes. *)
+
+exception Error of string
+
+type t
+
+val create :
+  sigs:Sigs.t ->
+  hooks:Translate.hooks ->
+  extractor:Egglog.Extract.t ->
+  eggify:Eggify.t ->
+  t
+
+(** Replace the body of a [func.func] with the program denoted by the
+    extracted root term (the [Blk] of body anchors).  The entry block — and
+    therefore the function's argument values — is reused. *)
+val rebuild_function : t -> Mlir.Ir.op -> Egglog.Extract.term -> unit

@@ -1,0 +1,239 @@
+(** MLIR → Egglog translation (paper §5.3, forward direction).
+
+    Every SSA value definition becomes a global let-binding in Egglog.
+    Registered operations become constructor e-nodes; block arguments and
+    the results of {e opaque} (unregistered) operations become
+    [(Value id type)] e-nodes with unique ids, so they stay distinct in the
+    e-graph and survive optimization.
+
+    Blocks are encoded as [(Blk (vec-of anchors...))] where the anchors are
+    the block's {e zero-result} operations (terminators, stores, opaque
+    side-effecting ops) in source order — everything else is reachable
+    through their operand chains.  This refines the paper's illustration
+    (which lists every op) and makes extraction double as dead-code
+    elimination; DESIGN.md §5 records the deviation.
+
+    The translation runs its commands against the engine immediately, so it
+    can record which e-class every operation landed in; the de-eggifier
+    needs that to rebuild regions and opaque operations. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+open Egglog.Ast
+
+type value_source =
+  | Func_arg of Mlir.Ir.value
+  | Region_arg of Mlir.Ir.value  (** block argument of a nested region *)
+  | Opaque_result of Mlir.Ir.op * int
+  | Opaque_anchor of Mlir.Ir.op  (** zero-result opaque op *)
+
+type t = {
+  sigs : Sigs.t;
+  hooks : Translate.hooks;
+  engine : Egglog.Interp.t;
+  id_sources : (int, value_source) Hashtbl.t;  (** egg Value id -> origin *)
+  value_names : (int, string) Hashtbl.t;  (** MLIR value id -> egg global *)
+  value_class : (int, int) Hashtbl.t;  (** MLIR value id -> e-class *)
+  class_to_op : (int, Mlir.Ir.op) Hashtbl.t;  (** e-class -> original op *)
+  opaque_operands : (int, int list) Hashtbl.t;  (** MLIR op id -> operand classes *)
+  mutable next_value_id : int;
+  mutable counter : int;
+  mutable emitted : command list;  (** reverse order, for .egg dumps *)
+  mutable root : string option;  (** name of the extraction root *)
+}
+
+let create ~engine ~sigs ~hooks =
+  {
+    sigs;
+    hooks;
+    engine;
+    id_sources = Hashtbl.create 64;
+    value_names = Hashtbl.create 64;
+    value_class = Hashtbl.create 64;
+    class_to_op = Hashtbl.create 64;
+    opaque_operands = Hashtbl.create 16;
+    next_value_id = 0;
+    counter = 0;
+    emitted = [];
+    root = None;
+  }
+
+let fresh_value_id t =
+  let id = t.next_value_id in
+  t.next_value_id <- id + 1;
+  id
+
+let fresh_name t prefix =
+  let n = Printf.sprintf "%s%d" prefix t.counter in
+  t.counter <- t.counter + 1;
+  n
+
+(** Run one command against the engine and remember it. *)
+let emit t (c : command) =
+  t.emitted <- c :: t.emitted;
+  Egglog.Interp.run_command t.engine c
+
+(** Emit [(let name expr)] and return the e-class it evaluated to. *)
+let emit_let t name expr : int =
+  emit t (C_let (name, expr));
+  match Egglog.Interp.global t.engine name with
+  | Egglog.Value.Eclass c -> Egglog.Egraph.find_class (Egglog.Interp.egraph t.engine) c
+  | v -> error "let %s did not produce an e-class (got %s)" name (Egglog.Value.to_string v)
+
+let name_of_value t (v : Mlir.Ir.value) =
+  match Hashtbl.find_opt t.value_names v.Mlir.Ir.v_id with
+  | Some n -> n
+  | None -> error "operand not yet translated (value id %d)" v.Mlir.Ir.v_id
+
+let class_of_value t (v : Mlir.Ir.value) =
+  match Hashtbl.find_opt t.value_class v.Mlir.Ir.v_id with
+  | Some c -> c
+  | None -> error "operand has no e-class (value id %d)" v.Mlir.Ir.v_id
+
+(** Bind an MLIR value as a fresh [(Value id type)] e-node. *)
+let bind_value_node t (v : Mlir.Ir.value) (src : value_source) : string =
+  let id = fresh_value_id t in
+  Hashtbl.replace t.id_sources id src;
+  let name = fresh_name t "op" in
+  let expr =
+    Call
+      ( "Value",
+        [ Lit (L_i64 (Int64.of_int id)); Translate.expr_of_type ~hooks:t.hooks v.Mlir.Ir.v_type ]
+      )
+  in
+  let cls = emit_let t name expr in
+  Hashtbl.replace t.value_names v.Mlir.Ir.v_id name;
+  Hashtbl.replace t.value_class v.Mlir.Ir.v_id cls;
+  name
+
+(** Can this op be translated as a first-class e-node? *)
+let translatable t (op : Mlir.Ir.op) : Sigs.op_sig option =
+  let n_results = Array.length op.Mlir.Ir.results in
+  if n_results > 1 then None
+  else
+    match
+      Sigs.find_mlir t.sigs ~name:op.Mlir.Ir.op_name
+        ~n_operands:(Array.length op.Mlir.Ir.operands) ~n_results
+    with
+    | None -> None
+    | Some s ->
+      if
+        s.Sigs.n_attrs = List.length op.Mlir.Ir.attrs
+        && s.Sigs.n_regions = List.length op.Mlir.Ir.regions
+        && List.for_all
+             (fun (r : Mlir.Ir.region) -> List.length r.Mlir.Ir.blocks = 1)
+             op.Mlir.Ir.regions
+      then Some s
+      else None
+
+(** Is [op] a block anchor (must be listed in its block's [Blk] vector)? *)
+let is_anchor (op : Mlir.Ir.op) = Array.length op.Mlir.Ir.results = 0
+
+(** Translate one op; returns the egg global name of its e-node. *)
+let rec translate_op t (op : Mlir.Ir.op) : string =
+  match translatable t op with
+  | Some s ->
+    let operand_exprs =
+      Array.to_list op.Mlir.Ir.operands
+      |> List.map (fun v -> Var (name_of_value t v))
+    in
+    let attr_exprs =
+      List.map (Translate.expr_of_named_attr ~hooks:t.hooks) op.Mlir.Ir.attrs
+    in
+    let region_exprs = List.map (translate_region t) op.Mlir.Ir.regions in
+    let type_exprs =
+      if s.Sigs.has_type then
+        [ Translate.expr_of_type ~hooks:t.hooks op.Mlir.Ir.results.(0).Mlir.Ir.v_type ]
+      else []
+    in
+    let expr = Call (s.Sigs.egg_name, operand_exprs @ attr_exprs @ region_exprs @ type_exprs) in
+    let name = fresh_name t "op" in
+    let cls = emit_let t name expr in
+    Hashtbl.replace t.class_to_op cls op;
+    if Array.length op.Mlir.Ir.results = 1 then begin
+      Hashtbl.replace t.value_names op.Mlir.Ir.results.(0).Mlir.Ir.v_id name;
+      Hashtbl.replace t.value_class op.Mlir.Ir.results.(0).Mlir.Ir.v_id cls
+    end;
+    name
+  | None -> translate_opaque t op
+
+(** Opaque fallback: each result becomes a distinct [(Value id type)]; a
+    zero-result op gets a single anchor node of type [none]. *)
+and translate_opaque t (op : Mlir.Ir.op) : string =
+  (* record the e-classes of its operands so the op can be rebuilt *)
+  let operand_classes =
+    Array.to_list op.Mlir.Ir.operands |> List.map (class_of_value t)
+  in
+  Hashtbl.replace t.opaque_operands op.Mlir.Ir.op_id operand_classes;
+  if Array.length op.Mlir.Ir.results = 0 then begin
+    let id = fresh_value_id t in
+    Hashtbl.replace t.id_sources id (Opaque_anchor op);
+    let name = fresh_name t "op" in
+    let expr = Call ("Value", [ Lit (L_i64 (Int64.of_int id)); Call ("NoneType", []) ]) in
+    ignore (emit_let t name expr);
+    name
+  end
+  else begin
+    let names =
+      Array.to_list op.Mlir.Ir.results
+      |> List.mapi (fun i r -> bind_value_node t r (Opaque_result (op, i)))
+    in
+    (* the op's "name" is its first result's node *)
+    List.hd names
+  end
+
+(** Translate a nested region to a [(Reg (vec-of (Blk ...)))] expression.
+    Block arguments become fresh [Value] nodes first; then all ops are
+    translated, and the [Blk] lists the anchors. *)
+and translate_region t (r : Mlir.Ir.region) : expr =
+  let blocks = List.map (translate_block t) r.Mlir.Ir.blocks in
+  Call ("Reg", [ Call ("vec-of", blocks) ])
+
+and translate_block t (b : Mlir.Ir.block) : expr =
+  Array.iter
+    (fun (a : Mlir.Ir.value) -> ignore (bind_value_node t a (Region_arg a)))
+    b.Mlir.Ir.blk_args;
+  let anchors =
+    List.filter_map
+      (fun (op : Mlir.Ir.op) ->
+        let name = translate_op t op in
+        if is_anchor op then Some (Var name) else None)
+      b.Mlir.Ir.blk_ops
+  in
+  Call ("Blk", [ Call ("vec-of", anchors) ])
+
+(** Translate the body of [func] (a [func.func] op).  Returns the name of
+    the root binding ([__root], a [Block] e-node listing the body's
+    anchors), which the pipeline extracts after saturation. *)
+let translate_function t (func : Mlir.Ir.op) : string =
+  let body = Mlir.Ir.func_body func in
+  (* function arguments use ids 0..n-1, as in the paper's example *)
+  Array.iter
+    (fun (a : Mlir.Ir.value) -> ignore (bind_value_node t a (Func_arg a)))
+    body.Mlir.Ir.blk_args;
+  let anchors =
+    List.filter_map
+      (fun (op : Mlir.Ir.op) ->
+        let name = translate_op t op in
+        if is_anchor op then Some (Var name) else None)
+      body.Mlir.Ir.blk_ops
+  in
+  let root = fresh_name t "__root" in
+  ignore (emit_let t root (Call ("Blk", [ Call ("vec-of", anchors) ])));
+  t.root <- Some root;
+  root
+
+(** The commands emitted so far, in order (for .egg file dumps). *)
+let emitted_commands t = List.rev t.emitted
+
+(** Render the emitted translation as Egglog source text. *)
+let to_source t =
+  emitted_commands t
+  |> List.map (fun c ->
+         match c with
+         | C_let (x, e) ->
+           Egglog.Sexp.to_string (List [ Atom "let"; Atom x; Egglog.Ast.sexp_of_expr e ])
+         | _ -> "; <non-let command>")
+  |> String.concat "\n"

@@ -1,0 +1,56 @@
+(** MLIR → Egglog translation (paper §5.3, forward direction).
+
+    SSA definitions become global let-bindings; registered operations
+    become constructor e-nodes; block arguments and opaque (unregistered)
+    operation results become [(Value id type)] e-nodes with unique ids.
+    Blocks are encoded as [(Blk (vec-of anchors...))] where the anchors are
+    the zero-result operations in source order — extraction then doubles as
+    dead-code elimination (a refinement of the paper's illustration,
+    recorded in DESIGN.md §5).
+
+    Commands run against the engine immediately so the translation can
+    record the e-class of every operation; {!Deeggify} consumes those side
+    tables to rebuild regions and opaque operations. *)
+
+exception Error of string
+
+type value_source =
+  | Func_arg of Mlir.Ir.value
+  | Region_arg of Mlir.Ir.value  (** block argument of a nested region *)
+  | Opaque_result of Mlir.Ir.op * int
+  | Opaque_anchor of Mlir.Ir.op  (** zero-result opaque op *)
+
+type t = {
+  sigs : Sigs.t;
+  hooks : Translate.hooks;
+  engine : Egglog.Interp.t;
+  id_sources : (int, value_source) Hashtbl.t;  (** egg Value id -> origin *)
+  value_names : (int, string) Hashtbl.t;  (** MLIR value id -> egg global *)
+  value_class : (int, int) Hashtbl.t;  (** MLIR value id -> e-class *)
+  class_to_op : (int, Mlir.Ir.op) Hashtbl.t;  (** e-class -> original op *)
+  opaque_operands : (int, int list) Hashtbl.t;  (** MLIR op id -> operand classes *)
+  mutable next_value_id : int;
+  mutable counter : int;
+  mutable emitted : Egglog.Ast.command list;  (** reverse order *)
+  mutable root : string option;  (** name of the extraction root *)
+}
+
+val create : engine:Egglog.Interp.t -> sigs:Sigs.t -> hooks:Translate.hooks -> t
+
+(** Can this op be translated as a first-class e-node (registered
+    signature, attribute/region counts match, single-block regions,
+    at most one result)? *)
+val translatable : t -> Mlir.Ir.op -> Sigs.op_sig option
+
+(** Translate one op (registered or opaque); returns its egg global name. *)
+val translate_op : t -> Mlir.Ir.op -> string
+
+(** Translate a function body; returns the name of the root binding (the
+    [Block] e-node of body anchors) that the pipeline extracts. *)
+val translate_function : t -> Mlir.Ir.op -> string
+
+(** The commands emitted so far, in order. *)
+val emitted_commands : t -> Egglog.Ast.command list
+
+(** Render the emitted translation as Egglog source (for [.egg] dumps). *)
+val to_source : t -> string

@@ -1,0 +1,177 @@
+(** The end-to-end DialEgg pipeline (paper Fig. 2):
+
+    {v MLIR --eggify--> Egglog --saturate--> extract --deeggify--> MLIR v}
+
+    Per function: a fresh Egglog engine runs the prelude, the user's
+    declarations/rules, and the auto-generated [type-of] rules; the
+    function body is translated; the rules run to saturation (bounded by
+    iterations / nodes / wall clock); the lowest-cost program is extracted
+    and translated back, replacing the function body.
+
+    Timings are recorded per phase so the benchmark harness can reproduce
+    the paper's Table 2 breakdown. *)
+
+exception Error of string
+
+type config = {
+  rules : string;  (** Egglog source: user declarations, rules, cost models *)
+  schedule : (string option * int) list option;
+      (** staged saturation: (ruleset, iteration limit) pairs run in order;
+          [None] runs the default ruleset for [max_iterations] *)
+  max_iterations : int;
+  max_nodes : int;
+  timeout : float option;  (** per-function saturation wall-clock budget *)
+  run_dce : bool;  (** clean dead ops after de-eggification *)
+  verify : bool;  (** verify the rewritten module *)
+}
+
+let default_config =
+  {
+    rules = "";
+    schedule = None;
+    max_iterations = 64;
+    max_nodes = 100_000;
+    timeout = Some 30.0;
+    run_dce = true;
+    verify = true;
+  }
+
+(** Per-function timing breakdown (Table 2 columns). *)
+type timings = {
+  t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
+  t_egglog : float;  (** total time inside the engine: saturation + extraction *)
+  t_saturate : float;  (** the saturation part of [t_egglog] *)
+  t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
+  iterations : int;
+  matches : int;
+  stop : Egglog.Interp.stop_reason;
+  n_nodes : int;  (** e-graph size after saturation *)
+  n_classes : int;
+  extracted_cost : int;  (** tree cost of the extraction *)
+  extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
+}
+
+let zero_timings =
+  {
+    t_mlir_to_egg = 0.;
+    t_egglog = 0.;
+    t_saturate = 0.;
+    t_egg_to_mlir = 0.;
+    iterations = 0;
+    matches = 0;
+    stop = Egglog.Interp.Saturated;
+    n_nodes = 0;
+    n_classes = 0;
+    extracted_cost = 0;
+    extracted_dag_cost = 0;
+  }
+
+let add_timings a b =
+  {
+    t_mlir_to_egg = a.t_mlir_to_egg +. b.t_mlir_to_egg;
+    t_egglog = a.t_egglog +. b.t_egglog;
+    t_saturate = a.t_saturate +. b.t_saturate;
+    t_egg_to_mlir = a.t_egg_to_mlir +. b.t_egg_to_mlir;
+    iterations = a.iterations + b.iterations;
+    matches = a.matches + b.matches;
+    stop = (if b.stop = Egglog.Interp.Saturated then a.stop else b.stop);
+    n_nodes = a.n_nodes + b.n_nodes;
+    n_classes = a.n_classes + b.n_classes;
+    extracted_cost = a.extracted_cost + b.extracted_cost;
+    extracted_dag_cost = a.extracted_dag_cost + b.extracted_dag_cost;
+  }
+
+let pp_timings ppf t =
+  Fmt.pf ppf
+    "mlir->egg %.2fms | egglog %.2fms (sat %.2fms, %d iters, %d matches, %a) | egg->mlir \
+     %.2fms | %d nodes %d classes | cost %d (dag %d)"
+    (t.t_mlir_to_egg *. 1000.) (t.t_egglog *. 1000.) (t.t_saturate *. 1000.) t.iterations
+    t.matches Egglog.Interp.pp_stop_reason t.stop
+    (t.t_egg_to_mlir *. 1000.)
+    t.n_nodes t.n_classes t.extracted_cost t.extracted_dag_cost
+
+let now () = Unix.gettimeofday ()
+
+(** Optimize one [func.func] op in place.  Returns the timing breakdown. *)
+let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
+    (func : Mlir.Ir.op) : timings =
+  Mlir.Registry.ensure_registered ();
+  (* ---- MLIR -> Egglog ---- *)
+  let t0 = now () in
+  let engine = Egglog.Interp.create ~max_nodes:config.max_nodes ?timeout:config.timeout () in
+  Egglog.Interp.run_commands engine (Lazy.force Prelude.commands);
+  (try Egglog.Interp.run_string engine config.rules
+   with Egglog.Parser.Error msg -> raise (Error ("rules: " ^ msg)));
+  let sigs = Sigs.scan (Egglog.Interp.egraph engine) in
+  Egglog.Interp.run_commands engine (Sigs.type_of_rules sigs);
+  let eggify = Eggify.create ~engine ~sigs ~hooks in
+  let root = Eggify.translate_function eggify func in
+  let t1 = now () in
+  (* ---- saturate (possibly a staged schedule of rulesets) ---- *)
+  let stats =
+    match config.schedule with
+    | None -> Egglog.Interp.run engine config.max_iterations
+    | Some stages ->
+      List.fold_left
+        (fun (acc : Egglog.Interp.run_stats option) (ruleset, n) ->
+          let s = Egglog.Interp.run ?ruleset engine n in
+          match acc with
+          | None -> Some s
+          | Some a ->
+            a.Egglog.Interp.iterations <- a.Egglog.Interp.iterations + s.Egglog.Interp.iterations;
+            a.Egglog.Interp.matches <- a.Egglog.Interp.matches + s.Egglog.Interp.matches;
+            a.Egglog.Interp.sat_time <- a.Egglog.Interp.sat_time +. s.Egglog.Interp.sat_time;
+            a.Egglog.Interp.stop <- s.Egglog.Interp.stop;
+            Some a)
+        None stages
+      |> Option.get
+  in
+  (* ---- extract ---- *)
+  Egglog.Egraph.rebuild (Egglog.Interp.egraph engine);
+  let extractor = Egglog.Extract.make (Egglog.Interp.egraph engine) in
+  let root_class =
+    match Egglog.Interp.global engine root with
+    | Egglog.Value.Eclass c -> c
+    | _ -> raise (Error "root is not an e-class")
+  in
+  let root_term = Egglog.Extract.extract_class extractor root_class in
+  let t2 = now () in
+  (* ---- Egglog -> MLIR ---- *)
+  let deeggify = Deeggify.create ~sigs ~hooks ~extractor ~eggify in
+  Deeggify.rebuild_function deeggify func root_term;
+  if config.run_dce then ignore (Mlir.Transforms.dce func);
+  let t3 = now () in
+  if config.verify then (
+    match Mlir.Verifier.verify func with
+    | [] -> ()
+    | errs ->
+      raise
+        (Error
+           (Fmt.str "rewritten function fails verification:@\n%a"
+              (Fmt.list ~sep:Fmt.cut Mlir.Verifier.pp_error)
+              errs)));
+  let eg = Egglog.Interp.egraph engine in
+  {
+    t_mlir_to_egg = t1 -. t0;
+    t_egglog = t2 -. t1;
+    t_saturate = stats.Egglog.Interp.sat_time;
+    t_egg_to_mlir = t3 -. t2;
+    iterations = stats.Egglog.Interp.iterations;
+    matches = stats.Egglog.Interp.matches;
+    stop = stats.Egglog.Interp.stop;
+    n_nodes = Egglog.Egraph.n_nodes eg;
+    n_classes = Egglog.Egraph.n_classes eg;
+    extracted_cost = Egglog.Extract.cost_of_class extractor root_class;
+    extracted_dag_cost = Egglog.Extract.dag_cost extractor root_term;
+  }
+
+(** Optimize every function of a module in place (or only those named in
+    [only]).  Returns the summed timings. *)
+let optimize_module ?(config = default_config) ?hooks ?only (m : Mlir.Ir.op) : timings =
+  let should name = match only with None -> true | Some names -> List.mem name names in
+  List.fold_left
+    (fun acc op ->
+      if op.Mlir.Ir.op_name = "func.func" && should (Mlir.Ir.func_name op) then
+        add_timings acc (optimize_func ~config ?hooks op)
+      else acc)
+    zero_timings (Mlir.Ir.module_ops m)

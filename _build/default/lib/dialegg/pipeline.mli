@@ -1,0 +1,45 @@
+(** The end-to-end DialEgg pipeline (paper Fig. 2):
+    MLIR → eggify → saturate → extract → de-eggify → MLIR, per function,
+    with per-phase timings (the paper's Table 2 columns). *)
+
+exception Error of string
+
+type config = {
+  rules : string;  (** Egglog source: user declarations, rules, cost models *)
+  schedule : (string option * int) list option;
+      (** staged saturation: (ruleset, iteration limit) pairs run in order;
+          [None] runs the default ruleset for [max_iterations] *)
+  max_iterations : int;
+  max_nodes : int;  (** e-graph node budget *)
+  timeout : float option;  (** per-function saturation wall-clock budget *)
+  run_dce : bool;  (** clean dead ops after de-eggification *)
+  verify : bool;  (** verify the rewritten module *)
+}
+
+val default_config : config
+
+type timings = {
+  t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
+  t_egglog : float;  (** total engine time: saturation + extraction *)
+  t_saturate : float;  (** the saturation part of [t_egglog] *)
+  t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
+  iterations : int;
+  matches : int;
+  stop : Egglog.Interp.stop_reason;
+  n_nodes : int;  (** e-graph size after saturation *)
+  n_classes : int;
+  extracted_cost : int;  (** tree cost of the extraction *)
+  extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
+}
+
+val zero_timings : timings
+val add_timings : timings -> timings -> timings
+val pp_timings : Format.formatter -> timings -> unit
+
+(** Optimize one [func.func] in place. *)
+val optimize_func : ?config:config -> ?hooks:Translate.hooks -> Mlir.Ir.op -> timings
+
+(** Optimize every function of a module in place (or only those named in
+    [only]); summed timings. *)
+val optimize_module :
+  ?config:config -> ?hooks:Translate.hooks -> ?only:string list -> Mlir.Ir.op -> timings

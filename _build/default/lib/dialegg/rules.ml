@@ -1,0 +1,119 @@
+(** The paper's case-study rule sets (§7), as Egglog source.
+
+    Each is a self-contained fragment that can be concatenated with others
+    and fed to {!Pipeline.optimize}.  Costs for the base operations are
+    declared in {!Cost_models.default} (latency-style, mirroring the
+    interpreter's cost proxy), so extraction globally prefers cheaper op
+    mixes. *)
+
+(** §7.1 — constant folding for integer add/sub/mul. *)
+let const_fold =
+  {|
+; x:const + y:const => eval
+(rewrite (arith_addi
+           (arith_constant (NamedAttr "value" (IntegerAttr ?x ?t)) ?t)
+           (arith_constant (NamedAttr "value" (IntegerAttr ?y ?t)) ?t) ?t)
+         (arith_constant (NamedAttr "value" (IntegerAttr (+ ?x ?y) ?t)) ?t))
+(rewrite (arith_subi
+           (arith_constant (NamedAttr "value" (IntegerAttr ?x ?t)) ?t)
+           (arith_constant (NamedAttr "value" (IntegerAttr ?y ?t)) ?t) ?t)
+         (arith_constant (NamedAttr "value" (IntegerAttr (- ?x ?y) ?t)) ?t))
+(rewrite (arith_muli
+           (arith_constant (NamedAttr "value" (IntegerAttr ?x ?t)) ?t)
+           (arith_constant (NamedAttr "value" (IntegerAttr ?y ?t)) ?t) ?t)
+         (arith_constant (NamedAttr "value" (IntegerAttr (* ?x ?y) ?t)) ?t))
+|}
+
+(** §7.2 (listing 7) — signed division by a power of two becomes an
+    arithmetic right shift.  Conditional rule with computation. *)
+let div_pow2 =
+  {|
+(rule ((= ?lhs (arith_divsi ?x
+                 (arith_constant (NamedAttr "value" (IntegerAttr ?n ?t)) ?t) ?t))
+       (= ?k (log2 ?n))
+       (= (pow 2 ?k) ?n))
+      ((union ?lhs
+         (arith_shrsi ?x
+           (arith_constant (NamedAttr "value" (IntegerAttr ?k ?t)) ?t) ?t))))
+|}
+
+(** §7.3 (listing 8) — attribute-based matching: 1/sqrt(x) under
+    fastmath<fast> becomes a call to \@fast_inv_sqrt. *)
+let fast_inv_sqrt =
+  {|
+(let fm_fast_rule (NamedAttr "fastmath" (arith_fastmath (fast))))
+(rule ((= ?lhs (arith_divf
+                 (arith_constant (NamedAttr "value" (FloatAttr 1.0 ?t)) ?t)
+                 (math_sqrt ?x fm_fast_rule ?t)
+                 fm_fast_rule ?t)))
+      ((union ?lhs (func_call_1 ?x
+                     (NamedAttr "callee" (SymbolRefAttr "fast_inv_sqrt")) ?t))))
+|}
+
+(** §7.4 (listings 5, 6, 9) — type-based cost model for matmul plus the
+    associativity rule.  [nrows]/[ncols] come from the prelude. *)
+let matmul_assoc =
+  {|
+; cost of a matmul = number of scalar multiplications (listing 5)
+(rule ((= ?e (linalg_matmul ?x ?y ?xy ?t))
+       (= ?a (nrows (type-of ?x)))
+       (= ?b (ncols (type-of ?x)))
+       (= ?c (ncols (type-of ?y))))
+      ((unstable-cost (linalg_matmul ?x ?y ?xy ?t) (* (* ?a ?b) ?c))))
+; associativity: (x y) z = x (y z)  (listing 9)
+(rule ((= ?lhs (linalg_matmul
+                 (linalg_matmul ?x ?y ?xy ?xy_t)
+                 ?z ?xy_z ?xyz_t))
+       (= ?b (nrows (type-of ?y)))
+       (= ?d (ncols (type-of ?z)))
+       (= ?xyz_t (RankedTensor ?d1 ?et)))
+      ((let yz_t (RankedTensor (vec-of ?b ?d) ?et))
+       (union ?lhs
+         (linalg_matmul ?x
+           (linalg_matmul ?y ?z (tensor_empty yz_t) yz_t)
+           ?xy_z ?xyz_t))))
+|}
+
+(** §7.5 (listings 10–12) — Horner's method: commutativity, associativity,
+    distributivity, recursive exponentiation, and identities. *)
+let horner =
+  {|
+; commutativity (listing 12)
+(rewrite (arith_addf ?x ?y ?a ?t) (arith_addf ?y ?x ?a ?t))
+(rewrite (arith_mulf ?x ?y ?a ?t) (arith_mulf ?y ?x ?a ?t))
+; associativity
+(rewrite (arith_addf (arith_addf ?x ?y ?a ?t) ?z ?a ?t)
+         (arith_addf ?x (arith_addf ?y ?z ?a ?t) ?a ?t))
+(rewrite (arith_mulf (arith_mulf ?x ?y ?a ?t) ?z ?a ?t)
+         (arith_mulf ?x (arith_mulf ?y ?z ?a ?t) ?a ?t))
+; distributivity: mx + nx = x(m + n)
+(rewrite (arith_addf (arith_mulf ?m ?x ?a ?t) (arith_mulf ?n ?x ?a ?t) ?a ?t)
+         (arith_mulf ?x (arith_addf ?m ?n ?a ?t) ?a ?t))
+; x^n = x * x^(n-1) for n >= 1 (listing 10)
+(rule ((= ?lhs (math_powf ?x
+                 (arith_constant (NamedAttr "value" (FloatAttr ?n ?t)) ?t) ?a ?t))
+       (>= ?n 1.0))
+      ((union ?lhs
+         (arith_mulf ?x
+           (math_powf ?x
+             (arith_constant (NamedAttr "value" (FloatAttr (- ?n 1.0) ?t)) ?t)
+             ?a ?t)
+           ?a ?t))))
+; identities (listing 11)
+(rewrite (math_powf ?x (arith_constant (NamedAttr "value" (FloatAttr 0.0 ?t)) ?t) ?a ?t)
+         (arith_constant (NamedAttr "value" (FloatAttr 1.0 ?t)) ?t))
+(rewrite (arith_mulf ?x (arith_constant (NamedAttr "value" (FloatAttr 1.0 ?t)) ?t) ?a ?t)
+         ?x)
+|}
+
+(** Count the rules in a fragment (rewrite/birewrite/rule commands), for the
+    paper's Table 2 "#Rules" column. *)
+let count_rules (src : string) =
+  List.fold_left
+    (fun acc c ->
+      match c with
+      | Egglog.Ast.C_rewrite { bidirectional; _ } -> acc + if bidirectional then 2 else 1
+      | Egglog.Ast.C_rule _ -> acc + 1
+      | _ -> acc)
+    0
+    (Egglog.Parser.parse_program src)

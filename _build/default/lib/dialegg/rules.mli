@@ -1,0 +1,24 @@
+(** The paper's case-study rule sets (§7), as Egglog source fragments that
+    can be concatenated and fed to {!Pipeline.optimize_module}. *)
+
+(** §7.1 — constant folding for integer add/sub/mul. *)
+val const_fold : string
+
+(** §7.2 (listing 7) — signed division by a power of two becomes an
+    arithmetic right shift (conditional rule with computation). *)
+val div_pow2 : string
+
+(** §7.3 (listing 8) — attribute-based matching: [1/sqrt(x)] under
+    [fastmath<fast>] becomes a call to [@fast_inv_sqrt]. *)
+val fast_inv_sqrt : string
+
+(** §7.4 (listings 5, 6, 9) — type-based matmul cost model
+    ([unstable-cost]) plus the associativity rule. *)
+val matmul_assoc : string
+
+(** §7.5 (listings 10–12) — Horner's method: commutativity, associativity,
+    distributivity, recursive exponentiation, identities. *)
+val horner : string
+
+(** Number of rule/rewrite commands in a fragment (Table 2's #Rules). *)
+val count_rules : string -> int

@@ -1,0 +1,50 @@
+(** The preparation phase (paper §5.1): scan the declared Egglog functions
+    and register every MLIR operation constructor — expected operand /
+    attribute / region counts, and whether it carries a result type.
+
+    An Egglog function is an op constructor iff its return sort is [Op]
+    and its name is not [Value].  Parameter order is enforced: operands
+    ([Op]), attributes ([AttrPair], sorted by name), regions ([Region]),
+    then the result [Type] iff single-result.  Variadic operations encode
+    their operand count as a [_N] suffix ([func_call_3]). *)
+
+exception Error of string
+
+type op_sig = {
+  egg_name : string;  (** the Egglog function, e.g. "func_call_3" *)
+  mlir_name : string;  (** the MLIR op, e.g. "func.call" *)
+  n_operands : int;
+  n_attrs : int;
+  n_regions : int;
+  has_type : bool;  (** trailing [Type] parameter = single result *)
+}
+
+type t
+
+(** Strip a trailing [_<int>] suffix. *)
+val split_variadic : string -> string * int option
+
+(** Egglog function name -> MLIR op name ([tensor_from_elements_2] ->
+    [tensor.from_elements]). *)
+val mlir_name_of_egg : string -> string
+
+(** Derive one function's signature; [None] if it is not an op constructor.
+    @raise Error on a malformed constructor declaration. *)
+val sig_of_function : Egglog.Egraph.func -> op_sig option
+
+(** Scan all functions declared in the e-graph. *)
+val scan : Egglog.Egraph.t -> t
+
+(** Signature for an Egglog function name. *)
+val find_egg : t -> string -> op_sig option
+
+(** Signature for an MLIR op with the given operand and result counts. *)
+val find_mlir : t -> name:string -> n_operands:int -> n_results:int -> op_sig option
+
+(** All registered op signatures. *)
+val all : t -> op_sig list
+
+(** Auto-generated [type-of] propagation rules (one per typed op
+    constructor, plus [Value]) — the paper's type-based cost models (§6.2)
+    read operand types through these. *)
+val type_of_rules : t -> Egglog.Ast.command list

@@ -1,0 +1,243 @@
+(** Translation of MLIR types and attributes to and from Egglog expressions
+    (paper §4.1–§4.2).
+
+    The forward direction produces {!Egglog.Ast.expr} values (to be
+    evaluated into the e-graph); the backward direction consumes extracted
+    {!Egglog.Extract.term} values.  Types/attributes with no first-class
+    encoding fall back to [OpaqueType] / [OpaqueAttr], carrying a serialized
+    form that the backward direction re-parses — optionally overridden by
+    user-registered custom eggifier / de-eggifier hooks (paper §5.2). *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+open Egglog.Ast
+
+(* ------------------------------------------------------------------ *)
+(* Custom type/attribute hooks (paper §5.2)                            *)
+(* ------------------------------------------------------------------ *)
+
+type hooks = {
+  mutable type_eggifiers : (Mlir.Typ.t -> expr option) list;
+  mutable type_deeggifiers : (string -> Egglog.Extract.term list -> Mlir.Typ.t option) list;
+  mutable attr_eggifiers : (Mlir.Attr.t -> expr option) list;
+  mutable attr_deeggifiers : (string -> Egglog.Extract.term list -> Mlir.Attr.t option) list;
+}
+
+let make_hooks () =
+  { type_eggifiers = []; type_deeggifiers = []; attr_eggifiers = []; attr_deeggifiers = [] }
+
+(** Register a custom type eggifier / de-eggifier pair.  The de-eggifier
+    receives the head constructor name and argument terms. *)
+let register_type_hook hooks ~eggify ~deeggify =
+  hooks.type_eggifiers <- eggify :: hooks.type_eggifiers;
+  hooks.type_deeggifiers <- deeggify :: hooks.type_deeggifiers
+
+let register_attr_hook hooks ~eggify ~deeggify =
+  hooks.attr_eggifiers <- eggify :: hooks.attr_eggifiers;
+  hooks.attr_deeggifiers <- deeggify :: hooks.attr_deeggifiers
+
+let first_some fs x = List.find_map (fun f -> f x) fs
+
+(* ------------------------------------------------------------------ *)
+(* Types: MLIR -> Egglog                                               *)
+(* ------------------------------------------------------------------ *)
+
+let call0 name = Call (name, [])
+let int_lit n = Lit (L_i64 (Int64.of_int n))
+
+let rec expr_of_type ?(hooks = make_hooks ()) (t : Mlir.Typ.t) : expr =
+  match first_some hooks.type_eggifiers t with
+  | Some e -> e
+  | None -> (
+    match t with
+    | Mlir.Typ.Integer 1 -> call0 "I1"
+    | Integer 8 -> call0 "I8"
+    | Integer 16 -> call0 "I16"
+    | Integer 32 -> call0 "I32"
+    | Integer 64 -> call0 "I64"
+    | Integer w -> Call ("IntegerType", [ int_lit w ])
+    | Float F16 -> call0 "F16"
+    | Float F32 -> call0 "F32"
+    | Float F64 -> call0 "F64"
+    | Index -> call0 "IndexT"
+    | None_type -> call0 "NoneType"
+    | Complex e -> Call ("ComplexType", [ expr_of_type ~hooks e ])
+    | Tuple ts ->
+      Call ("TupleType", [ Call ("vec-of", List.map (expr_of_type ~hooks) ts) ])
+    | Ranked_tensor (dims, e) ->
+      Call
+        ( "RankedTensor",
+          [ Call ("vec-of", List.map int_lit dims); expr_of_type ~hooks e ] )
+    | Unranked_tensor e -> Call ("UnrankedTensor", [ expr_of_type ~hooks e ])
+    | Memref (dims, e) ->
+      Call
+        ("MemRefType", [ Call ("vec-of", List.map int_lit dims); expr_of_type ~hooks e ])
+    | Function (args, rets) ->
+      Call
+        ( "FunctionType",
+          [
+            Call ("vec-of", List.map (expr_of_type ~hooks) args);
+            Call ("vec-of", List.map (expr_of_type ~hooks) rets);
+          ] )
+    | Opaque (serialized, name) ->
+      Call ("OpaqueType", [ Lit (L_string serialized); Lit (L_string name) ]))
+
+(* ------------------------------------------------------------------ *)
+(* Attributes: MLIR -> Egglog                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fastmath_variant (fm : Mlir.Attr.fastmath) : expr option =
+  match fm with
+  | Mlir.Attr.Fm_none -> Some (call0 "none")
+  | Fm_fast -> Some (call0 "fast")
+  | Fm_flags [ f ] -> (
+    match f with
+    | "nnan" | "ninf" | "nsz" | "arcp" | "contract" | "afn" | "reassoc" ->
+      Some (call0 f)
+    | _ -> None)
+  | Fm_flags _ -> None
+
+let rec expr_of_attr ?(hooks = make_hooks ()) (a : Mlir.Attr.t) : expr =
+  match first_some hooks.attr_eggifiers a with
+  | Some e -> e
+  | None -> (
+    match a with
+    | Mlir.Attr.Int (v, t) -> Call ("IntegerAttr", [ Lit (L_i64 v); expr_of_type ~hooks t ])
+    | Float (v, t) -> Call ("FloatAttr", [ Lit (L_f64 v); expr_of_type ~hooks t ])
+    | String s -> Call ("StringAttr", [ Lit (L_string s) ])
+    | Bool b -> Call ("BoolAttr", [ Lit (L_bool b) ])
+    | Type t -> Call ("TypeAttr", [ expr_of_type ~hooks t ])
+    | Array items ->
+      Call ("ArrayAttr", [ Call ("vec-of", List.map (expr_of_attr ~hooks) items) ])
+    | Symbol_ref s -> Call ("SymbolRefAttr", [ Lit (L_string s) ])
+    | Unit -> call0 "UnitAttr"
+    | Fastmath fm -> (
+      match fastmath_variant fm with
+      | Some v -> Call ("arith_fastmath", [ v ])
+      | None ->
+        Call
+          ( "OpaqueAttr",
+            [ Lit (L_string (Mlir.Attr.to_string a)); Lit (L_string "arith.fastmath") ]
+          ))
+    | Dense_int _ | Dense_float _ | Opaque _ ->
+      let name =
+        match a with Mlir.Attr.Opaque (_, n) -> n | _ -> "dense"
+      in
+      Call ("OpaqueAttr", [ Lit (L_string (Mlir.Attr.to_string a)); Lit (L_string name) ]))
+
+(** A named attribute [(NamedAttr "name" <attr>)]. *)
+let expr_of_named_attr ?hooks ((name, a) : Mlir.Attr.named) : expr =
+  Call ("NamedAttr", [ Lit (L_string name); expr_of_attr ?hooks a ])
+
+(* ------------------------------------------------------------------ *)
+(* Egglog -> MLIR (on extracted terms)                                 *)
+(* ------------------------------------------------------------------ *)
+
+open Egglog.Extract
+
+let prim_i64 t =
+  match t.t_kind with
+  | Prim (Egglog.Value.I64 n) -> Int64.to_int n
+  | _ -> error "expected an i64 literal, got %s" (term_to_string t)
+
+let prim_i64_64 t =
+  match t.t_kind with
+  | Prim (Egglog.Value.I64 n) -> n
+  | _ -> error "expected an i64 literal, got %s" (term_to_string t)
+
+let prim_f64 t =
+  match t.t_kind with
+  | Prim (Egglog.Value.F64 f) -> f
+  | _ -> error "expected an f64 literal, got %s" (term_to_string t)
+
+let prim_string t =
+  match t.t_kind with
+  | Prim (Egglog.Value.Str s) -> s
+  | _ -> error "expected a string literal, got %s" (term_to_string t)
+
+let prim_bool t =
+  match t.t_kind with
+  | Prim (Egglog.Value.Bool b) -> b
+  | _ -> error "expected a bool literal, got %s" (term_to_string t)
+
+let vec_items t =
+  match t.t_kind with
+  | T_vec items -> items
+  | _ -> error "expected a vector, got %s" (term_to_string t)
+
+let rec type_of_term ?(hooks = make_hooks ()) (t : term) : Mlir.Typ.t =
+  let name, args =
+    match t.t_kind with
+    | Node (sym, args) -> (Egglog.Symbol.name sym, args)
+    | _ -> error "expected a Type term, got %s" (term_to_string t)
+  in
+  match List.find_map (fun f -> f name args) hooks.type_deeggifiers with
+  | Some ty -> ty
+  | None -> (
+    match (name, args) with
+    | "I1", [] -> Mlir.Typ.i1
+    | "I8", [] -> Mlir.Typ.i8
+    | "I16", [] -> Mlir.Typ.i16
+    | "I32", [] -> Mlir.Typ.i32
+    | "I64", [] -> Mlir.Typ.i64
+    | "IntegerType", [ w ] -> Mlir.Typ.Integer (prim_i64 w)
+    | "F16", [] -> Mlir.Typ.f16
+    | "F32", [] -> Mlir.Typ.f32
+    | "F64", [] -> Mlir.Typ.f64
+    | "IndexT", [] -> Mlir.Typ.index
+    | "NoneType", [] -> Mlir.Typ.None_type
+    | "ComplexType", [ e ] -> Mlir.Typ.Complex (type_of_term ~hooks e)
+    | "TupleType", [ ts ] ->
+      Mlir.Typ.Tuple (List.map (type_of_term ~hooks) (vec_items ts))
+    | "RankedTensor", [ dims; e ] ->
+      Mlir.Typ.Ranked_tensor
+        (List.map prim_i64 (vec_items dims), type_of_term ~hooks e)
+    | "UnrankedTensor", [ e ] -> Mlir.Typ.Unranked_tensor (type_of_term ~hooks e)
+    | "MemRefType", [ dims; e ] ->
+      Mlir.Typ.Memref (List.map prim_i64 (vec_items dims), type_of_term ~hooks e)
+    | "FunctionType", [ a; r ] ->
+      Mlir.Typ.Function
+        ( List.map (type_of_term ~hooks) (vec_items a),
+          List.map (type_of_term ~hooks) (vec_items r) )
+    | "OpaqueType", [ s; _n ] -> (
+      let serialized = prim_string s in
+      try Mlir.Typ.of_string serialized
+      with Mlir.Typ.Parse_error _ -> Mlir.Typ.Opaque (serialized, prim_string _n))
+    | _ -> error "unknown Type constructor %s" name)
+
+let rec attr_of_term ?(hooks = make_hooks ()) (t : term) : Mlir.Attr.t =
+  let name, args =
+    match t.t_kind with
+    | Node (sym, args) -> (Egglog.Symbol.name sym, args)
+    | _ -> error "expected an Attr term, got %s" (term_to_string t)
+  in
+  match List.find_map (fun f -> f name args) hooks.attr_deeggifiers with
+  | Some a -> a
+  | None -> (
+    match (name, args) with
+    | "IntegerAttr", [ v; ty ] -> Mlir.Attr.Int (prim_i64_64 v, type_of_term ~hooks ty)
+    | "FloatAttr", [ v; ty ] -> Mlir.Attr.Float (prim_f64 v, type_of_term ~hooks ty)
+    | "StringAttr", [ s ] -> Mlir.Attr.String (prim_string s)
+    | "BoolAttr", [ b ] -> Mlir.Attr.Bool (prim_bool b)
+    | "TypeAttr", [ ty ] -> Mlir.Attr.Type (type_of_term ~hooks ty)
+    | "ArrayAttr", [ items ] ->
+      Mlir.Attr.Array (List.map (attr_of_term ~hooks) (vec_items items))
+    | "SymbolRefAttr", [ s ] -> Mlir.Attr.Symbol_ref (prim_string s)
+    | "UnitAttr", [] -> Mlir.Attr.Unit
+    | "arith_fastmath", [ flag ] -> (
+      match head flag with
+      | Some "none" -> Mlir.Attr.Fastmath Mlir.Attr.Fm_none
+      | Some "fast" -> Mlir.Attr.Fastmath Mlir.Attr.Fm_fast
+      | Some f -> Mlir.Attr.Fastmath (Mlir.Attr.Fm_flags [ f ])
+      | None -> error "invalid fastmath flag term")
+    | "OpaqueAttr", [ s; n ] -> Mlir.Attr.Opaque (prim_string s, prim_string n)
+    | _ -> error "unknown Attr constructor %s" name)
+
+(** Decompose a [(NamedAttr "name" attr)] term. *)
+let named_attr_of_term ?hooks (t : term) : Mlir.Attr.named =
+  match t.t_kind with
+  | Node (sym, [ name; attr ]) when Egglog.Symbol.name sym = "NamedAttr" ->
+    (prim_string name, attr_of_term ?hooks attr)
+  | _ -> error "expected a NamedAttr term, got %s" (term_to_string t)

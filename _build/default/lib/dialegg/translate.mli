@@ -1,0 +1,47 @@
+(** Translation of MLIR types and attributes to and from Egglog (paper
+    §4.1–§4.2).  Unknown constructs fall back to [OpaqueType] /
+    [OpaqueAttr] with a serialized form the backward direction re-parses;
+    user hooks can override both directions (paper §5.2). *)
+
+exception Error of string
+
+(** Custom type/attribute eggifier and de-eggifier hooks. *)
+type hooks
+
+val make_hooks : unit -> hooks
+
+(** Register a custom type hook.  The eggifier returns [Some expr] for
+    types it handles; the de-eggifier receives the head constructor name
+    and argument terms. *)
+val register_type_hook :
+  hooks ->
+  eggify:(Mlir.Typ.t -> Egglog.Ast.expr option) ->
+  deeggify:(string -> Egglog.Extract.term list -> Mlir.Typ.t option) ->
+  unit
+
+val register_attr_hook :
+  hooks ->
+  eggify:(Mlir.Attr.t -> Egglog.Ast.expr option) ->
+  deeggify:(string -> Egglog.Extract.term list -> Mlir.Attr.t option) ->
+  unit
+
+(** {1 MLIR → Egglog} *)
+
+val expr_of_type : ?hooks:hooks -> Mlir.Typ.t -> Egglog.Ast.expr
+val expr_of_attr : ?hooks:hooks -> Mlir.Attr.t -> Egglog.Ast.expr
+
+(** [(NamedAttr "name" <attr>)] *)
+val expr_of_named_attr : ?hooks:hooks -> Mlir.Attr.named -> Egglog.Ast.expr
+
+(** {1 Egglog → MLIR (on extracted terms)} *)
+
+val prim_i64 : Egglog.Extract.term -> int
+val prim_i64_64 : Egglog.Extract.term -> int64
+val prim_f64 : Egglog.Extract.term -> float
+val prim_string : Egglog.Extract.term -> string
+val prim_bool : Egglog.Extract.term -> bool
+val vec_items : Egglog.Extract.term -> Egglog.Extract.term list
+
+val type_of_term : ?hooks:hooks -> Egglog.Extract.term -> Mlir.Typ.t
+val attr_of_term : ?hooks:hooks -> Egglog.Extract.term -> Mlir.Attr.t
+val named_attr_of_term : ?hooks:hooks -> Egglog.Extract.term -> Mlir.Attr.named

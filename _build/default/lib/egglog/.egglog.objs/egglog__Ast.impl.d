@@ -1,0 +1,1 @@
+lib/egglog/ast.ml: Hashtbl Int64 List Printf Sexp String

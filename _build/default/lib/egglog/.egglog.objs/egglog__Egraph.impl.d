@@ -1,0 +1,1 @@
+lib/egglog/egraph.ml: Array Fmt Hashtbl List Symbol Union_find Value

@@ -1,0 +1,1 @@
+lib/egglog/egraph.mli: Format Hashtbl Symbol Union_find Value

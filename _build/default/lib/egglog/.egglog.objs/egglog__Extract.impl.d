@@ -1,0 +1,1 @@
+lib/egglog/extract.ml: Array Egraph Fmt Hashtbl Int List Option Printf Sexp String Symbol Value

@@ -1,0 +1,1 @@
+lib/egglog/extract.mli: Egraph Format Symbol Value

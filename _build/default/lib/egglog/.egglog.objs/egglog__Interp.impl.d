@@ -1,0 +1,1 @@
+lib/egglog/interp.ml: Array Ast Buffer Egraph Extract Fmt Hashtbl Int64 List Matcher Option Parser Primitives Printf Symbol Unix Value

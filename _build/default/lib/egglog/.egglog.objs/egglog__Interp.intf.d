@@ -1,0 +1,1 @@
+lib/egglog/interp.mli: Ast Egraph Extract Format Hashtbl Matcher Symbol Value

@@ -1,0 +1,1 @@
+lib/egglog/matcher.ml: Array Ast Egraph Fmt Hashtbl List Map Option Primitives String Symbol Value

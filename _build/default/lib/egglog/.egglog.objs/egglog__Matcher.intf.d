@@ -1,0 +1,1 @@
+lib/egglog/matcher.mli: Ast Egraph Hashtbl Map Value

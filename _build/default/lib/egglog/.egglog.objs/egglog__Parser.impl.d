@@ -1,0 +1,1 @@
+lib/egglog/parser.ml: Ast Fmt Int64 List Option Sexp String

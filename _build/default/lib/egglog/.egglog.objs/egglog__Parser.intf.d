@@ -1,0 +1,1 @@
+lib/egglog/parser.mli: Ast

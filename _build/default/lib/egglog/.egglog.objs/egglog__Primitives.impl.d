@@ -1,0 +1,1 @@
+lib/egglog/primitives.ml: Array Float Fmt Int64 String Value

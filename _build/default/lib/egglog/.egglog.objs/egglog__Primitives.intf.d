@@ -1,0 +1,1 @@
+lib/egglog/primitives.mli: Value

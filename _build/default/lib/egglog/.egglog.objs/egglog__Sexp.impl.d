@@ -1,0 +1,1 @@
+lib/egglog/sexp.ml: Buffer Fmt List Printf String

@@ -1,0 +1,1 @@
+lib/egglog/sexp.mli: Format

@@ -1,0 +1,1 @@
+lib/egglog/symbol.ml: Fmt Hashtbl Int Map

@@ -1,0 +1,1 @@
+lib/egglog/symbol.mli: Format Hashtbl Map

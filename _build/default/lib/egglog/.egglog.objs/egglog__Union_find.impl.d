@@ -1,0 +1,1 @@
+lib/egglog/union_find.ml: Array Fun

@@ -1,0 +1,1 @@
+lib/egglog/value.ml: Array Bool Float Fmt Hashtbl Int Int64 String Union_find

@@ -1,0 +1,1 @@
+lib/egglog/value.mli: Format Hashtbl Union_find

@@ -1,0 +1,493 @@
+(** The e-graph, represented as a functional database (the Egglog model).
+
+    Every Egglog function — including datatype constructors — is a {e table}
+    mapping a tuple of argument values to one output value.  Constructors are
+    tables whose output sort is an equivalence sort: looking up a missing row
+    allocates a fresh e-class, which makes the table a hash-cons.  An e-node
+    is therefore a table row, and the set of rows whose output is (congruent
+    to) class [c] is the set of e-nodes in [c].
+
+    Unification is a union-find over e-class ids.  After unions, tables may
+    contain stale (non-canonical) keys; {!rebuild} restores the invariant
+    that all keys and outputs are canonical, merging rows that collide
+    (congruence closure) until a fixed point is reached. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Sorts                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type sort_kind =
+  | S_i64
+  | S_f64
+  | S_string
+  | S_bool
+  | S_unit
+  | S_eq of string  (** user-declared equivalence sort *)
+  | S_vec of string  (** vector container; payload is the element sort name *)
+
+let pp_sort_kind ppf = function
+  | S_i64 -> Fmt.string ppf "i64"
+  | S_f64 -> Fmt.string ppf "f64"
+  | S_string -> Fmt.string ppf "String"
+  | S_bool -> Fmt.string ppf "bool"
+  | S_unit -> Fmt.string ppf "Unit"
+  | S_eq name -> Fmt.string ppf name
+  | S_vec elem -> Fmt.pf ppf "(Vec %s)" elem
+
+(* ------------------------------------------------------------------ *)
+(* Function tables                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type row = { mutable out : Value.t; mutable stamp : int }
+
+type func = {
+  sym : Symbol.t;
+  arg_sorts : sort_kind array;
+  ret_sort : sort_kind;
+  cost : int option;  (** :cost of this constructor, used by extraction *)
+  unextractable : bool;
+  merge : (Value.t -> Value.t -> Value.t) option;
+      (** how to reconcile two outputs for the same key (primitives only);
+          [None] means: error on conflicting primitive outputs *)
+  mutable table : row Value.Args_tbl.t;
+  mutable last_modified : int;
+      (** clock of the last insertion, output change, deletion, or
+          canonicalization touching this table — drives the scheduler's
+          dirty-table rule skipping *)
+}
+
+let is_constructor f = match f.ret_sort with S_eq _ -> true | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* The e-graph                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  uf : Union_find.t;
+  funcs : func Symbol.Tbl.t;
+  mutable func_order : Symbol.t list;  (** declaration order, for printing *)
+  sorts : (string, sort_kind) Hashtbl.t;
+  costs : (int * Value.t) Value.Args_tbl.t Symbol.Tbl.t;
+      (** unstable-cost overrides: per function, canonical args -> (cost, output value at set time) *)
+  mutable clock : int;  (** bumped on every mutation; used for fixpoint detection *)
+  mutable n_unions : int;
+  (* when [immediate_rebuild] is set, every union triggers a full rebuild
+     (the "no deferral" ablation from DESIGN.md §5.1) *)
+  mutable immediate_rebuild : bool;
+}
+
+let create () =
+  let t =
+    {
+      uf = Union_find.create ();
+      funcs = Symbol.Tbl.create 64;
+      func_order = [];
+      sorts = Hashtbl.create 32;
+      costs = Symbol.Tbl.create 16;
+      clock = 0;
+      n_unions = 0;
+      immediate_rebuild = false;
+    }
+  in
+  List.iter
+    (fun (name, kind) -> Hashtbl.replace t.sorts name kind)
+    [
+      ("i64", S_i64);
+      ("f64", S_f64);
+      ("String", S_string);
+      ("bool", S_bool);
+      ("Unit", S_unit);
+    ];
+  t
+
+let clock t = t.clock
+let touched t = t.clock <- t.clock + 1
+
+(** Look up a declared sort by name. *)
+let find_sort t name =
+  match Hashtbl.find_opt t.sorts name with
+  | Some k -> k
+  | None -> error "unknown sort %s" name
+
+let sort_declared t name = Hashtbl.mem t.sorts name
+
+(** [declare_sort t name] declares a new equivalence sort. *)
+let declare_sort t name =
+  if Hashtbl.mem t.sorts name then error "sort %s already declared" name;
+  Hashtbl.replace t.sorts name (S_eq name);
+  touched t
+
+(** [declare_vec_sort t name elem] declares [(sort name (Vec elem))]. *)
+let declare_vec_sort t name elem =
+  if Hashtbl.mem t.sorts name then error "sort %s already declared" name;
+  ignore (find_sort t elem);
+  Hashtbl.replace t.sorts name (S_vec elem);
+  touched t
+
+(** [declare_function t ~name ~args ~ret ~cost ~merge ~unextractable]
+    declares a function table.  [args] and [ret] are sort names. *)
+let declare_function t ~name ~args ~ret ~cost ~merge ~unextractable =
+  let sym = Symbol.intern name in
+  if Symbol.Tbl.mem t.funcs sym then error "function %s already declared" name;
+  let f =
+    {
+      sym;
+      arg_sorts = Array.of_list (List.map (find_sort t) args);
+      ret_sort = find_sort t ret;
+      cost;
+      unextractable;
+      merge;
+      table = Value.Args_tbl.create 16;
+      last_modified = 0;
+    }
+  in
+  Symbol.Tbl.replace t.funcs sym f;
+  t.func_order <- t.func_order @ [ sym ];
+  touched t;
+  f
+
+let find_func t sym =
+  match Symbol.Tbl.find_opt t.funcs sym with
+  | Some f -> f
+  | None -> error "unknown function %s" (Symbol.name sym)
+
+let find_func_opt t sym = Symbol.Tbl.find_opt t.funcs sym
+let has_func t name = Symbol.Tbl.mem t.funcs (Symbol.intern name)
+
+(** All declared functions in declaration order. *)
+let functions t = List.map (find_func t) t.func_order
+
+(* ------------------------------------------------------------------ *)
+(* Sort checking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let rec value_matches_sort t (k : sort_kind) (v : Value.t) =
+  match (k, v) with
+  | S_i64, I64 _
+  | S_f64, F64 _
+  | S_string, Str _
+  | S_bool, Bool _
+  | S_unit, Unit
+  | S_eq _, Eclass _ ->
+    true
+  | S_vec elem, Vec elems ->
+    let ek = find_sort t elem in
+    Array.for_all (value_matches_sort t ek) elems
+  | _ -> false
+
+let check_args t f (args : Value.t array) =
+  if Array.length args <> Array.length f.arg_sorts then
+    error "%s expects %d arguments, got %d" (Symbol.name f.sym)
+      (Array.length f.arg_sorts) (Array.length args);
+  Array.iteri
+    (fun i v ->
+      if not (value_matches_sort t f.arg_sorts.(i) v) then
+        error "%s: argument %d has wrong sort (expected %a, got %a)"
+          (Symbol.name f.sym) i pp_sort_kind f.arg_sorts.(i) Value.pp v)
+    args
+
+(* ------------------------------------------------------------------ *)
+(* Core operations                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let canon t v = Value.canonicalize t.uf v
+let canon_args t args = Array.map (canon t) args
+let find_class t id = Union_find.find t.uf id
+
+(** Allocate a fresh, empty e-class. *)
+let fresh_class t =
+  touched t;
+  Union_find.fresh t.uf
+
+(** [lookup t f args] finds the output for [args] if the row exists. *)
+let lookup t f args =
+  let args = canon_args t args in
+  match Value.Args_tbl.find_opt f.table args with
+  | Some row -> Some (canon t row.out)
+  | None -> None
+
+(** [insert t f args out] unconditionally inserts a row (caller must have
+    resolved conflicts).  Internal. *)
+let insert_row t f args out =
+  Value.Args_tbl.replace f.table args { out; stamp = t.clock };
+  touched t;
+  f.last_modified <- t.clock
+
+(** Number of rows (e-nodes) across all tables. *)
+let n_nodes t =
+  Symbol.Tbl.fold (fun _ f acc -> acc + Value.Args_tbl.length f.table) t.funcs 0
+
+(** Number of canonical e-classes that appear as some row's output. *)
+let n_classes t =
+  let seen = Hashtbl.create 64 in
+  Symbol.Tbl.iter
+    (fun _ f ->
+      Value.Args_tbl.iter
+        (fun _ row ->
+          match row.out with
+          | Eclass id -> Hashtbl.replace seen (find_class t id) ()
+          | _ -> ())
+        f.table)
+    t.funcs;
+  Hashtbl.length seen
+
+(* ------------------------------------------------------------------ *)
+(* Union + rebuild                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let merge_outputs t f a b =
+  let a = canon t a and b = canon t b in
+  if Value.equal a b then a
+  else
+    match (a, b) with
+    | Eclass x, Eclass y ->
+      t.n_unions <- t.n_unions + 1;
+      touched t;
+      Value.Eclass (Union_find.union t.uf x y)
+    | _ -> (
+      match f.merge with
+      | Some m ->
+        let v = m a b in
+        if not (Value.equal v a) then touched t;
+        v
+      | None ->
+        error "merge conflict in %s: %a vs %a (no :merge declared)"
+          (Symbol.name f.sym) Value.pp a Value.pp b)
+
+(** One pass of table re-canonicalization.  Returns true if any union or
+    output change happened (meaning another pass is required). *)
+let rebuild_pass t =
+  let changed = ref false in
+  Symbol.Tbl.iter
+    (fun _ f ->
+      let stale =
+        (* find rows whose key or output is stale *)
+        Value.Args_tbl.fold
+          (fun args row acc ->
+            if
+              Array.for_all (Value.is_canonical t.uf) args
+              && Value.is_canonical t.uf row.out
+            then acc
+            else (args, row) :: acc)
+          f.table []
+      in
+      if stale <> [] then begin
+        changed := true;
+        f.last_modified <- t.clock + 1;
+        touched t;
+        List.iter (fun (args, _) -> Value.Args_tbl.remove f.table args) stale;
+        List.iter
+          (fun (args, row) ->
+            let args' = canon_args t args in
+            let out' = canon t row.out in
+            match Value.Args_tbl.find_opt f.table args' with
+            | None -> Value.Args_tbl.replace f.table args' { row with out = out' }
+            | Some existing ->
+              (* congruence: two rows collapsed onto the same key *)
+              existing.out <- merge_outputs t f existing.out out';
+              existing.stamp <- max existing.stamp row.stamp)
+          stale
+      end)
+    t.funcs;
+  (* canonicalize unstable-cost overrides; keep the cheapest on collision *)
+  Symbol.Tbl.iter
+    (fun _ tbl ->
+      let stale =
+        Value.Args_tbl.fold
+          (fun args ((_, outv) as c) acc ->
+            if Array.for_all (Value.is_canonical t.uf) args && Value.is_canonical t.uf outv
+            then acc
+            else (args, c) :: acc)
+          tbl []
+      in
+      List.iter (fun (args, _) -> Value.Args_tbl.remove tbl args) stale;
+      List.iter
+        (fun (args, (c, outv)) ->
+          let args' = canon_args t args in
+          let outv' = canon t outv in
+          match Value.Args_tbl.find_opt tbl args' with
+          | None -> Value.Args_tbl.replace tbl args' (c, outv')
+          | Some (c', _) -> if c < c' then Value.Args_tbl.replace tbl args' (c, outv'))
+        stale)
+    t.costs;
+  !changed
+
+(** Restore congruence: re-canonicalize all tables until fixpoint. *)
+let rebuild t =
+  let passes = ref 0 in
+  while rebuild_pass t do
+    incr passes;
+    if !passes > 100_000 then error "rebuild did not converge"
+  done
+
+(** [union t a b] asserts that classes [a] and [b] are equal.  Deferred:
+    congruence is only restored at the next {!rebuild} (unless the
+    immediate-rebuild ablation flag is on). *)
+let union t a b =
+  let ra = find_class t a and rb = find_class t b in
+  if ra <> rb then begin
+    ignore (Union_find.union t.uf ra rb);
+    t.n_unions <- t.n_unions + 1;
+    touched t;
+    if t.immediate_rebuild then rebuild t
+  end
+
+(** [union_values t a b] unions two values; both must be e-class refs, or
+    equal primitives. *)
+let union_values t a b =
+  match (canon t a, canon t b) with
+  | Value.Eclass x, Value.Eclass y -> union t x y
+  | a', b' ->
+    if not (Value.equal a' b') then
+      error "cannot union distinct primitive values %a and %a" Value.pp a' Value.pp b'
+
+(** Constructor/table application: look up [args]; on a miss, constructors
+    allocate a fresh e-class and insert the row.  Non-constructor misses
+    return [None] (the caller decides whether that is an error). *)
+let apply t f args =
+  check_args t f args;
+  let args = canon_args t args in
+  match Value.Args_tbl.find_opt f.table args with
+  | Some row -> Some (canon t row.out)
+  | None ->
+    if is_constructor f then begin
+      let id = fresh_class t in
+      let out = Value.Eclass id in
+      insert_row t f args out;
+      Some out
+    end
+    else if f.ret_sort = S_unit then begin
+      (* relations: applying one in an action asserts the fact *)
+      insert_row t f args Value.Unit;
+      Some Value.Unit
+    end
+    else None
+
+(** [set t f args out] inserts or merges a row ([(set (f args) out)]). *)
+let set t f args out =
+  check_args t f args;
+  if not (value_matches_sort t f.ret_sort out) then
+    error "%s: output has wrong sort (expected %a, got %a)" (Symbol.name f.sym)
+      pp_sort_kind f.ret_sort Value.pp out;
+  let args = canon_args t args in
+  let out = canon t out in
+  match Value.Args_tbl.find_opt f.table args with
+  | None -> insert_row t f args out
+  | Some row ->
+    let merged = merge_outputs t f row.out out in
+    if not (Value.equal merged row.out) then begin
+      row.out <- merged;
+      row.stamp <- t.clock;
+      touched t;
+      f.last_modified <- t.clock
+    end;
+    if t.immediate_rebuild then rebuild t
+
+(** [delete t f args] removes a row if present. *)
+let delete t f args =
+  let args = canon_args t args in
+  if Value.Args_tbl.mem f.table args then begin
+    Value.Args_tbl.remove f.table args;
+    touched t;
+    f.last_modified <- t.clock
+  end
+
+(* ------------------------------------------------------------------ *)
+(* unstable-cost overrides                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** [set_cost t f args cost] overrides the extraction cost of the e-node
+    [(f args)] — the paper's [unstable-cost] command.  The node must exist. *)
+let set_cost t f args cost =
+  let args = canon_args t args in
+  let out =
+    match Value.Args_tbl.find_opt f.table args with
+    | Some row -> canon t row.out
+    | None -> error "unstable-cost: e-node (%s ...) not present" (Symbol.name f.sym)
+  in
+  let tbl =
+    match Symbol.Tbl.find_opt t.costs f.sym with
+    | Some tbl -> tbl
+    | None ->
+      let tbl = Value.Args_tbl.create 8 in
+      Symbol.Tbl.replace t.costs f.sym tbl;
+      tbl
+  in
+  (match Value.Args_tbl.find_opt tbl args with
+  | Some (c, _) when c <= cost -> () (* keep the cheaper override *)
+  | _ ->
+    Value.Args_tbl.replace tbl args (cost, out);
+    touched t)
+
+(** Cost override for node [(f args)], if any. *)
+let cost_override t f args =
+  match Symbol.Tbl.find_opt t.costs f.sym with
+  | None -> None
+  | Some tbl -> (
+    match Value.Args_tbl.find_opt tbl (canon_args t args) with
+    | Some (c, _) -> Some c
+    | None -> None)
+
+(* ------------------------------------------------------------------ *)
+(* Iteration (used by the matcher and extraction)                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Iterate over all rows of [f] as (canonical args, canonical output).
+    The table must be rebuilt for the canonical forms to be stable. *)
+let iter_rows t f k =
+  Value.Args_tbl.iter (fun args row -> k (canon_args t args) (canon t row.out)) f.table
+
+(** Fold over rows of [f]. *)
+let fold_rows t f init k =
+  Value.Args_tbl.fold
+    (fun args row acc -> k acc (canon_args t args) (canon t row.out))
+    f.table init
+
+(** [rows_with_output t f cls] lists rows of [f] whose output is in class
+    [cls] — the e-nodes of [cls] built by [f]. *)
+let rows_with_output t f cls =
+  let cls = find_class t cls in
+  fold_rows t f [] (fun acc args out ->
+      match out with
+      | Value.Eclass id when find_class t id = cls -> (args, out) :: acc
+      | _ -> acc)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (push/pop)                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Deep copy of the whole e-graph (tables, union-find, cost overrides).
+    Used by the interpreter's [push]/[pop]. *)
+let copy t : t =
+  let copy_func (f : func) =
+    let table = Value.Args_tbl.create (Value.Args_tbl.length f.table) in
+    Value.Args_tbl.iter (fun k (row : row) -> Value.Args_tbl.replace table (Array.copy k) { row with out = row.out }) f.table;
+    { f with table }
+  in
+  let funcs = Symbol.Tbl.create (Symbol.Tbl.length t.funcs) in
+  Symbol.Tbl.iter (fun sym f -> Symbol.Tbl.replace funcs sym (copy_func f)) t.funcs;
+  let costs = Symbol.Tbl.create (Symbol.Tbl.length t.costs) in
+  Symbol.Tbl.iter
+    (fun sym tbl ->
+      let tbl' = Value.Args_tbl.create (Value.Args_tbl.length tbl) in
+      Value.Args_tbl.iter (fun k v -> Value.Args_tbl.replace tbl' (Array.copy k) v) tbl;
+      Symbol.Tbl.replace costs sym tbl')
+    t.costs;
+  {
+    uf = Union_find.copy t.uf;
+    funcs;
+    func_order = t.func_order;
+    sorts = Hashtbl.copy t.sorts;
+    costs;
+    clock = t.clock;
+    n_unions = t.n_unions;
+    immediate_rebuild = t.immediate_rebuild;
+  }
+
+let pp_stats ppf t =
+  Fmt.pf ppf "e-graph: %d nodes, %d classes, %d unions" (n_nodes t) (n_classes t)
+    t.n_unions

@@ -1,0 +1,148 @@
+(** The e-graph, represented as a functional database (the Egglog model).
+
+    Every Egglog function — including datatype constructors — is a {e table}
+    mapping a tuple of argument values to one output value.  Constructors
+    are tables whose output sort is an equivalence sort: a lookup miss
+    allocates a fresh e-class, making the table a hash-cons.  An e-node is
+    a table row; congruence closure is table re-canonicalization
+    ({!rebuild}) after unions. *)
+
+exception Error of string
+
+(** Sorts: built-in primitives, user equivalence sorts, and vector
+    containers. *)
+type sort_kind =
+  | S_i64
+  | S_f64
+  | S_string
+  | S_bool
+  | S_unit
+  | S_eq of string  (** user-declared equivalence sort *)
+  | S_vec of string  (** vector container; payload is the element sort name *)
+
+val pp_sort_kind : Format.formatter -> sort_kind -> unit
+
+(** A function table.  [cost] and [unextractable] drive extraction;
+    [merge] reconciles conflicting primitive outputs for one key. *)
+type func = private {
+  sym : Symbol.t;
+  arg_sorts : sort_kind array;
+  ret_sort : sort_kind;
+  cost : int option;
+  unextractable : bool;
+  merge : (Value.t -> Value.t -> Value.t) option;
+  mutable table : row Value.Args_tbl.t;
+  mutable last_modified : int;
+      (** clock of the last change to this table (insert, output change,
+          delete, canonicalization) — drives dirty-table rule skipping *)
+}
+
+and row = { mutable out : Value.t; mutable stamp : int }
+
+(** Is the function's output an equivalence sort (i.e. is it a
+    constructor)? *)
+val is_constructor : func -> bool
+
+type t = {
+  uf : Union_find.t;
+  funcs : func Symbol.Tbl.t;
+  mutable func_order : Symbol.t list;
+  sorts : (string, sort_kind) Hashtbl.t;
+  costs : (int * Value.t) Value.Args_tbl.t Symbol.Tbl.t;
+  mutable clock : int;
+  mutable n_unions : int;
+  mutable immediate_rebuild : bool;
+      (** ablation flag: rebuild after every union instead of deferring *)
+}
+
+val create : unit -> t
+
+(** Monotonic change counter; equal clocks mean "nothing changed". *)
+val clock : t -> int
+
+(** {1 Declarations} *)
+
+val find_sort : t -> string -> sort_kind
+val sort_declared : t -> string -> bool
+val declare_sort : t -> string -> unit
+
+(** [(sort name (Vec elem))] *)
+val declare_vec_sort : t -> string -> string -> unit
+
+val declare_function :
+  t ->
+  name:string ->
+  args:string list ->
+  ret:string ->
+  cost:int option ->
+  merge:(Value.t -> Value.t -> Value.t) option ->
+  unextractable:bool ->
+  func
+
+val find_func : t -> Symbol.t -> func
+val find_func_opt : t -> Symbol.t -> func option
+val has_func : t -> string -> bool
+
+(** All declared functions, in declaration order. *)
+val functions : t -> func list
+
+(** {1 Core operations} *)
+
+(** Canonicalize a value against the current union-find. *)
+val canon : t -> Value.t -> Value.t
+
+val canon_args : t -> Value.t array -> Value.t array
+val find_class : t -> int -> int
+
+(** Allocate a fresh, empty e-class. *)
+val fresh_class : t -> int
+
+(** Output for the given key, if the row exists. *)
+val lookup : t -> func -> Value.t array -> Value.t option
+
+(** Constructor/table application: look up; on a miss, constructors
+    allocate a fresh class, relations assert the fact, other functions
+    return [None]. *)
+val apply : t -> func -> Value.t array -> Value.t option
+
+(** [(set (f args) out)]: insert or merge a row. *)
+val set : t -> func -> Value.t array -> Value.t -> unit
+
+(** Remove a row if present. *)
+val delete : t -> func -> Value.t array -> unit
+
+(** Assert two e-classes equal (deferred congruence). *)
+val union : t -> int -> int -> unit
+
+(** Union two values: e-class refs are merged; distinct primitives error. *)
+val union_values : t -> Value.t -> Value.t -> unit
+
+(** Restore congruence: re-canonicalize all tables to a fixed point. *)
+val rebuild : t -> unit
+
+(** {1 unstable-cost overrides (paper §6.2)} *)
+
+(** Override the extraction cost of the e-node [(f args)]; the node must
+    exist.  Cheaper overrides win on conflict. *)
+val set_cost : t -> func -> Value.t array -> int -> unit
+
+val cost_override : t -> func -> Value.t array -> int option
+
+(** {1 Statistics and iteration} *)
+
+val n_nodes : t -> int
+val n_classes : t -> int
+
+(** Iterate rows as (canonical args, canonical output). *)
+val iter_rows : t -> func -> (Value.t array -> Value.t -> unit) -> unit
+
+val fold_rows : t -> func -> 'a -> ('a -> Value.t array -> Value.t -> 'a) -> 'a
+
+(** Rows of [f] whose output is in the given class — its e-nodes built by
+    [f]. *)
+val rows_with_output : t -> func -> int -> (Value.t array * Value.t) list
+
+(** Deep copy of the whole e-graph (for push/pop). *)
+val copy : t -> t
+
+val pp_stats : Format.formatter -> t -> unit

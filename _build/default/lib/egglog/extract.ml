@@ -1,0 +1,248 @@
+(** Extraction: finding the lowest-cost term of an e-class.
+
+    The cost of an e-node [(f a1 ... an)] is
+
+    {v node_cost(f, args) + sum of the costs of every e-class referenced by
+       the arguments (including e-classes nested inside vector values) v}
+
+    where [node_cost] is the [unstable-cost] override for that exact e-node
+    if one was set (the paper's §6.2 variable cost models), otherwise the
+    [:cost] of the constructor, otherwise 1.  Primitive leaf values cost 0.
+    Like egg/egglog, shared sub-DAGs are counted once per reference (tree
+    cost), which is the standard extraction approximation.
+
+    Costs per class are computed by a fixpoint iteration from ⊤ (infinite);
+    e-classes with no finite derivation (purely cyclic) keep infinite cost,
+    and extracting them is an error.
+
+    Every extracted constructor term records the e-class it was extracted
+    from ([t_class]); terms are memoized per class, so shared sub-terms are
+    physically shared — DialEgg's de-eggifier uses both properties to
+    rebuild SSA sharing and region structure. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(** An extracted term.  Vectors are flattened into [T_vec] nodes so that no
+    raw e-class ids remain anywhere in the result. *)
+type term = { t_kind : kind; t_class : int option }
+
+and kind =
+  | Node of Symbol.t * term list  (** constructor application *)
+  | Prim of Value.t  (** primitive leaf (never contains an e-class) *)
+  | T_vec of term list  (** extracted vector value *)
+
+let node ?cls sym args = { t_kind = Node (sym, args); t_class = cls }
+let prim v = { t_kind = Prim v; t_class = None }
+let t_vec ts = { t_kind = T_vec ts; t_class = None }
+
+let rec pp_term ppf t =
+  match t.t_kind with
+  | Node (sym, []) -> Fmt.pf ppf "(%a)" Symbol.pp sym
+  | Node (sym, args) ->
+    Fmt.pf ppf "(@[<hov>%a@ %a@])" Symbol.pp sym (Fmt.list ~sep:Fmt.sp pp_term) args
+  | Prim (Str s) -> Fmt.pf ppf "\"%s\"" (Sexp.escape_string s)
+  | Prim (I64 n) -> Fmt.pf ppf "%Ld" n
+  | Prim (F64 f) ->
+    let s = Printf.sprintf "%.17g" f in
+    let s =
+      if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+      else s ^ ".0"
+    in
+    Fmt.string ppf s
+  | Prim v -> Value.pp ppf v
+  | T_vec elems -> Fmt.pf ppf "(@[<hov>vec-of@ %a@])" (Fmt.list ~sep:Fmt.sp pp_term) elems
+
+let term_to_string t = Fmt.str "%a" pp_term t
+
+let rec term_equal a b =
+  match (a.t_kind, b.t_kind) with
+  | Node (s1, a1), Node (s2, a2) ->
+    Symbol.equal s1 s2 && List.length a1 = List.length a2 && List.for_all2 term_equal a1 a2
+  | Prim v1, Prim v2 -> Value.equal v1 v2
+  | T_vec a1, T_vec a2 -> List.length a1 = List.length a2 && List.for_all2 term_equal a1 a2
+  | _ -> false
+
+(** Head symbol name of a constructor term. *)
+let head t = match t.t_kind with Node (sym, _) -> Some (Symbol.name sym) | _ -> None
+
+let children t =
+  match t.t_kind with Node (_, args) -> args | T_vec args -> args | Prim _ -> []
+
+(* ------------------------------------------------------------------ *)
+(* Cost computation                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let infinity_cost = max_int / 4
+
+type t = {
+  eg : Egraph.t;
+  class_cost : (int, int) Hashtbl.t;  (** canonical class id -> best known cost *)
+  memo : (int, term) Hashtbl.t;  (** canonical class id -> extracted term *)
+  chosen : (int, int) Hashtbl.t;
+      (** canonical class id -> base cost of the e-node extraction picked
+          (with any unstable-cost override applied); feeds {!dag_cost} *)
+}
+
+let class_cost st cls =
+  match Hashtbl.find_opt st.class_cost (Egraph.find_class st.eg cls) with
+  | Some c -> c
+  | None -> infinity_cost
+
+(** Sum of costs of every e-class referenced inside [v]. *)
+let rec value_cost st (v : Value.t) =
+  match v with
+  | Eclass id -> class_cost st id
+  | Vec elems ->
+    Array.fold_left (fun acc e -> min infinity_cost (acc + value_cost st e)) 0 elems
+  | _ -> 0
+
+let node_base_cost st (f : Egraph.func) args =
+  match Egraph.cost_override st.eg f args with
+  | Some c -> c
+  | None -> Option.value f.cost ~default:1
+
+let node_cost st (f : Egraph.func) args =
+  let base = node_base_cost st f args in
+  let children = Array.fold_left (fun acc v -> acc + value_cost st v) 0 args in
+  min infinity_cost (base + children)
+
+(** Build an extractor: computes the best cost of every e-class by fixpoint
+    iteration over all constructor tables.  The e-graph must be rebuilt. *)
+let make eg : t =
+  let st =
+    { eg; class_cost = Hashtbl.create 64; memo = Hashtbl.create 64; chosen = Hashtbl.create 64 }
+  in
+  let funcs =
+    List.filter
+      (fun (f : Egraph.func) -> Egraph.is_constructor f && not f.unextractable)
+      (Egraph.functions eg)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (f : Egraph.func) ->
+        Egraph.iter_rows eg f (fun args out ->
+            match out with
+            | Eclass cls ->
+              let cls = Egraph.find_class eg cls in
+              let c = node_cost st f args in
+              if c < class_cost st cls then begin
+                Hashtbl.replace st.class_cost cls c;
+                changed := true
+              end
+            | _ -> ()))
+      funcs
+  done;
+  st
+
+(* ------------------------------------------------------------------ *)
+(* Term extraction                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Extract the lowest-cost term of e-class [cls].  Memoized per class, so
+    shared sub-terms are physically shared. *)
+let rec extract_class st cls : term =
+  let cls = Egraph.find_class st.eg cls in
+  match Hashtbl.find_opt st.memo cls with
+  | Some t -> t
+  | None ->
+    if class_cost st cls >= infinity_cost then
+      error "e-class %d has no finite-cost term (cyclic with no base case)" cls;
+    let best = ref None in
+    List.iter
+      (fun (f : Egraph.func) ->
+        if Egraph.is_constructor f && not f.unextractable then
+          List.iter
+            (fun (args, _) ->
+              let c = node_cost st f args in
+              match !best with
+              | Some (bc, _, _) when bc <= c -> ()
+              | _ -> best := Some (c, f, args))
+            (Egraph.rows_with_output st.eg f cls))
+      (Egraph.functions st.eg);
+    let _, f, args =
+      match !best with
+      | Some b -> b
+      | None -> error "e-class %d has no e-nodes to extract" cls
+    in
+    Hashtbl.replace st.chosen cls (node_base_cost st f args);
+    let term =
+      node ~cls f.Egraph.sym (Array.to_list args |> List.map (extract_value st))
+    in
+    Hashtbl.replace st.memo cls term;
+    term
+
+and extract_value st (v : Value.t) : term =
+  match v with
+  | Eclass id -> extract_class st id
+  | Vec elems -> t_vec (Array.to_list elems |> List.map (extract_value st))
+  | p -> prim p
+
+(** [extract eg v] extracts the best term for value [v] (an e-class ref, a
+    vector, or a primitive).  Returns the term and its cost. *)
+let extract eg (v : Value.t) : term * int =
+  let st = make eg in
+  let v = Egraph.canon eg v in
+  (extract_value st v, value_cost st v)
+
+(** Cost of the best term in [v]'s class without building the term. *)
+let best_cost eg (v : Value.t) : int =
+  let st = make eg in
+  value_cost st (Egraph.canon eg v)
+
+(** [variants st cls n] extracts up to [n] distinct terms of class [cls],
+    cheapest first: one per e-node of the class, ordered by cost (children
+    always extract optimally; only the root node varies — egglog's
+    [extract :variants] behaves the same way). *)
+let variants (st : t) cls n : (term * int) list =
+  let cls = Egraph.find_class st.eg cls in
+  let candidates =
+    List.concat_map
+      (fun (f : Egraph.func) ->
+        if Egraph.is_constructor f && not f.unextractable then
+          List.filter_map
+            (fun (args, _) ->
+              let c = node_cost st f args in
+              if c >= infinity_cost then None else Some (c, f, args))
+            (Egraph.rows_with_output st.eg f cls)
+        else [])
+      (Egraph.functions st.eg)
+  in
+  let sorted = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) candidates in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | (c, f, args) :: rest ->
+      let term =
+        node ~cls f.Egraph.sym (Array.to_list args |> List.map (extract_value st))
+      in
+      (term, c) :: take (k - 1) rest
+  in
+  take n sorted
+
+(** DAG cost of an extracted term: every distinct e-class is counted once,
+    unlike the tree cost, which recounts shared sub-terms at every use.
+    This is what the program actually costs once it is in SSA form.  Only
+    meaningful for terms produced by [st]'s own extraction. *)
+let dag_cost (st : t) (root : term) : int =
+  let seen = Hashtbl.create 64 in
+  let total = ref 0 in
+  let rec go t =
+    match t.t_class with
+    | Some cls when Hashtbl.mem seen cls -> ()
+    | cls_opt ->
+      (match cls_opt with
+      | Some cls ->
+        Hashtbl.replace seen cls ();
+        total := !total + Option.value ~default:1 (Hashtbl.find_opt st.chosen cls)
+      | None -> ());
+      List.iter go (children t)
+  in
+  go root;
+  !total
+
+(** Expose the per-class best cost (infinite classes return a large value). *)
+let cost_of_class (st : t) cls = class_cost st cls

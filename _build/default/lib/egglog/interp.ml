@@ -1,0 +1,456 @@
+(** The Egglog command interpreter: executes programs against an e-graph.
+
+    This is the engine façade used by DialEgg: feed it commands (parsed from
+    [.egg] text or built programmatically), then inspect extraction results
+    and saturation statistics. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type rule = {
+  r_name : string;
+  r_facts : Ast.fact list;
+  r_actions : Ast.action list;
+  r_ruleset : string option;  (** [None] = the default ruleset *)
+  r_refs : Symbol.t list;  (** function tables the premises read *)
+  mutable r_last_scan : int;  (** e-graph clock at the last match scan *)
+}
+
+(** Why a [(run n)] stopped. *)
+type stop_reason = Saturated | Iteration_limit | Node_limit | Timeout
+
+let pp_stop_reason ppf = function
+  | Saturated -> Fmt.string ppf "saturated"
+  | Iteration_limit -> Fmt.string ppf "iteration limit"
+  | Node_limit -> Fmt.string ppf "node limit"
+  | Timeout -> Fmt.string ppf "timeout"
+
+type run_stats = {
+  mutable iterations : int;
+  mutable matches : int;  (** total rule matches applied *)
+  mutable sat_time : float;  (** seconds spent in [(run n)] *)
+  mutable stop : stop_reason;
+}
+
+type output =
+  | O_extracted of Extract.term * int  (** term and its cost *)
+  | O_variants of (Extract.term * int) list  (** cheapest-first variants *)
+  | O_checked
+  | O_ran of run_stats
+  | O_msg of string
+
+type t = {
+  mutable eg : Egraph.t;
+  mutable globals : (string, Value.t) Hashtbl.t;
+  mutable rules : rule list;  (** in registration order *)
+  mutable rulesets : string list;  (** declared ruleset names *)
+  mutable rule_counter : int;
+  mutable max_nodes : int;  (** node budget for saturation *)
+  mutable timeout : float option;  (** wall-clock budget for one [(run)] *)
+  mutable last_stats : run_stats option;
+  mutable outputs : output list;  (** reverse order *)
+  mutable snapshots : snapshot list;  (** push/pop stack *)
+  mutable disable_dirty_skip : bool;
+      (** testing/ablation: always rescan every rule *)
+}
+
+and snapshot = {
+  s_eg : Egraph.t;
+  s_globals : (string, Value.t) Hashtbl.t;
+  s_rules : rule list;
+  s_rulesets : string list;
+}
+
+let create ?(max_nodes = 200_000) ?timeout () =
+  {
+    eg = Egraph.create ();
+    globals = Hashtbl.create 64;
+    rules = [];
+    rulesets = [];
+    rule_counter = 0;
+    max_nodes;
+    timeout;
+    last_stats = None;
+    outputs = [];
+    snapshots = [];
+    disable_dirty_skip = false;
+  }
+
+let set_disable_dirty_skip t b = t.disable_dirty_skip <- b
+let egraph t = t.eg
+let globals t = t.globals
+
+(** Value of global let-binding [x]. *)
+let global t x =
+  match Hashtbl.find_opt t.globals x with
+  | Some v -> v
+  | None -> error "unknown global %s" x
+
+let global_opt t x = Hashtbl.find_opt t.globals x
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation in action position (may create e-nodes)       *)
+(* ------------------------------------------------------------------ *)
+
+let rec eval t (env : Matcher.env) (e : Ast.expr) : Value.t =
+  match e with
+  | Var x -> (
+    match Matcher.Env.find_opt x env with
+    | Some v -> v
+    | None -> (
+      match Hashtbl.find_opt t.globals x with
+      | Some v -> v
+      | None -> error "unbound name %s" x))
+  | Wildcard -> error "wildcard in expression position"
+  | Lit l -> Matcher.value_of_lit l
+  | Call (f, args) ->
+    let vals = List.map (eval t env) args in
+    if Primitives.is_primitive f then
+      try Primitives.apply f vals
+      with Primitives.Error msg -> error "primitive error: %s" msg
+    else begin
+      let fn = Egraph.find_func t.eg (Symbol.intern f) in
+      match Egraph.apply t.eg fn (Array.of_list vals) with
+      | Some v -> v
+      | None ->
+        error "(%s ...) has no defined output (use set before reading it)" f
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Actions                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let rec run_action t (env : Matcher.env) (a : Ast.action) : Matcher.env =
+  match a with
+  | A_let (x, e) ->
+    let v = eval t env e in
+    Matcher.Env.add x v env
+  | A_union (a, b) ->
+    let va = eval t env a and vb = eval t env b in
+    Egraph.union_values t.eg va vb;
+    env
+  | A_set (Call (f, args), rhs) ->
+    let fn = Egraph.find_func t.eg (Symbol.intern f) in
+    let vals = List.map (eval t env) args in
+    let out = eval t env rhs in
+    Egraph.set t.eg fn (Array.of_list vals) out;
+    env
+  | A_set (e, _) -> error "set expects a function application, got %a" Ast.pp_expr e
+  | A_expr e ->
+    ignore (eval t env e);
+    env
+  | A_cost (Call (f, args), c) ->
+    let fn = Egraph.find_func t.eg (Symbol.intern f) in
+    let vals = List.map (eval t env) args in
+    (* make sure the e-node exists, then attach the cost override *)
+    ignore (Egraph.apply t.eg fn (Array.of_list vals));
+    let cost =
+      match eval t env c with
+      | I64 n -> Int64.to_int n
+      | v -> error "unstable-cost expects an i64 cost, got %a" Value.pp v
+    in
+    Egraph.set_cost t.eg fn (Array.of_list vals) cost;
+    env
+  | A_cost (e, _) -> error "unstable-cost expects an e-node application, got %a" Ast.pp_expr e
+  | A_delete (Call (f, args)) ->
+    let fn = Egraph.find_func t.eg (Symbol.intern f) in
+    let vals = List.map (eval t env) args in
+    Egraph.delete t.eg fn (Array.of_list vals);
+    env
+  | A_delete e -> error "delete expects a function application, got %a" Ast.pp_expr e
+  | A_panic msg -> error "panic: %s" msg
+
+and run_actions t env actions = ignore (List.fold_left (run_action t) env actions)
+
+(* ------------------------------------------------------------------ *)
+(* Saturation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Run one saturation iteration: match every rule against a snapshot of the
+    e-graph, apply all matches, then rebuild.  Returns the number of matches
+    applied. *)
+let run_iteration ?ruleset t : int =
+  Egraph.rebuild t.eg;
+  let scan_clock = Egraph.clock t.eg in
+  let idx = Matcher.make_index t.eg t.globals in
+  let selected =
+    List.filter
+      (fun r ->
+        r.r_ruleset = ruleset
+        && (* dirty-table skipping: re-scan only if some referenced table
+              changed since this rule's last scan (a rule with no table
+              references scans once) *)
+        (t.disable_dirty_skip || r.r_last_scan < 0
+        || List.exists
+             (fun sym ->
+               match Egraph.find_func_opt t.eg sym with
+               | Some f -> f.Egraph.last_modified > r.r_last_scan
+               | None -> true)
+             r.r_refs))
+      t.rules
+  in
+  let batches =
+    List.map
+      (fun r ->
+        let envs = Matcher.solve_facts idx r.r_facts in
+        r.r_last_scan <- scan_clock;
+        (r, envs))
+      selected
+  in
+  let n =
+    List.fold_left
+      (fun acc (r, envs) ->
+        List.iter (fun env -> run_actions t env r.r_actions) envs;
+        acc + List.length envs)
+      0 batches
+  in
+  Egraph.rebuild t.eg;
+  n
+
+(** [run t n] saturates: repeats {!run_iteration} until the e-graph stops
+    changing, or [n] iterations, the node budget, or the timeout is hit.
+    With [?ruleset], only rules registered in that ruleset run. *)
+let run ?ruleset t n : run_stats =
+  let stats = { iterations = 0; matches = 0; sat_time = 0.; stop = Saturated } in
+  let t0 = Unix.gettimeofday () in
+  let deadline = Option.map (fun s -> t0 +. s) t.timeout in
+  (try
+     let continue = ref true in
+     while !continue do
+       if stats.iterations >= n then begin
+         stats.stop <- Iteration_limit;
+         continue := false
+       end
+       else if Egraph.n_nodes t.eg > t.max_nodes then begin
+         stats.stop <- Node_limit;
+         continue := false
+       end
+       else if
+         match deadline with
+         | Some d -> Unix.gettimeofday () > d
+         | None -> false
+       then begin
+         stats.stop <- Timeout;
+         continue := false
+       end
+       else begin
+         let before = Egraph.clock t.eg in
+         let m = run_iteration ?ruleset t in
+         stats.iterations <- stats.iterations + 1;
+         stats.matches <- stats.matches + m;
+         if Egraph.clock t.eg = before then begin
+           stats.stop <- Saturated;
+           continue := false
+         end
+       end
+     done
+   with e ->
+     stats.sat_time <- Unix.gettimeofday () -. t0;
+     t.last_stats <- Some stats;
+     raise e);
+  stats.sat_time <- Unix.gettimeofday () -. t0;
+  t.last_stats <- Some stats;
+  stats
+
+(* ------------------------------------------------------------------ *)
+(* Command execution                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let make_merge_fn (e : Ast.expr) : Value.t -> Value.t -> Value.t =
+  let rec ev env (e : Ast.expr) : Value.t =
+    match e with
+    | Var "old" -> fst env
+    | Var "new" -> snd env
+    | Lit l -> Matcher.value_of_lit l
+    | Call (f, args) when Primitives.is_primitive f ->
+      Primitives.apply f (List.map (ev env) args)
+    | _ -> error "unsupported :merge expression %a" Ast.pp_expr e
+  in
+  fun old_v new_v -> ev (old_v, new_v) e
+
+let declare_function t (d : Ast.func_decl) =
+  ignore
+    (Egraph.declare_function t.eg ~name:d.f_name ~args:d.f_args ~ret:d.f_ret
+       ~cost:d.f_cost
+       ~merge:(Option.map make_merge_fn d.f_merge)
+       ~unextractable:d.f_unextractable)
+
+(* function tables referenced by a rule's premises: a rule can only gain
+   new matches after one of these tables changes (insert, output change,
+   delete, or canonicalization after a union) *)
+let fact_refs (facts : Ast.fact list) : Symbol.t list =
+  let acc = ref [] in
+  let rec go_expr (e : Ast.expr) =
+    match e with
+    | Call (f, args) ->
+      if not (Primitives.is_primitive f) then begin
+        let sym = Symbol.intern f in
+        if not (List.exists (Symbol.equal sym) !acc) then acc := sym :: !acc
+      end;
+      List.iter go_expr args
+    | Var _ | Wildcard | Lit _ -> ()
+  in
+  List.iter
+    (function Ast.F_eq es -> List.iter go_expr es | Ast.F_expr e -> go_expr e)
+    facts;
+  !acc
+
+let check_ruleset t = function
+  | None -> ()
+  | Some rs -> if not (List.mem rs t.rulesets) then error "unknown ruleset %s" rs
+
+let add_rule t ?name ?ruleset facts actions =
+  check_ruleset t ruleset;
+  t.rule_counter <- t.rule_counter + 1;
+  let r_name =
+    match name with Some n -> n | None -> Printf.sprintf "rule-%d" t.rule_counter
+  in
+  t.rules <-
+    t.rules
+    @ [
+        {
+          r_name;
+          r_facts = facts;
+          r_actions = actions;
+          r_ruleset = ruleset;
+          r_refs = fact_refs facts;
+          r_last_scan = -1;
+        };
+      ]
+
+(** Desugar [(rewrite lhs rhs :when conds)] into a rule. *)
+let add_rewrite t ?ruleset ~(lhs : Ast.expr) ~(rhs : Ast.expr) ~(conds : Ast.fact list) () =
+  let root = "?__rewrite_root" in
+  add_rule t ?ruleset
+    (Ast.F_eq [ Var root; lhs ] :: conds)
+    [ Ast.A_union (Var root, rhs) ]
+
+let emit t o = t.outputs <- o :: t.outputs
+
+let run_command t (c : Ast.command) : unit =
+  match c with
+  | C_sort (name, None) -> Egraph.declare_sort t.eg name
+  | C_sort (name, Some ("Vec", [ elem ])) -> Egraph.declare_vec_sort t.eg name elem
+  | C_sort (_, Some (container, _)) -> error "unsupported container sort %s" container
+  | C_datatype (name, variants) ->
+    if not (Egraph.sort_declared t.eg name) then Egraph.declare_sort t.eg name;
+    List.iter
+      (fun (v : Ast.variant) ->
+        declare_function t
+          {
+            f_name = v.v_name;
+            f_args = v.v_args;
+            f_ret = name;
+            f_cost = v.v_cost;
+            f_merge = None;
+            f_unextractable = false;
+          })
+      variants
+  | C_function d ->
+    if not (Egraph.sort_declared t.eg d.f_ret) then
+      error "function %s: unknown return sort %s" d.f_name d.f_ret;
+    declare_function t d
+  | C_relation (name, args) ->
+    declare_function t
+      {
+        f_name = name;
+        f_args = args;
+        f_ret = "Unit";
+        f_cost = None;
+        f_merge = None;
+        f_unextractable = false;
+      }
+  | C_let (x, e) ->
+    if Hashtbl.mem t.globals x then error "global %s already defined" x;
+    let v = eval t Matcher.Env.empty e in
+    Hashtbl.replace t.globals x v
+  | C_ruleset name ->
+    if List.mem name t.rulesets then error "ruleset %s already declared" name;
+    t.rulesets <- t.rulesets @ [ name ]
+  | C_rewrite { lhs; rhs; conds; bidirectional; ruleset } ->
+    check_ruleset t ruleset;
+    add_rewrite t ?ruleset ~lhs ~rhs ~conds ();
+    if bidirectional then add_rewrite t ?ruleset ~lhs:rhs ~rhs:lhs ~conds ()
+  | C_rule { name; facts; actions; ruleset } -> add_rule t ?name ?ruleset facts actions
+  | C_action a ->
+    ignore (run_action t Matcher.Env.empty a);
+    Egraph.rebuild t.eg
+  | C_run (n, ruleset) ->
+    check_ruleset t ruleset;
+    let stats = run ?ruleset t n in
+    emit t (O_ran stats)
+  | C_extract (e, n) ->
+    let v = eval t Matcher.Env.empty e in
+    Egraph.rebuild t.eg;
+    if n <= 1 then begin
+      let term, cost = Extract.extract t.eg v in
+      emit t (O_extracted (term, cost))
+    end
+    else begin
+      let st = Extract.make t.eg in
+      match Egraph.canon t.eg v with
+      | Eclass cls -> emit t (O_variants (Extract.variants st cls n))
+      | prim -> emit t (O_variants [ (Extract.prim prim, 0) ])
+    end
+  | C_check facts ->
+    Egraph.rebuild t.eg;
+    let idx = Matcher.make_index t.eg t.globals in
+    let envs = Matcher.solve_facts idx facts in
+    if envs = [] then
+      error "check failed: %a" Fmt.(list ~sep:sp Ast.pp_fact) facts
+    else emit t O_checked
+  | C_print_function (name, n) ->
+    let fn = Egraph.find_func t.eg (Symbol.intern name) in
+    let buf = Buffer.create 256 in
+    let count = ref 0 in
+    Egraph.iter_rows t.eg fn (fun args out ->
+        if !count < n then begin
+          incr count;
+          Buffer.add_string buf
+            (Fmt.str "(%s %a) -> %a\n" name
+               Fmt.(array ~sep:sp Value.pp)
+               args Value.pp out)
+        end);
+    emit t (O_msg (Buffer.contents buf))
+  | C_print_stats -> emit t (O_msg (Fmt.str "%a" Egraph.pp_stats t.eg))
+  | C_push ->
+    t.snapshots <-
+      {
+        s_eg = Egraph.copy t.eg;
+        s_globals = Hashtbl.copy t.globals;
+        s_rules = t.rules;
+        s_rulesets = t.rulesets;
+      }
+      :: t.snapshots
+  | C_pop -> (
+    match t.snapshots with
+    | [] -> error "pop without a matching push"
+    | s :: rest ->
+      t.eg <- s.s_eg;
+      t.globals <- s.s_globals;
+      t.rules <- s.s_rules;
+      t.rulesets <- s.s_rulesets;
+      t.snapshots <- rest)
+
+(** Execute a list of commands; outputs are appended to [t.outputs]. *)
+let run_commands t cmds = List.iter (run_command t) cmds
+
+(** Execute Egglog source text. *)
+let run_string t src = run_commands t (Parser.parse_program src)
+
+(** Outputs in execution order. *)
+let outputs t = List.rev t.outputs
+
+(** The last extraction result, if any. *)
+let last_extracted t =
+  List.find_map (function O_extracted (term, cost) -> Some (term, cost) | _ -> None) t.outputs
+
+(** The most recent saturation statistics, if any. *)
+let last_stats t = t.last_stats
+
+(** Convenience: parse and run a complete program in a fresh engine. *)
+let run_program ?max_nodes ?timeout (src : string) : t * output list =
+  let t = create ?max_nodes ?timeout () in
+  run_string t src;
+  (t, outputs t)

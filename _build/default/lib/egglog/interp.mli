@@ -1,0 +1,91 @@
+(** The Egglog command interpreter: executes programs against an e-graph.
+
+    This is the engine façade used by DialEgg and the CLI: feed it commands
+    (parsed from [.egg] text or built programmatically), then inspect
+    extraction results and saturation statistics. *)
+
+exception Error of string
+
+type rule = {
+  r_name : string;
+  r_facts : Ast.fact list;
+  r_actions : Ast.action list;
+  r_ruleset : string option;  (** [None] = the default ruleset *)
+  r_refs : Symbol.t list;  (** function tables the premises read *)
+  mutable r_last_scan : int;
+      (** e-graph clock at the last match scan; the scheduler skips rules
+          none of whose referenced tables changed since (dirty-table
+          skipping, a lightweight form of seminaive evaluation) *)
+}
+
+(** Why a [(run n)] stopped. *)
+type stop_reason = Saturated | Iteration_limit | Node_limit | Timeout
+
+val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+type run_stats = {
+  mutable iterations : int;
+  mutable matches : int;  (** total rule matches applied *)
+  mutable sat_time : float;  (** seconds spent saturating *)
+  mutable stop : stop_reason;
+}
+
+type output =
+  | O_extracted of Extract.term * int  (** term and its tree cost *)
+  | O_variants of (Extract.term * int) list  (** cheapest-first variants *)
+  | O_checked
+  | O_ran of run_stats
+  | O_msg of string
+
+type t
+
+(** Testing/ablation hook: force every rule to rescan each iteration
+    instead of dirty-table skipping. *)
+val set_disable_dirty_skip : t -> bool -> unit
+
+(** Fresh engine.  [max_nodes] bounds e-graph growth during saturation;
+    [timeout] bounds one [(run)]'s wall-clock time. *)
+val create : ?max_nodes:int -> ?timeout:float -> unit -> t
+
+val egraph : t -> Egraph.t
+val globals : t -> (string, Value.t) Hashtbl.t
+
+(** Value of a global let-binding.  @raise Error if unknown. *)
+val global : t -> string -> Value.t
+
+val global_opt : t -> string -> Value.t option
+
+(** Evaluate an expression in action position (may create e-nodes). *)
+val eval : t -> Matcher.env -> Ast.expr -> Value.t
+
+(** Execute one action; returns the (possibly extended) environment. *)
+val run_action : t -> Matcher.env -> Ast.action -> Matcher.env
+
+(** Register a rule programmatically. *)
+val add_rule :
+  t -> ?name:string -> ?ruleset:string -> Ast.fact list -> Ast.action list -> unit
+
+(** Saturate: repeat match-apply-rebuild until fixpoint or a budget.
+    With [?ruleset], only that ruleset's rules run (default: the rules
+    registered without a ruleset). *)
+val run : ?ruleset:string -> t -> int -> run_stats
+
+(** Execute one command. *)
+val run_command : t -> Ast.command -> unit
+
+val run_commands : t -> Ast.command list -> unit
+
+(** Parse and execute Egglog source text. *)
+val run_string : t -> string -> unit
+
+(** Outputs in execution order. *)
+val outputs : t -> output list
+
+(** The most recent extraction, if any. *)
+val last_extracted : t -> (Extract.term * int) option
+
+(** The most recent saturation statistics, if any. *)
+val last_stats : t -> run_stats option
+
+(** Parse and run a complete program in a fresh engine. *)
+val run_program : ?max_nodes:int -> ?timeout:float -> string -> t * output list

@@ -1,0 +1,290 @@
+(** E-matching: finding all substitutions under which a rule's premises hold
+    in the current e-graph.
+
+    The matcher works on a snapshot {!index} of the e-graph, built once per
+    saturation iteration after {!Egraph.rebuild}: for every function we
+    collect its canonical rows and index them by output e-class, so that
+    nested patterns ([(Div (Mul ?x ?y) ?z)]) can look up the candidate child
+    e-nodes in O(1).
+
+    Premises (facts) are solved left to right over a list of candidate
+    environments:
+    - an application whose head is a declared function is a {e pattern}: it
+      is matched against the function's rows (a relational join);
+    - an application whose head is a primitive is {e evaluated}; in guard
+      position it must produce [true];
+    - [(= e1 e2 ...)] unifies the value of all [ei], binding variables that
+      are still free.
+
+    Variable conventions: [?x] is always a pattern variable; a bare name is
+    resolved as a rule-local or global binding if one exists, and is
+    otherwise treated as a pattern variable (Egglog "new syntax"). *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+module Env = Map.Make (String)
+
+type env = Value.t Env.t
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot index                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type rows = { all : (Value.t array * Value.t) list; by_output : (int, (Value.t array * Value.t) list) Hashtbl.t }
+
+type index = {
+  eg : Egraph.t;
+  globals : (string, Value.t) Hashtbl.t;
+  funcs : rows Symbol.Tbl.t;
+}
+
+(** Build a matching snapshot.  [eg] must be rebuilt (congruence restored).
+    [globals] are the interpreter's top-level let-bindings. *)
+let make_index eg globals : index =
+  let funcs = Symbol.Tbl.create 64 in
+  List.iter
+    (fun (f : Egraph.func) ->
+      let all = Egraph.fold_rows eg f [] (fun acc args out -> (args, out) :: acc) in
+      let by_output = Hashtbl.create (List.length all) in
+      List.iter
+        (fun ((_, out) as row) ->
+          match out with
+          | Value.Eclass id ->
+            let id = Egraph.find_class eg id in
+            Hashtbl.replace by_output id (row :: Option.value ~default:[] (Hashtbl.find_opt by_output id))
+          | _ -> ())
+        all;
+      Symbol.Tbl.replace funcs f.sym { all; by_output })
+    (Egraph.functions eg);
+  { eg; globals; funcs }
+
+let rows_of idx sym =
+  match Symbol.Tbl.find_opt idx.funcs sym with
+  | Some r -> r
+  | None -> error "unknown function %s in pattern" (Symbol.name sym)
+
+let rows_with_output idx sym cls =
+  let r = rows_of idx sym in
+  Option.value ~default:[] (Hashtbl.find_opt r.by_output (Egraph.find_class idx.eg cls))
+
+(* ------------------------------------------------------------------ *)
+(* Variable resolution                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let is_pattern_var name = String.length name > 0 && name.[0] = '?'
+
+(** Resolve name [x] under [env]: rule-local binding first, then globals. *)
+let resolve idx env x =
+  match Env.find_opt x env with
+  | Some v -> Some v
+  | None -> if is_pattern_var x then None else Hashtbl.find_opt idx.globals x
+
+let values_equal idx a b =
+  Value.equal (Egraph.canon idx.eg a) (Egraph.canon idx.eg b)
+
+(* ------------------------------------------------------------------ *)
+(* Expression evaluation (ground expressions inside premises)          *)
+(* ------------------------------------------------------------------ *)
+
+(** Try to evaluate [e] to a value under [env].  Returns [None] when the
+    expression mentions an unbound variable, a missing table row, or a
+    primitive error — all of which mean "this premise does not (yet) hold".
+    Constructor applications are {e looked up}, never created: premises must
+    not mutate the e-graph. *)
+let rec eval_opt idx env (e : Ast.expr) : Value.t option =
+  match e with
+  | Var x -> resolve idx env x
+  | Wildcard -> None
+  | Lit l -> Some (value_of_lit l)
+  | Call (f, args) -> (
+    let rec eval_args acc = function
+      | [] -> Some (List.rev acc)
+      | a :: rest -> (
+        match eval_opt idx env a with
+        | Some v -> eval_args (v :: acc) rest
+        | None -> None)
+    in
+    match eval_args [] args with
+    | None -> None
+    | Some vals -> (
+      if Primitives.is_primitive f then
+        try Some (Primitives.apply f vals) with Primitives.Error _ -> None
+      else
+        match Egraph.find_func_opt idx.eg (Symbol.intern f) with
+        | Some fn -> Egraph.lookup idx.eg fn (Array.of_list vals)
+        | None -> error "unknown function or primitive %s" f))
+
+and value_of_lit : Ast.lit -> Value.t = function
+  | L_i64 n -> I64 n
+  | L_f64 f -> F64 f
+  | L_string s -> Str s
+  | L_bool b -> Bool b
+  | L_unit -> Unit
+
+(* ------------------------------------------------------------------ *)
+(* Pattern matching                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** [match_value idx env pat v] extends [env] in all ways that make [pat]
+    match the (canonical) value [v]. *)
+let rec match_value idx env (pat : Ast.expr) (v : Value.t) : env list =
+  match pat with
+  | Wildcard -> [ env ]
+  | Lit l -> if values_equal idx (value_of_lit l) v then [ env ] else []
+  | Var x -> (
+    match resolve idx env x with
+    | Some bound -> if values_equal idx bound v then [ env ] else []
+    | None -> [ Env.add x (Egraph.canon idx.eg v) env ])
+  | Call ("vec-of", pats) -> (
+    (* destructuring vector pattern *)
+    match v with
+    | Vec elems when Array.length elems = List.length pats ->
+      List.fold_left
+        (fun envs (i, p) ->
+          List.concat_map (fun env -> match_value idx env p elems.(i)) envs)
+        [ env ]
+        (List.mapi (fun i p -> (i, p)) pats)
+    | _ -> [])
+  | Call (f, _) when Primitives.is_primitive f -> (
+    (* computed sub-expression: evaluate and compare *)
+    match eval_opt idx env pat with
+    | Some pv -> if values_equal idx pv v then [ env ] else []
+    | None -> [])
+  | Call (f, arg_pats) -> (
+    (* child e-node pattern: v must be an e-class containing an f-node *)
+    match v with
+    | Eclass cls ->
+      let sym = Symbol.intern f in
+      if not (Symbol.Tbl.mem idx.funcs sym) then
+        error "unknown function or primitive %s" f;
+      List.concat_map
+        (fun (args, _) -> match_args idx env arg_pats args)
+        (rows_with_output idx sym cls)
+    | _ -> [])
+
+and match_args idx env (pats : Ast.expr list) (args : Value.t array) : env list =
+  if List.length pats <> Array.length args then []
+  else
+    let rec go envs i = function
+      | [] -> envs
+      | p :: rest ->
+        let envs = List.concat_map (fun env -> match_value idx env p args.(i)) envs in
+        if envs = [] then [] else go envs (i + 1) rest
+    in
+    go [ env ] 0 pats
+
+(** Match a top-level pattern [(f pats)] against every row of [f], yielding
+    [(env, output)] pairs. *)
+let match_rooted idx env (f : string) (arg_pats : Ast.expr list) :
+    (env * Value.t) list =
+  let sym = Symbol.intern f in
+  let rows = rows_of idx sym in
+  List.concat_map
+    (fun (args, out) ->
+      List.map (fun env -> (env, out)) (match_args idx env arg_pats args))
+    rows.all
+
+(* ------------------------------------------------------------------ *)
+(* Fact solving                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Can [e] be evaluated directly (no free variables)? *)
+let rec is_ground idx env (e : Ast.expr) =
+  match e with
+  | Var x -> resolve idx env x <> None
+  | Wildcard -> false
+  | Lit _ -> true
+  | Call (_, args) -> List.for_all (is_ground idx env) args
+
+(** [solve_expr idx env e target] produces environments under which [e]
+    holds.  With [target = Some v], [e] must match/evaluate to [v]; the
+    returned value component is the value of [e]. *)
+let solve_expr idx env (e : Ast.expr) ~(target : Value.t option) :
+    (env * Value.t) list =
+  match (e, target) with
+  | Var x, Some v -> (
+    match resolve idx env x with
+    | Some bound -> if values_equal idx bound v then [ (env, v) ] else []
+    | None -> [ (Env.add x (Egraph.canon idx.eg v) env, v) ])
+  | Wildcard, Some v -> [ (env, v) ]
+  | Var x, None -> (
+    match resolve idx env x with
+    | Some v -> [ (env, v) ]
+    | None -> error "unconstrained variable in fact: %a" Ast.pp_expr e)
+  | Wildcard, None -> error "unconstrained wildcard in fact"
+  | Lit l, _ -> (
+    let v = value_of_lit l in
+    match target with
+    | Some tv -> if values_equal idx v tv then [ (env, v) ] else []
+    | None -> [ (env, v) ])
+  | Call (f, _), _ when Primitives.is_primitive f -> (
+    match eval_opt idx env e with
+    | None ->
+      (* special case: destructuring (vec-of ?a ?b) against a known target *)
+      if f = "vec-of" then
+        match target with
+        | Some v -> List.map (fun env -> (env, v)) (match_value idx env e v)
+        | None -> []
+      else []
+    | Some v -> (
+      match target with
+      | Some tv -> if values_equal idx v tv then [ (env, v) ] else []
+      | None -> [ (env, v) ]))
+  | Call (f, arg_pats), Some v ->
+    List.map (fun env -> (env, v)) (match_value idx env (Call (f, arg_pats)) v)
+  | Call (f, arg_pats), None ->
+    if is_ground idx env e then
+      (* ground table application: lookup *)
+      match eval_opt idx env e with Some v -> [ (env, v) ] | None -> []
+    else match_rooted idx env f arg_pats
+
+(** [solve_fact idx envs fact] filters/extends candidate environments. *)
+let solve_fact idx (envs : env list) (fact : Ast.fact) : env list =
+  match fact with
+  | F_expr e ->
+    List.concat_map
+      (fun env ->
+        let results = solve_expr idx env e ~target:None in
+        (* guard position: a primitive producing a boolean must be true *)
+        List.filter_map
+          (fun (env, v) ->
+            match v with Value.Bool b -> if b then Some env else None | _ -> Some env)
+          results)
+      envs
+  | F_eq exprs ->
+    (* process conjuncts left to right, sharing one target value; a bare
+       variable seen before the target is known is deferred and bound at
+       the end *)
+    List.concat_map
+      (fun env ->
+        let rec go env (target : Value.t option) pending = function
+          | [] -> (
+            match target with
+            | None -> error "unconstrained (=) fact"
+            | Some v ->
+              let envs =
+                List.fold_left
+                  (fun envs p ->
+                    List.concat_map
+                      (fun env ->
+                        List.map fst (solve_expr idx env p ~target:(Some v)))
+                      envs)
+                  [ env ] pending
+              in
+              envs)
+          | e :: rest -> (
+            match e with
+            | Ast.Var x when resolve idx env x = None && target = None ->
+              go env target (e :: pending) rest
+            | _ ->
+              let results = solve_expr idx env e ~target in
+              List.concat_map (fun (env, v) -> go env (Some v) pending rest) results)
+        in
+        go env None [] exprs)
+      envs
+
+(** Solve all premises of a rule; returns the satisfying environments. *)
+let solve_facts idx (facts : Ast.fact list) : env list =
+  List.fold_left (fun envs f -> if envs = [] then [] else solve_fact idx envs f) [ Env.empty ] facts

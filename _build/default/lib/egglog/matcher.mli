@@ -1,0 +1,41 @@
+(** E-matching: finding all substitutions under which a rule's premises
+    hold in the current e-graph.
+
+    The matcher works on a snapshot {!index} built once per saturation
+    iteration (after {!Egraph.rebuild}); rows are indexed by output e-class
+    so nested patterns join in O(1) per candidate.
+
+    Premises are solved left to right over a list of candidate
+    environments: declared-function applications are patterns (relational
+    joins over their tables), primitive applications are evaluated (and
+    must be [true] in guard position), and [(= e1 e2 ...)] unifies the
+    values of all conjuncts, binding still-free variables. *)
+
+exception Error of string
+
+module Env : Map.S with type key = string
+
+type env = Value.t Env.t
+
+type index
+
+(** Build a matching snapshot.  The e-graph must be rebuilt.  [globals]
+    are the interpreter's top-level let-bindings. *)
+val make_index : Egraph.t -> (string, Value.t) Hashtbl.t -> index
+
+(** Value of an {!Ast.lit}. *)
+val value_of_lit : Ast.lit -> Value.t
+
+(** Try to evaluate a ground expression under an environment; [None] when
+    it mentions an unbound variable, a missing table row, or a primitive
+    error.  Never mutates the e-graph. *)
+val eval_opt : index -> env -> Ast.expr -> Value.t option
+
+(** Extend [env] in all ways that make the pattern match the value. *)
+val match_value : index -> env -> Ast.expr -> Value.t -> env list
+
+(** Solve one fact against candidate environments. *)
+val solve_fact : index -> env list -> Ast.fact -> env list
+
+(** Solve all premises of a rule; the satisfying environments. *)
+val solve_facts : index -> Ast.fact list -> env list

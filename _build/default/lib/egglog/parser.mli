@@ -1,0 +1,15 @@
+(** Parser from Egglog source text (s-expressions) to the command AST.
+
+    Atom interpretation: [?name] is a pattern variable (the prefix is kept
+    in the {!Ast.expr.Var} name, so pattern variables can never collide
+    with let-binding names); integer- and float-looking atoms are
+    literals; [true]/[false] are booleans; any other atom is a name
+    resolved against bindings at run time. *)
+
+exception Error of string
+
+(** Parse a whole program. *)
+val parse_program : string -> Ast.command list
+
+(** Parse a single expression. *)
+val parse_expr : string -> Ast.expr

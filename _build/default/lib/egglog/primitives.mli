@@ -1,0 +1,15 @@
+(** Built-in primitive operations ([+], [*], [log2], [pow], comparisons,
+    vector operations, ...).  Pure functions over {!Value.t}; they never
+    touch the e-graph.  Arithmetic and comparisons are polymorphic over
+    [i64] and [f64]. *)
+
+exception Error of string
+
+(** Does [name] denote a primitive operation? *)
+val is_primitive : string -> bool
+
+(** Evaluate primitive [name] on the arguments.
+    @raise Error on sort mismatch or invalid input (division by zero,
+    out-of-bounds [vec-get], [log2] of a non-positive number); the rule
+    engine treats such errors as a failed premise. *)
+val apply : string -> Value.t list -> Value.t

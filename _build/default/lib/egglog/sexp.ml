@@ -1,0 +1,152 @@
+(** S-expressions: the concrete syntax of Egglog programs.
+
+    The reader supports:
+    - atoms (bare tokens),
+    - double-quoted strings with backslash escapes (n, t, backslash, quote),
+    - line comments starting with [;],
+    - nested lists in parentheses or square brackets.
+
+    Atoms carry no interpretation here; the Egglog parser (see {!Parser})
+    decides whether an atom is a number, a variable or an identifier. *)
+
+type t =
+  | Atom of string
+  | Str of string  (** a double-quoted string literal, unescaped *)
+  | List of t list
+
+exception Parse_error of { pos : int; line : int; msg : string }
+
+let parse_error pos line msg = raise (Parse_error { pos; line; msg })
+
+type reader = { src : string; mutable pos : int; mutable line : int }
+
+let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
+
+let advance r =
+  (if r.pos < String.length r.src && r.src.[r.pos] = '\n' then r.line <- r.line + 1);
+  r.pos <- r.pos + 1
+
+let rec skip_ws r =
+  match peek r with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance r;
+    skip_ws r
+  | Some ';' ->
+    let rec to_eol () =
+      match peek r with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance r;
+        to_eol ()
+    in
+    to_eol ();
+    skip_ws r
+  | _ -> ()
+
+let is_atom_char c =
+  match c with
+  | ' ' | '\t' | '\n' | '\r' | '(' | ')' | '[' | ']' | ';' | '"' -> false
+  | _ -> true
+
+let read_string r =
+  advance r (* opening quote *);
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek r with
+    | None -> parse_error r.pos r.line "unterminated string literal"
+    | Some '"' ->
+      advance r;
+      Buffer.contents buf
+    | Some '\\' ->
+      advance r;
+      (match peek r with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some c -> parse_error r.pos r.line (Printf.sprintf "invalid escape \\%c" c)
+      | None -> parse_error r.pos r.line "unterminated escape");
+      advance r;
+      go ()
+    | Some c ->
+      advance r;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ()
+
+let read_atom r =
+  let start = r.pos in
+  let rec go () =
+    match peek r with
+    | Some c when is_atom_char c ->
+      advance r;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  String.sub r.src start (r.pos - start)
+
+let rec read_sexp r =
+  skip_ws r;
+  match peek r with
+  | None -> parse_error r.pos r.line "unexpected end of input"
+  | Some '(' | Some '[' ->
+    let close = if r.src.[r.pos] = '(' then ')' else ']' in
+    advance r;
+    let items = ref [] in
+    let rec loop () =
+      skip_ws r;
+      match peek r with
+      | None -> parse_error r.pos r.line "unterminated list"
+      | Some c when c = close ->
+        advance r;
+        List (List.rev !items)
+      | Some (')' | ']') -> parse_error r.pos r.line "mismatched bracket"
+      | Some _ ->
+        items := read_sexp r :: !items;
+        loop ()
+    in
+    loop ()
+  | Some (')' | ']') -> parse_error r.pos r.line "unexpected closing bracket"
+  | Some '"' -> Str (read_string r)
+  | Some _ ->
+    let a = read_atom r in
+    if a = "" then parse_error r.pos r.line "empty atom";
+    Atom a
+
+(** [parse_string src] parses all top-level s-expressions in [src]. *)
+let parse_string src : t list =
+  let r = { src; pos = 0; line = 1 } in
+  let rec go acc =
+    skip_ws r;
+    if r.pos >= String.length src then List.rev acc else go (read_sexp r :: acc)
+  in
+  go []
+
+(** [parse_one src] parses exactly one s-expression. *)
+let parse_one src : t =
+  match parse_string src with
+  | [ s ] -> [ s ] |> List.hd
+  | [] -> parse_error 0 1 "no s-expression found"
+  | _ -> parse_error 0 1 "expected a single s-expression"
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let rec pp ppf = function
+  | Atom a -> Fmt.string ppf a
+  | Str s -> Fmt.pf ppf "\"%s\"" (escape_string s)
+  | List items -> Fmt.pf ppf "(@[<hov>%a@])" (Fmt.list ~sep:Fmt.sp pp) items
+
+let to_string s = Fmt.str "%a" pp s

@@ -1,0 +1,25 @@
+(** S-expressions: the concrete syntax of Egglog programs.
+
+    The reader supports atoms, double-quoted strings with backslash
+    escapes, line comments starting with [;], and nested lists in
+    parentheses or square brackets. *)
+
+type t =
+  | Atom of string
+  | Str of string  (** a double-quoted string literal, unescaped *)
+  | List of t list
+
+exception Parse_error of { pos : int; line : int; msg : string }
+
+(** Parse all top-level s-expressions in the input. *)
+val parse_string : string -> t list
+
+(** Parse exactly one s-expression.
+    @raise Parse_error if there are zero or several. *)
+val parse_one : string -> t
+
+(** Escape a string for inclusion in a double-quoted literal. *)
+val escape_string : string -> string
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,45 @@
+(** Interned symbols.
+
+    Symbols are strings interned into a global table so that equality and
+    hashing are O(1) integer operations.  The Egglog engine uses symbols for
+    function names, sort names and rule names, all of which are compared very
+    frequently during e-matching. *)
+
+type t = { id : int; name : string }
+
+let table : (string, t) Hashtbl.t = Hashtbl.create 256
+let next_id = ref 0
+
+(** [intern name] returns the unique symbol for [name]. *)
+let intern name =
+  match Hashtbl.find_opt table name with
+  | Some s -> s
+  | None ->
+    let s = { id = !next_id; name } in
+    incr next_id;
+    Hashtbl.add table name s;
+    s
+
+(** [name s] is the string this symbol was interned from. *)
+let name s = s.name
+
+(** [id s] is the unique integer identifier of [s]. *)
+let id s = s.id
+
+let equal a b = a.id = b.id
+let compare a b = Int.compare a.id b.id
+let hash s = s.id
+let pp ppf s = Fmt.string ppf s.name
+
+module Map = Map.Make (struct
+  type nonrec t = t
+
+  let compare = compare
+end)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

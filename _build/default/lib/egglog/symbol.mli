@@ -1,0 +1,24 @@
+(** Interned symbols: strings with O(1) equality, hashing and comparison.
+
+    Function names, sort names and rule names are interned once and
+    compared by id throughout the engine. *)
+
+type t
+
+(** [intern name] returns the unique symbol for [name]; repeated calls with
+    the same string return the same symbol. *)
+val intern : string -> t
+
+(** The string this symbol was interned from. *)
+val name : t -> string
+
+(** The unique integer identifier. *)
+val id : t -> int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Tbl : Hashtbl.S with type key = t

@@ -1,0 +1,37 @@
+(** Runtime values of the Egglog engine: primitives, vectors (which may
+    contain e-class references), and e-class references.
+
+    E-class references go stale when classes are unified; {!canonicalize}
+    rewrites every embedded id to its representative.  Hash tables keyed by
+    values must only store canonical values. *)
+
+type t =
+  | I64 of int64
+  | F64 of float
+  | Str of string
+  | Bool of bool
+  | Unit
+  | Vec of t array
+  | Eclass of int  (** reference to an e-class, by id *)
+
+val equal : t -> t -> bool
+val hash : t -> int
+
+(** Replace every e-class id inside the value (including inside vectors,
+    recursively) with its canonical representative. *)
+val canonicalize : Union_find.t -> t -> t
+
+(** Would {!canonicalize} be a no-op? *)
+val is_canonical : Union_find.t -> t -> bool
+
+(** E-class ids mentioned anywhere inside the value, prepended to the
+    accumulator. *)
+val eclasses : t -> int list -> int list
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Tbl : Hashtbl.S with type key = t
+
+(** Hash tables keyed by value arrays (function-table keys). *)
+module Args_tbl : Hashtbl.S with type key = t array

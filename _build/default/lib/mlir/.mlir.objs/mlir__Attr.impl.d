@@ -1,0 +1,1 @@
+lib/mlir/attr.ml: Array Fmt List Printf String Typ

@@ -1,0 +1,1 @@
+lib/mlir/attr.mli: Format Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_arith.ml: Array Attr Dialect Float Fmt Int64 Ints Ir List Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_arith.mli: Attr Ir Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_func.ml: Attr Dialect Ir Typ

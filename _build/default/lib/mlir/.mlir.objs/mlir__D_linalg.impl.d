@@ -1,0 +1,1 @@
+lib/mlir/d_linalg.ml: Array Dialect Fmt Ir Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_linalg.mli: Ir Typ

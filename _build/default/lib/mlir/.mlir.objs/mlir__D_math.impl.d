@@ -1,0 +1,1 @@
+lib/mlir/d_math.ml: Array Attr Dialect Float Ir

@@ -1,0 +1,1 @@
+lib/mlir/d_math.mli: Attr Ir

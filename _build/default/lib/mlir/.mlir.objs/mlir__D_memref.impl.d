@@ -1,0 +1,1 @@
+lib/mlir/d_memref.ml: Array Dialect Ir List Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_memref.mli: Ir Typ

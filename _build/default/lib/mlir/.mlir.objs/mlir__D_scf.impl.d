@@ -1,0 +1,1 @@
+lib/mlir/d_scf.ml: Array Dialect Ir List Typ

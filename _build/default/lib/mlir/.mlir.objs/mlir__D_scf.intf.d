@@ -1,0 +1,1 @@
+lib/mlir/d_scf.mli: Ir Typ

@@ -1,0 +1,1 @@
+lib/mlir/d_tensor.ml: Array Dialect Ir Typ

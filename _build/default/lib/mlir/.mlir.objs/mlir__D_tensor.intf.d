@@ -1,0 +1,1 @@
+lib/mlir/d_tensor.mli: Ir Typ

@@ -1,0 +1,1 @@
+lib/mlir/dialect.ml: Attr Hashtbl Ir List String

@@ -1,0 +1,1 @@
+lib/mlir/dialect.mli: Attr Ir

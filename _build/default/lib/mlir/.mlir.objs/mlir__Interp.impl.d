@@ -1,0 +1,1 @@
+lib/mlir/interp.ml: Array Attr Float Fmt Hashtbl Int32 Int64 Ints Ir List Registry Typ Unix

@@ -1,0 +1,1 @@
+lib/mlir/interp.mli: Format Ir Typ

@@ -1,0 +1,1 @@
+lib/mlir/ints.ml: Float Int64 Printf

@@ -1,0 +1,1 @@
+lib/mlir/ir.ml: Array Attr Fmt Lazy List String Typ

@@ -1,0 +1,1 @@
+lib/mlir/licm.ml: Array Dialect Hashtbl Ir List Registry

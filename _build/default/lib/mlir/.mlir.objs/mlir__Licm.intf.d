@@ -1,0 +1,1 @@
+lib/mlir/licm.mli: Ir

@@ -1,0 +1,1 @@
+lib/mlir/matmul_reassoc.ml: Array Ir List Registry Transforms Typ

@@ -1,0 +1,1 @@
+lib/mlir/matmul_reassoc.mli: Ir

@@ -1,0 +1,1 @@
+lib/mlir/parser.ml: Array Attr Buffer Fmt Hashtbl Int64 Ir List Registry String Typ

@@ -1,0 +1,1 @@
+lib/mlir/parser.mli: Ir

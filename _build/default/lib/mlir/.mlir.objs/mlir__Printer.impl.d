@@ -1,0 +1,1 @@
+lib/mlir/printer.ml: Array Attr Fmt Hashtbl Int64 Ir List Printf String Typ

@@ -1,0 +1,1 @@
+lib/mlir/registry.ml: D_arith D_func D_linalg D_math D_memref D_scf D_tensor

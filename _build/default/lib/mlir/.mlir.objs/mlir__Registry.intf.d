@@ -1,0 +1,1 @@
+lib/mlir/registry.mli:

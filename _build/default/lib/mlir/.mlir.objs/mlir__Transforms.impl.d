@@ -1,0 +1,1 @@
+lib/mlir/transforms.ml: Array Attr Dialect Hashtbl Ir List Option Registry

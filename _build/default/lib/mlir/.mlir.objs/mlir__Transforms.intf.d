@@ -1,0 +1,1 @@
+lib/mlir/transforms.mli: Attr Ir

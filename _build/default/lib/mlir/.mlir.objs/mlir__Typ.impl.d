@@ -1,0 +1,1 @@
+lib/mlir/typ.ml: Fmt List Obj Stdlib String

@@ -1,0 +1,1 @@
+lib/mlir/typ.mli: Format

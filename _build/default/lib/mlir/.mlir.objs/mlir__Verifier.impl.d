@@ -1,0 +1,1 @@
+lib/mlir/verifier.ml: Array Dialect Fmt Hashtbl Ir List Registry

@@ -1,0 +1,127 @@
+(** MLIR attributes: typed compile-time metadata attached to operations.
+
+    This covers the builtin attributes DialEgg predefines (integers, floats,
+    strings, booleans, arrays, types, symbol references, unit) plus the
+    [arith.fastmath] flags used throughout the paper's case studies, and an
+    opaque escape hatch mirroring DialEgg's [OpaqueAttr]. *)
+
+type fastmath =
+  | Fm_none
+  | Fm_fast
+  | Fm_flags of string list
+      (** subset of [nnan ninf nsz arcp contract afn reassoc] *)
+
+type t =
+  | Int of int64 * Typ.t
+  | Float of float * Typ.t
+  | String of string
+  | Bool of bool
+  | Type of Typ.t
+  | Array of t list
+  | Symbol_ref of string  (** [@name] *)
+  | Unit
+  | Fastmath of fastmath
+  | Dense_int of int64 list * Typ.t  (** [dense<[...]> : tensor<...>] *)
+  | Dense_float of float list * Typ.t
+  | Opaque of string * string  (** serialized form, short name *)
+
+type named = string * t
+(** A named attribute, e.g. [value = 1 : i64]. *)
+
+let equal (a : t) (b : t) = a = b
+
+let rec pp ppf (a : t) =
+  match a with
+  | Int (v, t) -> Fmt.pf ppf "%Ld : %a" v Typ.pp t
+  | Float (v, t) -> Fmt.pf ppf "%s : %a" (float_repr v) Typ.pp t
+  | String s -> Fmt.pf ppf "\"%s\"" (String.concat "\\\"" (String.split_on_char '"' s))
+  | Bool b -> Fmt.bool ppf b
+  | Type t -> Typ.pp ppf t
+  | Array items -> Fmt.pf ppf "[%a]" Fmt.(list ~sep:(any ", ") pp) items
+  | Symbol_ref s -> Fmt.pf ppf "@%s" s
+  | Unit -> Fmt.string ppf "unit"
+  | Fastmath fm -> Fmt.pf ppf "#arith.fastmath<%s>" (fastmath_repr fm)
+  | Dense_int (vs, t) ->
+    Fmt.pf ppf "dense<[%a]> : %a" Fmt.(list ~sep:(any ", ") (fmt "%Ld")) vs Typ.pp t
+  | Dense_float (vs, t) ->
+    Fmt.pf ppf "dense<[%a]> : %a"
+      Fmt.(list ~sep:(any ", ") (using float_repr string))
+      vs Typ.pp t
+  | Opaque (_, name) -> Fmt.pf ppf "#%s" name
+
+and float_repr v =
+  (* ensure round-trippable floats that still look like floats *)
+  let s = Printf.sprintf "%.17g" v in
+  if String.contains s '.' || String.contains s 'e' || String.contains s 'n' then s
+  else s ^ ".0"
+
+and fastmath_repr = function
+  | Fm_none -> "none"
+  | Fm_fast -> "fast"
+  | Fm_flags fs -> String.concat "," fs
+
+let to_string a = Fmt.str "%a" pp a
+
+let pp_named ppf (name, a) =
+  match a with
+  | Unit -> Fmt.string ppf name
+  | _ -> Fmt.pf ppf "%s = %a" name pp a
+
+(** Find a named attribute. *)
+let find (attrs : named list) name = List.assoc_opt name attrs
+
+(** Replace or add a named attribute, keeping the list sorted by name (the
+    canonical storage order, which the Egglog translation relies on). *)
+let set (attrs : named list) name v =
+  List.sort (fun (a, _) (b, _) -> String.compare a b)
+    ((name, v) :: List.remove_assoc name attrs)
+
+let sort (attrs : named list) =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) attrs
+
+(** Integer payload of an [Int] attribute. *)
+let as_int = function Int (v, _) -> Some v | _ -> None
+
+let as_float = function Float (v, _) -> Some v | _ -> None
+let as_string = function String s -> Some s | _ -> None
+let as_symbol = function Symbol_ref s -> Some s | _ -> None
+let as_fastmath = function Fastmath f -> Some f | _ -> None
+
+(** Is the fast flag (or a superset) set? *)
+let is_fast = function
+  | Fastmath Fm_fast -> true
+  | Fastmath (Fm_flags fs) ->
+    List.for_all (fun f -> List.mem f fs) [ "nnan"; "ninf"; "nsz"; "arcp"; "contract"; "afn"; "reassoc" ]
+  | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Comparison predicates (arith.cmpi / arith.cmpf), stored as integer  *)
+(* attributes in MLIR                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(** [arith.cmpi] predicates, in MLIR's numbering. *)
+let cmpi_predicates =
+  [| "eq"; "ne"; "slt"; "sle"; "sgt"; "sge"; "ult"; "ule"; "ugt"; "uge" |]
+
+(** [arith.cmpf] predicates, in MLIR's numbering. *)
+let cmpf_predicates =
+  [|
+    "false"; "oeq"; "ogt"; "oge"; "olt"; "ole"; "one"; "ord";
+    "ueq"; "ugt"; "uge"; "ult"; "ule"; "une"; "uno"; "true";
+  |]
+
+let cmpi_predicate_of_string s =
+  let rec find i =
+    if i >= Array.length cmpi_predicates then None
+    else if cmpi_predicates.(i) = s then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let cmpf_predicate_of_string s =
+  let rec find i =
+    if i >= Array.length cmpf_predicates then None
+    else if cmpf_predicates.(i) = s then Some i
+    else find (i + 1)
+  in
+  find 0

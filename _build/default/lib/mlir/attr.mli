@@ -1,0 +1,64 @@
+(** MLIR attributes: typed compile-time metadata attached to operations —
+    the builtin attributes DialEgg predefines plus [arith.fastmath] flags
+    and an opaque escape hatch. *)
+
+type fastmath =
+  | Fm_none
+  | Fm_fast
+  | Fm_flags of string list
+      (** subset of [nnan ninf nsz arcp contract afn reassoc] *)
+
+type t =
+  | Int of int64 * Typ.t
+  | Float of float * Typ.t
+  | String of string
+  | Bool of bool
+  | Type of Typ.t
+  | Array of t list
+  | Symbol_ref of string  (** [@name] *)
+  | Unit
+  | Fastmath of fastmath
+  | Dense_int of int64 list * Typ.t
+  | Dense_float of float list * Typ.t
+  | Opaque of string * string  (** serialized form, short name *)
+
+type named = string * t
+(** A named attribute, e.g. [value = 1 : i64]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val pp_named : Format.formatter -> named -> unit
+
+(** Round-trippable float literal text. *)
+val float_repr : float -> string
+
+val fastmath_repr : fastmath -> string
+
+(** Find a named attribute. *)
+val find : named list -> string -> t option
+
+(** Replace or add a named attribute; the list stays sorted by name (the
+    canonical storage order the Egglog translation relies on). *)
+val set : named list -> string -> t -> named list
+
+(** Sort a named-attribute list by name. *)
+val sort : named list -> named list
+
+val as_int : t -> int64 option
+val as_float : t -> float option
+val as_string : t -> string option
+val as_symbol : t -> string option
+val as_fastmath : t -> fastmath option
+
+(** Is the [fast] flag (or the full flag set) present? *)
+val is_fast : t -> bool
+
+(** [arith.cmpi] predicate names, indexed by MLIR's numbering. *)
+val cmpi_predicates : string array
+
+(** [arith.cmpf] predicate names, indexed by MLIR's numbering. *)
+val cmpf_predicates : string array
+
+val cmpi_predicate_of_string : string -> int option
+val cmpf_predicate_of_string : string -> int option

@@ -1,0 +1,236 @@
+(** The [arith] dialect: integer and floating-point arithmetic.
+
+    Registers op definitions (with folders used by canonicalization) and
+    provides builder helpers.  Builders append the new op to the given block
+    and return its result value. *)
+
+open Ir
+
+let fm_default = ("fastmath", Attr.Fastmath Attr.Fm_none)
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(** [constant blk attr ty] builds [arith.constant <attr> : ty]. *)
+let constant blk (value : Attr.t) (ty : Typ.t) =
+  let op = create_op "arith.constant" ~attrs:[ ("value", value) ] ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+let const_int blk ?(ty = Typ.i64) v = constant blk (Attr.Int (v, ty)) ty
+let const_index blk v = constant blk (Attr.Int (Int64.of_int v, Typ.index)) Typ.index
+let const_float blk ?(ty = Typ.f64) v = constant blk (Attr.Float (v, ty)) ty
+
+let binary name ?(attrs = []) blk a b =
+  let op =
+    create_op name ~operands:[ a; b ] ~attrs ~result_types:[ a.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+let addi blk a b = binary "arith.addi" blk a b
+let subi blk a b = binary "arith.subi" blk a b
+let muli blk a b = binary "arith.muli" blk a b
+let divsi blk a b = binary "arith.divsi" blk a b
+let divui blk a b = binary "arith.divui" blk a b
+let remsi blk a b = binary "arith.remsi" blk a b
+let shli blk a b = binary "arith.shli" blk a b
+let shrsi blk a b = binary "arith.shrsi" blk a b
+let shrui blk a b = binary "arith.shrui" blk a b
+let andi blk a b = binary "arith.andi" blk a b
+let ori blk a b = binary "arith.ori" blk a b
+let xori blk a b = binary "arith.xori" blk a b
+let minsi blk a b = binary "arith.minsi" blk a b
+let maxsi blk a b = binary "arith.maxsi" blk a b
+
+let fm_attr fm = ("fastmath", Attr.Fastmath fm)
+
+let addf ?(fm = Attr.Fm_none) blk a b = binary "arith.addf" ~attrs:[ fm_attr fm ] blk a b
+let subf ?(fm = Attr.Fm_none) blk a b = binary "arith.subf" ~attrs:[ fm_attr fm ] blk a b
+let mulf ?(fm = Attr.Fm_none) blk a b = binary "arith.mulf" ~attrs:[ fm_attr fm ] blk a b
+let divf ?(fm = Attr.Fm_none) blk a b = binary "arith.divf" ~attrs:[ fm_attr fm ] blk a b
+let maximumf ?(fm = Attr.Fm_none) blk a b = binary "arith.maximumf" ~attrs:[ fm_attr fm ] blk a b
+let minimumf ?(fm = Attr.Fm_none) blk a b = binary "arith.minimumf" ~attrs:[ fm_attr fm ] blk a b
+
+let negf ?(fm = Attr.Fm_none) blk a =
+  let op =
+    create_op "arith.negf" ~operands:[ a ] ~attrs:[ fm_attr fm ] ~result_types:[ a.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+(** [cmpi blk pred a b] with a predicate name like "slt". *)
+let cmpi blk pred a b =
+  let p =
+    match Attr.cmpi_predicate_of_string pred with
+    | Some p -> p
+    | None -> invalid_arg (Fmt.str "unknown cmpi predicate %s" pred)
+  in
+  let op =
+    create_op "arith.cmpi" ~operands:[ a; b ]
+      ~attrs:[ ("predicate", Attr.Int (Int64.of_int p, Typ.i64)) ]
+      ~result_types:[ Typ.i1 ]
+  in
+  append_op blk op;
+  result1 op
+
+(** [cmpf blk pred a b] with a predicate name like "oge". *)
+let cmpf ?(fm = Attr.Fm_none) blk pred a b =
+  let p =
+    match Attr.cmpf_predicate_of_string pred with
+    | Some p -> p
+    | None -> invalid_arg (Fmt.str "unknown cmpf predicate %s" pred)
+  in
+  let op =
+    create_op "arith.cmpf" ~operands:[ a; b ]
+      ~attrs:[ fm_attr fm; ("predicate", Attr.Int (Int64.of_int p, Typ.i64)) ]
+      ~result_types:[ Typ.i1 ]
+  in
+  append_op blk op;
+  result1 op
+
+let select blk c a b =
+  let op = create_op "arith.select" ~operands:[ c; a; b ] ~result_types:[ a.v_type ] in
+  append_op blk op;
+  result1 op
+
+let unary_cast name blk a ty =
+  let op = create_op name ~operands:[ a ] ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+let index_cast blk a ty = unary_cast "arith.index_cast" blk a ty
+let sitofp blk a ty = unary_cast "arith.sitofp" blk a ty
+let fptosi blk a ty = unary_cast "arith.fptosi" blk a ty
+let truncf blk a ty = unary_cast "arith.truncf" blk a ty
+let extf blk a ty = unary_cast "arith.extf" blk a ty
+let bitcast blk a ty = unary_cast "arith.bitcast" blk a ty
+
+(* ------------------------------------------------------------------ *)
+(* Folders                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let int_of_attr = function Some (Attr.Int (v, _)) -> Some v | _ -> None
+let float_of_attr = function Some (Attr.Float (v, _)) -> Some v | _ -> None
+
+(** Fold a binary integer op when both operands are constants. *)
+let fold_int_binop f (op : Ir.op) (consts : Attr.t option array) =
+  match (int_of_attr consts.(0), int_of_attr consts.(1)) with
+  | Some a, Some b -> (
+    let ty = op.results.(0).v_type in
+    let w = Typ.int_width ty in
+    try Dialect.Fold_to_attr (Attr.Int (f w a b, ty)) with Failure _ -> Dialect.No_fold)
+  | _ -> Dialect.No_fold
+
+(** Fold with algebraic identities: [x op identity -> x]. *)
+let fold_int_binop_id ?right_identity ?left_identity f op consts =
+  match fold_int_binop f op consts with
+  | Dialect.No_fold -> (
+    match (int_of_attr consts.(0), int_of_attr consts.(1), right_identity, left_identity) with
+    | _, Some b, Some id, _ when Int64.equal b id -> Dialect.Fold_to_operand 0
+    | Some a, _, _, Some id when Int64.equal a id -> Dialect.Fold_to_operand 1
+    | _ -> Dialect.No_fold)
+  | r -> r
+
+let fold_float_binop f (op : Ir.op) (consts : Attr.t option array) =
+  match (float_of_attr consts.(0), float_of_attr consts.(1)) with
+  | Some a, Some b -> Dialect.Fold_to_attr (Attr.Float (f a b, op.results.(0).v_type))
+  | _ -> Dialect.No_fold
+
+let verify_binary (op : Ir.op) =
+  if Array.length op.operands <> 2 then Error "expected 2 operands"
+  else if not (Typ.equal op.operands.(0).v_type op.operands.(1).v_type) then
+    Error "operand types differ"
+  else if Array.length op.results <> 1 then Error "expected 1 result"
+  else Ok ()
+
+let verify_int_binary op =
+  match verify_binary op with
+  | Error _ as e -> e
+  | Ok () ->
+    if Typ.is_int_or_index op.Ir.operands.(0).v_type then Ok ()
+    else Error "expected integer operands"
+
+let verify_float_binary op =
+  match verify_binary op with
+  | Error _ as e -> e
+  | Ok () ->
+    if Typ.is_float op.Ir.operands.(0).v_type then Ok ()
+    else Error "expected float operands"
+
+(* ------------------------------------------------------------------ *)
+(* Registration                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let register () =
+  let open Dialect in
+  def "arith.constant" ~n_operands:0 ~traits:[ Pure; Constant_like ]
+    ~verify:(fun op ->
+      match Ir.attr op "value" with
+      | Some _ -> Ok ()
+      | None -> Error "arith.constant requires a value attribute");
+  let int_binop ?(traits = [ Pure ]) name f =
+    def name ~n_operands:2 ~traits ~verify:verify_int_binary
+      ~fold:(fold_int_binop f)
+  in
+  let int_binop_id ?(traits = [ Pure ]) ?right_identity ?left_identity name f =
+    def name ~n_operands:2 ~traits ~verify:verify_int_binary
+      ~fold:(fold_int_binop_id ?right_identity ?left_identity f)
+  in
+  int_binop_id "arith.addi" Ints.add ~traits:[ Pure; Commutative ] ~right_identity:0L
+    ~left_identity:0L;
+  int_binop_id "arith.subi" Ints.sub ~right_identity:0L;
+  int_binop_id "arith.muli" Ints.mul ~traits:[ Pure; Commutative ] ~right_identity:1L
+    ~left_identity:1L;
+  int_binop_id "arith.divsi" Ints.divsi ~right_identity:1L;
+  int_binop "arith.divui" Ints.divui;
+  int_binop "arith.remsi" Ints.remsi;
+  int_binop "arith.remui" Ints.remui;
+  int_binop_id "arith.shli" Ints.shli ~right_identity:0L;
+  int_binop_id "arith.shrsi" Ints.shrsi ~right_identity:0L;
+  int_binop_id "arith.shrui" Ints.shrui ~right_identity:0L;
+  int_binop "arith.andi" Ints.andi ~traits:[ Pure; Commutative ];
+  int_binop_id "arith.ori" Ints.ori ~traits:[ Pure; Commutative ] ~right_identity:0L
+    ~left_identity:0L;
+  int_binop_id "arith.xori" Ints.xori ~traits:[ Pure; Commutative ] ~right_identity:0L
+    ~left_identity:0L;
+  int_binop "arith.minsi" Ints.minsi ~traits:[ Pure; Commutative ];
+  int_binop "arith.maxsi" Ints.maxsi ~traits:[ Pure; Commutative ];
+  int_binop "arith.minui" Ints.minui ~traits:[ Pure; Commutative ];
+  int_binop "arith.maxui" Ints.maxui ~traits:[ Pure; Commutative ];
+  let float_binop ?(traits = [ Pure ]) name f =
+    def name ~n_operands:2 ~traits ~verify:verify_float_binary ~fold:(fold_float_binop f)
+  in
+  float_binop "arith.addf" Float.add ~traits:[ Pure; Commutative ];
+  float_binop "arith.subf" Float.sub;
+  float_binop "arith.mulf" Float.mul ~traits:[ Pure; Commutative ];
+  float_binop "arith.divf" Float.div;
+  float_binop "arith.maximumf" Float.max ~traits:[ Pure; Commutative ];
+  float_binop "arith.minimumf" Float.min ~traits:[ Pure; Commutative ];
+  def "arith.negf" ~n_operands:1 ~traits:[ Pure ] ~fold:(fun op consts ->
+      match float_of_attr consts.(0) with
+      | Some a -> Fold_to_attr (Attr.Float (-.a, op.Ir.results.(0).v_type))
+      | None -> No_fold);
+  def "arith.cmpi" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+      match (int_of_attr consts.(0), int_of_attr consts.(1), Ir.attr op "predicate") with
+      | Some a, Some b, Some (Attr.Int (p, _)) ->
+        let w = Typ.int_width op.Ir.operands.(0).v_type in
+        Fold_to_attr (Attr.Int ((if Ints.cmpi w (Int64.to_int p) a b then 1L else 0L), Typ.i1))
+      | _ -> No_fold);
+  def "arith.cmpf" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+      match (float_of_attr consts.(0), float_of_attr consts.(1), Ir.attr op "predicate") with
+      | Some a, Some b, Some (Attr.Int (p, _)) ->
+        Fold_to_attr (Attr.Int ((if Ints.cmpf (Int64.to_int p) a b then 1L else 0L), Typ.i1))
+      | _ -> No_fold);
+  def "arith.select" ~n_operands:3 ~traits:[ Pure ] ~fold:(fun _op consts ->
+      match int_of_attr consts.(0) with
+      | Some 1L -> Fold_to_operand 1
+      | Some 0L -> Fold_to_operand 2
+      | _ -> No_fold);
+  List.iter
+    (fun name -> def name ~n_operands:1 ~traits:[ Pure ])
+    [
+      "arith.index_cast"; "arith.sitofp"; "arith.fptosi"; "arith.truncf";
+      "arith.extf"; "arith.bitcast";
+    ]

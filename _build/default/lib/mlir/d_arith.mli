@@ -1,0 +1,56 @@
+(** The [arith] dialect: integer and floating-point arithmetic.  Builders
+    append the new op to the given block and return its result value;
+    integer binary ops take the result type from the left operand, float
+    ops additionally take an optional fastmath flag. *)
+
+val fm_default : Attr.named
+
+(** [constant blk attr ty] builds [arith.constant]. *)
+val constant : Ir.block -> Attr.t -> Typ.t -> Ir.value
+
+val const_int : Ir.block -> ?ty:Typ.t -> int64 -> Ir.value
+val const_index : Ir.block -> int -> Ir.value
+val const_float : Ir.block -> ?ty:Typ.t -> float -> Ir.value
+
+(** Generic binary builder by op name (used by tests and generators). *)
+val binary :
+  string -> ?attrs:Attr.named list -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+
+val addi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val subi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val muli : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val divsi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val divui : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val remsi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val shli : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val shrsi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val shrui : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val andi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val ori : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val xori : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val minsi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val maxsi : Ir.block -> Ir.value -> Ir.value -> Ir.value
+
+val addf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val subf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val mulf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val divf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val maximumf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val minimumf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val negf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+
+(** [cmpi blk pred a b] with a predicate name like "slt". *)
+val cmpi : Ir.block -> string -> Ir.value -> Ir.value -> Ir.value
+
+(** [cmpf blk pred a b] with a predicate name like "oge". *)
+val cmpf : ?fm:Attr.fastmath -> Ir.block -> string -> Ir.value -> Ir.value -> Ir.value
+
+val select : Ir.block -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val index_cast : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val sitofp : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val fptosi : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val truncf : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val extf : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val bitcast : Ir.block -> Ir.value -> Typ.t -> Ir.value
+
+val register : unit -> unit

@@ -1,0 +1,57 @@
+(** The [func] dialect: functions, calls and returns. *)
+
+open Ir
+
+(** [func blk_or_module name arg_types ret_types] creates a [func.func] op
+    with an entry block whose arguments match [arg_types], and returns the
+    op together with its entry block. *)
+let func ~name ~arg_types ~ret_types : op * block =
+  let entry = create_block ~arg_types () in
+  let region = create_region [ entry ] in
+  let op =
+    create_op "func.func"
+      ~attrs:
+        [
+          ("sym_name", Attr.String name);
+          ("function_type", Attr.Type (Typ.Function (arg_types, ret_types)));
+        ]
+      ~regions:[ region ]
+  in
+  (op, entry)
+
+(** Create a function and append it to module [m]. *)
+let add_func m ~name ~arg_types ~ret_types =
+  let op, entry = func ~name ~arg_types ~ret_types in
+  module_append m op;
+  (op, entry)
+
+let return blk (values : value list) =
+  let op = create_op "func.return" ~operands:values in
+  append_op blk op;
+  op
+
+(** [call blk callee args ret_types] builds [func.call @callee(args)]. *)
+let call blk callee (args : value list) (ret_types : Typ.t list) =
+  let op =
+    create_op "func.call" ~operands:args
+      ~attrs:[ ("callee", Attr.Symbol_ref callee) ]
+      ~result_types:ret_types
+  in
+  append_op blk op;
+  op
+
+let call1 blk callee args ret_type = result1 (call blk callee args [ ret_type ])
+
+let register () =
+  let open Dialect in
+  def "builtin.module" ~n_operands:0 ~n_results:0 ~n_regions:1;
+  def "func.func" ~n_operands:0 ~n_results:0 ~n_regions:1 ~verify:(fun op ->
+      match (Ir.attr op "sym_name", Ir.attr op "function_type") with
+      | Some (Attr.String _), Some (Attr.Type (Typ.Function _)) -> Ok ()
+      | _ -> Error "func.func requires sym_name and function_type attributes");
+  def "func.return" ~n_results:0 ~traits:[ Terminator ];
+  (* calls are not Pure: the callee may have effects *)
+  def "func.call" ~verify:(fun op ->
+      match Ir.attr op "callee" with
+      | Some (Attr.Symbol_ref _) -> Ok ()
+      | _ -> Error "func.call requires a callee symbol")

@@ -1,0 +1,21 @@
+(** The [func] dialect: functions, calls and returns.  Builders append to
+    the given block and return the created op or its result. *)
+
+(** Create a detached [func.func] with an entry block; returns (op, entry
+    block). *)
+val func :
+  name:string -> arg_types:Typ.t list -> ret_types:Typ.t list -> Ir.op * Ir.block
+
+(** Create a function and append it to a module. *)
+val add_func :
+  Ir.op -> name:string -> arg_types:Typ.t list -> ret_types:Typ.t list -> Ir.op * Ir.block
+
+val return : Ir.block -> Ir.value list -> Ir.op
+
+(** [call blk callee args ret_types] builds [func.call @callee(args)]. *)
+val call : Ir.block -> string -> Ir.value list -> Typ.t list -> Ir.op
+
+(** Single-result call; returns the result value. *)
+val call1 : Ir.block -> string -> Ir.value list -> Typ.t -> Ir.value
+
+val register : unit -> unit

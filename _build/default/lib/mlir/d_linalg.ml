@@ -1,0 +1,55 @@
+(** The [linalg] dialect (the small slice the paper uses): matrix
+    multiplication and fills on tensors. *)
+
+open Ir
+
+(** [matmul blk a b init] builds
+    [linalg.matmul ins(%a, %b) outs(%init) -> tensor<...>].
+    The result type is taken from [init] (the output tensor). *)
+let matmul blk a b init =
+  let op =
+    create_op "linalg.matmul" ~operands:[ a; b; init ] ~result_types:[ init.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+(** [fill blk v init] fills [init] with scalar [v]. *)
+let fill blk v init =
+  let op = create_op "linalg.fill" ~operands:[ v; init ] ~result_types:[ init.v_type ] in
+  append_op blk op;
+  result1 op
+
+(** [add blk a b init] elementwise addition (linalg.add). *)
+let add blk a b init =
+  let op =
+    create_op "linalg.add" ~operands:[ a; b; init ] ~result_types:[ init.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+(** Static (rows, cols) of a matmul operand type. *)
+let matrix_dims (t : Typ.t) =
+  match Typ.shape t with
+  | Some [ r; c ] when r >= 0 && c >= 0 -> Some (r, c)
+  | _ -> None
+
+let verify_matmul (op : Ir.op) =
+  if Array.length op.operands <> 3 then Error "linalg.matmul takes A, B and an output"
+  else
+    match
+      ( matrix_dims op.operands.(0).v_type,
+        matrix_dims op.operands.(1).v_type,
+        matrix_dims op.operands.(2).v_type )
+    with
+    | Some (_, k1), Some (k2, _), Some _ when k1 <> k2 ->
+      Error
+        (Fmt.str "linalg.matmul: inner dimensions disagree (%d vs %d)" k1 k2)
+    | Some (m1, _), Some (_, n1), Some (m2, n2) when m1 <> m2 || n1 <> n2 ->
+      Error "linalg.matmul: output shape mismatch"
+    | _ -> Ok ()
+
+let register () =
+  let open Dialect in
+  def "linalg.matmul" ~n_operands:3 ~traits:[ Pure ] ~verify:verify_matmul;
+  def "linalg.fill" ~n_operands:2 ~traits:[ Pure ];
+  def "linalg.add" ~n_operands:3 ~traits:[ Pure ]

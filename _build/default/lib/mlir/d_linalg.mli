@@ -1,0 +1,14 @@
+(** The [linalg] dialect (the slice the paper uses): matrix multiplication
+    and fills on tensors. *)
+
+(** [matmul blk a b init] builds [linalg.matmul ins(a, b) outs(init)]; the
+    result type comes from [init]. *)
+val matmul : Ir.block -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+val fill : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val add : Ir.block -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+
+(** Static (rows, cols) of a matmul operand type, if fully static rank 2. *)
+val matrix_dims : Typ.t -> (int * int) option
+
+val register : unit -> unit

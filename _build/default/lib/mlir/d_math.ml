@@ -1,0 +1,61 @@
+(** The [math] dialect: transcendental and other math functions. *)
+
+open Ir
+
+let fm_attr fm = ("fastmath", Attr.Fastmath fm)
+
+let unary name ?(fm = Attr.Fm_none) blk a =
+  let op = create_op name ~operands:[ a ] ~attrs:[ fm_attr fm ] ~result_types:[ a.v_type ] in
+  append_op blk op;
+  result1 op
+
+let binary name ?(fm = Attr.Fm_none) blk a b =
+  let op =
+    create_op name ~operands:[ a; b ] ~attrs:[ fm_attr fm ] ~result_types:[ a.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+let sqrt ?fm blk a = unary "math.sqrt" ?fm blk a
+let rsqrt ?fm blk a = unary "math.rsqrt" ?fm blk a
+let sin ?fm blk a = unary "math.sin" ?fm blk a
+let cos ?fm blk a = unary "math.cos" ?fm blk a
+let exp ?fm blk a = unary "math.exp" ?fm blk a
+let log ?fm blk a = unary "math.log" ?fm blk a
+let log2 ?fm blk a = unary "math.log2" ?fm blk a
+let absf ?fm blk a = unary "math.absf" ?fm blk a
+let tanh ?fm blk a = unary "math.tanh" ?fm blk a
+let powf ?fm blk a b = binary "math.powf" ?fm blk a b
+
+let fma ?(fm = Attr.Fm_none) blk a b c =
+  let op =
+    create_op "math.fma" ~operands:[ a; b; c ] ~attrs:[ fm_attr fm ]
+      ~result_types:[ a.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+let float_of_attr = function Some (Attr.Float (v, _)) -> Some v | _ -> None
+
+let fold_unary f (op : Ir.op) (consts : Attr.t option array) =
+  match float_of_attr consts.(0) with
+  | Some a -> Dialect.Fold_to_attr (Attr.Float (f a, op.results.(0).v_type))
+  | None -> Dialect.No_fold
+
+let register () =
+  let open Dialect in
+  let unary_def name f = def name ~n_operands:1 ~traits:[ Pure ] ~fold:(fold_unary f) in
+  unary_def "math.sqrt" Float.sqrt;
+  unary_def "math.rsqrt" (fun x -> 1.0 /. Float.sqrt x);
+  unary_def "math.sin" Float.sin;
+  unary_def "math.cos" Float.cos;
+  unary_def "math.exp" Float.exp;
+  unary_def "math.log" Float.log;
+  unary_def "math.log2" (fun x -> Float.log x /. Float.log 2.0);
+  unary_def "math.absf" Float.abs;
+  unary_def "math.tanh" Float.tanh;
+  def "math.powf" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+      match (float_of_attr consts.(0), float_of_attr consts.(1)) with
+      | Some a, Some b -> Fold_to_attr (Attr.Float (Float.pow a b, op.Ir.results.(0).v_type))
+      | _ -> No_fold);
+  def "math.fma" ~n_operands:3 ~traits:[ Pure ]

@@ -1,0 +1,15 @@
+(** The [math] dialect: transcendental and other math functions.  All
+    builders take an optional fastmath flag (default none). *)
+
+val sqrt : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val rsqrt : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val sin : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val cos : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val exp : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val log : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val log2 : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val absf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val tanh : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value
+val powf : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value
+val fma : ?fm:Attr.fastmath -> Ir.block -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val register : unit -> unit

@@ -1,0 +1,65 @@
+(** The [memref] dialect: mutable buffers (alloc / load / store / copy).
+
+    Deliberately {e not} pre-defined in DialEgg's Egglog prelude: loads and
+    stores are the paper's §9 example of side-effecting operations that the
+    translation must treat opaquely.  [memref.store] has zero results, so it
+    becomes a block anchor and survives optimization in source order. *)
+
+open Ir
+
+(** [alloc blk ty] builds [memref.alloc() : memref<...>]. *)
+let alloc blk (ty : Typ.t) =
+  let op = create_op "memref.alloc" ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+let dealloc blk m =
+  let op = create_op "memref.dealloc" ~operands:[ m ] in
+  append_op blk op;
+  op
+
+(** [load blk m indices] builds [memref.load %m[indices]]. *)
+let load blk m (indices : value list) =
+  let elem =
+    match Typ.element_type m.v_type with
+    | Some e -> e
+    | None -> invalid_arg "memref.load: operand is not a memref"
+  in
+  let op = create_op "memref.load" ~operands:(m :: indices) ~result_types:[ elem ] in
+  append_op blk op;
+  result1 op
+
+(** [store blk v m indices] builds [memref.store %v, %m[indices]]. *)
+let store blk v m (indices : value list) =
+  let op = create_op "memref.store" ~operands:(v :: m :: indices) in
+  append_op blk op;
+  op
+
+(** [copy blk src dst] copies the whole buffer. *)
+let copy blk src dst =
+  let op = create_op "memref.copy" ~operands:[ src; dst ] in
+  append_op blk op;
+  op
+
+let verify_memref_indexed ~base_operands (op : Ir.op) =
+  if Array.length op.operands < base_operands then Error "missing operands"
+  else
+    let m = op.operands.(base_operands - 1) in
+    match Typ.shape m.v_type with
+    | Some dims ->
+      if Array.length op.operands - base_operands <> List.length dims then
+        Error "index count does not match the memref rank"
+      else Ok ()
+    | None -> Error "expected a memref operand"
+
+let register () =
+  let open Dialect in
+  (* allocation is not Pure (it observably creates state), but it is
+     removable when unused; we keep it conservative *)
+  def "memref.alloc" ~n_operands:0 ~verify:(fun op ->
+      if Typ.is_shaped op.Ir.results.(0).v_type then Ok ()
+      else Error "memref.alloc must produce a shaped type");
+  def "memref.dealloc" ~n_operands:1 ~n_results:0;
+  def "memref.load" ~traits:[] ~verify:(verify_memref_indexed ~base_operands:1);
+  def "memref.store" ~n_results:0 ~verify:(verify_memref_indexed ~base_operands:2);
+  def "memref.copy" ~n_operands:2 ~n_results:0

@@ -1,0 +1,11 @@
+(** The [memref] dialect: mutable buffers.  Deliberately not pre-defined in
+    DialEgg's Egglog prelude — loads and stores are the paper's §9 example
+    of side-effecting operations the translation treats opaquely
+    ([memref.store] has zero results, so it becomes a block anchor). *)
+
+val alloc : Ir.block -> Typ.t -> Ir.value
+val dealloc : Ir.block -> Ir.value -> Ir.op
+val load : Ir.block -> Ir.value -> Ir.value list -> Ir.value
+val store : Ir.block -> Ir.value -> Ir.value -> Ir.value list -> Ir.op
+val copy : Ir.block -> Ir.value -> Ir.value -> Ir.op
+val register : unit -> unit

@@ -1,0 +1,80 @@
+(** The [scf] dialect: structured control flow ([scf.for], [scf.if],
+    [scf.while], [scf.yield]). *)
+
+open Ir
+
+(** [yield blk values] terminates an scf region. *)
+let yield blk (values : value list) =
+  let op = create_op "scf.yield" ~operands:values in
+  append_op blk op;
+  op
+
+(** [for_ blk ~lb ~ub ~step ~iter_args ~body] builds an [scf.for].
+
+    [body] receives the loop body block, the induction variable and the
+    per-iteration values of the iteration arguments; it must end the block
+    with an [scf.yield] of the next iteration values.  Returns the loop's
+    results (final values of the iteration arguments). *)
+let for_ blk ~lb ~ub ~step ?(iter_args = []) body : value list =
+  let arg_types = Typ.index :: List.map (fun v -> v.v_type) iter_args in
+  let body_blk = create_block ~arg_types () in
+  let iv = body_blk.blk_args.(0) in
+  let carried = Array.to_list (Array.sub body_blk.blk_args 1 (List.length iter_args)) in
+  body body_blk iv carried;
+  let op =
+    create_op "scf.for"
+      ~operands:(lb :: ub :: step :: iter_args)
+      ~result_types:(List.map (fun v -> v.v_type) iter_args)
+      ~regions:[ create_region [ body_blk ] ]
+  in
+  append_op blk op;
+  Array.to_list op.results
+
+(** [if_ blk cond ~result_types ~then_ ~else_] builds an [scf.if] with two
+    regions; each branch callback must end its block with [scf.yield]. *)
+let if_ blk cond ~result_types ~then_ ~else_ : value list =
+  let then_blk = create_block () in
+  then_ then_blk;
+  let else_blk = create_block () in
+  else_ else_blk;
+  let op =
+    create_op "scf.if" ~operands:[ cond ] ~result_types
+      ~regions:[ create_region [ then_blk ]; create_region [ else_blk ] ]
+  in
+  append_op blk op;
+  Array.to_list op.results
+
+(** [while_ blk ~init ~cond ~body] builds an [scf.while].  [cond] receives
+    the "before" block and its arguments and must terminate with
+    [scf.condition]; [body] receives the "after" block. *)
+let while_ blk ~init ~cond ~body : value list =
+  let tys = List.map (fun v -> v.v_type) init in
+  let before = create_block ~arg_types:tys () in
+  cond before (Array.to_list before.blk_args);
+  let after = create_block ~arg_types:tys () in
+  body after (Array.to_list after.blk_args);
+  let op =
+    create_op "scf.while" ~operands:init ~result_types:tys
+      ~regions:[ create_region [ before ]; create_region [ after ] ]
+  in
+  append_op blk op;
+  Array.to_list op.results
+
+(** [condition blk c values] terminates an [scf.while] "before" region. *)
+let condition blk c (values : value list) =
+  let op = create_op "scf.condition" ~operands:(c :: values) in
+  append_op blk op;
+  op
+
+let register () =
+  let open Dialect in
+  def "scf.for" ~n_regions:1 ~verify:(fun op ->
+      if Array.length op.Ir.operands < 3 then Error "scf.for needs lb, ub, step"
+      else Ok ());
+  def "scf.if" ~n_regions:2 ~verify:(fun op ->
+      if Array.length op.Ir.operands <> 1 then Error "scf.if takes one condition"
+      else if List.length op.Ir.regions <> 2 then Error "scf.if needs then and else regions"
+      else Ok ());
+  def "scf.while" ~n_regions:2;
+  def "scf.yield" ~n_results:0 ~traits:[ Terminator ];
+  def "scf.condition" ~n_results:0 ~traits:[ Terminator ]

@@ -1,0 +1,40 @@
+(** The [scf] dialect: structured control flow. *)
+
+(** Terminate an scf region, yielding the given values. *)
+val yield : Ir.block -> Ir.value list -> Ir.op
+
+(** Build an [scf.for].  [body] receives the body block, the induction
+    variable and the per-iteration values of [iter_args], and must end the
+    block with {!yield}.  Returns the loop results. *)
+val for_ :
+  Ir.block ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  ?iter_args:Ir.value list ->
+  (Ir.block -> Ir.value -> Ir.value list -> unit) ->
+  Ir.value list
+
+(** Build an [scf.if]; each branch callback must end its block with
+    {!yield}. *)
+val if_ :
+  Ir.block ->
+  Ir.value ->
+  result_types:Typ.t list ->
+  then_:(Ir.block -> unit) ->
+  else_:(Ir.block -> unit) ->
+  Ir.value list
+
+(** Build an [scf.while]; [cond] must terminate with {!condition}, [body]
+    with {!yield}. *)
+val while_ :
+  Ir.block ->
+  init:Ir.value list ->
+  cond:(Ir.block -> Ir.value list -> unit) ->
+  body:(Ir.block -> Ir.value list -> unit) ->
+  Ir.value list
+
+(** Terminate an [scf.while] "before" region. *)
+val condition : Ir.block -> Ir.value -> Ir.value list -> Ir.op
+
+val register : unit -> unit

@@ -1,0 +1,58 @@
+(** The [tensor] dialect: tensor creation and element access. *)
+
+open Ir
+
+(** [empty blk ty] builds [tensor.empty() : ty]. *)
+let empty blk (ty : Typ.t) =
+  let op = create_op "tensor.empty" ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+(** [extract blk t indices] builds [tensor.extract %t[indices]]. *)
+let extract blk t (indices : value list) =
+  let elem =
+    match Typ.element_type t.v_type with
+    | Some e -> e
+    | None -> invalid_arg "tensor.extract: operand is not a tensor"
+  in
+  let op = create_op "tensor.extract" ~operands:(t :: indices) ~result_types:[ elem ] in
+  append_op blk op;
+  result1 op
+
+(** [insert blk v t indices] builds [tensor.insert %v into %t[indices]],
+    returning the updated tensor. *)
+let insert blk v t (indices : value list) =
+  let op =
+    create_op "tensor.insert" ~operands:(v :: t :: indices) ~result_types:[ t.v_type ]
+  in
+  append_op blk op;
+  result1 op
+
+(** [dim blk t i] builds [tensor.dim %t, %i : index]. *)
+let dim blk t i =
+  let op = create_op "tensor.dim" ~operands:[ t; i ] ~result_types:[ Typ.index ] in
+  append_op blk op;
+  result1 op
+
+(** [splat blk v ty] fills a tensor of type [ty] with scalar [v]. *)
+let splat blk v ty =
+  let op = create_op "tensor.splat" ~operands:[ v ] ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+(** [from_elements blk vs ty] builds a tensor from scalar elements. *)
+let from_elements blk (vs : value list) ty =
+  let op = create_op "tensor.from_elements" ~operands:vs ~result_types:[ ty ] in
+  append_op blk op;
+  result1 op
+
+let register () =
+  let open Dialect in
+  def "tensor.empty" ~n_operands:0 ~traits:[ Pure ] ~verify:(fun op ->
+      if Typ.is_shaped op.Ir.results.(0).v_type then Ok ()
+      else Error "tensor.empty must produce a shaped type");
+  def "tensor.extract" ~traits:[ Pure ];
+  def "tensor.insert" ~traits:[ Pure ];
+  def "tensor.dim" ~n_operands:2 ~traits:[ Pure ];
+  def "tensor.splat" ~n_operands:1 ~traits:[ Pure ];
+  def "tensor.from_elements" ~traits:[ Pure ]

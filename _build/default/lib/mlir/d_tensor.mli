@@ -1,0 +1,12 @@
+(** The [tensor] dialect: tensor creation and element access. *)
+
+val empty : Ir.block -> Typ.t -> Ir.value
+val extract : Ir.block -> Ir.value -> Ir.value list -> Ir.value
+
+(** [insert blk v t indices] returns the updated tensor. *)
+val insert : Ir.block -> Ir.value -> Ir.value -> Ir.value list -> Ir.value
+
+val dim : Ir.block -> Ir.value -> Ir.value -> Ir.value
+val splat : Ir.block -> Ir.value -> Typ.t -> Ir.value
+val from_elements : Ir.block -> Ir.value list -> Typ.t -> Ir.value
+val register : unit -> unit

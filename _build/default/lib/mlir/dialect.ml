@@ -1,0 +1,65 @@
+(** Dialect registry: operation definitions, traits, verifiers and folders.
+
+    Each dialect registers its operations here.  The registry drives the
+    verifier (arity/type checks), the canonicalizer (folders and rewrite
+    patterns), and the parser (which consults expected structure for pretty
+    forms). *)
+
+type trait =
+  | Pure  (** no side effects; eligible for CSE/DCE *)
+  | Commutative
+  | Terminator
+  | Constant_like
+
+type fold_result =
+  | No_fold
+  | Fold_to_attr of Attr.t  (** op folds to a constant with this value attr *)
+  | Fold_to_operand of int  (** op folds to its nth operand *)
+
+type op_def = {
+  d_name : string;  (** full op name, e.g. "arith.addi" *)
+  d_n_operands : int option;  (** [None] = variadic *)
+  d_n_results : int;
+  d_n_regions : int;
+  d_traits : trait list;
+  d_verify : (Ir.op -> (unit, string) result) option;
+  d_fold : (Ir.op -> Attr.t option array -> fold_result) option;
+      (** called with the constant value of each operand where known *)
+}
+
+let registry : (string, op_def) Hashtbl.t = Hashtbl.create 128
+
+let def ?n_operands ?(n_results = 1) ?(n_regions = 0) ?(traits = []) ?verify ?fold
+    name =
+  let d =
+    {
+      d_name = name;
+      d_n_operands = n_operands;
+      d_n_results = n_results;
+      d_n_regions = n_regions;
+      d_traits = traits;
+      d_verify = verify;
+      d_fold = fold;
+    }
+  in
+  Hashtbl.replace registry name d
+
+(** Definition of an op name, if registered. *)
+let find name = Hashtbl.find_opt registry name
+
+let is_registered name = Hashtbl.mem registry name
+
+let has_trait name t =
+  match find name with Some d -> List.mem t d.d_traits | None -> false
+
+(** Is this op free of side effects?  Unregistered ops are conservatively
+    treated as effectful. *)
+let is_pure (op : Ir.op) = has_trait op.Ir.op_name Pure
+
+let is_terminator (op : Ir.op) = has_trait op.Ir.op_name Terminator
+let is_commutative (op : Ir.op) = has_trait op.Ir.op_name Commutative
+let is_constant_like (op : Ir.op) = has_trait op.Ir.op_name Constant_like
+
+(** All registered op names, sorted. *)
+let all_ops () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry [] |> List.sort String.compare

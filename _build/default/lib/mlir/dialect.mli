@@ -1,0 +1,49 @@
+(** Dialect registry: operation definitions, traits, verifiers and folders.
+    Drives the verifier, the canonicalizer, and the parser. *)
+
+type trait =
+  | Pure  (** no side effects; eligible for CSE/DCE *)
+  | Commutative
+  | Terminator
+  | Constant_like
+
+type fold_result =
+  | No_fold
+  | Fold_to_attr of Attr.t  (** folds to a constant with this value attr *)
+  | Fold_to_operand of int  (** folds to its nth operand *)
+
+type op_def = {
+  d_name : string;
+  d_n_operands : int option;  (** [None] = variadic *)
+  d_n_results : int;
+  d_n_regions : int;
+  d_traits : trait list;
+  d_verify : (Ir.op -> (unit, string) result) option;
+  d_fold : (Ir.op -> Attr.t option array -> fold_result) option;
+      (** receives the constant value of each operand where known *)
+}
+
+(** Register an op definition (later registrations replace earlier ones). *)
+val def :
+  ?n_operands:int ->
+  ?n_results:int ->
+  ?n_regions:int ->
+  ?traits:trait list ->
+  ?verify:(Ir.op -> (unit, string) result) ->
+  ?fold:(Ir.op -> Attr.t option array -> fold_result) ->
+  string ->
+  unit
+
+val find : string -> op_def option
+val is_registered : string -> bool
+val has_trait : string -> trait -> bool
+
+(** Unregistered ops are conservatively treated as effectful. *)
+val is_pure : Ir.op -> bool
+
+val is_terminator : Ir.op -> bool
+val is_commutative : Ir.op -> bool
+val is_constant_like : Ir.op -> bool
+
+(** All registered op names, sorted. *)
+val all_ops : unit -> string list

@@ -1,0 +1,551 @@
+(** An MLIR interpreter: executes whole programs on concrete data.
+
+    This is the reproduction's substitute for the paper's LLVM lowering +
+    native execution (DESIGN.md §2).  It reports two measures per run:
+
+    - wall-clock time of the (tree-walking) interpretation, and
+    - a {e cycle cost proxy}: every executed op adds a latency from a table
+      modeled on in-order CPU latencies (division ≫ shift, powf ≫ mulf ≫
+      addf, matmul = m·k·n MACs).  Speedups in the proxy measure reflect
+      op-mix changes, which is what the paper's Fig. 3 measures end to end.
+
+    Semantics notes:
+    - integers wrap at their declared width ({!Ints});
+    - [tensor.insert] mutates in place: the interpreter assumes tensors are
+      used linearly (threaded through [iter_args]), which holds for all
+      bufferizable programs in this repo and mirrors what MLIR's
+      bufferization does to such programs. *)
+
+exception Runtime_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Runtime_error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Runtime values                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type tensor = { shape : int array; data : data }
+and data = Df of float array | Di of int64 array
+
+type rv =
+  | Ri of int64 * int  (** integer value and width; index is width 64 *)
+  | Rf of float * Typ.float_kind
+  | Rt of tensor
+  | Runit
+
+let rec pp_rv ppf = function
+  | Ri (v, 1) -> Fmt.pf ppf "%b" (not (Int64.equal v 0L))
+  | Ri (v, w) -> Fmt.pf ppf "%Ld:i%d" v w
+  | Rf (v, k) -> Fmt.pf ppf "%g:%a" v Typ.pp_float_kind k
+  | Rt t ->
+    let n = Array.fold_left ( * ) 1 t.shape in
+    Fmt.pf ppf "tensor<%a>[%d elems, first=%a]"
+      Fmt.(array ~sep:(any "x") int)
+      t.shape n pp_first t
+  | Runit -> Fmt.string ppf "unit"
+
+and pp_first ppf t =
+  match t.data with
+  | Df a -> if Array.length a > 0 then Fmt.pf ppf "%g" a.(0) else Fmt.string ppf "-"
+  | Di a -> if Array.length a > 0 then Fmt.pf ppf "%Ld" a.(0) else Fmt.string ppf "-"
+
+let as_int = function
+  | Ri (v, _) -> v
+  | v -> error "expected an integer, got %a" pp_rv v
+
+let as_float = function
+  | Rf (v, _) -> v
+  | v -> error "expected a float, got %a" pp_rv v
+
+let as_bool = function
+  | Ri (v, _) -> not (Int64.equal v 0L)
+  | v -> error "expected a boolean, got %a" pp_rv v
+
+let as_tensor = function
+  | Rt t -> t
+  | v -> error "expected a tensor, got %a" pp_rv v
+
+let as_index v = Int64.to_int (as_int v)
+
+(** Allocate a tensor (or memref buffer) of [ty] initialized to zero. *)
+let alloc_tensor (ty : Typ.t) : tensor =
+  match ty with
+  | Typ.Ranked_tensor (dims, elem) | Typ.Memref (dims, elem) ->
+    if List.exists (fun d -> d < 0) dims then
+      error "cannot allocate a tensor with dynamic dimensions (%a)" Typ.pp ty;
+    let n = Typ.num_elements dims in
+    let data =
+      match elem with
+      | Typ.Float _ -> Df (Array.make n 0.0)
+      | Typ.Integer _ | Typ.Index -> Di (Array.make n 0L)
+      | _ -> error "unsupported tensor element type %a" Typ.pp elem
+    in
+    { shape = Array.of_list dims; data }
+  | _ -> error "not a static tensor type: %a" Typ.pp ty
+
+let linear_index (t : tensor) (idx : int list) =
+  let rank = Array.length t.shape in
+  if List.length idx <> rank then
+    error "rank mismatch: %d indices for rank-%d tensor" (List.length idx) rank;
+  let rec go acc i = function
+    | [] -> acc
+    | ix :: rest ->
+      if ix < 0 || ix >= t.shape.(i) then
+        error "index %d out of bounds for dimension %d (size %d)" ix i t.shape.(i);
+      go ((acc * t.shape.(i)) + ix) (i + 1) rest
+  in
+  go 0 0 idx
+
+let tensor_get (t : tensor) idx (elem_ty : Typ.t) : rv =
+  let i = linear_index t idx in
+  match (t.data, elem_ty) with
+  | Df a, Typ.Float k -> Rf (a.(i), k)
+  | Di a, Typ.Integer w -> Ri (a.(i), w)
+  | Di a, Typ.Index -> Ri (a.(i), 64)
+  | Df a, _ -> Rf (a.(i), Typ.F64)
+  | Di a, _ -> Ri (a.(i), 64)
+
+let tensor_set (t : tensor) idx (v : rv) =
+  let i = linear_index t idx in
+  match (t.data, v) with
+  | Df a, Rf (x, _) -> a.(i) <- x
+  | Di a, Ri (x, _) -> a.(i) <- x
+  | _ -> error "element type mismatch in tensor store"
+
+(* ------------------------------------------------------------------ *)
+(* Cost proxy                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** Per-op latency estimates (cycles), loosely modeled on an in-order core.
+    The key property for Fig. 3's shape is the ordering:
+    shift/add ≪ mul ≪ div ≈ sqrt ≪ powf. *)
+let op_latency (op : Ir.op) : int =
+  match op.Ir.op_name with
+  | "arith.constant" -> 0
+  | "arith.addi" | "arith.subi" | "arith.andi" | "arith.ori" | "arith.xori"
+  | "arith.shli" | "arith.shrsi" | "arith.shrui" | "arith.minsi" | "arith.maxsi"
+  | "arith.minui" | "arith.maxui" | "arith.cmpi" | "arith.select"
+  | "arith.index_cast" | "arith.bitcast" ->
+    1
+  | "arith.muli" -> 3
+  | "arith.divsi" | "arith.divui" | "arith.remsi" | "arith.remui" -> 22
+  | "arith.addf" | "arith.subf" | "arith.negf" | "arith.cmpf" | "arith.maximumf"
+  | "arith.minimumf" ->
+    3
+  | "arith.mulf" | "math.fma" -> 4
+  | "arith.divf" -> 18
+  | "arith.sitofp" | "arith.fptosi" | "arith.truncf" | "arith.extf" -> 2
+  | "math.sqrt" -> 25
+  | "math.rsqrt" -> 9
+  | "math.powf" -> 70
+  | "math.sin" | "math.cos" -> 40
+  | "math.exp" | "math.log" | "math.log2" | "math.tanh" -> 30
+  | "math.absf" -> 2
+  | "tensor.extract" | "tensor.insert" | "memref.load" | "memref.store" -> 4
+  | "tensor.empty" | "memref.alloc" -> 10
+  | "memref.dealloc" | "memref.copy" -> 1
+  | "tensor.dim" -> 1
+  | "func.call" -> 10
+  | "scf.for" | "scf.if" | "scf.while" -> 0 (* charged per iteration below *)
+  | "scf.yield" | "scf.condition" | "func.return" -> 1
+  | _ -> 1
+
+let loop_overhead = 2 (* per-iteration branch + induction update *)
+
+(* ------------------------------------------------------------------ *)
+(* Execution                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type ctx = {
+  m : Ir.op;  (** the module, for resolving calls *)
+  mutable cycles : int;  (** accumulated cost proxy *)
+  mutable fuel : int;  (** remaining op executions before aborting *)
+}
+
+type block_result = Yielded of rv list | Returned of rv list | Fell_through
+
+let charge ctx n = ctx.cycles <- ctx.cycles + n
+
+type env = (int, rv) Hashtbl.t
+
+let env_get (env : env) (v : Ir.value) =
+  match Hashtbl.find_opt env v.Ir.v_id with
+  | Some rv -> rv
+  | None -> error "undefined SSA value (id %d, type %a)" v.Ir.v_id Typ.pp v.Ir.v_type
+
+let env_set (env : env) (v : Ir.value) rv = Hashtbl.replace env v.Ir.v_id rv
+
+let float_kind = function Typ.Float k -> k | _ -> Typ.F64
+
+let rec exec_block ctx (env : env) (blk : Ir.block) : block_result =
+  let rec go = function
+    | [] -> Fell_through
+    | op :: rest -> (
+      match exec_op ctx env op with
+      | `Continue -> go rest
+      | `Yield vs -> Yielded vs
+      | `Return vs -> Returned vs)
+  in
+  go blk.Ir.blk_ops
+
+and exec_op ctx env (op : Ir.op) : [ `Continue | `Yield of rv list | `Return of rv list ] =
+  ctx.fuel <- ctx.fuel - 1;
+  if ctx.fuel <= 0 then error "interpreter fuel exhausted";
+  charge ctx (op_latency op);
+  let operand i = env_get env op.Ir.operands.(i) in
+  let operands () = Array.to_list (Array.map (env_get env) op.Ir.operands) in
+  let set1 rv = env_set env op.Ir.results.(0) rv in
+  let width () = Typ.int_width op.Ir.results.(0).Ir.v_type in
+  let int_binop f =
+    let a = as_int (operand 0) and b = as_int (operand 1) in
+    let r = try f (width ()) a b with Failure msg -> error "%s" msg in
+    set1 (Ri (r, width ()))
+  in
+  let float_binop f =
+    let a = as_float (operand 0) and b = as_float (operand 1) in
+    set1 (Rf (f a b, float_kind op.Ir.results.(0).Ir.v_type))
+  in
+  let float_unop f =
+    set1 (Rf (f (as_float (operand 0)), float_kind op.Ir.results.(0).Ir.v_type))
+  in
+  match op.Ir.op_name with
+  | "arith.constant" ->
+    (match Ir.attr op "value" with
+    | Some (Attr.Int (v, t)) -> set1 (Ri (v, Typ.int_width t))
+    | Some (Attr.Float (v, t)) -> set1 (Rf (v, float_kind t))
+    | _ -> error "arith.constant: unsupported value attribute");
+    `Continue
+  | "arith.addi" -> int_binop Ints.add; `Continue
+  | "arith.subi" -> int_binop Ints.sub; `Continue
+  | "arith.muli" -> int_binop Ints.mul; `Continue
+  | "arith.divsi" -> int_binop Ints.divsi; `Continue
+  | "arith.divui" -> int_binop Ints.divui; `Continue
+  | "arith.remsi" -> int_binop Ints.remsi; `Continue
+  | "arith.remui" -> int_binop Ints.remui; `Continue
+  | "arith.shli" -> int_binop Ints.shli; `Continue
+  | "arith.shrsi" -> int_binop Ints.shrsi; `Continue
+  | "arith.shrui" -> int_binop Ints.shrui; `Continue
+  | "arith.andi" -> int_binop Ints.andi; `Continue
+  | "arith.ori" -> int_binop Ints.ori; `Continue
+  | "arith.xori" -> int_binop Ints.xori; `Continue
+  | "arith.minsi" -> int_binop Ints.minsi; `Continue
+  | "arith.maxsi" -> int_binop Ints.maxsi; `Continue
+  | "arith.minui" -> int_binop Ints.minui; `Continue
+  | "arith.maxui" -> int_binop Ints.maxui; `Continue
+  | "arith.addf" -> float_binop Float.add; `Continue
+  | "arith.subf" -> float_binop Float.sub; `Continue
+  | "arith.mulf" -> float_binop Float.mul; `Continue
+  | "arith.divf" -> float_binop Float.div; `Continue
+  | "arith.maximumf" -> float_binop Float.max; `Continue
+  | "arith.minimumf" -> float_binop Float.min; `Continue
+  | "arith.negf" -> float_unop (fun x -> -.x); `Continue
+  | "arith.cmpi" ->
+    let p =
+      match Ir.attr op "predicate" with
+      | Some (Attr.Int (p, _)) -> Int64.to_int p
+      | _ -> error "arith.cmpi: missing predicate"
+    in
+    let w = Typ.int_width op.Ir.operands.(0).Ir.v_type in
+    set1 (Ri ((if Ints.cmpi w p (as_int (operand 0)) (as_int (operand 1)) then 1L else 0L), 1));
+    `Continue
+  | "arith.cmpf" ->
+    let p =
+      match Ir.attr op "predicate" with
+      | Some (Attr.Int (p, _)) -> Int64.to_int p
+      | _ -> error "arith.cmpf: missing predicate"
+    in
+    set1 (Ri ((if Ints.cmpf p (as_float (operand 0)) (as_float (operand 1)) then 1L else 0L), 1));
+    `Continue
+  | "arith.select" ->
+    set1 (if as_bool (operand 0) then operand 1 else operand 2);
+    `Continue
+  | "arith.index_cast" ->
+    set1 (Ri (as_int (operand 0), width ()));
+    `Continue
+  | "arith.sitofp" ->
+    set1 (Rf (Int64.to_float (as_int (operand 0)), float_kind op.Ir.results.(0).Ir.v_type));
+    `Continue
+  | "arith.fptosi" ->
+    set1 (Ri (Int64.of_float (as_float (operand 0)), width ()));
+    `Continue
+  | "arith.truncf" | "arith.extf" ->
+    let v = as_float (operand 0) in
+    let k = float_kind op.Ir.results.(0).Ir.v_type in
+    let v = if k = Typ.F32 then Int32.float_of_bits (Int32.bits_of_float v) else v in
+    set1 (Rf (v, k));
+    `Continue
+  | "arith.bitcast" -> (
+    (* f32 <-> i32 bit reinterpretation: the Quake trick needs this *)
+    match (operand 0, op.Ir.results.(0).Ir.v_type) with
+    | Rf (f, Typ.F32), Typ.Integer 32 ->
+      set1 (Ri (Int64.of_int32 (Int32.bits_of_float f), 32));
+      `Continue
+    | Ri (i, 32), Typ.Float F32 ->
+      set1 (Rf (Int32.float_of_bits (Int64.to_int32 i), Typ.F32));
+      `Continue
+    | Rf (f, Typ.F64), Typ.Integer 64 ->
+      set1 (Ri (Int64.bits_of_float f, 64));
+      `Continue
+    | Ri (i, 64), Typ.Float F64 ->
+      set1 (Rf (Int64.float_of_bits i, Typ.F64));
+      `Continue
+    | v, t -> error "arith.bitcast: unsupported %a to %a" pp_rv v Typ.pp t)
+  | "math.sqrt" -> float_unop Float.sqrt; `Continue
+  | "math.rsqrt" -> float_unop (fun x -> 1.0 /. Float.sqrt x); `Continue
+  | "math.sin" -> float_unop Float.sin; `Continue
+  | "math.cos" -> float_unop Float.cos; `Continue
+  | "math.exp" -> float_unop Float.exp; `Continue
+  | "math.log" -> float_unop Float.log; `Continue
+  | "math.log2" -> float_unop (fun x -> Float.log x /. Float.log 2.0); `Continue
+  | "math.absf" -> float_unop Float.abs; `Continue
+  | "math.tanh" -> float_unop Float.tanh; `Continue
+  | "math.powf" -> float_binop Float.pow; `Continue
+  | "math.fma" ->
+    set1
+      (Rf
+         ( Float.fma (as_float (operand 0)) (as_float (operand 1)) (as_float (operand 2)),
+           float_kind op.Ir.results.(0).Ir.v_type ));
+    `Continue
+  | "tensor.empty" ->
+    set1 (Rt (alloc_tensor op.Ir.results.(0).Ir.v_type));
+    `Continue
+  | "tensor.extract" ->
+    let t = as_tensor (operand 0) in
+    let idx = List.tl (operands ()) |> List.map (fun v -> Int64.to_int (as_int v)) in
+    set1 (tensor_get t idx op.Ir.results.(0).Ir.v_type);
+    `Continue
+  | "tensor.insert" ->
+    let v = operand 0 in
+    let t = as_tensor (operand 1) in
+    let idx =
+      Array.to_list (Array.sub op.Ir.operands 2 (Array.length op.Ir.operands - 2))
+      |> List.map (fun o -> Int64.to_int (as_int (env_get env o)))
+    in
+    tensor_set t idx v;
+    (* destructive update; result aliases the input (linear-use assumption) *)
+    set1 (Rt t);
+    `Continue
+  | "tensor.dim" ->
+    let t = as_tensor (operand 0) in
+    let i = as_index (operand 1) in
+    set1 (Ri (Int64.of_int t.shape.(i), 64));
+    `Continue
+  | "tensor.splat" ->
+    let t = alloc_tensor op.Ir.results.(0).Ir.v_type in
+    let n = Array.fold_left ( * ) 1 t.shape in
+    charge ctx n;
+    (match (t.data, operand 0) with
+    | Df a, Rf (x, _) -> Array.fill a 0 (Array.length a) x
+    | Di a, Ri (x, _) -> Array.fill a 0 (Array.length a) x
+    | _ -> error "tensor.splat: element type mismatch");
+    set1 (Rt t);
+    `Continue
+  | "tensor.from_elements" ->
+    let t = alloc_tensor op.Ir.results.(0).Ir.v_type in
+    List.iteri
+      (fun i v ->
+        match (t.data, v) with
+        | Df a, Rf (x, _) -> a.(i) <- x
+        | Di a, Ri (x, _) -> a.(i) <- x
+        | _ -> error "tensor.from_elements: element type mismatch")
+      (operands ());
+    set1 (Rt t);
+    `Continue
+  | "linalg.fill" ->
+    let t = as_tensor (operand 1) in
+    let n = Array.fold_left ( * ) 1 t.shape in
+    charge ctx n;
+    (match (t.data, operand 0) with
+    | Df a, Rf (x, _) -> Array.fill a 0 (Array.length a) x
+    | Di a, Ri (x, _) -> Array.fill a 0 (Array.length a) x
+    | _ -> error "linalg.fill: element type mismatch");
+    set1 (Rt t);
+    `Continue
+  | "linalg.matmul" ->
+    let a = as_tensor (operand 0) and b = as_tensor (operand 1) in
+    let out = as_tensor (operand 2) in
+    let m = a.shape.(0) and k = a.shape.(1) and n = b.shape.(1) in
+    if b.shape.(0) <> k then error "linalg.matmul: inner dimension mismatch";
+    charge ctx (m * k * n * 5);
+    (match (a.data, b.data, out.data) with
+    | Df da, Df db, Df dout ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref dout.((i * n) + j) in
+          for l = 0 to k - 1 do
+            acc := !acc +. (da.((i * k) + l) *. db.((l * n) + j))
+          done;
+          dout.((i * n) + j) <- !acc
+        done
+      done
+    | Di da, Di db, Di dout ->
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          let acc = ref dout.((i * n) + j) in
+          for l = 0 to k - 1 do
+            acc := Int64.add !acc (Int64.mul da.((i * k) + l) db.((l * n) + j))
+          done;
+          dout.((i * n) + j) <- !acc
+        done
+      done
+    | _ -> error "linalg.matmul: mixed element types");
+    set1 (Rt out);
+    `Continue
+  | "linalg.add" ->
+    let a = as_tensor (operand 0) and b = as_tensor (operand 1) in
+    let out = as_tensor (operand 2) in
+    let n = Array.fold_left ( * ) 1 out.shape in
+    charge ctx (n * 3);
+    (match (a.data, b.data, out.data) with
+    | Df da, Df db, Df dout ->
+      for i = 0 to n - 1 do
+        dout.(i) <- da.(i) +. db.(i)
+      done
+    | Di da, Di db, Di dout ->
+      for i = 0 to n - 1 do
+        dout.(i) <- Int64.add da.(i) db.(i)
+      done
+    | _ -> error "linalg.add: mixed element types");
+    set1 (Rt out);
+    `Continue
+  | "memref.alloc" ->
+    set1 (Rt (alloc_tensor op.Ir.results.(0).Ir.v_type));
+    `Continue
+  | "memref.dealloc" -> `Continue
+  | "memref.load" ->
+    let t = as_tensor (operand 0) in
+    let idx = List.tl (operands ()) |> List.map (fun v -> Int64.to_int (as_int v)) in
+    set1 (tensor_get t idx op.Ir.results.(0).Ir.v_type);
+    `Continue
+  | "memref.store" ->
+    let v = operand 0 in
+    let t = as_tensor (operand 1) in
+    let idx =
+      Array.to_list (Array.sub op.Ir.operands 2 (Array.length op.Ir.operands - 2))
+      |> List.map (fun o -> Int64.to_int (as_int (env_get env o)))
+    in
+    tensor_set t idx v;
+    `Continue
+  | "memref.copy" ->
+    let src = as_tensor (operand 0) and dst = as_tensor (operand 1) in
+    let n = Array.fold_left ( * ) 1 dst.shape in
+    charge ctx n;
+    (match (src.data, dst.data) with
+    | Df a, Df b -> Array.blit a 0 b 0 (Array.length b)
+    | Di a, Di b -> Array.blit a 0 b 0 (Array.length b)
+    | _ -> error "memref.copy: element type mismatch");
+    `Continue
+  | "scf.for" ->
+    let lb = as_index (operand 0) and ub = as_index (operand 1) in
+    let step = as_index (operand 2) in
+    if step <= 0 then error "scf.for: step must be positive";
+    let n_iters = Array.length op.Ir.operands - 3 in
+    let body = Ir.entry_block (List.hd op.Ir.regions) in
+    let args = ref (List.init n_iters (fun i -> operand (i + 3))) in
+    let i = ref lb in
+    while !i < ub do
+      charge ctx loop_overhead;
+      env_set env body.Ir.blk_args.(0) (Ri (Int64.of_int !i, 64));
+      List.iteri (fun j v -> env_set env body.Ir.blk_args.(j + 1) v) !args;
+      (match exec_block ctx env body with
+      | Yielded vs -> args := vs
+      | Fell_through when n_iters = 0 -> ()
+      | Fell_through -> error "scf.for body must yield its iteration values"
+      | Returned _ -> error "return inside scf.for is not allowed");
+      i := !i + step
+    done;
+    List.iteri (fun j v -> env_set env op.Ir.results.(j) v) !args;
+    `Continue
+  | "scf.if" ->
+    charge ctx 2;
+    let reg =
+      if as_bool (operand 0) then List.nth op.Ir.regions 0 else List.nth op.Ir.regions 1
+    in
+    (match exec_block ctx env (Ir.entry_block reg) with
+    | Yielded vs -> List.iteri (fun j v -> env_set env op.Ir.results.(j) v) vs
+    | Fell_through when Array.length op.Ir.results = 0 -> ()
+    | Fell_through -> error "scf.if branches must yield values"
+    | Returned _ -> error "return inside scf.if is not allowed");
+    `Continue
+  | "scf.while" ->
+    let before = Ir.entry_block (List.nth op.Ir.regions 0) in
+    let after = Ir.entry_block (List.nth op.Ir.regions 1) in
+    let args = ref (operands ()) in
+    let finished = ref false in
+    let final = ref [] in
+    while not !finished do
+      charge ctx loop_overhead;
+      List.iteri (fun j v -> env_set env before.Ir.blk_args.(j) v) !args;
+      (* the before region ends with scf.condition *)
+      let rec run_before = function
+        | [] -> error "scf.while before-region must end with scf.condition"
+        | (o : Ir.op) :: rest ->
+          if o.Ir.op_name = "scf.condition" then begin
+            let c = as_bool (env_get env o.Ir.operands.(0)) in
+            let vs =
+              Array.to_list (Array.sub o.Ir.operands 1 (Array.length o.Ir.operands - 1))
+              |> List.map (env_get env)
+            in
+            if c then begin
+              List.iteri (fun j v -> env_set env after.Ir.blk_args.(j) v) vs;
+              match exec_block ctx env after with
+              | Yielded vs' -> args := vs'
+              | _ -> error "scf.while after-region must yield"
+            end
+            else begin
+              finished := true;
+              final := vs
+            end
+          end
+          else begin
+            (match exec_op ctx env o with
+            | `Continue -> ()
+            | _ -> error "unexpected terminator in scf.while condition");
+            run_before rest
+          end
+      in
+      run_before before.Ir.blk_ops
+    done;
+    List.iteri (fun j v -> env_set env op.Ir.results.(j) v) !final;
+    `Continue
+  | "scf.yield" -> `Yield (operands ())
+  | "scf.condition" -> error "scf.condition outside scf.while"
+  | "func.return" -> `Return (operands ())
+  | "func.call" -> (
+    let callee =
+      match Ir.attr op "callee" with
+      | Some (Attr.Symbol_ref s) -> s
+      | _ -> error "func.call: missing callee"
+    in
+    let results = call ctx callee (operands ()) in
+    List.iteri (fun j v -> env_set env op.Ir.results.(j) v) results;
+    `Continue)
+  | name -> error "cannot interpret op %s" name
+
+(** [call ctx name args] executes function [name] from the module. *)
+and call ctx name (args : rv list) : rv list =
+  match Ir.find_function ctx.m name with
+  | None -> error "call to undefined function @%s" name
+  | Some f ->
+    let body = Ir.func_body f in
+    if Array.length body.Ir.blk_args <> List.length args then
+      error "@%s expects %d arguments, got %d" name (Array.length body.Ir.blk_args)
+        (List.length args);
+    let env : env = Hashtbl.create 64 in
+    List.iteri (fun i v -> env_set env body.Ir.blk_args.(i) v) args;
+    (match exec_block ctx env body with
+    | Returned vs -> vs
+    | Yielded _ -> error "@%s: yield outside a loop" name
+    | Fell_through -> [])
+
+type result = { values : rv list; cycles : int; wall_time : float }
+
+(** [run m name args] interprets [@name(args)] in module [m], returning the
+    results together with the cycle cost proxy and wall-clock time. *)
+let run ?(fuel = 2_000_000_000) (m : Ir.op) name (args : rv list) : result =
+  Registry.ensure_registered ();
+  let ctx = { m; cycles = 0; fuel } in
+  let t0 = Unix.gettimeofday () in
+  let values = call ctx name args in
+  let wall_time = Unix.gettimeofday () -. t0 in
+  { values; cycles = ctx.cycles; wall_time }

@@ -1,0 +1,35 @@
+(** An MLIR interpreter: executes whole programs on concrete data.
+
+    The reproduction's substitute for LLVM lowering + native execution
+    (DESIGN.md §2).  Reports wall-clock time and a {e cycle cost proxy}
+    (per-op latencies modeled on an in-order core: division ≫ shift,
+    powf ≫ mulf ≫ addf, matmul = m·k·n MACs).
+
+    Semantics notes: integers wrap at their declared width;
+    [tensor.insert] mutates in place under a linear-use assumption (which
+    holds for bufferizable programs threaded through [iter_args]). *)
+
+exception Runtime_error of string
+
+type tensor = { shape : int array; data : data }
+and data = Df of float array | Di of int64 array
+
+type rv =
+  | Ri of int64 * int  (** integer value and width; index is width 64 *)
+  | Rf of float * Typ.float_kind
+  | Rt of tensor
+  | Runit
+
+val pp_rv : Format.formatter -> rv -> unit
+
+(** Zero-initialized tensor (or memref buffer) of a static shaped type. *)
+val alloc_tensor : Typ.t -> tensor
+
+(** Latency estimate (cycles) for one op — the cost-proxy table. *)
+val op_latency : Ir.op -> int
+
+type result = { values : rv list; cycles : int; wall_time : float }
+
+(** [run m name args] interprets [@name(args)] in module [m].  [fuel]
+    bounds the total number of op executions. *)
+val run : ?fuel:int -> Ir.op -> string -> rv list -> result

@@ -1,0 +1,110 @@
+(** Fixed-width integer semantics for [iN] types.
+
+    MLIR integers are bit-vectors; arithmetic wraps modulo 2^N.  We store
+    all integers as sign-extended [int64] and re-normalize after every
+    operation. *)
+
+(** [trunc width v] truncates [v] to [width] bits and sign-extends back to
+    64 bits.  [width] must be in [1; 64]. *)
+let trunc width v =
+  if width >= 64 then v
+  else begin
+    let shift = 64 - width in
+    Int64.shift_right (Int64.shift_left v shift) shift
+  end
+
+(** Unsigned reinterpretation of a [width]-bit value. *)
+let to_unsigned width v =
+  if width >= 64 then v
+  else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
+
+let add width a b = trunc width (Int64.add a b)
+let sub width a b = trunc width (Int64.sub a b)
+let mul width a b = trunc width (Int64.mul a b)
+
+(** Signed division; MLIR's arith.divsi traps on division by zero — we
+    raise. *)
+let divsi _width a b =
+  if Int64.equal b 0L then failwith "arith.divsi: division by zero"
+  else Int64.div a b
+
+let divui width a b =
+  if Int64.equal b 0L then failwith "arith.divui: division by zero"
+  else Int64.unsigned_div (to_unsigned width a) (to_unsigned width b)
+
+let remsi _width a b =
+  if Int64.equal b 0L then failwith "arith.remsi: remainder by zero" else Int64.rem a b
+
+let remui width a b =
+  if Int64.equal b 0L then failwith "arith.remui: remainder by zero"
+  else Int64.unsigned_rem (to_unsigned width a) (to_unsigned width b)
+
+let shli width a b = trunc width (Int64.shift_left a (Int64.to_int b))
+
+(** Arithmetic (sign-preserving) right shift. *)
+let shrsi _width a b = Int64.shift_right a (Int64.to_int b)
+
+(** Logical right shift on the [width]-bit value. *)
+let shrui width a b =
+  trunc width (Int64.shift_right_logical (to_unsigned width a) (Int64.to_int b))
+
+let andi _width = Int64.logand
+let ori _width = Int64.logor
+let xori width a b = trunc width (Int64.logxor a b)
+let minsi _width a b = Int64.min a b
+let maxsi _width a b = Int64.max a b
+
+let minui width a b =
+  if Int64.unsigned_compare (to_unsigned width a) (to_unsigned width b) <= 0 then a else b
+
+let maxui width a b =
+  if Int64.unsigned_compare (to_unsigned width a) (to_unsigned width b) >= 0 then a else b
+
+(** Evaluate an [arith.cmpi] predicate (by MLIR predicate number). *)
+let cmpi width pred a b =
+  let s = Int64.compare a b in
+  let u = Int64.unsigned_compare (to_unsigned width a) (to_unsigned width b) in
+  match pred with
+  | 0 -> s = 0 (* eq *)
+  | 1 -> s <> 0 (* ne *)
+  | 2 -> s < 0 (* slt *)
+  | 3 -> s <= 0 (* sle *)
+  | 4 -> s > 0 (* sgt *)
+  | 5 -> s >= 0 (* sge *)
+  | 6 -> u < 0 (* ult *)
+  | 7 -> u <= 0 (* ule *)
+  | 8 -> u > 0 (* ugt *)
+  | 9 -> u >= 0 (* uge *)
+  | _ -> failwith (Printf.sprintf "invalid cmpi predicate %d" pred)
+
+(** Evaluate an [arith.cmpf] predicate (by MLIR predicate number). *)
+let cmpf pred a b =
+  let ord = not (Float.is_nan a || Float.is_nan b) in
+  match pred with
+  | 0 -> false
+  | 1 -> ord && a = b (* oeq *)
+  | 2 -> ord && a > b (* ogt *)
+  | 3 -> ord && a >= b (* oge *)
+  | 4 -> ord && a < b (* olt *)
+  | 5 -> ord && a <= b (* ole *)
+  | 6 -> ord && a <> b (* one *)
+  | 7 -> ord (* ord *)
+  | 8 -> (not ord) || a = b (* ueq *)
+  | 9 -> (not ord) || a > b (* ugt *)
+  | 10 -> (not ord) || a >= b (* uge *)
+  | 11 -> (not ord) || a < b (* ult *)
+  | 12 -> (not ord) || a <= b (* ule *)
+  | 13 -> (not ord) || a <> b (* une *)
+  | 14 -> not ord (* uno *)
+  | 15 -> true
+  | _ -> failwith (Printf.sprintf "invalid cmpf predicate %d" pred)
+
+(** [is_power_of_two v] for positive [v]. *)
+let is_power_of_two v =
+  Int64.compare v 0L > 0 && Int64.equal (Int64.logand v (Int64.sub v 1L)) 0L
+
+(** Floor log2 of a positive value. *)
+let log2 v =
+  if Int64.compare v 0L <= 0 then invalid_arg "log2: non-positive";
+  let rec go acc v = if Int64.compare v 1L <= 0 then acc else go (acc + 1) (Int64.shift_right_logical v 1) in
+  go 0 v

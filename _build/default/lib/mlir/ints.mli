@@ -1,0 +1,45 @@
+(** Fixed-width integer semantics for [iN] types: values are sign-extended
+    [int64], arithmetic wraps modulo 2^N. *)
+
+(** Truncate to [width] bits and sign-extend back.  [width] in [1; 64]. *)
+val trunc : int -> int64 -> int64
+
+(** Unsigned reinterpretation of a [width]-bit value. *)
+val to_unsigned : int -> int64 -> int64
+
+val add : int -> int64 -> int64 -> int64
+val sub : int -> int64 -> int64 -> int64
+val mul : int -> int64 -> int64 -> int64
+
+(** Signed division.  @raise Failure on division by zero (MLIR traps). *)
+val divsi : int -> int64 -> int64 -> int64
+
+val divui : int -> int64 -> int64 -> int64
+val remsi : int -> int64 -> int64 -> int64
+val remui : int -> int64 -> int64 -> int64
+val shli : int -> int64 -> int64 -> int64
+
+(** Arithmetic (sign-preserving) right shift. *)
+val shrsi : int -> int64 -> int64 -> int64
+
+(** Logical right shift on the [width]-bit value. *)
+val shrui : int -> int64 -> int64 -> int64
+
+val andi : int -> int64 -> int64 -> int64
+val ori : int -> int64 -> int64 -> int64
+val xori : int -> int64 -> int64 -> int64
+val minsi : int -> int64 -> int64 -> int64
+val maxsi : int -> int64 -> int64 -> int64
+val minui : int -> int64 -> int64 -> int64
+val maxui : int -> int64 -> int64 -> int64
+
+(** Evaluate an [arith.cmpi] predicate (MLIR predicate number). *)
+val cmpi : int -> int -> int64 -> int64 -> bool
+
+(** Evaluate an [arith.cmpf] predicate (MLIR predicate number). *)
+val cmpf : int -> float -> float -> bool
+
+val is_power_of_two : int64 -> bool
+
+(** Floor log2 of a positive value.  @raise Invalid_argument otherwise. *)
+val log2 : int64 -> int

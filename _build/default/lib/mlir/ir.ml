@@ -1,0 +1,259 @@
+(** The MLIR IR core: SSA values, operations, blocks, regions and modules.
+
+    Everything is one mutable object graph, mirroring MLIR's design:
+    operations own regions, regions own blocks, blocks own operations, and
+    every operation result / block argument is an SSA {!value}.
+
+    Construction protocol: {!create_op} allocates the operation together
+    with its result values; blocks and regions are built with {!create_block}
+    / {!create_region} and wired with {!append_op} / {!append_block}.  The
+    functions in this module maintain parent pointers. *)
+
+type value = {
+  v_id : int;  (** globally unique *)
+  v_type : Typ.t;
+  v_def : def;
+}
+
+and def =
+  | Op_result of op * int  (** defining op and result index *)
+  | Block_arg of block * int  (** owning block and argument index *)
+
+and op = {
+  op_id : int;
+  op_name : string;  (** full name, e.g. "arith.addi" *)
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : Attr.named list;  (** kept sorted by name *)
+  mutable regions : region list;
+  mutable op_parent : block option;
+}
+
+and block = {
+  blk_id : int;
+  mutable blk_args : value array;
+  mutable blk_ops : op list;  (** in execution order *)
+  mutable blk_parent : region option;
+}
+
+and region = {
+  reg_id : int;
+  mutable blocks : block list;
+  mutable reg_parent : op option;
+}
+
+let next_id = ref 0
+
+let fresh_id () =
+  incr next_id;
+  !next_id
+
+(* ------------------------------------------------------------------ *)
+(* Construction                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** [create_op name ~operands ~result_types ~attrs ~regions] builds a
+    detached operation with fresh result values.  Attributes are stored
+    sorted by name.  Regions are adopted (their parent is set). *)
+let create_op ?(operands = []) ?(result_types = []) ?(attrs = []) ?(regions = [])
+    name : op =
+  let rec op =
+    {
+      op_id = fresh_id ();
+      op_name = name;
+      operands = Array.of_list operands;
+      results = [||];
+      attrs = Attr.sort attrs;
+      regions;
+      op_parent = None;
+    }
+  and results =
+    lazy
+      (Array.of_list
+         (List.mapi
+            (fun i t -> { v_id = fresh_id (); v_type = t; v_def = Op_result (op, i) })
+            result_types))
+  in
+  op.results <- Lazy.force results;
+  List.iter (fun r -> r.reg_parent <- Some op) regions;
+  op
+
+(** [create_block arg_types] builds a detached block with fresh arguments. *)
+let create_block ?(arg_types = []) () : block =
+  let rec blk =
+    { blk_id = fresh_id (); blk_args = [||]; blk_ops = []; blk_parent = None }
+  and args =
+    lazy
+      (Array.of_list
+         (List.mapi
+            (fun i t -> { v_id = fresh_id (); v_type = t; v_def = Block_arg (blk, i) })
+            arg_types))
+  in
+  blk.blk_args <- Lazy.force args;
+  blk
+
+(** [create_region blocks] builds a detached region owning [blocks]. *)
+let create_region blocks : region =
+  let reg = { reg_id = fresh_id (); blocks; reg_parent = None } in
+  List.iter (fun b -> b.blk_parent <- Some reg) blocks;
+  reg
+
+(** Append [op] at the end of [blk]. *)
+let append_op blk op =
+  op.op_parent <- Some blk;
+  blk.blk_ops <- blk.blk_ops @ [ op ]
+
+(** Append [blk] at the end of [reg]. *)
+let append_block reg blk =
+  blk.blk_parent <- Some reg;
+  reg.blocks <- reg.blocks @ [ blk ]
+
+(** Replace the full op list of [blk]. *)
+let set_ops blk ops =
+  List.iter (fun op -> op.op_parent <- Some blk) ops;
+  blk.blk_ops <- ops
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let result op i = op.results.(i)
+
+(** The single result of [op]; fails if it does not have exactly one. *)
+let result1 op =
+  if Array.length op.results <> 1 then
+    invalid_arg (Fmt.str "%s has %d results, expected 1" op.op_name (Array.length op.results));
+  op.results.(0)
+
+let operand op i = op.operands.(i)
+let attr op name = Attr.find op.attrs name
+
+let set_attr op name v = op.attrs <- Attr.set op.attrs name v
+
+(** Dialect prefix of an op name ("arith.addi" -> "arith"). *)
+let dialect_of_name name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let op_dialect op = dialect_of_name op.op_name
+
+(** The entry (first) block of a region. *)
+let entry_block reg =
+  match reg.blocks with
+  | b :: _ -> b
+  | [] -> invalid_arg "entry_block: empty region"
+
+(** Terminator (last op) of a block, if any. *)
+let terminator blk =
+  match List.rev blk.blk_ops with t :: _ -> Some t | [] -> None
+
+(* ------------------------------------------------------------------ *)
+(* Traversal                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Pre-order walk over [op] and all ops nested in its regions. *)
+let rec walk_op (f : op -> unit) (op : op) =
+  f op;
+  List.iter (fun r -> List.iter (walk_block f) r.blocks) op.regions
+
+and walk_block f blk = List.iter (walk_op f) blk.blk_ops
+
+(** All ops satisfying [p] in a pre-order walk of [op]. *)
+let collect_ops p op =
+  let acc = ref [] in
+  walk_op (fun o -> if p o then acc := o :: !acc) op;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Use tracking and mutation                                           *)
+(* ------------------------------------------------------------------ *)
+
+let value_equal a b = a.v_id = b.v_id
+
+(** [replace_uses ~within ~from ~to_] rewrites every operand equal to [from]
+    into [to_] in all ops nested under [within]. *)
+let replace_uses ~(within : op) ~(from : value) ~(to_ : value) =
+  walk_op
+    (fun o ->
+      Array.iteri
+        (fun i v -> if value_equal v from then o.operands.(i) <- to_)
+        o.operands)
+    within
+
+(** [has_uses ~within v] is true if some op under [within] uses [v]. *)
+let has_uses ~(within : op) (v : value) =
+  let found = ref false in
+  walk_op
+    (fun o -> if Array.exists (fun u -> value_equal u v) o.operands then found := true)
+    within;
+  !found
+
+(** Remove [op] from its parent block (does not check uses). *)
+let erase_op (op : op) =
+  match op.op_parent with
+  | None -> ()
+  | Some blk ->
+    blk.blk_ops <- List.filter (fun o -> o.op_id <> op.op_id) blk.blk_ops;
+    op.op_parent <- None
+
+(** Insert [new_op] just before [anchor] in [anchor]'s block. *)
+let insert_before ~(anchor : op) (new_op : op) =
+  match anchor.op_parent with
+  | None -> invalid_arg "insert_before: anchor is detached"
+  | Some blk ->
+    new_op.op_parent <- Some blk;
+    let rec ins = function
+      | [] -> [ new_op ]
+      | o :: rest when o.op_id = anchor.op_id -> new_op :: o :: rest
+      | o :: rest -> o :: ins rest
+    in
+    blk.blk_ops <- ins blk.blk_ops
+
+(* ------------------------------------------------------------------ *)
+(* Modules                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** A module is the conventional top-level op: one region, one block. *)
+let create_module () : op =
+  let blk = create_block () in
+  create_op "builtin.module" ~regions:[ create_region [ blk ] ]
+
+let module_block (m : op) =
+  match m.regions with
+  | [ r ] -> entry_block r
+  | _ -> invalid_arg "module_block: not a module"
+
+(** Ops at the top level of a module. *)
+let module_ops (m : op) = (module_block m).blk_ops
+
+(** Add a top-level op (e.g. a function) to a module. *)
+let module_append (m : op) (op : op) = append_op (module_block m) op
+
+(** Find a function by symbol name in a module. *)
+let find_function (m : op) name =
+  List.find_opt
+    (fun o ->
+      o.op_name = "func.func"
+      && match Attr.find o.attrs "sym_name" with
+         | Some (Attr.String s) -> s = name
+         | _ -> false)
+    (module_ops m)
+
+(** Symbol name of a func.func op. *)
+let func_name (f : op) =
+  match Attr.find f.attrs "sym_name" with
+  | Some (Attr.String s) -> s
+  | _ -> invalid_arg "func_name: missing sym_name"
+
+(** Function type of a func.func op. *)
+let func_type (f : op) =
+  match Attr.find f.attrs "function_type" with
+  | Some (Attr.Type (Typ.Function (args, rets))) -> (args, rets)
+  | _ -> invalid_arg "func_type: missing function_type"
+
+(** Body (entry block) of a func.func op. *)
+let func_body (f : op) =
+  match f.regions with
+  | [ r ] -> entry_block r
+  | _ -> invalid_arg "func_body: func.func must have one region"

@@ -1,0 +1,129 @@
+(** The MLIR IR core: SSA values, operations, blocks, regions and modules,
+    as one mutable object graph (operations own regions, regions own
+    blocks, blocks own operations).
+
+    Construction protocol: {!create_op} allocates an operation together
+    with its result values; blocks and regions are built with
+    {!create_block} / {!create_region} and wired with {!append_op} /
+    {!append_block}, which maintain parent pointers. *)
+
+type value = {
+  v_id : int;  (** globally unique *)
+  v_type : Typ.t;
+  v_def : def;
+}
+
+and def =
+  | Op_result of op * int  (** defining op and result index *)
+  | Block_arg of block * int  (** owning block and argument index *)
+
+and op = {
+  op_id : int;
+  op_name : string;  (** full name, e.g. "arith.addi" *)
+  mutable operands : value array;
+  mutable results : value array;
+  mutable attrs : Attr.named list;  (** kept sorted by name *)
+  mutable regions : region list;
+  mutable op_parent : block option;
+}
+
+and block = {
+  blk_id : int;
+  mutable blk_args : value array;
+  mutable blk_ops : op list;  (** in execution order *)
+  mutable blk_parent : region option;
+}
+
+and region = {
+  reg_id : int;
+  mutable blocks : block list;
+  mutable reg_parent : op option;
+}
+
+(** {1 Construction} *)
+
+(** Build a detached operation with fresh result values; attributes are
+    stored sorted; regions are adopted. *)
+val create_op :
+  ?operands:value list ->
+  ?result_types:Typ.t list ->
+  ?attrs:Attr.named list ->
+  ?regions:region list ->
+  string ->
+  op
+
+val create_block : ?arg_types:Typ.t list -> unit -> block
+val create_region : block list -> region
+val append_op : block -> op -> unit
+val append_block : region -> block -> unit
+
+(** Replace a block's full op list (re-parents the ops). *)
+val set_ops : block -> op list -> unit
+
+(** {1 Accessors} *)
+
+val result : op -> int -> value
+
+(** The single result; fails if the op does not have exactly one. *)
+val result1 : op -> value
+
+val operand : op -> int -> value
+val attr : op -> string -> Attr.t option
+val set_attr : op -> string -> Attr.t -> unit
+
+(** Dialect prefix of an op name ("arith.addi" -> "arith"). *)
+val dialect_of_name : string -> string
+
+val op_dialect : op -> string
+
+(** First block of a region.  @raise Invalid_argument if empty. *)
+val entry_block : region -> block
+
+(** Last op of a block, if any. *)
+val terminator : block -> op option
+
+(** {1 Traversal} *)
+
+(** Pre-order walk over an op and everything nested in its regions. *)
+val walk_op : (op -> unit) -> op -> unit
+
+val walk_block : (op -> unit) -> block -> unit
+
+(** Ops satisfying the predicate, in pre-order. *)
+val collect_ops : (op -> bool) -> op -> op list
+
+(** {1 Use tracking and mutation} *)
+
+val value_equal : value -> value -> bool
+
+(** Rewrite every operand equal to [from] into [to_] under [within]. *)
+val replace_uses : within:op -> from:value -> to_:value -> unit
+
+val has_uses : within:op -> value -> bool
+
+(** Detach an op from its parent block (does not check uses). *)
+val erase_op : op -> unit
+
+(** Insert a new op just before [anchor] in [anchor]'s block. *)
+val insert_before : anchor:op -> op -> unit
+
+(** {1 Modules} *)
+
+(** A module is the conventional top-level op: one region, one block. *)
+val create_module : unit -> op
+
+val module_block : op -> block
+val module_ops : op -> op list
+val module_append : op -> op -> unit
+
+(** Find a [func.func] by symbol name. *)
+val find_function : op -> string -> op option
+
+(** Symbol name of a [func.func]. *)
+val func_name : op -> string
+
+(** (argument types, result types) of a [func.func]. *)
+val func_type : op -> Typ.t list * Typ.t list
+
+(** Entry block of a [func.func]. *)
+val func_body : op -> block

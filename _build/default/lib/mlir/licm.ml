@@ -1,0 +1,88 @@
+(** Loop-invariant code motion: hoist pure, region-free operations out of
+    [scf.for] / [scf.while] bodies when all their operands are defined
+    outside the loop.
+
+    Mirrors MLIR's [-loop-invariant-code-motion] pass.  Kept separate from
+    {!Transforms.canonicalize} (MLIR also runs it as its own pass), so the
+    paper's canonicalization baseline stays faithful. *)
+
+let is_loop (op : Ir.op) =
+  match op.Ir.op_name with "scf.for" | "scf.while" -> true | _ -> false
+
+(** Values defined inside [op] (results and block arguments of any nested
+    region). *)
+let defined_inside (op : Ir.op) : (int, unit) Hashtbl.t =
+  let inside = Hashtbl.create 32 in
+  List.iter
+    (fun (r : Ir.region) ->
+      List.iter
+        (fun (b : Ir.block) ->
+          Array.iter (fun (a : Ir.value) -> Hashtbl.replace inside a.Ir.v_id ()) b.Ir.blk_args;
+          Ir.walk_block
+            (fun o ->
+              Array.iter (fun (v : Ir.value) -> Hashtbl.replace inside v.Ir.v_id ()) o.Ir.results;
+              List.iter
+                (fun (r : Ir.region) ->
+                  List.iter
+                    (fun (b : Ir.block) ->
+                      Array.iter
+                        (fun (a : Ir.value) -> Hashtbl.replace inside a.Ir.v_id ())
+                        b.Ir.blk_args)
+                    r.Ir.blocks)
+                o.Ir.regions)
+            b)
+        r.Ir.blocks)
+    op.Ir.regions;
+  inside
+
+(** Hoist invariant ops out of one loop.  Returns the number hoisted. *)
+let hoist_from_loop (loop : Ir.op) : int =
+  Registry.ensure_registered ();
+  let hoisted = ref 0 in
+  let inside = defined_inside loop in
+  let changed = ref true in
+  (* iterate: hoisting one op may make its users invariant too *)
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter
+          (fun (b : Ir.block) ->
+            let movable =
+              List.filter
+                (fun (o : Ir.op) ->
+                  Dialect.is_pure o && o.Ir.regions = []
+                  && (not (Dialect.is_terminator o))
+                  && Array.for_all
+                       (fun (v : Ir.value) -> not (Hashtbl.mem inside v.Ir.v_id))
+                       o.Ir.operands)
+                b.Ir.blk_ops
+            in
+            List.iter
+              (fun (o : Ir.op) ->
+                Ir.erase_op o;
+                Ir.insert_before ~anchor:loop o;
+                Array.iter (fun (res : Ir.value) -> Hashtbl.remove inside res.Ir.v_id) o.Ir.results;
+                incr hoisted;
+                changed := true)
+              movable)
+          r.Ir.blocks)
+      loop.Ir.regions
+  done;
+  !hoisted
+
+(** Run LICM over every loop in [root] (innermost loops first, so code can
+    hoist through several levels in one pass).  Returns the number of ops
+    moved. *)
+let run (root : Ir.op) : int =
+  let total = ref 0 in
+  let rec visit (op : Ir.op) =
+    (* post-order: handle nested loops first *)
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter (fun (b : Ir.block) -> List.iter visit b.Ir.blk_ops) r.Ir.blocks)
+      op.Ir.regions;
+    if is_loop op && op.Ir.op_parent <> None then total := !total + hoist_from_loop op
+  in
+  visit root;
+  !total

@@ -1,0 +1,10 @@
+(** Loop-invariant code motion: hoist pure, region-free operations out of
+    [scf.for] / [scf.while] bodies when all operands are defined outside
+    the loop.  MLIR's [-loop-invariant-code-motion] equivalent; run as its
+    own pass, not as part of canonicalization. *)
+
+(** Hoist out of one loop op; number of ops moved. *)
+val hoist_from_loop : Ir.op -> int
+
+(** Run over every loop under [root], innermost first; number moved. *)
+val run : Ir.op -> int

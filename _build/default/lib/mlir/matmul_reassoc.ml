@@ -1,0 +1,91 @@
+(** The hand-written matmul re-association pass — the paper's §8.4 baseline.
+
+    This mirrors the >120-line C++ MLIR pass the paper compares against: a
+    {e greedy, local} rewrite that walks the function once and, at every
+    [linalg.matmul] whose left operand is itself a matmul, decides between
+    [(X·Y)·Z] and [X·(Y·Z)] by comparing the scalar-multiplication counts of
+    {e only those three matrices}.  It never reconsiders a decision and
+    never looks at longer chains, which is exactly why it matches DialEgg on
+    2MM but loses on 3MM (and longer chains): equality saturation considers
+    all associations globally.
+
+    Line-count note for the §8.4 comparison: the equivalent optimization is
+    12 lines of Egglog (see [Dialegg.Rules.matmul_assoc]); this file is the
+    “hand-written pass” side of that comparison. *)
+
+let mm_cost (a : int * int) (b : int * int) = fst a * snd a * snd b
+
+let dims_of (v : Ir.value) =
+  match Typ.shape v.Ir.v_type with
+  | Some [ r; c ] when r >= 0 && c >= 0 -> Some (r, c)
+  | _ -> None
+
+(** Find the op defining [v] if it is a matmul. *)
+let defining_matmul (v : Ir.value) : Ir.op option =
+  match v.Ir.v_def with
+  | Ir.Op_result (op, 0) when op.Ir.op_name = "linalg.matmul" -> Some op
+  | _ -> None
+
+(** Apply the greedy local rewrite to one function.  Returns the number of
+    rewrites performed. *)
+let run_on_func (func : Ir.op) : int =
+  Registry.ensure_registered ();
+  let rewrites = ref 0 in
+  let body = Ir.func_body func in
+  (* single pre-order walk, no fixpoint: the pass is deliberately local *)
+  let worklist = Ir.collect_ops (fun o -> o.Ir.op_name = "linalg.matmul") func in
+  List.iter
+    (fun (outer : Ir.op) ->
+      if outer.Ir.op_parent <> None (* not erased by an earlier rewrite *) then
+        match defining_matmul outer.Ir.operands.(0) with
+        | None -> ()
+        | Some inner -> (
+          (* outer = (x·y)·z, inner = x·y *)
+          let x = inner.Ir.operands.(0)
+          and y = inner.Ir.operands.(1)
+          and z = outer.Ir.operands.(1) in
+          match (dims_of x, dims_of y, dims_of z) with
+          | Some dx, Some dy, Some dz ->
+            let cost_left = mm_cost dx dy + mm_cost (fst dx, snd dy) dz in
+            let cost_right = mm_cost dy dz + mm_cost dx (fst dy, snd dz) in
+            if cost_right < cost_left then begin
+              (* build x·(y·z) just before the outer op *)
+              let elem =
+                match Typ.element_type z.Ir.v_type with
+                | Some e -> e
+                | None -> Typ.f64
+              in
+              let yz_ty = Typ.Ranked_tensor ([ fst dy; snd dz ], elem) in
+              let empty =
+                Ir.create_op "tensor.empty" ~result_types:[ yz_ty ]
+              in
+              Ir.insert_before ~anchor:outer empty;
+              let yz =
+                Ir.create_op "linalg.matmul"
+                  ~operands:[ y; z; Ir.result1 empty ]
+                  ~result_types:[ yz_ty ]
+              in
+              Ir.insert_before ~anchor:outer yz;
+              let xyz =
+                Ir.create_op "linalg.matmul"
+                  ~operands:[ x; Ir.result1 yz; outer.Ir.operands.(2) ]
+                  ~result_types:[ outer.Ir.results.(0).Ir.v_type ]
+              in
+              Ir.insert_before ~anchor:outer xyz;
+              Ir.replace_uses ~within:func ~from:outer.Ir.results.(0)
+                ~to_:(Ir.result1 xyz);
+              Ir.erase_op outer;
+              incr rewrites
+            end
+          | _ -> ()))
+    worklist;
+  ignore body;
+  (* clean up matmuls/empties that became dead *)
+  ignore (Transforms.dce func);
+  !rewrites
+
+(** Run on every function of a module. *)
+let run (m : Ir.op) : int =
+  List.fold_left
+    (fun acc op -> if op.Ir.op_name = "func.func" then acc + run_on_func op else acc)
+    0 (Ir.module_ops m)

@@ -1,0 +1,11 @@
+(** The hand-written matmul re-association pass — the paper's §8.4
+    baseline: a greedy, local rewrite that considers only three matrices at
+    a time and never reconsiders a decision.  Matches DialEgg on 2MM,
+    loses on 3MM and longer chains. *)
+
+(** Apply the greedy rewrite to one function; returns the number of
+    rewrites performed (dead ops are cleaned up). *)
+val run_on_func : Ir.op -> int
+
+(** Run on every function of a module. *)
+val run : Ir.op -> int

@@ -1,0 +1,847 @@
+(** Parser for the MLIR textual format (the subset this project prints).
+
+    Accepts the pretty forms of the registered dialects plus the generic
+    form ["name"(%operands) ({regions}) {attrs} : (tys) -> tys], so any
+    output of {!Printer} round-trips.  SSA values must be defined before
+    use; functions are independent naming scopes. *)
+
+exception Error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+type state = {
+  c : Typ.cursor;
+  values : (string, Ir.value) Hashtbl.t;  (** in-scope SSA names, per function *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Lexical helpers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let skip_ws st =
+  let c = st.c in
+  let rec go () =
+    (match Typ.peek_char c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      c.pos <- c.pos + 1;
+      go ()
+    | Some '/'
+      when c.pos + 1 < String.length c.src && c.src.[c.pos + 1] = '/' ->
+      while Typ.peek_char c <> Some '\n' && Typ.peek_char c <> None do
+        c.pos <- c.pos + 1
+      done;
+      go ()
+    | _ -> ())
+  in
+  go ()
+
+let peek st =
+  skip_ws st;
+  Typ.peek_char st.c
+
+let looking_at st s =
+  skip_ws st;
+  let c = st.c in
+  let n = String.length s in
+  c.pos + n <= String.length c.src && String.sub c.src c.pos n = s
+
+let eat st s =
+  skip_ws st;
+  Typ.eat_string st.c s
+
+let expect st s =
+  skip_ws st;
+  if not (Typ.eat_string st.c s) then begin
+    let ctx_start = max 0 (st.c.pos - 20) in
+    let ctx_len = min 40 (String.length st.c.src - ctx_start) in
+    error "expected %S near ...%s..." s (String.sub st.c.src ctx_start ctx_len)
+  end
+
+let is_ident_char = function
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.' | '-' -> true
+  | _ -> false
+
+let read_ident st =
+  skip_ws st;
+  let c = st.c in
+  let start = c.pos in
+  while (match Typ.peek_char c with Some ch -> is_ident_char ch | None -> false) do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then error "expected an identifier at position %d" start;
+  String.sub c.src start (c.pos - start)
+
+(** Peek the next identifier without consuming. *)
+let peek_ident st =
+  skip_ws st;
+  let save = st.c.pos in
+  let id = try Some (read_ident st) with Error _ -> None in
+  st.c.pos <- save;
+  id
+
+let read_string_lit st =
+  expect st "\"";
+  let c = st.c in
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match Typ.peek_char c with
+    | None -> error "unterminated string literal"
+    | Some '"' -> c.pos <- c.pos + 1
+    | Some '\\' ->
+      c.pos <- c.pos + 1;
+      (match Typ.peek_char c with
+      | Some 'n' -> Buffer.add_char buf '\n'
+      | Some 't' -> Buffer.add_char buf '\t'
+      | Some '"' -> Buffer.add_char buf '"'
+      | Some '\\' -> Buffer.add_char buf '\\'
+      | _ -> error "bad escape in string literal");
+      c.pos <- c.pos + 1;
+      go ()
+    | Some ch ->
+      Buffer.add_char buf ch;
+      c.pos <- c.pos + 1;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+(** Read a numeric literal; returns [`Int] or [`Float]. *)
+let read_number st =
+  skip_ws st;
+  let c = st.c in
+  let start = c.pos in
+  if Typ.peek_char c = Some '-' then c.pos <- c.pos + 1;
+  let is_float = ref false in
+  let rec go () =
+    match Typ.peek_char c with
+    | Some ('0' .. '9') ->
+      c.pos <- c.pos + 1;
+      go ()
+    | Some '.' ->
+      is_float := true;
+      c.pos <- c.pos + 1;
+      go ()
+    | Some ('e' | 'E') ->
+      is_float := true;
+      c.pos <- c.pos + 1;
+      if Typ.peek_char c = Some '-' || Typ.peek_char c = Some '+' then c.pos <- c.pos + 1;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  if c.pos = start then error "expected a number";
+  let s = String.sub c.src start (c.pos - start) in
+  if !is_float then `Float (float_of_string s) else `Int (Int64.of_string s)
+
+let read_type st =
+  skip_ws st;
+  try Typ.read_type st.c with Typ.Parse_error msg -> error "type error: %s" msg
+
+(* ------------------------------------------------------------------ *)
+(* SSA values                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_value_name st =
+  expect st "%";
+  let c = st.c in
+  let start = c.pos in
+  while (match Typ.peek_char c with
+        | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') -> true
+        | _ -> false)
+  do
+    c.pos <- c.pos + 1
+  done;
+  if c.pos = start then error "expected a value name after %%";
+  String.sub c.src start (c.pos - start)
+
+let lookup_value st name =
+  match Hashtbl.find_opt st.values name with
+  | Some v -> v
+  | None -> error "use of undefined value %%%s" name
+
+let read_value st = lookup_value st (read_value_name st)
+
+let bind st name (v : Ir.value) =
+  if Hashtbl.mem st.values name then error "redefinition of %%%s" name;
+  Hashtbl.replace st.values name v
+
+(** Run [f] in a nested value scope: names bound inside are dropped on exit
+    (MLIR region scoping; sibling regions may reuse names). *)
+let in_scope st f =
+  let saved = Hashtbl.copy st.values in
+  let restore () =
+    Hashtbl.reset st.values;
+    Hashtbl.iter (fun k v -> Hashtbl.replace st.values k v) saved
+  in
+  match f () with
+  | r ->
+    restore ();
+    r
+  | exception e ->
+    restore ();
+    raise e
+
+let read_value_list st =
+  let rec go acc =
+    let v = read_value st in
+    if eat st "," then go (v :: acc) else List.rev (v :: acc)
+  in
+  go []
+
+(* ------------------------------------------------------------------ *)
+(* Attributes                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec read_attr st : Attr.t =
+  skip_ws st;
+  match peek st with
+  | Some '"' -> Attr.String (read_string_lit st)
+  | Some '@' ->
+    expect st "@";
+    Attr.Symbol_ref (read_ident st)
+  | Some '[' ->
+    expect st "[";
+    let rec items acc =
+      if eat st "]" then List.rev acc
+      else begin
+        let a = read_attr st in
+        ignore (eat st ",");
+        items (a :: acc)
+      end
+    in
+    Attr.Array (items [])
+  | Some '#' ->
+    expect st "#";
+    let name = read_ident st in
+    if name = "arith.fastmath" then begin
+      expect st "<";
+      let flags = read_ident st in
+      expect st ">";
+      match flags with
+      | "none" -> Attr.Fastmath Attr.Fm_none
+      | "fast" -> Attr.Fastmath Attr.Fm_fast
+      | fs -> Attr.Fastmath (Attr.Fm_flags (String.split_on_char ',' fs))
+    end
+    else Attr.Opaque ("#" ^ name, name)
+  | Some '(' ->
+    (* a function type attribute *)
+    Attr.Type (read_type st)
+  | Some ('0' .. '9' | '-') -> (
+    let n = read_number st in
+    let ty = if eat st ":" then Some (read_type st) else None in
+    match (n, ty) with
+    | `Int v, Some ((Typ.Float _) as t) -> Attr.Float (Int64.to_float v, t)
+    | `Int v, Some t -> Attr.Int (v, t)
+    | `Int v, None -> Attr.Int (v, Typ.i64)
+    | `Float v, Some t -> Attr.Float (v, t)
+    | `Float v, None -> Attr.Float (v, Typ.f64))
+  | _ -> (
+    match peek_ident st with
+    | Some "true" ->
+      ignore (read_ident st);
+      Attr.Bool true
+    | Some "false" ->
+      ignore (read_ident st);
+      Attr.Bool false
+    | Some "unit" ->
+      ignore (read_ident st);
+      Attr.Unit
+    | Some "dense" -> error "dense attributes are not supported by this parser"
+    | _ -> Attr.Type (read_type st))
+
+(** Read [{name = attr, flag, ...}] if present. *)
+let read_attr_dict st : Attr.named list =
+  if not (eat st "{") then []
+  else begin
+    let rec items acc =
+      if eat st "}" then List.rev acc
+      else begin
+        let name =
+          if peek st = Some '"' then read_string_lit st else read_ident st
+        in
+        let a = if eat st "=" then read_attr st else Attr.Unit in
+        ignore (eat st ",");
+        items ((name, a) :: acc)
+      end
+    in
+    items []
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operations                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fastmath_opt st =
+  if eat st "fastmath<" then begin
+    let flags = read_ident st in
+    expect st ">";
+    match flags with
+    | "none" -> Attr.Fm_none
+    | "fast" -> Attr.Fm_fast
+    | fs -> Attr.Fm_flags (String.split_on_char ',' fs)
+  end
+  else Attr.Fm_none
+
+let finish_op st blk results (op : Ir.op) =
+  Ir.append_op blk op;
+  List.iteri
+    (fun i name ->
+      if i >= Array.length op.Ir.results then
+        error "op %s produces %d results but %d names given" op.Ir.op_name
+          (Array.length op.Ir.results) (List.length results);
+      bind st name op.Ir.results.(i))
+    results;
+  op
+
+(** Parse ops until the closing brace of the current block. *)
+let rec parse_block_body st (blk : Ir.block) =
+  let rec go () =
+    skip_ws st;
+    if looking_at st "}" then ()
+    else begin
+      ignore (parse_op st blk);
+      go ()
+    end
+  in
+  go ()
+
+and parse_op st (blk : Ir.block) : Ir.op =
+  (* optional result list *)
+  skip_ws st;
+  let results =
+    if peek st = Some '%' then begin
+      let rec names acc =
+        let n = read_value_name st in
+        if eat st "," then names (n :: acc) else List.rev (n :: acc)
+      in
+      let ns = names [] in
+      expect st "=";
+      ns
+    end
+    else []
+  in
+  if peek st = Some '"' then parse_generic_op st blk results
+  else begin
+    let name = read_ident st in
+    parse_pretty_op st blk results name
+  end
+
+and parse_generic_op st blk results : Ir.op =
+  let name = read_string_lit st in
+  expect st "(";
+  let operands =
+    if eat st ")" then []
+    else begin
+      let vs = read_value_list st in
+      expect st ")";
+      vs
+    end
+  in
+  (* optional regions *)
+  let regions =
+    if eat st "(" && true then begin
+      (* could be regions "({" or the signature "(tys) ->"; disambiguate *)
+      if looking_at st "{" then begin
+        let rec regs acc =
+          let r = parse_region st in
+          if eat st "," then regs (r :: acc)
+          else begin
+            expect st ")";
+            List.rev (r :: acc)
+          end
+        in
+        regs []
+      end
+      else begin
+        (* it was the signature's open paren; rewind one char *)
+        st.c.pos <- st.c.pos - 1;
+        []
+      end
+    end
+    else []
+  in
+  let attrs = read_attr_dict st in
+  expect st ":";
+  expect st "(";
+  let _arg_tys =
+    if eat st ")" then []
+    else begin
+      let rec tys acc =
+        let t = read_type st in
+        if eat st "," then tys (t :: acc)
+        else begin
+          expect st ")";
+          List.rev (t :: acc)
+        end
+      in
+      tys []
+    end
+  in
+  expect st "->";
+  let result_types = parse_result_types st in
+  let op = Ir.create_op name ~operands ~result_types ~attrs ~regions in
+  finish_op st blk results op
+
+and parse_result_types st : Typ.t list =
+  skip_ws st;
+  if eat st "(" then begin
+    if eat st ")" then []
+    else begin
+      let rec tys acc =
+        let t = read_type st in
+        if eat st "," then tys (t :: acc)
+        else begin
+          expect st ")";
+          List.rev (t :: acc)
+        end
+      in
+      tys []
+    end
+  end
+  else [ read_type st ]
+
+and parse_region st : Ir.region =
+  expect st "{";
+  let blk =
+    in_scope st (fun () ->
+        (* optional block header ^bb(%x: t, ...): *)
+        let blk =
+          if looking_at st "^" then begin
+            expect st "^";
+            ignore (read_ident st);
+            expect st "(";
+            let args = ref [] in
+            (if not (eat st ")") then
+               let rec go () =
+                 let n = read_value_name st in
+                 expect st ":";
+                 let t = read_type st in
+                 args := (n, t) :: !args;
+                 if eat st "," then go () else expect st ")"
+               in
+               go ());
+            expect st ":";
+            let args = List.rev !args in
+            let blk = Ir.create_block ~arg_types:(List.map snd args) () in
+            List.iteri (fun i (n, _) -> bind st n blk.Ir.blk_args.(i)) args;
+            blk
+          end
+          else Ir.create_block ()
+        in
+        parse_block_body st blk;
+        blk)
+  in
+  expect st "}";
+  Ir.create_region [ blk ]
+
+and parse_pretty_op st blk results name : Ir.op =
+  let binary ?(float_fm = false) () =
+    let a = read_value st in
+    expect st ",";
+    let b = read_value st in
+    let attrs = if float_fm then [ ("fastmath", Attr.Fastmath (fastmath_opt st)) ] else [] in
+    expect st ":";
+    let t = read_type st in
+    Ir.create_op name ~operands:[ a; b ] ~attrs ~result_types:[ t ]
+  in
+  match name with
+  | "func.func" -> parse_func st blk results
+  | "module" -> error "nested modules are not supported"
+  | "arith.constant" -> (
+    let n = read_number st in
+    expect st ":";
+    let t = read_type st in
+    let attr =
+      match (n, t) with
+      | `Int v, Typ.Float _ -> Attr.Float (Int64.to_float v, t)
+      | `Int v, _ -> Attr.Int (v, t)
+      | `Float v, _ -> Attr.Float (v, t)
+    in
+    finish_op st blk results
+      (Ir.create_op "arith.constant" ~attrs:[ ("value", attr) ] ~result_types:[ t ]))
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.divui"
+  | "arith.remsi" | "arith.remui" | "arith.shli" | "arith.shrsi" | "arith.shrui"
+  | "arith.andi" | "arith.ori" | "arith.xori" | "arith.minsi" | "arith.maxsi"
+  | "arith.minui" | "arith.maxui" ->
+    finish_op st blk results (binary ())
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maximumf"
+  | "arith.minimumf" ->
+    finish_op st blk results (binary ~float_fm:true ())
+  | "arith.negf" ->
+    let a = read_value st in
+    let fm = fastmath_opt st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op "arith.negf" ~operands:[ a ]
+         ~attrs:[ ("fastmath", Attr.Fastmath fm) ]
+         ~result_types:[ t ])
+  | "arith.cmpi" | "arith.cmpf" ->
+    let pred = read_ident st in
+    expect st ",";
+    let a = read_value st in
+    expect st ",";
+    let b = read_value st in
+    let fm = if name = "arith.cmpf" then Some (fastmath_opt st) else None in
+    expect st ":";
+    let _t = read_type st in
+    let p =
+      match
+        if name = "arith.cmpi" then Attr.cmpi_predicate_of_string pred
+        else Attr.cmpf_predicate_of_string pred
+      with
+      | Some p -> p
+      | None -> error "unknown predicate %s" pred
+    in
+    let attrs = [ ("predicate", Attr.Int (Int64.of_int p, Typ.i64)) ] in
+    let attrs =
+      match fm with
+      | Some fm -> ("fastmath", Attr.Fastmath fm) :: attrs
+      | None -> attrs
+    in
+    finish_op st blk results
+      (Ir.create_op name ~operands:[ a; b ] ~attrs ~result_types:[ Typ.i1 ])
+  | "arith.select" ->
+    let c = read_value st in
+    expect st ",";
+    let a = read_value st in
+    expect st ",";
+    let b = read_value st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op "arith.select" ~operands:[ c; a; b ] ~result_types:[ t ])
+  | "arith.index_cast" | "arith.sitofp" | "arith.fptosi" | "arith.truncf"
+  | "arith.extf" | "arith.bitcast" ->
+    let a = read_value st in
+    expect st ":";
+    let _from = read_type st in
+    expect st "to";
+    let to_ = read_type st in
+    finish_op st blk results (Ir.create_op name ~operands:[ a ] ~result_types:[ to_ ])
+  | "math.sqrt" | "math.rsqrt" | "math.sin" | "math.cos" | "math.exp" | "math.log"
+  | "math.log2" | "math.absf" | "math.tanh" ->
+    let a = read_value st in
+    let fm = fastmath_opt st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op name ~operands:[ a ]
+         ~attrs:[ ("fastmath", Attr.Fastmath fm) ]
+         ~result_types:[ t ])
+  | "math.powf" | "math.fma" ->
+    let a = read_value st in
+    expect st ",";
+    let b = read_value st in
+    let c = if name = "math.fma" then (expect st ","; [ read_value st ]) else [] in
+    let fm = fastmath_opt st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op name ~operands:([ a; b ] @ c)
+         ~attrs:[ ("fastmath", Attr.Fastmath fm) ]
+         ~result_types:[ t ])
+  | "func.return" ->
+    let operands =
+      if peek st = Some '%' then begin
+        let vs = read_value_list st in
+        expect st ":";
+        let rec tys () = let _ = read_type st in if eat st "," then tys () in
+        tys ();
+        vs
+      end
+      else []
+    in
+    finish_op st blk results (Ir.create_op "func.return" ~operands)
+  | "func.call" ->
+    expect st "@";
+    let callee = read_ident st in
+    expect st "(";
+    let operands = if looking_at st ")" then [] else read_value_list st in
+    expect st ")";
+    expect st ":";
+    expect st "(";
+    (if not (eat st ")") then
+       let rec tys () = let _ = read_type st in if eat st "," then tys () else expect st ")" in
+       tys ());
+    expect st "->";
+    let result_types = parse_result_types st in
+    finish_op st blk results
+      (Ir.create_op "func.call" ~operands
+         ~attrs:[ ("callee", Attr.Symbol_ref callee) ]
+         ~result_types)
+  | "scf.yield" ->
+    let operands =
+      if peek st = Some '%' then begin
+        let vs = read_value_list st in
+        expect st ":";
+        let rec tys () = let _ = read_type st in if eat st "," then tys () in
+        tys ();
+        vs
+      end
+      else []
+    in
+    finish_op st blk results (Ir.create_op "scf.yield" ~operands)
+  | "scf.for" ->
+    let iv_name = read_value_name st in
+    expect st "=";
+    let lb = read_value st in
+    expect st "to";
+    let ub = read_value st in
+    expect st "step";
+    let step = read_value st in
+    let iter_pairs =
+      if eat st "iter_args" then begin
+        expect st "(";
+        let rec go acc =
+          let n = read_value_name st in
+          expect st "=";
+          let init = read_value st in
+          if eat st "," then go ((n, init) :: acc)
+          else begin
+            expect st ")";
+            List.rev ((n, init) :: acc)
+          end
+        in
+        go []
+      end
+      else []
+    in
+    let result_types =
+      if eat st "->" then parse_result_types st
+      else List.map (fun (_, v) -> v.Ir.v_type) iter_pairs
+    in
+    expect st "{";
+    let body =
+      Ir.create_block ~arg_types:(Typ.index :: List.map (fun (_, v) -> v.Ir.v_type) iter_pairs) ()
+    in
+    in_scope st (fun () ->
+        bind st iv_name body.Ir.blk_args.(0);
+        List.iteri (fun i (n, _) -> bind st n body.Ir.blk_args.(i + 1)) iter_pairs;
+        parse_block_body st body);
+    expect st "}";
+    finish_op st blk results
+      (Ir.create_op "scf.for"
+         ~operands:(lb :: ub :: step :: List.map snd iter_pairs)
+         ~result_types
+         ~regions:[ Ir.create_region [ body ] ])
+  | "scf.if" ->
+    let c = read_value st in
+    let result_types = if eat st "->" then parse_result_types st else [] in
+    expect st "{";
+    let then_blk = Ir.create_block () in
+    in_scope st (fun () -> parse_block_body st then_blk);
+    expect st "}";
+    let else_blk = Ir.create_block () in
+    if eat st "else" then begin
+      expect st "{";
+      in_scope st (fun () -> parse_block_body st else_blk);
+      expect st "}"
+    end;
+    finish_op st blk results
+      (Ir.create_op "scf.if" ~operands:[ c ] ~result_types
+         ~regions:[ Ir.create_region [ then_blk ]; Ir.create_region [ else_blk ] ])
+  | "tensor.empty" ->
+    expect st "(";
+    expect st ")";
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results (Ir.create_op "tensor.empty" ~result_types:[ t ])
+  | "tensor.extract" ->
+    let t = read_value st in
+    expect st "[";
+    let idx = if looking_at st "]" then [] else read_value_list st in
+    expect st "]";
+    expect st ":";
+    let tt = read_type st in
+    let elem =
+      match Typ.element_type tt with
+      | Some e -> e
+      | None -> error "tensor.extract: not a tensor type"
+    in
+    finish_op st blk results
+      (Ir.create_op "tensor.extract" ~operands:(t :: idx) ~result_types:[ elem ])
+  | "tensor.insert" ->
+    let v = read_value st in
+    expect st "into";
+    let t = read_value st in
+    expect st "[";
+    let idx = if looking_at st "]" then [] else read_value_list st in
+    expect st "]";
+    expect st ":";
+    let tt = read_type st in
+    finish_op st blk results
+      (Ir.create_op "tensor.insert" ~operands:(v :: t :: idx) ~result_types:[ tt ])
+  | "memref.alloc" ->
+    expect st "(";
+    expect st ")";
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results (Ir.create_op "memref.alloc" ~result_types:[ t ])
+  | "memref.dealloc" ->
+    let m = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    finish_op st blk results (Ir.create_op "memref.dealloc" ~operands:[ m ])
+  | "memref.load" ->
+    let m = read_value st in
+    expect st "[";
+    let idx = if looking_at st "]" then [] else read_value_list st in
+    expect st "]";
+    expect st ":";
+    let mt = read_type st in
+    let elem =
+      match Typ.element_type mt with
+      | Some e -> e
+      | None -> error "memref.load: not a memref type"
+    in
+    finish_op st blk results
+      (Ir.create_op "memref.load" ~operands:(m :: idx) ~result_types:[ elem ])
+  | "memref.store" ->
+    let v = read_value st in
+    expect st ",";
+    let m = read_value st in
+    expect st "[";
+    let idx = if looking_at st "]" then [] else read_value_list st in
+    expect st "]";
+    expect st ":";
+    let _ = read_type st in
+    finish_op st blk results (Ir.create_op "memref.store" ~operands:(v :: m :: idx))
+  | "memref.copy" ->
+    let s = read_value st in
+    expect st ",";
+    let d = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    expect st "to";
+    let _ = read_type st in
+    finish_op st blk results (Ir.create_op "memref.copy" ~operands:[ s; d ])
+  | "tensor.dim" ->
+    let t = read_value st in
+    expect st ",";
+    let i = read_value st in
+    expect st ":";
+    let _tt = read_type st in
+    finish_op st blk results
+      (Ir.create_op "tensor.dim" ~operands:[ t; i ] ~result_types:[ Typ.index ])
+  | "tensor.splat" ->
+    let v = read_value st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op "tensor.splat" ~operands:[ v ] ~result_types:[ t ])
+  | "tensor.from_elements" ->
+    let vs = read_value_list st in
+    expect st ":";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op "tensor.from_elements" ~operands:vs ~result_types:[ t ])
+  | "linalg.matmul" | "linalg.add" ->
+    expect st "ins";
+    expect st "(";
+    let a = read_value st in
+    expect st ",";
+    let b = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    expect st ",";
+    let _ = read_type st in
+    expect st ")";
+    expect st "outs";
+    expect st "(";
+    let init = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    expect st ")";
+    expect st "->";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op name ~operands:[ a; b; init ] ~result_types:[ t ])
+  | "linalg.fill" ->
+    expect st "ins";
+    expect st "(";
+    let v = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    expect st ")";
+    expect st "outs";
+    expect st "(";
+    let init = read_value st in
+    expect st ":";
+    let _ = read_type st in
+    expect st ")";
+    expect st "->";
+    let t = read_type st in
+    finish_op st blk results
+      (Ir.create_op "linalg.fill" ~operands:[ v; init ] ~result_types:[ t ])
+  | other -> error "unknown operation %s (use the generic \"...\" form)" other
+
+and parse_func st blk results : Ir.op =
+  if results <> [] then error "func.func produces no results";
+  expect st "@";
+  let fname = read_ident st in
+  expect st "(";
+  let args = ref [] in
+  (if not (eat st ")") then
+     let rec go () =
+       let n = read_value_name st in
+       expect st ":";
+       let t = read_type st in
+       args := (n, t) :: !args;
+       if eat st "," then go () else expect st ")"
+     in
+     go ());
+  let args = List.rev !args in
+  let ret_types = if eat st "->" then parse_result_types st else [] in
+  let fattrs = if eat st "attributes" then read_attr_dict st else [] in
+  expect st "{";
+  (* functions are separate value scopes *)
+  let st' = { st with values = Hashtbl.create 64 } in
+  let entry = Ir.create_block ~arg_types:(List.map snd args) () in
+  List.iteri (fun i (n, _) -> bind st' n entry.Ir.blk_args.(i)) args;
+  parse_block_body st' entry;
+  expect st "}";
+  let op =
+    Ir.create_op "func.func"
+      ~attrs:
+        (fattrs
+        @ [
+            ("sym_name", Attr.String fname);
+            ("function_type", Attr.Type (Typ.Function (List.map snd args, ret_types)));
+          ])
+      ~regions:[ Ir.create_region [ entry ] ]
+  in
+  Ir.append_op blk op;
+  op
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Parse a whole module.  The [module { ... }] wrapper is optional. *)
+let parse_module (src : string) : Ir.op =
+  Registry.ensure_registered ();
+  let st = { c = { Typ.src; pos = 0 }; values = Hashtbl.create 64 } in
+  let m = Ir.create_module () in
+  let blk = Ir.module_block m in
+  let wrapped = eat st "module" in
+  if wrapped then expect st "{";
+  let rec go () =
+    skip_ws st;
+    if st.c.pos >= String.length src then ()
+    else if looking_at st "}" then ()
+    else begin
+      ignore (parse_op st blk);
+      go ()
+    end
+  in
+  go ();
+  if wrapped then expect st "}";
+  skip_ws st;
+  if st.c.pos <> String.length src then
+    error "trailing input at position %d" st.c.pos;
+  m
+
+(** Parse a single function given as [func.func @f(...) { ... }] into a
+    fresh module; returns the module. *)
+let parse_function_module (src : string) : Ir.op = parse_module src

@@ -1,0 +1,13 @@
+(** Parser for the MLIR textual format (the subset this project prints):
+    the pretty forms of all registered dialects plus the generic form
+    ["name"(%operands) ({regions}) {attrs} : (tys) -> tys].  Any output of
+    {!Printer} round-trips.  SSA values must be defined before use;
+    functions are independent naming scopes. *)
+
+exception Error of string
+
+(** Parse a whole module; the [module { ... }] wrapper is optional. *)
+val parse_module : string -> Ir.op
+
+(** Alias of {!parse_module} (a bare function parses into a fresh module). *)
+val parse_function_module : string -> Ir.op

@@ -1,0 +1,274 @@
+(** Printing IR back to MLIR textual syntax.
+
+    Common operations print in their pretty (custom) form; everything else
+    falls back to the generic form
+    ["name"(%operands) ({regions}) {attrs} : (operand types) -> result types],
+    which the parser always accepts.  [Parser.parse_module (to_string m)]
+    round-trips any module built from registered dialects. *)
+
+open Ir
+
+type namer = {
+  names : (int, string) Hashtbl.t;  (** value id -> printed name (no %) *)
+  mutable next_result : int;
+  mutable next_arg : int;
+}
+
+let make_namer () = { names = Hashtbl.create 64; next_result = 0; next_arg = 0 }
+
+let name_value n (v : value) =
+  match Hashtbl.find_opt n.names v.v_id with
+  | Some s -> s
+  | None ->
+    let s =
+      match v.v_def with
+      | Block_arg _ ->
+        let s = Printf.sprintf "arg%d" n.next_arg in
+        n.next_arg <- n.next_arg + 1;
+        s
+      | Op_result _ ->
+        let s = string_of_int n.next_result in
+        n.next_result <- n.next_result + 1;
+        s
+    in
+    Hashtbl.replace n.names v.v_id s;
+    s
+
+let pv n ppf v = Fmt.pf ppf "%%%s" (name_value n v)
+let pvs n ppf vs = Fmt.(list ~sep:(any ", ") (pv n)) ppf vs
+let ptys ppf tys = Fmt.(list ~sep:(any ", ") Typ.pp) ppf tys
+
+let fastmath_suffix op =
+  match Ir.attr op "fastmath" with
+  | Some (Attr.Fastmath Attr.Fm_none) | None -> ""
+  | Some (Attr.Fastmath fm) -> Printf.sprintf " fastmath<%s>" (Attr.fastmath_repr fm)
+  | Some _ -> ""
+
+let pred_name table op =
+  match Ir.attr op "predicate" with
+  | Some (Attr.Int (p, _))
+    when Int64.to_int p >= 0 && Int64.to_int p < Array.length table ->
+    table.(Int64.to_int p)
+  | _ -> "?"
+
+let rec pp_op n ind ppf (op : op) =
+  let pad = String.make ind ' ' in
+  Fmt.pf ppf "%s" pad;
+  (match Array.to_list op.results with
+  | [] -> ()
+  | rs -> Fmt.pf ppf "%a = " (pvs n) rs);
+  pp_op_body n ind ppf op;
+  Fmt.pf ppf "\n"
+
+and pp_op_body n ind ppf (op : op) =
+  let operand i = op.operands.(i) in
+  match op.op_name with
+  | "arith.constant" -> (
+    match Ir.attr op "value" with
+    | Some (Attr.Int (v, t)) -> Fmt.pf ppf "arith.constant %Ld : %a" v Typ.pp t
+    | Some (Attr.Float (v, t)) ->
+      Fmt.pf ppf "arith.constant %s : %a" (Attr.float_repr v) Typ.pp t
+    | Some a -> Fmt.pf ppf "arith.constant %a" Attr.pp a
+    | None -> Fmt.pf ppf "arith.constant <missing>")
+  | "arith.addi" | "arith.subi" | "arith.muli" | "arith.divsi" | "arith.divui"
+  | "arith.remsi" | "arith.remui" | "arith.shli" | "arith.shrsi" | "arith.shrui"
+  | "arith.andi" | "arith.ori" | "arith.xori" | "arith.minsi" | "arith.maxsi"
+  | "arith.minui" | "arith.maxui" ->
+    Fmt.pf ppf "%s %a, %a : %a" op.op_name (pv n) (operand 0) (pv n) (operand 1) Typ.pp
+      (operand 0).v_type
+  | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf" | "arith.maximumf"
+  | "arith.minimumf" ->
+    Fmt.pf ppf "%s %a, %a%s : %a" op.op_name (pv n) (operand 0) (pv n) (operand 1)
+      (fastmath_suffix op) Typ.pp (operand 0).v_type
+  | "arith.negf" ->
+    Fmt.pf ppf "arith.negf %a%s : %a" (pv n) (operand 0) (fastmath_suffix op) Typ.pp
+      (operand 0).v_type
+  | "arith.cmpi" ->
+    Fmt.pf ppf "arith.cmpi %s, %a, %a : %a"
+      (pred_name Attr.cmpi_predicates op)
+      (pv n) (operand 0) (pv n) (operand 1) Typ.pp (operand 0).v_type
+  | "arith.cmpf" ->
+    Fmt.pf ppf "arith.cmpf %s, %a, %a%s : %a"
+      (pred_name Attr.cmpf_predicates op)
+      (pv n) (operand 0) (pv n) (operand 1) (fastmath_suffix op) Typ.pp
+      (operand 0).v_type
+  | "arith.select" ->
+    Fmt.pf ppf "arith.select %a, %a, %a : %a" (pv n) (operand 0) (pv n) (operand 1)
+      (pv n) (operand 2) Typ.pp (operand 1).v_type
+  | "arith.index_cast" | "arith.sitofp" | "arith.fptosi" | "arith.truncf"
+  | "arith.extf" | "arith.bitcast" ->
+    Fmt.pf ppf "%s %a : %a to %a" op.op_name (pv n) (operand 0) Typ.pp
+      (operand 0).v_type Typ.pp op.results.(0).v_type
+  | "math.sqrt" | "math.rsqrt" | "math.sin" | "math.cos" | "math.exp" | "math.log"
+  | "math.log2" | "math.absf" | "math.tanh" ->
+    Fmt.pf ppf "%s %a%s : %a" op.op_name (pv n) (operand 0) (fastmath_suffix op)
+      Typ.pp (operand 0).v_type
+  | "math.powf" ->
+    Fmt.pf ppf "math.powf %a, %a%s : %a" (pv n) (operand 0) (pv n) (operand 1)
+      (fastmath_suffix op) Typ.pp (operand 0).v_type
+  | "math.fma" ->
+    Fmt.pf ppf "math.fma %a, %a, %a%s : %a" (pv n) (operand 0) (pv n) (operand 1)
+      (pv n) (operand 2) (fastmath_suffix op) Typ.pp (operand 0).v_type
+  | "func.return" ->
+    if Array.length op.operands = 0 then Fmt.pf ppf "func.return"
+    else
+      Fmt.pf ppf "func.return %a : %a" (pvs n) (Array.to_list op.operands) ptys
+        (List.map (fun v -> v.v_type) (Array.to_list op.operands))
+  | "func.call" ->
+    let callee =
+      match Ir.attr op "callee" with Some (Attr.Symbol_ref s) -> s | _ -> "?"
+    in
+    Fmt.pf ppf "func.call @%s(%a) : (%a) -> %a" callee (pvs n)
+      (Array.to_list op.operands) ptys
+      (List.map (fun v -> v.v_type) (Array.to_list op.operands))
+      Typ.pp_results
+      (List.map (fun v -> v.v_type) (Array.to_list op.results))
+  | "scf.yield" ->
+    if Array.length op.operands = 0 then Fmt.pf ppf "scf.yield"
+    else
+      Fmt.pf ppf "scf.yield %a : %a" (pvs n) (Array.to_list op.operands) ptys
+        (List.map (fun v -> v.v_type) (Array.to_list op.operands))
+  | "scf.for" ->
+    let body = entry_block (List.hd op.regions) in
+    let iv = body.blk_args.(0) in
+    let iters = Array.length op.operands - 3 in
+    Fmt.pf ppf "scf.for %a = %a to %a step %a" (pv n) iv (pv n) (operand 0) (pv n)
+      (operand 1) (pv n) (operand 2);
+    if iters > 0 then begin
+      let pairs =
+        List.init iters (fun i -> (body.blk_args.(i + 1), op.operands.(i + 3)))
+      in
+      Fmt.pf ppf " iter_args(%a)"
+        Fmt.(
+          list ~sep:(any ", ") (fun ppf (a, init) ->
+              Fmt.pf ppf "%a = %a" (pv n) a (pv n) init))
+        pairs;
+      Fmt.pf ppf " -> (%a)" ptys
+        (List.map (fun v -> v.v_type) (Array.to_list op.results))
+    end;
+    Fmt.pf ppf " {\n";
+    List.iter (pp_op n (ind + 2) ppf) body.blk_ops;
+    Fmt.pf ppf "%s}" (String.make ind ' ')
+  | "scf.if" ->
+    Fmt.pf ppf "scf.if %a" (pv n) (operand 0);
+    if Array.length op.results > 0 then
+      Fmt.pf ppf " -> (%a)" ptys (List.map (fun v -> v.v_type) (Array.to_list op.results));
+    let pad = String.make ind ' ' in
+    (match op.regions with
+    | [ then_r; else_r ] ->
+      Fmt.pf ppf " {\n";
+      List.iter (pp_op n (ind + 2) ppf) (entry_block then_r).blk_ops;
+      Fmt.pf ppf "%s}" pad;
+      if (entry_block else_r).blk_ops <> [] then begin
+        Fmt.pf ppf " else {\n";
+        List.iter (pp_op n (ind + 2) ppf) (entry_block else_r).blk_ops;
+        Fmt.pf ppf "%s}" pad
+      end
+    | _ -> Fmt.pf ppf " <malformed regions>")
+  | "tensor.empty" ->
+    Fmt.pf ppf "tensor.empty() : %a" Typ.pp op.results.(0).v_type
+  | "tensor.extract" ->
+    Fmt.pf ppf "tensor.extract %a[%a] : %a" (pv n) (operand 0) (pvs n)
+      (Array.to_list (Array.sub op.operands 1 (Array.length op.operands - 1)))
+      Typ.pp (operand 0).v_type
+  | "tensor.insert" ->
+    Fmt.pf ppf "tensor.insert %a into %a[%a] : %a" (pv n) (operand 0) (pv n)
+      (operand 1) (pvs n)
+      (Array.to_list (Array.sub op.operands 2 (Array.length op.operands - 2)))
+      Typ.pp (operand 1).v_type
+  | "memref.alloc" -> Fmt.pf ppf "memref.alloc() : %a" Typ.pp op.results.(0).v_type
+  | "memref.dealloc" ->
+    Fmt.pf ppf "memref.dealloc %a : %a" (pv n) (operand 0) Typ.pp (operand 0).v_type
+  | "memref.load" ->
+    Fmt.pf ppf "memref.load %a[%a] : %a" (pv n) (operand 0) (pvs n)
+      (Array.to_list (Array.sub op.operands 1 (Array.length op.operands - 1)))
+      Typ.pp (operand 0).v_type
+  | "memref.store" ->
+    Fmt.pf ppf "memref.store %a, %a[%a] : %a" (pv n) (operand 0) (pv n) (operand 1)
+      (pvs n)
+      (Array.to_list (Array.sub op.operands 2 (Array.length op.operands - 2)))
+      Typ.pp (operand 1).v_type
+  | "memref.copy" ->
+    Fmt.pf ppf "memref.copy %a, %a : %a to %a" (pv n) (operand 0) (pv n) (operand 1)
+      Typ.pp (operand 0).v_type Typ.pp (operand 1).v_type
+  | "tensor.dim" ->
+    Fmt.pf ppf "tensor.dim %a, %a : %a" (pv n) (operand 0) (pv n) (operand 1) Typ.pp
+      (operand 0).v_type
+  | "tensor.splat" ->
+    Fmt.pf ppf "tensor.splat %a : %a" (pv n) (operand 0) Typ.pp op.results.(0).v_type
+  | "tensor.from_elements" ->
+    Fmt.pf ppf "tensor.from_elements %a : %a" (pvs n) (Array.to_list op.operands)
+      Typ.pp op.results.(0).v_type
+  | "linalg.matmul" | "linalg.add" ->
+    Fmt.pf ppf "%s ins(%a, %a : %a, %a) outs(%a : %a) -> %a" op.op_name (pv n)
+      (operand 0) (pv n) (operand 1) Typ.pp (operand 0).v_type Typ.pp
+      (operand 1).v_type (pv n) (operand 2) Typ.pp (operand 2).v_type Typ.pp
+      op.results.(0).v_type
+  | "linalg.fill" ->
+    Fmt.pf ppf "linalg.fill ins(%a : %a) outs(%a : %a) -> %a" (pv n) (operand 0)
+      Typ.pp (operand 0).v_type (pv n) (operand 1) Typ.pp (operand 1).v_type Typ.pp
+      op.results.(0).v_type
+  | "func.func" -> pp_func n ind ppf op
+  | _ -> pp_generic n ind ppf op
+
+and pp_func _outer ind ppf (op : op) =
+  (* each function gets a fresh namer so value numbers restart *)
+  let n = make_namer () in
+  let name = func_name op in
+  let _, rets = func_type op in
+  let body = func_body op in
+  let pad = String.make ind ' ' in
+  Fmt.pf ppf "func.func @%s(%a)" name
+    Fmt.(
+      list ~sep:(any ", ") (fun ppf a -> Fmt.pf ppf "%a: %a" (pv n) a Typ.pp a.v_type))
+    (Array.to_list body.blk_args);
+  (match rets with [] -> () | _ -> Fmt.pf ppf " -> %a" Typ.pp_results rets);
+  Fmt.pf ppf " {\n";
+  List.iter (pp_op n (ind + 2) ppf) body.blk_ops;
+  Fmt.pf ppf "%s}" pad
+
+and pp_generic n ind ppf (op : op) =
+  Fmt.pf ppf "\"%s\"(%a)" op.op_name (pvs n) (Array.to_list op.operands);
+  if op.regions <> [] then begin
+    Fmt.pf ppf " (%a)"
+      Fmt.(list ~sep:(any ", ") (fun ppf r -> pp_region n ind ppf r))
+      op.regions
+  end;
+  let attrs = op.attrs in
+  if attrs <> [] then
+    Fmt.pf ppf " {%a}" Fmt.(list ~sep:(any ", ") Attr.pp_named) attrs;
+  Fmt.pf ppf " : (%a) -> %a" ptys
+    (List.map (fun v -> v.v_type) (Array.to_list op.operands))
+    Typ.pp_results
+    (List.map (fun v -> v.v_type) (Array.to_list op.results))
+
+and pp_region n ind ppf (r : region) =
+  let pad = String.make ind ' ' in
+  Fmt.pf ppf "{\n";
+  List.iter
+    (fun (b : block) ->
+      if Array.length b.blk_args > 0 || List.length r.blocks > 1 then
+        Fmt.pf ppf "%s^bb(%a):\n" pad
+          Fmt.(
+            list ~sep:(any ", ") (fun ppf a ->
+                Fmt.pf ppf "%a: %a" (pv n) a Typ.pp a.v_type))
+          (Array.to_list b.blk_args);
+      List.iter (pp_op n (ind + 2) ppf) b.blk_ops)
+    r.blocks;
+  Fmt.pf ppf "%s}" pad
+
+(** Print a whole module. *)
+let pp_module ppf (m : op) =
+  Fmt.pf ppf "module {\n";
+  List.iter
+    (fun op ->
+      let n = make_namer () in
+      pp_op n 2 ppf op)
+    (module_ops m);
+  Fmt.pf ppf "}\n"
+
+let module_to_string m = Fmt.str "%a" pp_module m
+
+(** Print a single op (with a fresh namer; cross-op value names will not be
+    consistent — useful for debugging). *)
+let op_to_string op = Fmt.str "%a" (pp_op (make_namer ()) 0) op

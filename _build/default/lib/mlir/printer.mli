@@ -1,0 +1,12 @@
+(** Printing IR back to MLIR textual syntax.  Common operations print in
+    their pretty form; everything else falls back to the generic form,
+    which {!Parser} always accepts — modules round-trip. *)
+
+(** Print a whole module. *)
+val pp_module : Format.formatter -> Ir.op -> unit
+
+val module_to_string : Ir.op -> string
+
+(** Print a single op with a fresh namer (for debugging; value names are
+    not consistent across calls). *)
+val op_to_string : Ir.op -> string

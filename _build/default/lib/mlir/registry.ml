@@ -1,0 +1,19 @@
+(** One-stop registration of every built-in dialect.
+
+    OCaml has no static initializers that run on linking, so entry points
+    (parsers, pipelines, tests) call {!ensure_registered} before touching
+    the registry.  Idempotent. *)
+
+let registered = ref false
+
+let ensure_registered () =
+  if not !registered then begin
+    registered := true;
+    D_func.register ();
+    D_arith.register ();
+    D_math.register ();
+    D_scf.register ();
+    D_tensor.register ();
+    D_memref.register ();
+    D_linalg.register ()
+  end

@@ -1,0 +1,4 @@
+(** One-stop registration of every built-in dialect.  Entry points call
+    {!ensure_registered} before touching the registry; idempotent. *)
+
+val ensure_registered : unit -> unit

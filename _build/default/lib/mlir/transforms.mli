@@ -1,0 +1,29 @@
+(** IR transformations: constant folding, CSE, DCE, and canonicalization
+    (MLIR's [-canonicalize] equivalent: folding + redundancy elimination to
+    a fixed point).
+
+    Canonicalization is deliberately conservative — no strength reduction
+    or re-association; those are exactly the optimizations the paper
+    expresses in Egglog. *)
+
+(** If the value is produced by a constant-like op, its value attribute. *)
+val constant_value : Ir.value -> Attr.t option
+
+(** Try to fold one op; rewrites uses within [root] and returns true on
+    success. *)
+val try_fold : root:Ir.op -> Ir.op -> bool
+
+(** Remove pure ops whose results are unused, to a fixed point.  Regions of
+    unregistered ops are left untouched (an unknown op may give meaning to
+    nested values).  Returns the number removed. *)
+val dce : Ir.op -> int
+
+(** Common-subexpression elimination within each block (pure, region-free,
+    single-result ops; the key includes result types).  Returns the number
+    removed. *)
+val cse : Ir.op -> int
+
+type stats = { mutable folds : int; mutable cse_removed : int; mutable dce_removed : int }
+
+(** Folding + CSE + DCE to a fixed point over a module or function. *)
+val canonicalize : Ir.op -> stats

@@ -1,0 +1,275 @@
+(** The MLIR builtin type system (the subset DialEgg predefines).
+
+    Types are immutable values compared structurally.  The printer follows
+    MLIR's textual syntax ([i64], [f32], [tensor<2x3xf64>], ...) so that
+    serialized types round-trip through {!of_string}. *)
+
+type float_kind = F16 | F32 | F64
+
+type t =
+  | Integer of int  (** [iN]; [i1] doubles as bool *)
+  | Float of float_kind
+  | Index
+  | None_type
+  | Complex of t
+  | Tuple of t list
+  | Ranked_tensor of int list * t  (** dimensions; [-1] encodes a dynamic [?] *)
+  | Unranked_tensor of t
+  | Memref of int list * t
+  | Function of t list * t list
+  | Opaque of string * string  (** serialized form, short name *)
+
+let i1 = Integer 1
+let i8 = Integer 8
+let i16 = Integer 16
+let i32 = Integer 32
+let i64 = Integer 64
+let f16 = Float F16
+let f32 = Float F32
+let f64 = Float F64
+let index = Index
+
+let equal (a : t) (b : t) = a = b
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let is_integer = function Integer _ -> true | _ -> false
+let is_float = function Float _ -> true | _ -> false
+let is_index = function Index -> true | _ -> false
+
+(** Integer width; indexes count as 64-bit. *)
+let int_width = function
+  | Integer n -> n
+  | Index -> 64
+  | t -> invalid_arg (Fmt.str "int_width: not an integer type (%d)" (Obj.tag (Obj.repr t)))
+
+let is_int_or_index t = is_integer t || is_index t
+
+(** Element type of a tensor or memref. *)
+let element_type = function
+  | Ranked_tensor (_, e) | Unranked_tensor e | Memref (_, e) -> Some e
+  | _ -> None
+
+(** Shape of a ranked tensor or memref. *)
+let shape = function
+  | Ranked_tensor (dims, _) | Memref (dims, _) -> Some dims
+  | _ -> None
+
+let is_shaped t = shape t <> None
+
+(** Number of elements in a static shape. *)
+let num_elements dims = List.fold_left ( * ) 1 dims
+
+let pp_float_kind ppf k =
+  Fmt.string ppf (match k with F16 -> "f16" | F32 -> "f32" | F64 -> "f64")
+
+let rec pp ppf (t : t) =
+  match t with
+  | Integer n -> Fmt.pf ppf "i%d" n
+  | Float k -> pp_float_kind ppf k
+  | Index -> Fmt.string ppf "index"
+  | None_type -> Fmt.string ppf "none"
+  | Complex e -> Fmt.pf ppf "complex<%a>" pp e
+  | Tuple ts -> Fmt.pf ppf "tuple<%a>" Fmt.(list ~sep:(any ", ") pp) ts
+  | Ranked_tensor (dims, e) -> Fmt.pf ppf "tensor<%a%a>" pp_dims dims pp e
+  | Unranked_tensor e -> Fmt.pf ppf "tensor<*x%a>" pp e
+  | Memref (dims, e) -> Fmt.pf ppf "memref<%a%a>" pp_dims dims pp e
+  | Function (args, rets) ->
+    Fmt.pf ppf "(%a) -> %a"
+      Fmt.(list ~sep:(any ", ") pp)
+      args pp_results rets
+  | Opaque (_, name) -> Fmt.pf ppf "!%s" name
+
+and pp_dims ppf dims =
+  List.iter (fun d -> if d < 0 then Fmt.string ppf "?x" else Fmt.pf ppf "%dx" d) dims
+
+and pp_results ppf = function
+  | [ (Function _ as t) ] ->
+    (* a lone function-type result must be parenthesized to stay parseable *)
+    Fmt.pf ppf "(%a)" pp t
+  | [ t ] -> pp ppf t
+  | ts -> Fmt.pf ppf "(%a)" Fmt.(list ~sep:(any ", ") pp) ts
+
+let to_string t = Fmt.str "%a" pp t
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+(** A small recursive-descent reader over a string cursor; shared with the
+    main MLIR parser, which delegates type syntax here. *)
+type cursor = { src : string; mutable pos : int }
+
+let peek_char c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let eat_string c s =
+  let n = String.length s in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = s then begin
+    c.pos <- c.pos + n;
+    true
+  end
+  else false
+
+let expect_string c s =
+  if not (eat_string c s) then
+    raise (Parse_error (Fmt.str "expected %S at position %d in %S" s c.pos c.src))
+
+let skip_spaces c =
+  while
+    match peek_char c with
+    | Some (' ' | '\t' | '\n') ->
+      c.pos <- c.pos + 1;
+      true
+    | _ -> false
+  do
+    ()
+  done
+
+let read_int c =
+  let start = c.pos in
+  if peek_char c = Some '-' then c.pos <- c.pos + 1;
+  while match peek_char c with Some ('0' .. '9') -> c.pos <- c.pos + 1; true | _ -> false do
+    ()
+  done;
+  if c.pos = start then raise (Parse_error (Fmt.str "expected an integer at %d in %S" start c.src));
+  int_of_string (String.sub c.src start (c.pos - start))
+
+let read_ident c =
+  let start = c.pos in
+  while
+    match peek_char c with
+    | Some ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '.') ->
+      c.pos <- c.pos + 1;
+      true
+    | _ -> false
+  do
+    ()
+  done;
+  String.sub c.src start (c.pos - start)
+
+(** Parse dims like [2x3x] or [?x10x] followed by an element type. *)
+let rec read_shaped c =
+  let dims = ref [] in
+  let rec loop () =
+    skip_spaces c;
+    match peek_char c with
+    | Some '?' ->
+      c.pos <- c.pos + 1;
+      expect_string c "x";
+      dims := -1 :: !dims;
+      loop ()
+    | Some ('0' .. '9') ->
+      let save = c.pos in
+      let n = read_int c in
+      if eat_string c "x" then begin
+        dims := n :: !dims;
+        loop ()
+      end
+      else begin
+        (* not a dim: could be e.g. i64 element? digits alone can't start a type *)
+        c.pos <- save;
+        ()
+      end
+    | _ -> ()
+  in
+  loop ();
+  let elem = read_type c in
+  (List.rev !dims, elem)
+
+and read_type c : t =
+  skip_spaces c;
+  if eat_string c "tensor<" then begin
+    if eat_string c "*x" then begin
+      let e = read_type c in
+      expect_string c ">";
+      Unranked_tensor e
+    end
+    else begin
+      let dims, e = read_shaped c in
+      expect_string c ">";
+      Ranked_tensor (dims, e)
+    end
+  end
+  else if eat_string c "memref<" then begin
+    let dims, e = read_shaped c in
+    expect_string c ">";
+    Memref (dims, e)
+  end
+  else if eat_string c "complex<" then begin
+    let e = read_type c in
+    expect_string c ">";
+    Complex e
+  end
+  else if eat_string c "tuple<" then begin
+    let rec elems acc =
+      let e = read_type c in
+      skip_spaces c;
+      if eat_string c "," then elems (e :: acc) else List.rev (e :: acc)
+    in
+    let ts = elems [] in
+    expect_string c ">";
+    Tuple ts
+  end
+  else if eat_string c "index" then Index
+  else if eat_string c "none" then None_type
+  else if eat_string c "(" then begin
+    (* function type *)
+    let rec args acc =
+      skip_spaces c;
+      if eat_string c ")" then List.rev acc
+      else begin
+        let e = read_type c in
+        skip_spaces c;
+        ignore (eat_string c ",");
+        args (e :: acc)
+      end
+    in
+    let a = args [] in
+    skip_spaces c;
+    expect_string c "->";
+    skip_spaces c;
+    let rets =
+      if eat_string c "(" then begin
+        let rec rets acc =
+          skip_spaces c;
+          if eat_string c ")" then List.rev acc
+          else begin
+            let e = read_type c in
+            skip_spaces c;
+            ignore (eat_string c ",");
+            rets (e :: acc)
+          end
+        in
+        rets []
+      end
+      else [ read_type c ]
+    in
+    Function (a, rets)
+  end
+  else if eat_string c "!" then begin
+    let name = read_ident c in
+    Opaque ("!" ^ name, name)
+  end
+  else
+    match peek_char c with
+    | Some 'i' ->
+      c.pos <- c.pos + 1;
+      Integer (read_int c)
+    | Some 'f' ->
+      c.pos <- c.pos + 1;
+      (match read_int c with
+      | 16 -> Float F16
+      | 32 -> Float F32
+      | 64 -> Float F64
+      | n -> raise (Parse_error (Fmt.str "unsupported float width f%d" n)))
+    | _ -> raise (Parse_error (Fmt.str "cannot parse type at %d in %S" c.pos c.src))
+
+(** Parse a type from its MLIR textual form. *)
+let of_string s =
+  let c = { src = s; pos = 0 } in
+  let t = read_type c in
+  skip_spaces c;
+  if c.pos <> String.length s then
+    raise (Parse_error (Fmt.str "trailing characters after type in %S" s));
+  t

@@ -1,0 +1,82 @@
+(** The MLIR builtin type system (the subset DialEgg predefines).
+
+    Types are immutable and compared structurally; the printer follows
+    MLIR's textual syntax so that serialized types round-trip through
+    {!of_string}. *)
+
+type float_kind = F16 | F32 | F64
+
+type t =
+  | Integer of int  (** [iN]; [i1] doubles as bool *)
+  | Float of float_kind
+  | Index
+  | None_type
+  | Complex of t
+  | Tuple of t list
+  | Ranked_tensor of int list * t  (** dimensions; [-1] encodes a dynamic [?] *)
+  | Unranked_tensor of t
+  | Memref of int list * t
+  | Function of t list * t list
+  | Opaque of string * string  (** serialized form, short name *)
+
+val i1 : t
+val i8 : t
+val i16 : t
+val i32 : t
+val i64 : t
+val f16 : t
+val f32 : t
+val f64 : t
+val index : t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val is_integer : t -> bool
+val is_float : t -> bool
+val is_index : t -> bool
+val is_int_or_index : t -> bool
+
+(** Bit width of an integer type; [index] counts as 64.
+    @raise Invalid_argument on other types. *)
+val int_width : t -> int
+
+(** Element type of a tensor or memref. *)
+val element_type : t -> t option
+
+(** Static shape of a ranked tensor or memref. *)
+val shape : t -> int list option
+
+val is_shaped : t -> bool
+
+(** Product of static dimensions. *)
+val num_elements : int list -> int
+
+val pp_float_kind : Format.formatter -> float_kind -> unit
+val pp : Format.formatter -> t -> unit
+
+(** Print a result-type list: one type bare (function types parenthesized),
+    several in parentheses. *)
+val pp_results : Format.formatter -> t list -> unit
+
+val to_string : t -> string
+
+(** {1 Parsing} *)
+
+exception Parse_error of string
+
+(** A cursor over source text; shared with the MLIR parser, which delegates
+    type syntax here. *)
+type cursor = { src : string; mutable pos : int }
+
+val peek_char : cursor -> char option
+val eat_string : cursor -> string -> bool
+val expect_string : cursor -> string -> unit
+val skip_spaces : cursor -> unit
+val read_int : cursor -> int
+val read_ident : cursor -> string
+
+(** Parse one type starting at the cursor. *)
+val read_type : cursor -> t
+
+(** Parse a complete type from its MLIR textual form. *)
+val of_string : string -> t

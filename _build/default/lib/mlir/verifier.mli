@@ -1,0 +1,15 @@
+(** IR verification: SSA dominance, arity checks and per-op verifiers.
+
+    Within a block, every operand must be defined by an earlier op in the
+    same block, a block argument of an enclosing block, or an op in an
+    enclosing scope preceding the region-holding ancestor. *)
+
+type error = { e_op : string; e_msg : string }
+
+val pp_error : Format.formatter -> error -> unit
+
+(** Verify a module or any op; returns all errors found. *)
+val verify : Ir.op -> error list
+
+(** @raise Failure with a readable message on any error. *)
+val verify_exn : Ir.op -> unit

@@ -1,0 +1,1 @@
+lib/workloads/benchmark.ml: Array Float Hashtbl Int64 List Mlir Option Printf String

@@ -1,0 +1,1 @@
+lib/workloads/img_conv.ml: Array Benchmark Dialegg Int64 Printf Rng

@@ -1,0 +1,1 @@
+lib/workloads/matmul_chain.ml: Array Benchmark Buffer Dialegg List Printf Rng

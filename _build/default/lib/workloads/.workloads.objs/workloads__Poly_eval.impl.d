@@ -1,0 +1,1 @@
+lib/workloads/poly_eval.ml: Array Benchmark Dialegg Mlir Printf Rng

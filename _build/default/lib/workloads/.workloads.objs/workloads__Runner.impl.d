@@ -1,0 +1,1 @@
+lib/workloads/runner.ml: Array Benchmark Dialegg Float List Mlir Option String Unix

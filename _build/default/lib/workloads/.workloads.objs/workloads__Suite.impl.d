@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Benchmark Img_conv List Matmul_chain Poly_eval Vec_norm

@@ -1,0 +1,1 @@
+lib/workloads/vec_norm.ml: Array Benchmark Dialegg Float Int32 Printf Rng

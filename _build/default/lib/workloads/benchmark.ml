@@ -1,0 +1,103 @@
+(** Common shape of an evaluation benchmark (paper §8.2).
+
+    A benchmark provides the MLIR program (as source text, so the parser is
+    exercised on every run), the Egglog rule set DialEgg applies to it, an
+    input generator, and an output checker against an OCaml reference
+    implementation. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;  (** MLIR source at a given problem scale *)
+  rules : string;  (** Egglog rules for DialEgg *)
+  main_func : string;  (** entry point for the interpreter *)
+  default_scale : int;  (** scaled-down default (see DESIGN.md §2) *)
+  paper_scale : int;  (** the size used in the paper *)
+  make_input : scale:int -> seed:int -> Mlir.Interp.rv list;
+  check :
+    scale:int ->
+    input:Mlir.Interp.rv list ->
+    output:Mlir.Interp.rv list ->
+    (unit, string) result;
+}
+
+(** Parse and verify the benchmark module at [scale]. *)
+let build (b : t) ~scale : Mlir.Ir.op =
+  let m = Mlir.Parser.parse_module (b.source ~scale) in
+  Mlir.Verifier.verify_exn m;
+  m
+
+let float_tensor (shape : int list) (data : float array) : Mlir.Interp.rv =
+  Mlir.Interp.Rt { shape = Array.of_list shape; data = Mlir.Interp.Df data }
+
+let int_tensor (shape : int list) (data : int64 array) : Mlir.Interp.rv =
+  Mlir.Interp.Rt { shape = Array.of_list shape; data = Mlir.Interp.Di data }
+
+let as_float_data (rv : Mlir.Interp.rv) : float array =
+  match rv with
+  | Mlir.Interp.Rt { data = Mlir.Interp.Df a; _ } -> a
+  | _ -> failwith "expected a float tensor"
+
+let as_int_data (rv : Mlir.Interp.rv) : int64 array =
+  match rv with
+  | Mlir.Interp.Rt { data = Mlir.Interp.Di a; _ } -> a
+  | _ -> failwith "expected an integer tensor"
+
+(** Compare float arrays with relative tolerance.  [abs_floor] bounds the
+    denominator from below so that catastrophic cancellation near zero does
+    not produce spurious relative errors. *)
+let check_floats ?(tol = 1e-9) ?(abs_floor = 1e-30) (expected : float array)
+    (actual : float array) : (unit, string) result =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "length mismatch: expected %d, got %d" (Array.length expected)
+         (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e ->
+        let a = actual.(i) in
+        let err = Float.abs (e -. a) /. Float.max abs_floor (Float.abs e) in
+        if err > tol && !bad = None then bad := Some (i, e, a, err))
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, a, err) ->
+      Error (Printf.sprintf "element %d: expected %.9g, got %.9g (rel err %.2e)" i e a err)
+  end
+
+let check_ints (expected : int64 array) (actual : int64 array) : (unit, string) result =
+  if Array.length expected <> Array.length actual then
+    Error
+      (Printf.sprintf "length mismatch: expected %d, got %d" (Array.length expected)
+         (Array.length actual))
+  else begin
+    let bad = ref None in
+    Array.iteri
+      (fun i e -> if not (Int64.equal e actual.(i)) && !bad = None then bad := Some (i, e, actual.(i)))
+      expected;
+    match !bad with
+    | None -> Ok ()
+    | Some (i, e, a) -> Error (Printf.sprintf "element %d: expected %Ld, got %Ld" i e a)
+  end
+
+(** Count ops per dialect in a module (Table 1 columns). *)
+let dialect_counts (m : Mlir.Ir.op) : (string * int) list =
+  let counts = Hashtbl.create 8 in
+  Mlir.Ir.walk_op
+    (fun op ->
+      if op.Mlir.Ir.op_name <> "builtin.module" && op.Mlir.Ir.op_name <> "func.func" then begin
+        let d = Mlir.Ir.op_dialect op in
+        Hashtbl.replace counts d (1 + Option.value ~default:0 (Hashtbl.find_opt counts d))
+      end)
+    m;
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(** Total op count of a module (Table 2 "#Ops"), functions included. *)
+let op_count (m : Mlir.Ir.op) =
+  let n = ref 0 in
+  Mlir.Ir.walk_op
+    (fun op -> if op.Mlir.Ir.op_name <> "builtin.module" then incr n)
+    m;
+  !n

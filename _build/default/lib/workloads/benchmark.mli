@@ -1,0 +1,40 @@
+(** Common shape of an evaluation benchmark (paper §8.2): the MLIR program
+    (as source text, so the parser is exercised), the Egglog rule set, an
+    input generator, and an output checker against an OCaml reference. *)
+
+type t = {
+  name : string;
+  description : string;
+  source : scale:int -> string;  (** MLIR source at a given problem scale *)
+  rules : string;  (** Egglog rules for DialEgg *)
+  main_func : string;  (** entry point for the interpreter *)
+  default_scale : int;  (** scaled-down default (DESIGN.md §2) *)
+  paper_scale : int;  (** the size used in the paper *)
+  make_input : scale:int -> seed:int -> Mlir.Interp.rv list;
+  check :
+    scale:int ->
+    input:Mlir.Interp.rv list ->
+    output:Mlir.Interp.rv list ->
+    (unit, string) result;
+}
+
+(** Parse and verify the benchmark module at [scale]. *)
+val build : t -> scale:int -> Mlir.Ir.op
+
+val float_tensor : int list -> float array -> Mlir.Interp.rv
+val int_tensor : int list -> int64 array -> Mlir.Interp.rv
+val as_float_data : Mlir.Interp.rv -> float array
+val as_int_data : Mlir.Interp.rv -> int64 array
+
+(** Compare with relative tolerance; [abs_floor] bounds the denominator so
+    cancellation near zero does not produce spurious errors. *)
+val check_floats :
+  ?tol:float -> ?abs_floor:float -> float array -> float array -> (unit, string) result
+
+val check_ints : int64 array -> int64 array -> (unit, string) result
+
+(** Ops per dialect in a module (Table 1 columns). *)
+val dialect_counts : Mlir.Ir.op -> (string * int) list
+
+(** Total op count (Table 2's #Ops). *)
+val op_count : Mlir.Ir.op -> int

@@ -1,0 +1,84 @@
+(** Benchmark 1 — converting an RGB image to grayscale (paper §8.2).
+
+    For each pixel: [gray = (77·R + 150·G + 29·B) / 256].  The division by
+    256 is what DialEgg's div-by-power-of-two rule (listing 7) turns into a
+    shift; MLIR canonicalization leaves it alone.
+
+    Scale parameter: image height; width is [16·scale/9] (the paper uses
+    2160×3840, the default here is 144×256 — the op mix per pixel, and
+    therefore the speedup shape, is size-invariant). *)
+
+let width_of_height h = h * 16 / 9
+
+let source ~scale =
+  let h = scale in
+  let w = width_of_height h in
+  Printf.sprintf
+    {|
+func.func @img_to_gray(%%img: tensor<%dx%dx3xi64>) -> tensor<%dx%dxi64> {
+  %%c0 = arith.constant 0 : index
+  %%c1 = arith.constant 1 : index
+  %%c2 = arith.constant 2 : index
+  %%h = arith.constant %d : index
+  %%w = arith.constant %d : index
+  %%w77 = arith.constant 77 : i64
+  %%w150 = arith.constant 150 : i64
+  %%w29 = arith.constant 29 : i64
+  %%c256 = arith.constant 256 : i64
+  %%init = tensor.empty() : tensor<%dx%dxi64>
+  %%out = scf.for %%i = %%c0 to %%h step %%c1 iter_args(%%acc = %%init) -> (tensor<%dx%dxi64>) {
+    %%row = scf.for %%j = %%c0 to %%w step %%c1 iter_args(%%acc2 = %%acc) -> (tensor<%dx%dxi64>) {
+      %%r = tensor.extract %%img[%%i, %%j, %%c0] : tensor<%dx%dx3xi64>
+      %%g = tensor.extract %%img[%%i, %%j, %%c1] : tensor<%dx%dx3xi64>
+      %%b = tensor.extract %%img[%%i, %%j, %%c2] : tensor<%dx%dx3xi64>
+      %%tr = arith.muli %%r, %%w77 : i64
+      %%tg = arith.muli %%g, %%w150 : i64
+      %%tb = arith.muli %%b, %%w29 : i64
+      %%s1 = arith.addi %%tr, %%tg : i64
+      %%s2 = arith.addi %%s1, %%tb : i64
+      %%gray = arith.divsi %%s2, %%c256 : i64
+      %%acc3 = tensor.insert %%gray into %%acc2[%%i, %%j] : tensor<%dx%dxi64>
+      scf.yield %%acc3 : tensor<%dx%dxi64>
+    }
+    scf.yield %%row : tensor<%dx%dxi64>
+  }
+  func.return %%out : tensor<%dx%dxi64>
+}
+|}
+    h w h w h w h w h w h w h w h w h w h w h w h w h w
+
+let make_input ~scale ~seed =
+  let h = scale in
+  let w = width_of_height h in
+  let rng = Rng.create seed in
+  let data = Array.init (h * w * 3) (fun _ -> Int64.of_int (Rng.int rng 256)) in
+  [ Benchmark.int_tensor [ h; w; 3 ] data ]
+
+let reference (img : int64 array) n =
+  Array.init n (fun p ->
+      let r = img.((p * 3) + 0) and g = img.((p * 3) + 1) and b = img.((p * 3) + 2) in
+      let open Int64 in
+      div (add (add (mul 77L r) (mul 150L g)) (mul 29L b)) 256L)
+
+let check ~scale ~input ~output =
+  let h = scale in
+  let w = width_of_height h in
+  match (input, output) with
+  | [ img ], [ out ] ->
+    Benchmark.check_ints
+      (reference (Benchmark.as_int_data img) (h * w))
+      (Benchmark.as_int_data out)
+  | _ -> Error "unexpected input/output arity"
+
+let benchmark : Benchmark.t =
+  {
+    name = "img-conv";
+    description = "RGB image to grayscale; weighted sum with division by 256";
+    source;
+    rules = Dialegg.Rules.div_pow2;
+    main_func = "img_to_gray";
+    default_scale = 144;
+    paper_scale = 2160;
+    make_input;
+    check;
+  }

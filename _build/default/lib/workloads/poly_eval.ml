@@ -1,0 +1,79 @@
+(** Benchmark 3 — polynomial evaluation (paper §8.2).
+
+    Evaluates N cubic polynomials [c0 + c1·x + c2·x² + c3·x³] at a fixed
+    point, written naively with [math.powf].  DialEgg's Horner rule set
+    (§7.5) rewrites each evaluation into Horner form, eliminating the
+    exponentiations. *)
+
+let source ~scale =
+  let n = scale in
+  Printf.sprintf
+    {|
+func.func @poly_eval(%%coeffs: tensor<%dx4xf64>, %%x: f64) -> tensor<%dxf64> {
+  %%i0 = arith.constant 0 : index
+  %%i1 = arith.constant 1 : index
+  %%i2 = arith.constant 2 : index
+  %%i3 = arith.constant 3 : index
+  %%n = arith.constant %d : index
+  %%two = arith.constant 2.0 : f64
+  %%three = arith.constant 3.0 : f64
+  %%init = tensor.empty() : tensor<%dxf64>
+  %%out = scf.for %%i = %%i0 to %%n step %%i1 iter_args(%%acc = %%init) -> (tensor<%dxf64>) {
+    %%c0 = tensor.extract %%coeffs[%%i, %%i0] : tensor<%dx4xf64>
+    %%c1 = tensor.extract %%coeffs[%%i, %%i1] : tensor<%dx4xf64>
+    %%c2 = tensor.extract %%coeffs[%%i, %%i2] : tensor<%dx4xf64>
+    %%c3 = tensor.extract %%coeffs[%%i, %%i3] : tensor<%dx4xf64>
+    %%x2 = math.powf %%x, %%two : f64
+    %%x3 = math.powf %%x, %%three : f64
+    %%t1 = arith.mulf %%c1, %%x : f64
+    %%t2 = arith.mulf %%c2, %%x2 : f64
+    %%t3 = arith.mulf %%c3, %%x3 : f64
+    %%s1 = arith.addf %%c0, %%t1 : f64
+    %%s2 = arith.addf %%s1, %%t2 : f64
+    %%v = arith.addf %%s2, %%t3 : f64
+    %%acc2 = tensor.insert %%v into %%acc[%%i] : tensor<%dxf64>
+    scf.yield %%acc2 : tensor<%dxf64>
+  }
+  func.return %%out : tensor<%dxf64>
+}
+|}
+    n n n n n n n n n n n n
+
+let eval_point = 1.7
+
+let make_input ~scale ~seed =
+  let n = scale in
+  let rng = Rng.create seed in
+  let data = Array.init (n * 4) (fun _ -> Rng.float_range rng (-10.0) 10.0) in
+  [ Benchmark.float_tensor [ n; 4 ] data; Mlir.Interp.Rf (eval_point, Mlir.Typ.F64) ]
+
+let reference (coeffs : float array) n x =
+  Array.init n (fun i ->
+      let c0 = coeffs.(i * 4)
+      and c1 = coeffs.((i * 4) + 1)
+      and c2 = coeffs.((i * 4) + 2)
+      and c3 = coeffs.((i * 4) + 3) in
+      c0 +. (c1 *. x) +. (c2 *. (x ** 2.)) +. (c3 *. (x ** 3.)))
+
+let check ~scale ~input ~output =
+  match (input, output) with
+  | [ coeffs; Mlir.Interp.Rf (x, _) ], [ out ] ->
+    (* Horner reassociates float ops; allow rounding differences, and an
+       absolute floor against cancellation near zero *)
+    Benchmark.check_floats ~tol:1e-9 ~abs_floor:1e-6
+      (reference (Benchmark.as_float_data coeffs) scale x)
+      (Benchmark.as_float_data out)
+  | _ -> Error "unexpected input/output arity"
+
+let benchmark : Benchmark.t =
+  {
+    name = "poly";
+    description = "evaluate N cubic polynomials at a point (Horner's method)";
+    source;
+    rules = Dialegg.Rules.horner;
+    main_func = "poly_eval";
+    default_scale = 20_000;
+    paper_scale = 1_000_000;
+    make_input;
+    check;
+  }

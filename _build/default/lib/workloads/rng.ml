@@ -1,0 +1,27 @@
+(** A small deterministic PRNG (splitmix64) for reproducible workload data.
+
+    Benchmarks must not depend on [Random]'s global state: every workload
+    seeds its own generator so runs are bit-identical across machines. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_i64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(** Uniform integer in [0, bound). *)
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Int64.to_int (Int64.unsigned_rem (next_i64 t) (Int64.of_int bound))
+
+(** Uniform float in [0, 1). *)
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_i64 t) 11) /. 9007199254740992.0
+
+(** Uniform float in [lo, hi). *)
+let float_range t lo hi = lo +. ((hi -. lo) *. float t)

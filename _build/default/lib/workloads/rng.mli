@@ -1,0 +1,16 @@
+(** A small deterministic PRNG (splitmix64) so workload data is
+    bit-identical across machines and runs. *)
+
+type t
+
+val create : int -> t
+val next_i64 : t -> int64
+
+(** Uniform integer in [0, bound). *)
+val int : t -> int -> int
+
+(** Uniform float in [0, 1). *)
+val float : t -> float
+
+(** Uniform float in [lo, hi). *)
+val float_range : t -> float -> float -> float

@@ -1,0 +1,129 @@
+(** Experiment runner: applies each optimization variant (Fig. 3's bars) to
+    a benchmark, executes it on seeded data, verifies the output against the
+    OCaml reference, and reports the cycle cost proxy and wall-clock time. *)
+
+type variant =
+  | Baseline  (** no optimization *)
+  | Canon  (** MLIR canonicalization only *)
+  | Dialegg  (** DialEgg equality saturation only *)
+  | Dialegg_canon  (** DialEgg then canonicalization *)
+  | Handwritten  (** the greedy C++-style matmul pass (2MM/3MM only) *)
+
+let variant_name = function
+  | Baseline -> "baseline"
+  | Canon -> "canon"
+  | Dialegg -> "dialegg"
+  | Dialegg_canon -> "dialegg+canon"
+  | Handwritten -> "handwritten"
+
+let all_variants = [ Baseline; Canon; Dialegg; Dialegg_canon ]
+
+(** Which variants apply to a benchmark (Handwritten only for matmuls). *)
+let variants_for (b : Benchmark.t) =
+  if String.length b.name >= 2 && String.sub b.name 1 2 = "MM" then
+    all_variants @ [ Handwritten ]
+  else all_variants
+
+type prepared = {
+  p_module : Mlir.Ir.op;
+  p_pipeline : Dialegg.Pipeline.timings option;  (** set for DialEgg variants *)
+  p_canon_time : float;
+  p_handwritten_time : float;
+  p_prepare_time : float;  (** total optimization wall time *)
+}
+
+(** Parse the benchmark at [scale] and apply [variant]'s optimizations. *)
+let prepare ?(config = Dialegg.Pipeline.default_config) (b : Benchmark.t) ~scale
+    (variant : variant) : prepared =
+  let t0 = Unix.gettimeofday () in
+  let m = Benchmark.build b ~scale in
+  let pipeline = ref None in
+  let canon_time = ref 0.0 in
+  let hand_time = ref 0.0 in
+  let run_dialegg () =
+    let cfg = { config with Dialegg.Pipeline.rules = b.rules } in
+    pipeline := Some (Dialegg.Pipeline.optimize_module ~config:cfg ~only:[ b.main_func ] m)
+  in
+  let run_canon () =
+    let t = Unix.gettimeofday () in
+    ignore (Mlir.Transforms.canonicalize m);
+    canon_time := Unix.gettimeofday () -. t
+  in
+  (match variant with
+  | Baseline -> ()
+  | Canon -> run_canon ()
+  | Dialegg -> run_dialegg ()
+  | Dialegg_canon ->
+    run_dialegg ();
+    run_canon ()
+  | Handwritten ->
+    let t = Unix.gettimeofday () in
+    ignore (Mlir.Matmul_reassoc.run m);
+    hand_time := Unix.gettimeofday () -. t);
+  Mlir.Verifier.verify_exn m;
+  {
+    p_module = m;
+    p_pipeline = !pipeline;
+    p_canon_time = !canon_time;
+    p_handwritten_time = !hand_time;
+    p_prepare_time = Unix.gettimeofday () -. t0;
+  }
+
+type measurement = {
+  m_variant : variant;
+  m_cycles : int;  (** cost proxy of one execution *)
+  m_wall : float;  (** median wall-clock seconds over the runs *)
+  m_check : (unit, string) result;
+  m_prepared : prepared;
+}
+
+let median (xs : float list) =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  a.(Array.length a / 2)
+
+(** Run the prepared module [runs] times; the paper reports the median of
+    eleven runs, we default to five. *)
+let measure ?(runs = 5) ?(seed = 1234) (b : Benchmark.t) ~scale (p : prepared)
+    (variant : variant) : measurement =
+  let input = b.make_input ~scale ~seed in
+  let result = ref None in
+  let walls =
+    List.init runs (fun _ ->
+        (* fresh input per run: the interpreter mutates tensors in place *)
+        let input = b.make_input ~scale ~seed in
+        let r = Mlir.Interp.run p.p_module b.main_func input in
+        result := Some r;
+        r.Mlir.Interp.wall_time)
+  in
+  let r = Option.get !result in
+  let check =
+    b.check ~scale ~input ~output:r.Mlir.Interp.values
+  in
+  {
+    m_variant = variant;
+    m_cycles = r.Mlir.Interp.cycles;
+    m_wall = median walls;
+    m_check = check;
+    m_prepared = p;
+  }
+
+(** Full Fig. 3 data point: run every applicable variant of [b]. *)
+let run_all_variants ?config ?runs ?seed (b : Benchmark.t) ~scale : measurement list =
+  List.map
+    (fun v ->
+      let p = prepare ?config b ~scale v in
+      measure ?runs ?seed b ~scale p v)
+    (variants_for b)
+
+(** Speedup of each variant over the baseline, in cost-proxy cycles. *)
+let speedups (ms : measurement list) : (variant * float * float) list =
+  match List.find_opt (fun m -> m.m_variant = Baseline) ms with
+  | None -> []
+  | Some base ->
+    List.map
+      (fun m ->
+        ( m.m_variant,
+          float_of_int base.m_cycles /. float_of_int (max 1 m.m_cycles),
+          base.m_wall /. Float.max 1e-9 m.m_wall ))
+      ms

@@ -1,0 +1,53 @@
+(** Experiment runner: apply each optimization variant (Fig. 3's bars) to a
+    benchmark, execute it on seeded data, verify the output against the
+    OCaml reference, and report the cycle cost proxy and wall time. *)
+
+type variant =
+  | Baseline  (** no optimization *)
+  | Canon  (** MLIR canonicalization only *)
+  | Dialegg  (** DialEgg equality saturation only *)
+  | Dialegg_canon  (** DialEgg then canonicalization *)
+  | Handwritten  (** the greedy C++-style matmul pass (2MM/3MM only) *)
+
+val variant_name : variant -> string
+val all_variants : variant list
+
+(** Which variants apply ([Handwritten] only for matmul benchmarks). *)
+val variants_for : Benchmark.t -> variant list
+
+type prepared = {
+  p_module : Mlir.Ir.op;
+  p_pipeline : Dialegg.Pipeline.timings option;  (** set for DialEgg variants *)
+  p_canon_time : float;
+  p_handwritten_time : float;
+  p_prepare_time : float;
+}
+
+(** Parse the benchmark at [scale] and apply the variant's optimizations. *)
+val prepare :
+  ?config:Dialegg.Pipeline.config -> Benchmark.t -> scale:int -> variant -> prepared
+
+type measurement = {
+  m_variant : variant;
+  m_cycles : int;  (** cost proxy of one execution *)
+  m_wall : float;  (** median wall-clock seconds *)
+  m_check : (unit, string) result;
+  m_prepared : prepared;
+}
+
+(** Run the prepared module; the paper reports the median of eleven runs,
+    default here is five. *)
+val measure :
+  ?runs:int -> ?seed:int -> Benchmark.t -> scale:int -> prepared -> variant -> measurement
+
+(** One Fig. 3 data point: every applicable variant. *)
+val run_all_variants :
+  ?config:Dialegg.Pipeline.config ->
+  ?runs:int ->
+  ?seed:int ->
+  Benchmark.t ->
+  scale:int ->
+  measurement list
+
+(** (variant, cycle-proxy speedup, wall speedup) over the baseline. *)
+val speedups : measurement list -> (variant * float * float) list

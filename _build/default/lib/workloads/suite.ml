@@ -1,0 +1,53 @@
+(** The benchmark suite: the paper's five benchmarks (Table 1). *)
+
+let all : Benchmark.t list =
+  [
+    Img_conv.benchmark;
+    Vec_norm.benchmark;
+    Poly_eval.benchmark;
+    Matmul_chain.benchmark_2mm;
+    Matmul_chain.benchmark_3mm;
+  ]
+
+let find name = List.find_opt (fun (b : Benchmark.t) -> b.name = name) all
+
+(** Which dialects each paper benchmark uses (Table 1, qualitatively: the
+    PDF table's exact numbers did not survive text extraction, but §8.2
+    states the dialect mix: all benchmarks use scf/func/tensor; img-conv,
+    vec-norm and poly use arith; vec-norm and poly use math; only the
+    matmul benchmarks use linalg).  1 = used, 0 = unused. *)
+let paper_table1 =
+  [
+    ("img-conv", [ ("scf", 1); ("func", 1); ("tensor", 1); ("arith", 1); ("math", 0); ("linalg", 0) ]);
+    ("vec-norm", [ ("scf", 1); ("func", 1); ("tensor", 1); ("arith", 1); ("math", 1); ("linalg", 0) ]);
+    ("poly", [ ("scf", 1); ("func", 1); ("tensor", 1); ("arith", 1); ("math", 1); ("linalg", 0) ]);
+    ("2MM", [ ("scf", 0); ("func", 1); ("tensor", 1); ("arith", 0); ("math", 0); ("linalg", 1) ]);
+    ("3MM", [ ("scf", 0); ("func", 1); ("tensor", 1); ("arith", 0); ("math", 0); ("linalg", 1) ]);
+  ]
+
+(** Paper-reported Table 2 rows (times in milliseconds):
+    (name, #rules, #ops, mlir->egg, egglog total, saturation, egg->mlir,
+     canon, c++ pass). *)
+let paper_table2 =
+  [
+    ("img-conv", 1, 29, 0.3, 14.6, 0.1, 0.2, 0.1, nan);
+    ("vec-norm", 1, 44, 0.4, 21.6, 0.1, 0.2, 0.1, nan);
+    ("poly", 8, 26, 0.3, 18.9, 0.2, 0.2, 2.0, nan);
+    ("2MM", 5, 6, 0.2, 8.6, 0.1, 0.1, 0.1, 0.1);
+    ("3MM", 5, 8, 0.2, 8.7, 1.0, 0.1, 0.1, 0.1);
+    ("10MM", 5, 22, 0.2, 14.4, 4.0, 0.3, 0.1, 0.2);
+    ("20MM", 5, 42, 0.3, 41.3, 23.0, 0.7, 0.2, 0.3);
+    ("40MM", 5, 82, 0.4, 296.2, 235.0, 1.4, 0.3, 0.6);
+    ("80MM", 5, 162, 0.5, 4939.3, 3732.0, 6.8, 1.3, 0.6);
+  ]
+
+(** Paper-reported Fig. 3 speedups (approximate, read off the figure):
+    benchmark -> (dialegg, canon, dialegg+canon, handwritten-pass option). *)
+let paper_fig3 =
+  [
+    ("img-conv", (1.17, 1.0, 1.17, None));
+    ("vec-norm", (1.08, 1.0, 1.08, None));
+    ("poly", (1.07, 1.0, 1.12, None));
+    ("2MM", (1.48, 1.0, 1.48, Some 1.48));
+    ("3MM", (13.9, 1.0, 13.9, Some 1.9));
+  ]

@@ -1,0 +1,19 @@
+(** The benchmark suite: the paper's five benchmarks (Table 1) plus the
+    paper's reported numbers for side-by-side comparison in the harness. *)
+
+val all : Benchmark.t list
+val find : string -> Benchmark.t option
+
+(** Which dialects each paper benchmark uses (qualitative Table 1; 1 =
+    used).  The PDF's exact counts did not survive text extraction; this
+    follows §8.2's prose. *)
+val paper_table1 : (string * (string * int) list) list
+
+(** Paper Table 2 rows, times in ms: (name, #rules, #ops, mlir→egg, egglog
+    total, saturation, egg→mlir, canon, c++ pass; [nan] = not applicable). *)
+val paper_table2 :
+  (string * int * int * float * float * float * float * float * float) list
+
+(** Paper Fig. 3 speedups (approximate, read off the figure):
+    benchmark -> (dialegg, canon, dialegg+canon, hand-written pass). *)
+val paper_fig3 : (string * (float * float * float * float option)) list

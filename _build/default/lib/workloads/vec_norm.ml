@@ -1,0 +1,91 @@
+(** Benchmark 2 — inverse vector norms (paper §8.2).
+
+    For each of N 3-D vectors, computes [1 / sqrt(x² + y² + z²)] in
+    fast-math mode.  DialEgg's attribute-based rule (listing 8) replaces
+    the [1/sqrt] pattern with a call to [@fast_inv_sqrt] — the Quake III
+    bit-trick routine, included in the module (and dead in the baseline).
+
+    The result is approximate (one Newton step, ≲0.2% relative error), so
+    the checker uses a loose tolerance that both variants satisfy. *)
+
+let source ~scale =
+  let n = scale in
+  Printf.sprintf
+    {|
+func.func @vec_norm(%%vs: tensor<%dx3xf32>) -> tensor<%dxf32> {
+  %%c0 = arith.constant 0 : index
+  %%c1i = arith.constant 1 : index
+  %%c2 = arith.constant 2 : index
+  %%n = arith.constant %d : index
+  %%one = arith.constant 1.0 : f32
+  %%init = tensor.empty() : tensor<%dxf32>
+  %%out = scf.for %%i = %%c0 to %%n step %%c1i iter_args(%%acc = %%init) -> (tensor<%dxf32>) {
+    %%x = tensor.extract %%vs[%%i, %%c0] : tensor<%dx3xf32>
+    %%y = tensor.extract %%vs[%%i, %%c1i] : tensor<%dx3xf32>
+    %%z = tensor.extract %%vs[%%i, %%c2] : tensor<%dx3xf32>
+    %%xx = arith.mulf %%x, %%x fastmath<fast> : f32
+    %%yy = arith.mulf %%y, %%y fastmath<fast> : f32
+    %%zz = arith.mulf %%z, %%z fastmath<fast> : f32
+    %%s1 = arith.addf %%xx, %%yy fastmath<fast> : f32
+    %%s2 = arith.addf %%s1, %%zz fastmath<fast> : f32
+    %%norm = math.sqrt %%s2 fastmath<fast> : f32
+    %%inv = arith.divf %%one, %%norm fastmath<fast> : f32
+    %%acc2 = tensor.insert %%inv into %%acc[%%i] : tensor<%dxf32>
+    scf.yield %%acc2 : tensor<%dxf32>
+  }
+  func.return %%out : tensor<%dxf32>
+}
+
+func.func @fast_inv_sqrt(%%x: f32) -> f32 {
+  %%bits = arith.bitcast %%x : f32 to i32
+  %%c1 = arith.constant 1 : i32
+  %%half_bits = arith.shrsi %%bits, %%c1 : i32
+  %%magic = arith.constant 1597463007 : i32
+  %%guess_bits = arith.subi %%magic, %%half_bits : i32
+  %%y0 = arith.bitcast %%guess_bits : i32 to f32
+  %%half = arith.constant 0.5 : f32
+  %%three_halves = arith.constant 1.5 : f32
+  %%hx = arith.mulf %%half, %%x fastmath<fast> : f32
+  %%yy = arith.mulf %%y0, %%y0 fastmath<fast> : f32
+  %%t = arith.mulf %%hx, %%yy fastmath<fast> : f32
+  %%s = arith.subf %%three_halves, %%t fastmath<fast> : f32
+  %%y1 = arith.mulf %%y0, %%s fastmath<fast> : f32
+  func.return %%y1 : f32
+}
+|}
+    n n n n n n n n n n n
+
+let make_input ~scale ~seed =
+  let n = scale in
+  let rng = Rng.create seed in
+  let data = Array.init (n * 3) (fun _ -> Rng.float_range rng 0.1 100.0) in
+  (* store as f32-representable values *)
+  let data = Array.map (fun v -> Int32.float_of_bits (Int32.bits_of_float v)) data in
+  [ Benchmark.float_tensor [ n; 3 ] data ]
+
+let reference (vs : float array) n =
+  Array.init n (fun i ->
+      let x = vs.(i * 3) and y = vs.((i * 3) + 1) and z = vs.((i * 3) + 2) in
+      1.0 /. Float.sqrt ((x *. x) +. (y *. y) +. (z *. z)))
+
+let check ~scale ~input ~output =
+  match (input, output) with
+  | [ vs ], [ out ] ->
+    (* loose tolerance: the fast_inv_sqrt variant is approximate *)
+    Benchmark.check_floats ~tol:5e-3
+      (reference (Benchmark.as_float_data vs) scale)
+      (Benchmark.as_float_data out)
+  | _ -> Error "unexpected input/output arity"
+
+let benchmark : Benchmark.t =
+  {
+    name = "vec-norm";
+    description = "inverse norm of N 3-D vectors under fastmath<fast>";
+    source;
+    rules = Dialegg.Rules.fast_inv_sqrt;
+    main_func = "vec_norm";
+    default_scale = 20_000;
+    paper_scale = 1_000_000;
+    make_input;
+    check;
+  }

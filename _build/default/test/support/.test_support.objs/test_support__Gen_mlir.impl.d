@@ -1,0 +1,1 @@
+test/support/gen_mlir.ml: Array Int64 List Mlir QCheck

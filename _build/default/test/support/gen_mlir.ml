@@ -1,0 +1,145 @@
+(* QCheck generators for random MLIR programs and types, used by the
+   parser/printer round-trip and semantics-preservation property tests. *)
+
+open QCheck.Gen
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let scalar_type : Mlir.Typ.t t =
+  oneofl
+    [ Mlir.Typ.i1; Mlir.Typ.i8; Mlir.Typ.i32; Mlir.Typ.i64; Mlir.Typ.f32; Mlir.Typ.f64; Mlir.Typ.index ]
+
+let rec typ n : Mlir.Typ.t t =
+  if n <= 0 then scalar_type
+  else
+    frequency
+      [
+        (4, scalar_type);
+        ( 1,
+          let* dims = list_size (int_range 1 3) (int_range 1 8) in
+          let* e = scalar_type in
+          return (Mlir.Typ.Ranked_tensor (dims, e)) );
+        ( 1,
+          let* e = typ (n - 1) in
+          return (Mlir.Typ.Complex e) );
+        ( 1,
+          let* ts = list_size (int_range 1 3) (typ (n - 1)) in
+          return (Mlir.Typ.Tuple ts) );
+        ( 1,
+          let* e = scalar_type in
+          return (Mlir.Typ.Unranked_tensor e) );
+        ( 1,
+          let* args = list_size (int_range 0 2) (typ (n - 1)) in
+          let* rets = list_size (int_range 1 2) (typ (n - 1)) in
+          return (Mlir.Typ.Function (args, rets)) );
+      ]
+
+let any_type = sized (fun n -> typ (min n 3))
+
+(* ------------------------------------------------------------------ *)
+(* Straight-line integer programs                                      *)
+(*                                                                     *)
+(* A program is a list of instructions over i64 values; each refers to *)
+(* previously defined values by index.  Used to build (a) MLIR modules *)
+(* and (b) a reference OCaml evaluation.                               *)
+(* ------------------------------------------------------------------ *)
+
+type instr =
+  | Const of int64
+  | Binop of string * int * int  (* op name, operand indices *)
+
+let binops =
+  [ "arith.addi"; "arith.subi"; "arith.muli"; "arith.andi"; "arith.ori";
+    "arith.xori"; "arith.minsi"; "arith.maxsi"; "arith.shli"; "arith.shrsi" ]
+
+let instr_gen (n_defined : int) : instr t =
+  frequency
+    [
+      (2, map (fun v -> Const (Int64.of_int (v - 128))) (int_bound 256));
+      ( 6,
+        let* op = oneofl binops in
+        let* a = int_bound (n_defined - 1) in
+        let* b = int_bound (n_defined - 1) in
+        return (Binop (op, a, b)) );
+    ]
+
+type program = { n_args : int; instrs : instr list }
+
+let program_gen : program t =
+  let* n_args = int_range 1 3 in
+  let* n_instrs = int_range 1 15 in
+  let rec go i acc =
+    if i >= n_instrs then return (List.rev acc)
+    else
+      let* ins = instr_gen (n_args + i) in
+      go (i + 1) (ins :: acc)
+  in
+  let* instrs = go 0 [] in
+  return { n_args; instrs }
+
+(** Build an MLIR module [func.func \@f(args: i64...) -> i64]. *)
+let to_module (p : program) : Mlir.Ir.op =
+  Mlir.Registry.ensure_registered ();
+  let m = Mlir.Ir.create_module () in
+  let arg_types = List.init p.n_args (fun _ -> Mlir.Typ.i64) in
+  let _f, blk = Mlir.D_func.add_func m ~name:"f" ~arg_types ~ret_types:[ Mlir.Typ.i64 ] in
+  let values = ref (Array.to_list blk.Mlir.Ir.blk_args) in
+  let value i = List.nth !values i in
+  List.iter
+    (fun ins ->
+      let v =
+        match ins with
+        | Const c -> Mlir.D_arith.const_int blk c
+        | Binop (op, a, b) ->
+          (* shift amounts must be small; replace the rhs with a masked
+             constant so semantics stay well-defined *)
+          if op = "arith.shli" || op = "arith.shrsi" then begin
+            let amt = Mlir.D_arith.const_int blk (Int64.of_int (b mod 63)) in
+            Mlir.D_arith.binary op blk (value a) amt
+          end
+          else Mlir.D_arith.binary op blk (value a) (value b)
+      in
+      values := !values @ [ v ])
+    p.instrs;
+  let last = List.nth !values (List.length !values - 1) in
+  ignore (Mlir.D_func.return blk [ last ]);
+  m
+
+(** Reference evaluation in OCaml (i64 semantics, width 64). *)
+let eval (p : program) (args : int64 list) : int64 =
+  let values = ref (Array.of_list args) in
+  let push v = values := Array.append !values [| v |] in
+  List.iter
+    (fun ins ->
+      let v i = !values.(i) in
+      match ins with
+      | Const c -> push c
+      | Binop (op, a, b) ->
+        let r =
+          match op with
+          | "arith.addi" -> Int64.add (v a) (v b)
+          | "arith.subi" -> Int64.sub (v a) (v b)
+          | "arith.muli" -> Int64.mul (v a) (v b)
+          | "arith.andi" -> Int64.logand (v a) (v b)
+          | "arith.ori" -> Int64.logor (v a) (v b)
+          | "arith.xori" -> Int64.logxor (v a) (v b)
+          | "arith.minsi" -> Int64.min (v a) (v b)
+          | "arith.maxsi" -> Int64.max (v a) (v b)
+          | "arith.shli" -> Int64.shift_left (v a) (b mod 63)
+          | "arith.shrsi" -> Int64.shift_right (v a) (b mod 63)
+          | _ -> assert false
+        in
+        push r)
+    p.instrs;
+  !values.(Array.length !values - 1)
+
+let run_module (m : Mlir.Ir.op) (args : int64 list) : int64 =
+  let r = Mlir.Interp.run m "f" (List.map (fun a -> Mlir.Interp.Ri (a, 64)) args) in
+  match r.Mlir.Interp.values with
+  | [ Mlir.Interp.Ri (v, _) ] -> v
+  | _ -> failwith "unexpected result"
+
+let args_gen (p : program) : int64 list t =
+  list_repeat p.n_args (map Int64.of_int (int_range (-1000) 1000))

@@ -1,0 +1,899 @@
+(* Tests for the Egglog engine: s-expressions, union-find, e-graph
+   invariants, e-matching, extraction, primitives, and whole-program
+   behaviour on the paper's §2.3 example. *)
+
+open Egglog
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Sexp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_sexp_atoms () =
+  (match Sexp.parse_string "foo 42 ?x" with
+  | [ Atom "foo"; Atom "42"; Atom "?x" ] -> ()
+  | _ -> Alcotest.fail "unexpected parse");
+  match Sexp.parse_string {|"a string" (nested (list) "s")|} with
+  | [ Str "a string"; List [ Atom "nested"; List [ Atom "list" ]; Str "s" ] ] -> ()
+  | _ -> Alcotest.fail "unexpected parse"
+
+let test_sexp_comments () =
+  match Sexp.parse_string "; comment\n(a b) ; trailing\n(c)" with
+  | [ List [ Atom "a"; Atom "b" ]; List [ Atom "c" ] ] -> ()
+  | _ -> Alcotest.fail "comments mishandled"
+
+let test_sexp_escapes () =
+  match Sexp.parse_string {|"line\nbreak \"quoted\" back\\slash"|} with
+  | [ Str s ] -> checks "escaped" "line\nbreak \"quoted\" back\\slash" s
+  | _ -> Alcotest.fail "string escapes"
+
+let test_sexp_errors () =
+  let fails s =
+    match Sexp.parse_string s with
+    | exception Sexp.Parse_error _ -> ()
+    | _ -> Alcotest.fail ("expected parse error for " ^ s)
+  in
+  fails "(unclosed";
+  fails ")";
+  fails "(mismatched]";
+  fails {|"unterminated|}
+
+let test_sexp_roundtrip () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:200
+       (QCheck.make
+          (QCheck.Gen.sized (fun n ->
+               let open QCheck.Gen in
+               fix
+                 (fun self n ->
+                   if n <= 0 then
+                     oneof
+                       [
+                         map (fun s -> Sexp.Atom ("a" ^ string_of_int s)) small_nat;
+                         map (fun s -> Sexp.Str s) (string_size ~gen:printable (return 4));
+                       ]
+                   else
+                     map (fun l -> Sexp.List l) (list_size (int_bound 4) (self (n / 2))))
+                 n)))
+       (fun s ->
+         let printed = Sexp.to_string s in
+         match Sexp.parse_string printed with [ s' ] -> s = s' | _ -> false))
+
+(* ------------------------------------------------------------------ *)
+(* Union-find                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_uf_basic () =
+  let uf = Union_find.create () in
+  let a = Union_find.fresh uf and b = Union_find.fresh uf and c = Union_find.fresh uf in
+  checkb "fresh distinct" false (Union_find.same uf a b);
+  ignore (Union_find.union uf a b);
+  checkb "a~b" true (Union_find.same uf a b);
+  checkb "a!~c" false (Union_find.same uf a c);
+  ignore (Union_find.union uf b c);
+  checkb "transitive" true (Union_find.same uf a c)
+
+let test_uf_props () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"union-find: random unions form consistent partition" ~count:100
+       QCheck.(pair (int_bound 30) (small_list (pair (int_bound 29) (int_bound 29))))
+       (fun (n, unions) ->
+         let n = max 2 n in
+         let uf = Union_find.create () in
+         for _ = 1 to n do
+           ignore (Union_find.fresh uf)
+         done;
+         (* model: simple set partition *)
+         let repr = Array.init n Fun.id in
+         let rec find i = if repr.(i) = i then i else find repr.(i) in
+         List.iter
+           (fun (a, b) ->
+             if a < n && b < n then begin
+               ignore (Union_find.union uf a b);
+               repr.(find a) <- find b
+             end)
+           unions;
+         let ok = ref true in
+         for i = 0 to n - 1 do
+           for j = 0 to n - 1 do
+             if Union_find.same uf i j <> (find i = find j) then ok := false
+           done
+         done;
+         !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Primitives                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_primitives () =
+  let open Value in
+  let eq name expected actual = checkb name true (Value.equal expected actual) in
+  eq "add" (I64 5L) (Primitives.apply "+" [ I64 2L; I64 3L ]);
+  eq "fadd" (F64 5.5) (Primitives.apply "+" [ F64 2.5; F64 3.0 ]);
+  eq "concat" (Str "ab") (Primitives.apply "+" [ Str "a"; Str "b" ]);
+  eq "log2" (I64 8L) (Primitives.apply "log2" [ I64 256L ]);
+  eq "pow" (I64 256L) (Primitives.apply "pow" [ I64 2L; I64 8L ]);
+  eq "cmp" (Bool true) (Primitives.apply ">=" [ F64 1.0; F64 1.0 ]);
+  eq "vec-get" (I64 3L) (Primitives.apply "vec-get" [ Vec [| I64 2L; I64 3L |]; I64 1L ]);
+  eq "vec-length" (I64 2L) (Primitives.apply "vec-length" [ Vec [| I64 2L; I64 3L |] ]);
+  eq "neg" (I64 (-4L)) (Primitives.apply "-" [ I64 4L ]);
+  eq "bits" (I64 4607182418800017408L) (Primitives.apply "f64-to-i64-bits" [ F64 1.0 ])
+
+let test_primitive_errors () =
+  let fails name args =
+    match Primitives.apply name args with
+    | exception Primitives.Error _ -> ()
+    | v -> Alcotest.fail (Printf.sprintf "%s should fail, got %s" name (Value.to_string v))
+  in
+  fails "/" [ Value.I64 1L; Value.I64 0L ];
+  fails "log2" [ Value.I64 0L ];
+  fails "log2" [ Value.I64 (-8L) ];
+  fails "vec-get" [ Value.Vec [| Value.I64 1L |]; Value.I64 5L ];
+  fails "+" [ Value.I64 1L; Value.F64 1.0 ]
+
+let test_pow_log2_props () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"pow 2 (log2 n) = n for powers of two" ~count:62
+       QCheck.(int_bound 61)
+       (fun k ->
+         let n = Int64.shift_left 1L k in
+         Value.equal
+           (Primitives.apply "pow" [ Value.I64 2L; Primitives.apply "log2" [ Value.I64 n ] ])
+           (Value.I64 n)))
+
+(* ------------------------------------------------------------------ *)
+(* E-graph core                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let setup_graph () =
+  let eg = Egraph.create () in
+  Egraph.declare_sort eg "Expr";
+  let f name arity =
+    Egraph.declare_function eg ~name ~args:(List.init arity (fun _ -> "Expr")) ~ret:"Expr"
+      ~cost:None ~merge:None ~unextractable:false
+  in
+  let num =
+    Egraph.declare_function eg ~name:"Num" ~args:[ "i64" ] ~ret:"Expr" ~cost:None
+      ~merge:None ~unextractable:false
+  in
+  (eg, num, f "Add" 2, f "Neg" 1)
+
+let apply_exn eg f args =
+  match Egraph.apply eg f args with
+  | Some v -> v
+  | None -> Alcotest.fail "apply returned None"
+
+let test_egraph_hashcons () =
+  let eg, num, add, _ = setup_graph ()  in
+  let one = apply_exn eg num [| I64 1L |] in
+  let one' = apply_exn eg num [| I64 1L |] in
+  checkb "hashcons" true (Value.equal one one');
+  let two = apply_exn eg num [| I64 2L |] in
+  checkb "distinct" false (Value.equal one two);
+  let s = apply_exn eg add [| one; two |] in
+  let s' = apply_exn eg add [| one; two |] in
+  checkb "node hashcons" true (Value.equal s s');
+  checki "3 nodes" 3 (Egraph.n_nodes eg)
+
+let test_egraph_congruence () =
+  let eg, num, add, _ = setup_graph () in
+  let a = apply_exn eg num [| I64 1L |] in
+  let b = apply_exn eg num [| I64 2L |] in
+  let fa = apply_exn eg add [| a; a |] in
+  let fb = apply_exn eg add [| b; b |] in
+  checkb "before union" false (Value.equal (Egraph.canon eg fa) (Egraph.canon eg fb));
+  Egraph.union_values eg a b;
+  Egraph.rebuild eg;
+  checkb "congruence after union+rebuild" true
+    (Value.equal (Egraph.canon eg fa) (Egraph.canon eg fb))
+
+let test_egraph_deep_congruence () =
+  (* chains: unioning leaves collapses towers of applications *)
+  let eg, num, _, neg = setup_graph () in
+  let a = ref (apply_exn eg num [| I64 1L |]) in
+  let b = ref (apply_exn eg num [| I64 2L |]) in
+  let base_a = !a and base_b = !b in
+  for _ = 1 to 10 do
+    a := apply_exn eg neg [| !a |];
+    b := apply_exn eg neg [| !b |]
+  done;
+  Egraph.union_values eg base_a base_b;
+  Egraph.rebuild eg;
+  checkb "deep congruence" true (Value.equal (Egraph.canon eg !a) (Egraph.canon eg !b))
+
+let test_egraph_vec_congruence () =
+  (* e-class ids inside Vec values must canonicalize too *)
+  let eg = Egraph.create () in
+  Egraph.declare_sort eg "Expr";
+  Egraph.declare_vec_sort eg "ExprVec" "Expr";
+  let num =
+    Egraph.declare_function eg ~name:"Num" ~args:[ "i64" ] ~ret:"Expr" ~cost:None
+      ~merge:None ~unextractable:false
+  in
+  let tup =
+    Egraph.declare_function eg ~name:"Tup" ~args:[ "ExprVec" ] ~ret:"Expr" ~cost:None
+      ~merge:None ~unextractable:false
+  in
+  let a = apply_exn eg num [| I64 1L |] in
+  let b = apply_exn eg num [| I64 2L |] in
+  let ta = apply_exn eg tup [| Vec [| a |] |] in
+  let tb = apply_exn eg tup [| Vec [| b |] |] in
+  Egraph.union_values eg a b;
+  Egraph.rebuild eg;
+  checkb "vec congruence" true (Value.equal (Egraph.canon eg ta) (Egraph.canon eg tb))
+
+let test_egraph_merge_conflict () =
+  let eg = Egraph.create () in
+  Egraph.declare_sort eg "E";
+  let f =
+    Egraph.declare_function eg ~name:"f" ~args:[ "i64" ] ~ret:"i64" ~cost:None
+      ~merge:None ~unextractable:false
+  in
+  Egraph.set eg f [| I64 1L |] (I64 10L);
+  Egraph.set eg f [| I64 1L |] (I64 10L);
+  (* same value: fine *)
+  match Egraph.set eg f [| I64 1L |] (I64 11L) with
+  | exception Egraph.Error _ -> ()
+  | () -> Alcotest.fail "conflicting set without :merge should fail"
+
+let test_egraph_merge_fn () =
+  let eg = Egraph.create () in
+  Egraph.declare_sort eg "E";
+  let f =
+    Egraph.declare_function eg ~name:"f" ~args:[ "i64" ] ~ret:"i64" ~cost:None
+      ~merge:
+        (Some
+           (fun a b ->
+             match (a, b) with
+             | Value.I64 x, Value.I64 y -> Value.I64 (Int64.max x y)
+             | _ -> assert false))
+      ~unextractable:false
+  in
+  Egraph.set eg f [| I64 1L |] (I64 10L);
+  Egraph.set eg f [| I64 1L |] (I64 7L);
+  (match Egraph.lookup eg f [| I64 1L |] with
+  | Some (I64 10L) -> ()
+  | v -> Alcotest.fail (Fmt.str "merge fn: got %a" Fmt.(option Value.pp) v));
+  Egraph.set eg f [| I64 1L |] (I64 12L);
+  match Egraph.lookup eg f [| I64 1L |] with
+  | Some (I64 12L) -> ()
+  | _ -> Alcotest.fail "merge fn should keep max"
+
+let test_egraph_sort_check () =
+  let eg, num, _, _ = setup_graph () in
+  match Egraph.apply eg num [| F64 1.0 |] with
+  | exception Egraph.Error _ -> ()
+  | _ -> Alcotest.fail "sort mismatch should be rejected"
+
+let test_congruence_prop () =
+  (* random unions on a pool of leaves; after rebuild, congruence must hold
+     for every pair of single-application nodes *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"congruence invariant under random unions" ~count:60
+       QCheck.(small_list (pair (int_bound 7) (int_bound 7)))
+       (fun unions ->
+         let eg, num, _, neg = setup_graph () in
+         let leaves = Array.init 8 (fun i -> apply_exn eg num [| I64 (Int64.of_int i) |]) in
+         let apps = Array.map (fun l -> apply_exn eg neg [| l |]) leaves in
+         List.iter (fun (i, j) -> Egraph.union_values eg leaves.(i) leaves.(j)) unions;
+         Egraph.rebuild eg;
+         let ok = ref true in
+         for i = 0 to 7 do
+           for j = 0 to 7 do
+             let leq = Value.equal (Egraph.canon eg leaves.(i)) (Egraph.canon eg leaves.(j)) in
+             let aeq = Value.equal (Egraph.canon eg apps.(i)) (Egraph.canon eg apps.(j)) in
+             (* f(a) ≡ f(b) iff a ≡ b (no other unions were made) *)
+             if leq <> aeq then ok := false
+           done
+         done;
+         !ok))
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_ok src =
+  try Interp.run_program src
+  with
+  | Interp.Error e -> Alcotest.fail ("engine error: " ^ e)
+  | Matcher.Error e -> Alcotest.fail ("match error: " ^ e)
+  | Parser.Error e -> Alcotest.fail ("parse error: " ^ e)
+
+let extract_str src =
+  let _, outs = run_ok src in
+  match List.find_map (function Interp.O_extracted (t, _) -> Some t | _ -> None) outs with
+  | Some t -> Extract.term_to_string t
+  | None -> Alcotest.fail "no extraction output"
+
+let test_paper_example () =
+  (* §2.3: (a*2)/2 simplifies to a *)
+  let s =
+    extract_str
+      {|
+(sort Expr)
+(function Num (i64) Expr :cost 1)
+(function Var (String) Expr :cost 1)
+(function Mul (Expr Expr) Expr :cost 2)
+(function Div (Expr Expr) Expr :cost 2)
+(function Shl (Expr Expr) Expr :cost 1)
+(let expr (Div (Mul (Var "a") (Num 2)) (Num 2)))
+(rewrite (Div ?x ?x) (Num 1))
+(rewrite (Mul ?x (Num 1)) ?x)
+(birewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)))
+(birewrite (Div (Mul ?x ?y) ?z) (Mul ?x (Div ?y ?z)))
+(run 10)
+(extract expr)
+|}
+  in
+  checks "extracts a" {|(Var "a")|} s
+
+let test_saturation_stops () =
+  let t, outs =
+    run_ok
+      {|
+(sort E)
+(function A () E)
+(function B () E)
+(rewrite (A) (B))
+(run 100)
+|}
+  in
+  ignore t;
+  match List.find_map (function Interp.O_ran s -> Some s | _ -> None) outs with
+  | Some s ->
+    checkb "saturated early" true (s.Interp.iterations < 100);
+    checkb "reason" true (s.Interp.stop = Interp.Saturated)
+  | None -> Alcotest.fail "no run output"
+
+let test_node_limit () =
+  (* an explosive rule must be stopped by the node budget *)
+  let t = Interp.create ~max_nodes:300 () in
+  Interp.run_string t
+    {|
+(sort E)
+(function Z () E)
+(function S (E) E)
+(rule ((= ?x (S ?e))) ((S ?x)))
+(let start (S (Z)))
+(run 10000)
+|};
+  match Interp.last_stats t with
+  | Some s -> checkb "stopped by node limit" true (s.Interp.stop = Interp.Node_limit)
+  | None -> Alcotest.fail "no stats"
+
+let test_check_command () =
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(rewrite (Add ?x ?y) (Add ?y ?x))
+(let a (Add (Num 1) (Num 2)))
+(let b (Add (Num 2) (Num 1)))
+(run 5)
+(check (= a b))
+|}
+  in
+  checkb "check passed" true (List.mem Interp.O_checked outs)
+
+let test_check_fails () =
+  match
+    Interp.run_program
+      {|
+(sort E)
+(function Num (i64) E)
+(let a (Num 1))
+(let b (Num 2))
+(check (= a b))
+|}
+  with
+  | exception Interp.Error _ -> ()
+  | _ -> Alcotest.fail "check of distinct classes should fail"
+
+let test_conditional_rule () =
+  let s =
+    extract_str
+      {|
+(sort E)
+(function Num (i64) E)
+(function Div (E E) E :cost 10)
+(function Shr (E E) E :cost 1)
+(function Var (String) E)
+(rule ((= ?lhs (Div ?x (Num ?n))) (= ?k (log2 ?n)) (= (pow 2 ?k) ?n))
+      ((union ?lhs (Shr ?x (Num ?k)))))
+(let e (Div (Var "x") (Num 64)))
+(run 5)
+(extract e)
+|}
+  in
+  checks "div 64 -> shr 6" {|(Shr (Var "x") (Num 6))|} s
+
+let test_conditional_rule_negative () =
+  (* 100 is not a power of two: the rule must not fire *)
+  let s =
+    extract_str
+      {|
+(sort E)
+(function Num (i64) E)
+(function Div (E E) E :cost 10)
+(function Shr (E E) E :cost 1)
+(function Var (String) E)
+(rule ((= ?lhs (Div ?x (Num ?n))) (= ?k (log2 ?n)) (= (pow 2 ?k) ?n))
+      ((union ?lhs (Shr ?x (Num ?k)))))
+(let e (Div (Var "x") (Num 100)))
+(run 5)
+(extract e)
+|}
+  in
+  checks "stays a division" {|(Div (Var "x") (Num 100))|} s
+
+let test_table_functions () =
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Leaf (String) E)
+(function depth (E) i64 :merge (max old new))
+(function Pair (E E) E)
+(rule ((= ?e (Leaf ?s))) ((set (depth ?e) 0)))
+(rule ((= ?e (Pair ?a ?b)) (= ?da (depth ?a)) (= ?db (depth ?b)))
+      ((set (depth ?e) (+ 1 (max ?da ?db)))))
+(let t (Pair (Pair (Leaf "a") (Leaf "b")) (Leaf "c")))
+(run 10)
+(check (= (depth t) 2))
+|}
+  in
+  checkb "depth computed" true (List.mem Interp.O_checked outs)
+
+let test_unstable_cost () =
+  let s =
+    extract_str
+      {|
+(sort E)
+(function A () E)
+(function B () E)
+(let x (A))
+(union x (B))
+(rule ((= ?e (A))) ((unstable-cost (A) 100)))
+(run 3)
+(extract x)
+|}
+  in
+  checks "override steers extraction" "(B)" s
+
+let test_extract_shared_physical () =
+  (* shared subterms must be physically equal in the extraction *)
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(let shared (Add (Num 1) (Num 2)))
+(let top (Add shared shared))
+(extract top)
+|}
+  in
+  match List.find_map (function Interp.O_extracted (t, _) -> Some t | _ -> None) outs with
+  | Some { t_kind = Extract.Node (_, [ a; b ]); _ } -> checkb "physical sharing" true (a == b)
+  | _ -> Alcotest.fail "unexpected term shape"
+
+let test_extract_cycle () =
+  (* a class whose only derivation is cyclic has no finite cost *)
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function F (E) E)
+(function A () E)
+(let a (A))
+(let fa (F a))
+(union a fa)
+(run 1)
+|};
+  Egraph.rebuild (Interp.egraph t);
+  (* the merged class still contains (A), so extraction succeeds and never
+     picks the cyclic F node *)
+  let term, _ = Extract.extract (Interp.egraph t) (Interp.global t "a") in
+  checks "picks the base case" "(A)" (Extract.term_to_string term)
+
+let test_extract_cost_value () =
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Num (i64) E :cost 1)
+(function Add (E E) E :cost 5)
+(let e (Add (Num 1) (Num 2)))
+(extract e)
+|}
+  in
+  match List.find_map (function Interp.O_extracted (_, c) -> Some c | _ -> None) outs with
+  | Some c -> checki "cost 5+1+1" 7 c
+  | None -> Alcotest.fail "no extraction"
+
+let test_rule_creates_nodes () =
+  (* actions instantiating new terms must grow the e-graph *)
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function Num (i64) E)
+(function Twice (E) E)
+(rule ((= ?e (Num ?n)) (< ?n 3)) ((let m (+ ?n 1)) (Num m)))
+(let z (Num 0))
+(run 10)
+(check (Num 3))
+|};
+  checkb "chain of nodes created" true (List.mem Interp.O_checked (Interp.outputs t))
+
+let test_global_shadowing_safe () =
+  (* a global named like a rule variable must not capture: ?x is a pattern
+     var even if a global x exists *)
+  let s =
+    extract_str
+      {|
+(sort E)
+(function Num (i64) E)
+(function Wrap (E) E :cost 5)
+(let x (Num 42))
+(rewrite (Wrap ?x) ?x)
+(let e (Wrap (Num 7)))
+(run 5)
+(extract e)
+|}
+  in
+  checks "no capture" "(Num 7)" s
+
+let test_wildcard_pattern () =
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Pair (E E) E)
+(function Num (i64) E)
+(relation has-pair (E))
+(rule ((= ?e (Pair ? ?))) ((has-pair ?e)))
+(let p (Pair (Num 1) (Num 2)))
+(run 3)
+(check (has-pair p))
+|}
+  in
+  checkb "wildcards match" true (List.mem Interp.O_checked outs)
+
+let test_immediate_rebuild_ablation () =
+  (* both rebuild strategies must produce the same saturated e-graph *)
+  let src =
+    {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(function Mul (E E) E)
+(rewrite (Add ?x ?y) (Add ?y ?x))
+(rewrite (Mul (Add ?x ?y) ?z) (Add (Mul ?x ?z) (Mul ?y ?z)))
+(let e (Mul (Add (Num 1) (Num 2)) (Add (Num 3) (Num 4))))
+(run 6)
+|}
+  in
+  let t1 = Interp.create () in
+  Interp.run_string t1 src;
+  let t2 = Interp.create () in
+  (Interp.egraph t2).Egraph.immediate_rebuild <- true;
+  Interp.run_string t2 src;
+  checki "same node count under both rebuild strategies"
+    (Egraph.n_nodes (Interp.egraph t1))
+    (Egraph.n_nodes (Interp.egraph t2))
+
+let facts_of src =
+  match Parser.parse_program ("(rule " ^ src ^ " ())") with
+  | [ Ast.C_rule { facts; _ } ] -> facts
+  | _ -> Alcotest.fail "bad fact syntax"
+
+let test_rulesets () =
+  (* rules in a named ruleset only fire when that ruleset runs *)
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function A () E)
+(function B () E)
+(function C () E)
+(ruleset phase2)
+(rewrite (A) (B))
+(rewrite (B) (C) :ruleset phase2)
+(let x (A))
+(run 10)
+|};
+  Egraph.rebuild (Interp.egraph t);
+  let idx = Matcher.make_index (Interp.egraph t) (Interp.globals t) in
+  let holds src = Matcher.solve_facts idx (facts_of src) <> [] in
+  checkb "default ruleset ran" true (holds "((= x (B)))");
+  checkb "phase2 did not run" false (holds "((= x (C)))");
+  Interp.run_string t "(run 10 phase2)";
+  Interp.run_string t "(check (= x (C)))";
+  checkb "phase2 ran on demand" true (List.mem Interp.O_checked (Interp.outputs t))
+
+let test_unknown_ruleset_rejected () =
+  match Interp.run_program "(rewrite (f) (f) :ruleset nope)" with
+  | exception Interp.Error _ -> ()
+  | exception Egraph.Error _ -> ()
+  | _ -> Alcotest.fail "undeclared ruleset must be rejected"
+
+let test_push_pop () =
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(let a (Add (Num 1) (Num 2)))
+(let b (Num 3))
+(push)
+(union a b)
+(check (= a b))
+(pop)
+|};
+  (* after pop, the union is gone *)
+  (match Interp.run_string t "(check (= a b))" with
+  | exception Interp.Error _ -> ()
+  | () -> Alcotest.fail "pop must undo the union");
+  (* and the engine still works *)
+  Interp.run_string t "(let c (Num 4))";
+  checkb "engine usable after pop" true (Interp.global_opt t "c" <> None)
+
+let test_pop_without_push () =
+  match Interp.run_program "(pop)" with
+  | exception Interp.Error _ -> ()
+  | _ -> Alcotest.fail "pop without push must fail"
+
+let test_push_pop_preserves_costs () =
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function A () E)
+(function B () E)
+(let x (A))
+(union x (B))
+(unstable-cost (A) 100)
+(push)
+(unstable-cost (B) 1000)
+(pop)
+(extract x)
+|};
+  match Interp.last_extracted t with
+  | Some (term, _) -> Alcotest.(check string) "B wins after pop" "(B)" (Extract.term_to_string term)
+  | None -> Alcotest.fail "no extraction"
+
+let test_extract_variants () =
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Num (i64) E)
+(function Mul (E E) E :cost 3)
+(function Shl (E E) E :cost 1)
+(function Var (String) E)
+(let e (Mul (Var "x") (Num 2)))
+(rewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)))
+(run 5)
+(extract e 5)
+|}
+  in
+  match List.find_map (function Interp.O_variants vs -> Some vs | _ -> None) outs with
+  | Some [ (t1, c1); (t2, c2) ] ->
+    checkb "cheapest first" true (c1 <= c2);
+    checks "shift first" {|(Shl (Var "x") (Num 1))|} (Extract.term_to_string t1);
+    checks "mul second" {|(Mul (Var "x") (Num 2))|} (Extract.term_to_string t2)
+  | Some vs -> Alcotest.fail (Printf.sprintf "expected 2 variants, got %d" (List.length vs))
+  | None -> Alcotest.fail "no variants output"
+
+let test_lattice_analysis () =
+  (* interval-style analysis with lattice merges (paper §9 direction) *)
+  let _, outs =
+    run_ok
+      {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(function lo (E) i64 :merge (max old new))
+(function hi (E) i64 :merge (min old new))
+(rule ((= ?e (Num ?v))) ((set (lo ?e) ?v) (set (hi ?e) ?v)))
+(rule ((= ?e (Add ?x ?y)) (= ?xl (lo ?x)) (= ?yl (lo ?y))
+       (= ?xh (hi ?x)) (= ?yh (hi ?y)))
+      ((set (lo ?e) (+ ?xl ?yl)) (set (hi ?e) (+ ?xh ?yh))))
+(let e (Add (Num 3) (Add (Num 4) (Num 5))))
+(run 10)
+(check (= (lo e) 12) (= (hi e) 12))
+|}
+  in
+  checkb "ranges computed" true (List.mem Interp.O_checked outs)
+
+(* random term-rewriting systems over a tiny signature, for scheduler
+   equivalence testing *)
+let random_trs_gen : string QCheck.Gen.t =
+  let open QCheck.Gen in
+  (* random pattern of depth <= 2 over Add/Mul/Neg/Num/vars *)
+  let rec pat depth vars =
+    if depth <= 0 then oneof [ oneofl vars; map (Printf.sprintf "(Num %d)") (int_bound 3) ]
+    else
+      frequency
+        [
+          (2, oneofl vars);
+          (1, map (Printf.sprintf "(Num %d)") (int_bound 3));
+          ( 3,
+            let* a = pat (depth - 1) vars in
+            let* b = pat (depth - 1) vars in
+            oneofl
+              [ Printf.sprintf "(Add %s %s)" a b; Printf.sprintf "(Mul %s %s)" a b ] );
+          (2, map (Printf.sprintf "(Neg %s)") (pat (depth - 1) vars));
+        ]
+  in
+  (* LHS must be constructor-rooted (a bare-variable LHS is rejected) *)
+  let rooted_pat vars =
+    let open QCheck.Gen in
+    frequency
+      [
+        ( 3,
+          let* a = pat 1 vars in
+          let* b = pat 1 vars in
+          oneofl [ Printf.sprintf "(Add %s %s)" a b; Printf.sprintf "(Mul %s %s)" a b ] );
+        (2, map (Printf.sprintf "(Neg %s)") (pat 1 vars));
+      ]
+  in
+  let rule =
+    let* lhs = rooted_pat [ "?x"; "?y" ] in
+    (* rhs only uses vars that occur in lhs; using ?x/?y when absent from
+       lhs would be unsound for matching, so restrict rhs vars to lhs's *)
+    let vars_in s = List.filter (fun v ->
+      let rec contains i = i + String.length v <= String.length s
+        && (String.sub s i (String.length v) = v || contains (i+1)) in contains 0)
+      [ "?x"; "?y" ] in
+    let vs = match vars_in lhs with [] -> [ "(Num 0)" ] | vs -> vs in
+    let* rhs = pat 2 vs in
+    return (Printf.sprintf "(rewrite %s %s)" lhs rhs)
+  in
+  let* n_rules = int_range 1 4 in
+  let* rules = list_repeat n_rules rule in
+  let* seed_expr = pat 2 [ "(Num 7)" ] in
+  return
+    (Printf.sprintf
+       {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(function Mul (E E) E)
+(function Neg (E) E)
+%s
+(let root %s)
+(run 6)
+|}
+       (String.concat "\n" rules) seed_expr)
+
+let test_dirty_skip_equivalence () =
+  (* the dirty-table scheduler must reach exactly the same saturated
+     e-graph as full rescanning, on random rewriting systems *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"dirty-skip = full rescan" ~count:60
+       (QCheck.make random_trs_gen)
+       (fun src ->
+         let run disable =
+           let t = Interp.create ~max_nodes:3_000 () in
+           Interp.set_disable_dirty_skip t disable;
+           (try Interp.run_string t src with Interp.Error _ -> ());
+           Egraph.rebuild (Interp.egraph t);
+           (Egraph.n_nodes (Interp.egraph t), Egraph.n_classes (Interp.egraph t))
+         in
+         run true = run false))
+
+let test_saturated_stays_stable () =
+  (* running again on a saturated e-graph does nothing, quickly *)
+  let t = Interp.create () in
+  Interp.run_string t
+    {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(rewrite (Add ?x ?y) (Add ?y ?x))
+(let e (Add (Num 1) (Num 2)))
+(run 10)
+|};
+  let nodes = Egraph.n_nodes (Interp.egraph t) in
+  Interp.run_string t "(run 10)";
+  checki "no growth on re-run" nodes (Egraph.n_nodes (Interp.egraph t));
+  match Interp.last_stats t with
+  | Some s -> checkb "immediately saturated" true (s.Interp.iterations <= 1)
+  | None -> Alcotest.fail "no stats"
+
+let test_parser_rejects_garbage () =
+  let fails s =
+    match Interp.run_program s with
+    | exception Parser.Error _ -> ()
+    | exception Interp.Error _ -> ()
+    | exception Egraph.Error _ -> ()
+    | _ -> Alcotest.fail ("should reject: " ^ s)
+  in
+  fails "(function f)";
+  fails "(sort)";
+  fails "(let x (UnknownFn 1))";
+  fails "(rewrite)";
+  fails "(sort S) (sort S)"
+
+let () =
+  Alcotest.run "egglog"
+    [
+      ( "sexp",
+        [
+          Alcotest.test_case "atoms and lists" `Quick test_sexp_atoms;
+          Alcotest.test_case "comments" `Quick test_sexp_comments;
+          Alcotest.test_case "string escapes" `Quick test_sexp_escapes;
+          Alcotest.test_case "errors" `Quick test_sexp_errors;
+          QCheck_alcotest.to_alcotest
+            (QCheck.Test.make ~name:"roundtrip" ~count:1 QCheck.unit (fun () ->
+                 test_sexp_roundtrip ();
+                 true));
+        ] );
+      ( "union-find",
+        [
+          Alcotest.test_case "basics" `Quick test_uf_basic;
+          Alcotest.test_case "partition property" `Quick test_uf_props;
+        ] );
+      ( "primitives",
+        [
+          Alcotest.test_case "evaluation" `Quick test_primitives;
+          Alcotest.test_case "errors" `Quick test_primitive_errors;
+          Alcotest.test_case "pow/log2 inverse" `Quick test_pow_log2_props;
+        ] );
+      ( "egraph",
+        [
+          Alcotest.test_case "hashcons" `Quick test_egraph_hashcons;
+          Alcotest.test_case "congruence" `Quick test_egraph_congruence;
+          Alcotest.test_case "deep congruence" `Quick test_egraph_deep_congruence;
+          Alcotest.test_case "vec congruence" `Quick test_egraph_vec_congruence;
+          Alcotest.test_case "merge conflict" `Quick test_egraph_merge_conflict;
+          Alcotest.test_case "merge function" `Quick test_egraph_merge_fn;
+          Alcotest.test_case "sort checking" `Quick test_egraph_sort_check;
+          Alcotest.test_case "congruence property" `Quick test_congruence_prop;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "paper §2.3 example" `Quick test_paper_example;
+          Alcotest.test_case "saturation detects fixpoint" `Quick test_saturation_stops;
+          Alcotest.test_case "node limit stops explosion" `Quick test_node_limit;
+          Alcotest.test_case "check command" `Quick test_check_command;
+          Alcotest.test_case "check failure" `Quick test_check_fails;
+          Alcotest.test_case "conditional rule fires" `Quick test_conditional_rule;
+          Alcotest.test_case "conditional rule guarded" `Quick test_conditional_rule_negative;
+          Alcotest.test_case "table functions + merge" `Quick test_table_functions;
+          Alcotest.test_case "unstable-cost" `Quick test_unstable_cost;
+          Alcotest.test_case "extraction shares subterms" `Quick test_extract_shared_physical;
+          Alcotest.test_case "extraction avoids cycles" `Quick test_extract_cycle;
+          Alcotest.test_case "extraction cost arithmetic" `Quick test_extract_cost_value;
+          Alcotest.test_case "rules create nodes" `Quick test_rule_creates_nodes;
+          Alcotest.test_case "no variable capture by globals" `Quick test_global_shadowing_safe;
+          Alcotest.test_case "wildcard patterns" `Quick test_wildcard_pattern;
+          Alcotest.test_case "rebuild-strategy ablation agrees" `Quick test_immediate_rebuild_ablation;
+          Alcotest.test_case "parser rejects garbage" `Quick test_parser_rejects_garbage;
+        ] );
+      ( "rulesets-and-snapshots",
+        [
+          Alcotest.test_case "rulesets run independently" `Quick test_rulesets;
+          Alcotest.test_case "unknown ruleset rejected" `Quick test_unknown_ruleset_rejected;
+          Alcotest.test_case "push/pop restores state" `Quick test_push_pop;
+          Alcotest.test_case "pop without push fails" `Quick test_pop_without_push;
+          Alcotest.test_case "push/pop restores cost overrides" `Quick
+            test_push_pop_preserves_costs;
+          Alcotest.test_case "extract variants" `Quick test_extract_variants;
+          Alcotest.test_case "lattice analysis" `Quick test_lattice_analysis;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "dirty-skip equals full rescan (property)" `Quick
+            test_dirty_skip_equivalence;
+          Alcotest.test_case "saturated state is stable" `Quick test_saturated_stays_stable;
+        ] );
+    ]
