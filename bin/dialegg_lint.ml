@@ -1,0 +1,54 @@
+(* dialegg-lint: static checker for DialEgg Egglog rule files.
+
+   Lints each file against the DialEgg prelude declarations: sort checking
+   (unknown constructors, arity, sort conflicts, unbound RHS variables,
+   undeclared rulesets, ...) plus the dialect lints (dead rules, missing
+   cost models, unstable-cost lookups with no backing fact).  Exits
+   non-zero if any file has errors; with --strict, warnings fail too. *)
+
+open Cmdliner
+
+let run strict no_prelude files =
+  let n_errors = ref 0 and n_warnings = ref 0 in
+  List.iter
+    (fun file ->
+      let diags =
+        if no_prelude then (
+          match In_channel.with_open_text file In_channel.input_all with
+          | src ->
+            let env = Egglog.Check.create_env () in
+            Egglog.Check.check_program ~file ~env src
+          | exception Sys_error msg ->
+            [ Egglog.Diag.make ~file Egglog.Diag.Error "io-error" msg ])
+        else Dialegg.Lint.lint_file file
+      in
+      List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) diags;
+      n_errors := !n_errors + Egglog.Diag.count_errors diags;
+      n_warnings := !n_warnings + Egglog.Diag.count_warnings diags)
+    files;
+  if !n_errors > 0 || !n_warnings > 0 then
+    Fmt.epr "%d file(s) checked: %d error(s), %d warning(s)@." (List.length files) !n_errors
+      !n_warnings;
+  if !n_errors > 0 || (strict && !n_warnings > 0) then exit 1;
+  `Ok ()
+
+let files =
+  Arg.(
+    non_empty & pos_all file []
+    & info [] ~docv:"RULES.egg" ~doc:"Egglog rule file(s) to check")
+
+let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings too")
+
+let no_prelude =
+  Arg.(
+    value & flag
+    & info [ "no-prelude" ]
+      ~doc:"Check against an empty environment instead of the DialEgg prelude declarations")
+
+let cmd =
+  let doc = "static checker and linter for DialEgg Egglog rule files" in
+  Cmd.v
+    (Cmd.info "dialegg-lint" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ strict $ no_prelude $ files))
+
+let () = exit (Cmd.eval cmd)

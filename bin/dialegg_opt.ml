@@ -4,6 +4,8 @@
 
 open Cmdliner
 
+exception Usage of string
+
 let read_file path =
   let ic = open_in_bin path in
   Fun.protect
@@ -11,12 +13,32 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
-    dump_egg =
+    dump_egg lint_only =
   try
+    let rules = match egg_file with Some f -> read_file f | None -> "" in
+    if lint_only then begin
+      (* check the rules and stop: no MLIR input needed *)
+      match egg_file with
+      | None -> `Error (true, "--lint requires an --egg rules file to check")
+      | Some f ->
+        let diags = Dialegg.Lint.lint_rules ~file:f rules in
+        List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) diags;
+        if Egglog.Diag.has_errors diags then exit 1;
+        `Ok ()
+    end
+    else begin
+    let input =
+      match input with
+      | Some i -> i
+      | None -> raise (Usage "required argument INPUT.mlir is missing")
+    in
+    if egg_file = None && not dump_egg then
+      Fmt.epr "%a@." Egglog.Diag.pp
+        (Egglog.Diag.warning "no-rules"
+           "no --egg rules file given: saturating with zero rewrite rules, the output will match the input");
     let src = read_file input in
     let m = Mlir.Parser.parse_module src in
     Mlir.Verifier.verify_exn m;
-    let rules = match egg_file with Some f -> read_file f | None -> "" in
     let config =
       {
         Dialegg.Pipeline.default_config with
@@ -56,7 +78,9 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
       print_string (Mlir.Printer.module_to_string m);
       `Ok ()
     end
+    end
   with
+  | Usage e -> `Error (true, e)
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
   | Mlir.Typ.Parse_error e -> `Error (false, "type parse error: " ^ e)
@@ -66,7 +90,10 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
   | Failure e -> `Error (false, e)
 
 let input =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.mlir" ~doc:"MLIR input file")
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT.mlir" ~doc:"MLIR input file (required unless $(b,--lint) is given)")
 
 let egg_file =
   Arg.(
@@ -93,6 +120,12 @@ let show_timings = Arg.(value & flag & info [ "timings"; "t" ] ~doc:"Print the p
 let dump_egg =
   Arg.(value & flag & info [ "dump-egg" ] ~doc:"Print the Egglog translation instead of optimizing")
 
+let lint_only =
+  Arg.(
+    value & flag
+    & info [ "lint" ]
+      ~doc:"Only lint the $(b,--egg) rules file and exit (non-zero if it has errors)")
+
 let cmd =
   let doc = "dialect-agnostic MLIR optimizer using equality saturation with Egglog" in
   Cmd.v
@@ -100,6 +133,6 @@ let cmd =
     Term.(
       ret
         (const run $ input $ egg_file $ iterations $ max_nodes $ timeout $ no_dce
-        $ funcs $ show_timings $ dump_egg))
+        $ funcs $ show_timings $ dump_egg $ lint_only))
 
 let () = exit (Cmd.eval cmd)

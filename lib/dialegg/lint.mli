@@ -1,0 +1,16 @@
+(** Dialect-aware linting of DialEgg rule files: the generic Egglog
+    sort-checker seeded with the {!Prelude} declarations, plus lints that
+    know how the eggifier and extractor behave ([bad-op-constructor],
+    [dead-rule], [op-no-cost], [unstable-cost-unbound],
+    [expansion-no-cost] — see [lint.ml] for their meanings). *)
+
+(** A fresh checking environment preloaded with the DialEgg prelude. *)
+val fresh_env : unit -> Egglog.Check.env
+
+(** Lint a rules program (user declarations + rewrites).  Never raises:
+    unparsable input becomes [parse-error] diagnostics. *)
+val lint_rules : ?file:string -> string -> Egglog.Diag.t list
+
+(** Lint the contents of a [.egg] file; IO failures become an [io-error]
+    diagnostic. *)
+val lint_file : string -> Egglog.Diag.t list

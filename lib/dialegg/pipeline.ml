@@ -23,6 +23,9 @@ type config = {
   timeout : float option;  (** per-function saturation wall-clock budget *)
   run_dce : bool;  (** clean dead ops after de-eggification *)
   verify : bool;  (** verify the rewritten module *)
+  lint : bool;
+      (** statically check the rules before saturation: lint errors raise
+          {!Error}, warnings go to stderr *)
 }
 
 let default_config =
@@ -34,7 +37,24 @@ let default_config =
     timeout = Some 30.0;
     run_dce = true;
     verify = true;
+    lint = true;
   }
+
+(* Fail fast on lint errors instead of silently saturating with rules
+   that can never fire; warnings are surfaced but not fatal. *)
+let lint_rules_exn config =
+  if config.lint && config.rules <> "" then begin
+    let diags = Lint.lint_rules ~file:"<rules>" config.rules in
+    List.iter
+      (fun d -> if not (Egglog.Diag.is_error d) then Fmt.epr "%a@." Egglog.Diag.pp d)
+      diags;
+    if Egglog.Diag.has_errors diags then
+      raise
+        (Error
+           (Fmt.str "rules failed lint:@\n%a"
+              (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
+              (List.filter Egglog.Diag.is_error diags)))
+  end
 
 (** Per-function timing breakdown (Table 2 columns). *)
 type timings = {
@@ -96,6 +116,7 @@ let now () = Unix.gettimeofday ()
 let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
     (func : Mlir.Ir.op) : timings =
   Mlir.Registry.ensure_registered ();
+  lint_rules_exn config;
   (* ---- MLIR -> Egglog ---- *)
   let t0 = now () in
   let engine = Egglog.Interp.create ~max_nodes:config.max_nodes ?timeout:config.timeout () in
@@ -168,6 +189,9 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
 (** Optimize every function of a module in place (or only those named in
     [only]).  Returns the summed timings. *)
 let optimize_module ?(config = default_config) ?hooks ?only (m : Mlir.Ir.op) : timings =
+  lint_rules_exn config;
+  (* the rules were just linted; don't redo it per function *)
+  let config = { config with lint = false } in
   let should name = match only with None -> true | Some names -> List.mem name names in
   List.fold_left
     (fun acc op ->

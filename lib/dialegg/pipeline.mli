@@ -14,6 +14,9 @@ type config = {
   timeout : float option;  (** per-function saturation wall-clock budget *)
   run_dce : bool;  (** clean dead ops after de-eggification *)
   verify : bool;  (** verify the rewritten module *)
+  lint : bool;
+      (** statically check the rules (see {!Lint}) before saturation:
+          lint errors raise {!Error}, warnings go to stderr *)
 }
 
 val default_config : config

@@ -119,6 +119,62 @@ let sexp_of_action = function
   | A_delete e -> Sexp.List [ Atom "delete"; sexp_of_expr e ]
   | A_panic msg -> Sexp.List [ Atom "panic"; Str msg ]
 
+let sexp_of_command (c : command) : Sexp.t =
+  let atom a = Sexp.Atom a in
+  let sorts l = List.map atom l in
+  match c with
+  | C_sort (name, None) -> List [ atom "sort"; atom name ]
+  | C_sort (name, Some (container, args)) ->
+    List [ atom "sort"; atom name; List (atom container :: sorts args) ]
+  | C_datatype (name, variants) ->
+    let variant v =
+      match (v.v_args, v.v_cost) with
+      | [], None -> atom v.v_name
+      | args, cost ->
+        let c = match cost with None -> [] | Some n -> [ atom ":cost"; atom (string_of_int n) ] in
+        Sexp.List ((atom v.v_name :: sorts args) @ c)
+    in
+    List (atom "datatype" :: atom name :: List.map variant variants)
+  | C_function d ->
+    let opts =
+      (match d.f_cost with None -> [] | Some n -> [ atom ":cost"; atom (string_of_int n) ])
+      @ (match d.f_merge with None -> [] | Some e -> [ atom ":merge"; sexp_of_expr e ])
+      @ if d.f_unextractable then [ atom ":unextractable"; List [] ] else []
+    in
+    List ([ atom "function"; atom d.f_name; Sexp.List (sorts d.f_args); atom d.f_ret ] @ opts)
+  | C_relation (name, args) -> List [ atom "relation"; atom name; List (sorts args) ]
+  | C_let (x, e) -> List [ atom "let"; atom x; sexp_of_expr e ]
+  | C_ruleset name -> List [ atom "ruleset"; atom name ]
+  | C_rewrite { lhs; rhs; conds; bidirectional; ruleset } ->
+    let head = if bidirectional then "birewrite" else "rewrite" in
+    let opts =
+      (match conds with [] -> [] | _ -> [ atom ":when"; Sexp.List (List.map sexp_of_fact conds) ])
+      @ match ruleset with None -> [] | Some r -> [ atom ":ruleset"; atom r ]
+    in
+    List ([ atom head; sexp_of_expr lhs; sexp_of_expr rhs ] @ opts)
+  | C_rule { name; facts; actions; ruleset } ->
+    let opts =
+      (match name with None -> [] | Some n -> [ atom ":name"; Sexp.Str n ])
+      @ match ruleset with None -> [] | Some r -> [ atom ":ruleset"; atom r ]
+    in
+    List
+      ([ atom "rule"; Sexp.List (List.map sexp_of_fact facts);
+         Sexp.List (List.map sexp_of_action actions) ]
+      @ opts)
+  | C_action a -> sexp_of_action a
+  | C_run (n, None) when n = max_int -> List [ atom "run" ]
+  | C_run (n, None) -> List [ atom "run"; atom (string_of_int n) ]
+  | C_run (n, Some r) -> List [ atom "run"; atom r; atom (string_of_int n) ]
+  | C_extract (e, variants) ->
+    let v = if variants = 1 then [] else [ atom ":variants"; atom (string_of_int variants) ] in
+    List ([ atom "extract"; sexp_of_expr e ] @ v)
+  | C_check facts -> List (atom "check" :: List.map sexp_of_fact facts)
+  | C_print_function (name, n) ->
+    List [ atom "print-function"; atom name; atom (string_of_int n) ]
+  | C_print_stats -> List [ atom "print-stats" ]
+  | C_push -> List [ atom "push" ]
+  | C_pop -> List [ atom "pop" ]
+
 let pp_expr ppf e = Sexp.pp ppf (sexp_of_expr e)
 let pp_fact ppf f = Sexp.pp ppf (sexp_of_fact f)
 let pp_action ppf a = Sexp.pp ppf (sexp_of_action a)

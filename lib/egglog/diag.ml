@@ -1,0 +1,52 @@
+(** Structured diagnostics for static analysis of Egglog programs.
+
+    A diagnostic carries a severity, a stable slug code (what a CI filter
+    or a test keys on), a human-readable message and — when the program
+    came from source text — the span of the offending s-expression. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case slug, e.g. ["unknown-function"] *)
+  message : string;
+  span : Sexp.span option;
+  file : string option;
+}
+
+let make ?file ?span severity code message = { severity; code; message; span; file }
+let error ?file ?span code fmt = Fmt.kstr (make ?file ?span Error code) fmt
+let warning ?file ?span code fmt = Fmt.kstr (make ?file ?span Warning code) fmt
+
+let is_error d = d.severity = Error
+let has_errors diags = List.exists is_error diags
+let count_errors diags = List.length (List.filter is_error diags)
+let count_warnings diags = List.length (List.filter (fun d -> d.severity = Warning) diags)
+
+(* Diagnostics are plain data, so structural equality is meaningful; a
+   birewrite checks both directions and can produce the same diagnostic
+   twice, hence the dedup. *)
+let dedup diags =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    diags
+
+let severity_string = function Error -> "error" | Warning -> "warning"
+
+let pp ppf d =
+  (match d.file with Some f -> Fmt.pf ppf "%s:" f | None -> ());
+  (match d.span with
+  | Some sp when not (Sexp.is_dummy_span sp) -> Fmt.pf ppf "%a: " Sexp.pp_span sp
+  | _ -> if d.file <> None then Fmt.pf ppf " ");
+  Fmt.pf ppf "%s[%s]: %s" (severity_string d.severity) d.code d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Print every diagnostic, one per line, to [ppf]. *)
+let pp_list ppf diags = List.iter (fun d -> Fmt.pf ppf "%a@." pp d) diags

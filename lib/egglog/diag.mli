@@ -1,0 +1,38 @@
+(** Structured diagnostics for static analysis of Egglog programs. *)
+
+type severity = Error | Warning
+
+type t = {
+  severity : severity;
+  code : string;  (** stable kebab-case slug, e.g. ["unknown-function"] *)
+  message : string;
+  span : Sexp.span option;
+  file : string option;
+}
+
+val make : ?file:string -> ?span:Sexp.span -> severity -> string -> string -> t
+
+(** [error code fmt ...] builds an error diagnostic with a formatted message. *)
+val error : ?file:string -> ?span:Sexp.span -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val warning : ?file:string -> ?span:Sexp.span -> string -> ('a, Format.formatter, unit, t) format4 -> 'a
+
+val is_error : t -> bool
+val has_errors : t list -> bool
+val count_errors : t list -> int
+val count_warnings : t list -> int
+
+(** Remove structurally identical duplicates, keeping first occurrences
+    in order. *)
+val dedup : t list -> t list
+
+val severity_string : severity -> string
+
+(** Render as [file:line:col: severity[code]: message]; the location
+    prefix is omitted when unknown. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string
+
+(** Print every diagnostic, one per line. *)
+val pp_list : Format.formatter -> t list -> unit

@@ -180,5 +180,14 @@ let parse_program (src : string) : Ast.command list =
   in
   List.map command_of_sexp sexps
 
+(** Parse a whole program, pairing each command with the located
+    s-expression it was read from (for diagnostics). *)
+let parse_program_located (src : string) : (Ast.command * Sexp.located) list =
+  let sexps =
+    try Sexp.parse_string_loc src
+    with Sexp.Parse_error { line; msg; _ } -> error "line %d: %s" line msg
+  in
+  List.map (fun loc -> (command_of_sexp (Sexp.strip loc), loc)) sexps
+
 (** Parse a single expression from source text. *)
 let parse_expr (src : string) : Ast.expr = expr_of_sexp (Sexp.parse_one src)

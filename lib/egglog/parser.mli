@@ -11,5 +11,19 @@ exception Error of string
 (** Parse a whole program. *)
 val parse_program : string -> Ast.command list
 
+(** Parse a whole program, pairing each command with the located
+    s-expression it was read from (for diagnostics). *)
+val parse_program_located : string -> (Ast.command * Sexp.located) list
+
 (** Parse a single expression. *)
 val parse_expr : string -> Ast.expr
+
+(** Convert one parsed s-expression. *)
+val command_of_sexp : Sexp.t -> Ast.command
+
+val expr_of_sexp : Sexp.t -> Ast.expr
+
+(** Atom classification used for literals (exposed for the checker). *)
+val is_int_atom : string -> bool
+
+val is_float_atom : string -> bool

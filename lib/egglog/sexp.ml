@@ -7,24 +7,49 @@
     - nested lists in parentheses or square brackets.
 
     Atoms carry no interpretation here; the Egglog parser (see {!Parser})
-    decides whether an atom is a number, a variable or an identifier. *)
+    decides whether an atom is a number, a variable or an identifier.
+
+    The reader produces {!located} nodes carrying source spans (1-based
+    line/column); {!strip} discards the positions to recover the plain
+    {!t} representation used by the evaluator. *)
 
 type t =
   | Atom of string
   | Str of string  (** a double-quoted string literal, unescaped *)
   | List of t list
 
-exception Parse_error of { pos : int; line : int; msg : string }
+type pos = { line : int; col : int }  (** 1-based line and column *)
 
-let parse_error pos line msg = raise (Parse_error { pos; line; msg })
+type span = { sp_start : pos; sp_end : pos }
 
-type reader = { src : string; mutable pos : int; mutable line : int }
+type located = { node : node; span : span }
+
+and node =
+  | N_atom of string
+  | N_str of string
+  | N_list of located list
+
+exception Parse_error of { pos : int; line : int; col : int; msg : string }
+
+type reader = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int;  (** offset of the first character of the current line *)
+}
+
+let cur_pos r = { line = r.line; col = r.pos - r.bol + 1 }
+let parse_error r msg = raise (Parse_error { pos = r.pos; line = r.line; col = r.pos - r.bol + 1; msg })
 
 let peek r = if r.pos < String.length r.src then Some r.src.[r.pos] else None
 
 let advance r =
-  (if r.pos < String.length r.src && r.src.[r.pos] = '\n' then r.line <- r.line + 1);
-  r.pos <- r.pos + 1
+  let nl = r.pos < String.length r.src && r.src.[r.pos] = '\n' in
+  r.pos <- r.pos + 1;
+  if nl then begin
+    r.line <- r.line + 1;
+    r.bol <- r.pos
+  end
 
 let rec skip_ws r =
   match peek r with
@@ -53,7 +78,7 @@ let read_string r =
   let buf = Buffer.create 16 in
   let rec go () =
     match peek r with
-    | None -> parse_error r.pos r.line "unterminated string literal"
+    | None -> parse_error r "unterminated string literal"
     | Some '"' ->
       advance r;
       Buffer.contents buf
@@ -64,8 +89,8 @@ let read_string r =
       | Some 't' -> Buffer.add_char buf '\t'
       | Some '\\' -> Buffer.add_char buf '\\'
       | Some '"' -> Buffer.add_char buf '"'
-      | Some c -> parse_error r.pos r.line (Printf.sprintf "invalid escape \\%c" c)
-      | None -> parse_error r.pos r.line "unterminated escape");
+      | Some c -> parse_error r (Printf.sprintf "invalid escape \\%c" c)
+      | None -> parse_error r "unterminated escape");
       advance r;
       go ()
     | Some c ->
@@ -89,8 +114,10 @@ let read_atom r =
 
 let rec read_sexp r =
   skip_ws r;
+  let start = cur_pos r in
+  let finish node = { node; span = { sp_start = start; sp_end = cur_pos r } } in
   match peek r with
-  | None -> parse_error r.pos r.line "unexpected end of input"
+  | None -> parse_error r "unexpected end of input"
   | Some '(' | Some '[' ->
     let close = if r.src.[r.pos] = '(' then ')' else ']' in
     advance r;
@@ -98,38 +125,63 @@ let rec read_sexp r =
     let rec loop () =
       skip_ws r;
       match peek r with
-      | None -> parse_error r.pos r.line "unterminated list"
+      | None -> parse_error r "unterminated list"
       | Some c when c = close ->
         advance r;
-        List (List.rev !items)
-      | Some (')' | ']') -> parse_error r.pos r.line "mismatched bracket"
+        finish (N_list (List.rev !items))
+      | Some (')' | ']') -> parse_error r "mismatched bracket"
       | Some _ ->
         items := read_sexp r :: !items;
         loop ()
     in
     loop ()
-  | Some (')' | ']') -> parse_error r.pos r.line "unexpected closing bracket"
-  | Some '"' -> Str (read_string r)
+  | Some (')' | ']') -> parse_error r "unexpected closing bracket"
+  | Some '"' -> finish (N_str (read_string r))
   | Some _ ->
     let a = read_atom r in
-    if a = "" then parse_error r.pos r.line "empty atom";
-    Atom a
+    if a = "" then parse_error r "empty atom";
+    finish (N_atom a)
 
-(** [parse_string src] parses all top-level s-expressions in [src]. *)
-let parse_string src : t list =
-  let r = { src; pos = 0; line = 1 } in
+(** [parse_string_loc src] parses all top-level s-expressions in [src],
+    keeping source spans on every node. *)
+let parse_string_loc src : located list =
+  let r = { src; pos = 0; line = 1; bol = 0 } in
   let rec go acc =
     skip_ws r;
     if r.pos >= String.length src then List.rev acc else go (read_sexp r :: acc)
   in
   go []
 
+let rec strip { node; _ } =
+  match node with
+  | N_atom a -> Atom a
+  | N_str s -> Str s
+  | N_list items -> List (List.map strip items)
+
+(** [parse_string src] parses all top-level s-expressions in [src]. *)
+let parse_string src : t list = List.map strip (parse_string_loc src)
+
 (** [parse_one src] parses exactly one s-expression. *)
 let parse_one src : t =
   match parse_string src with
-  | [ s ] -> [ s ] |> List.hd
-  | [] -> parse_error 0 1 "no s-expression found"
-  | _ -> parse_error 0 1 "expected a single s-expression"
+  | [ s ] -> s
+  | [] -> raise (Parse_error { pos = 0; line = 1; col = 1; msg = "no s-expression found" })
+  | _ -> raise (Parse_error { pos = 0; line = 1; col = 1; msg = "expected a single s-expression" })
+
+let dummy_pos = { line = 0; col = 0 }
+let dummy_span = { sp_start = dummy_pos; sp_end = dummy_pos }
+let is_dummy_span sp = sp.sp_start.line = 0
+
+(** Relocate a plain term to a located one carrying [dummy_span]
+    everywhere — for checking programs that only exist as ASTs. *)
+let rec with_dummy_spans t =
+  let node =
+    match t with
+    | Atom a -> N_atom a
+    | Str s -> N_str s
+    | List items -> N_list (List.map with_dummy_spans items)
+  in
+  { node; span = dummy_span }
 
 let escape_string s =
   let buf = Buffer.create (String.length s + 2) in
@@ -150,3 +202,6 @@ let rec pp ppf = function
   | List items -> Fmt.pf ppf "(@[<hov>%a@])" (Fmt.list ~sep:Fmt.sp pp) items
 
 let to_string s = Fmt.str "%a" pp s
+
+let pp_pos ppf { line; col } = Fmt.pf ppf "%d:%d" line col
+let pp_span ppf sp = pp_pos ppf sp.sp_start

@@ -2,24 +2,61 @@
 
     The reader supports atoms, double-quoted strings with backslash
     escapes, line comments starting with [;], and nested lists in
-    parentheses or square brackets. *)
+    parentheses or square brackets.  Two representations are exposed:
+    the plain {!t} used by the evaluator, and {!located} nodes carrying
+    source spans for diagnostics. *)
 
 type t =
   | Atom of string
   | Str of string  (** a double-quoted string literal, unescaped *)
   | List of t list
 
-exception Parse_error of { pos : int; line : int; msg : string }
+(** A source position, 1-based.  The special position [0:0] marks nodes
+    synthesised from an AST rather than read from text. *)
+type pos = { line : int; col : int }
+
+(** A half-open source range: [sp_end] points one past the last character. *)
+type span = { sp_start : pos; sp_end : pos }
+
+(** An s-expression annotated with the span it was read from. *)
+type located = { node : node; span : span }
+
+and node =
+  | N_atom of string
+  | N_str of string
+  | N_list of located list
+
+exception Parse_error of { pos : int; line : int; col : int; msg : string }
 
 (** Parse all top-level s-expressions in the input. *)
 val parse_string : string -> t list
 
+(** Like {!parse_string}, but keep source spans on every node. *)
+val parse_string_loc : string -> located list
+
 (** Parse exactly one s-expression.
     @raise Parse_error if there are zero or several. *)
 val parse_one : string -> t
+
+(** Discard source spans. *)
+val strip : located -> t
+
+(** Annotate every node of a plain term with {!dummy_span}. *)
+val with_dummy_spans : t -> located
+
+val dummy_span : span
+
+(** True for spans synthesised by {!with_dummy_spans}. *)
+val is_dummy_span : span -> bool
 
 (** Escape a string for inclusion in a double-quoted literal. *)
 val escape_string : string -> string
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+(** Print as [line:col]. *)
+val pp_pos : Format.formatter -> pos -> unit
+
+(** Print a span's start position as [line:col]. *)
+val pp_span : Format.formatter -> span -> unit

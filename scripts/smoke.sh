@@ -7,6 +7,17 @@ cd "$(dirname "$0")/.."
 echo "== build =="
 dune build @all
 
+echo "== dialegg-lint: shipped rules are clean =="
+dune exec bin/dialegg_lint.exe -- rules/*.egg
+dune build @lint
+echo ok
+
+echo "== dialegg-lint: defects are caught =="
+if dune exec bin/dialegg_lint.exe -- test/fixtures/unknown_constructor.egg 2>/dev/null; then
+  echo "expected a lint failure" >&2; exit 1
+fi
+echo ok
+
 echo "== dialegg-opt: div-by-pow2 =="
 dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir \
   --egg rules/div_pow2.egg | grep -q arith.shrsi

@@ -1,0 +1,390 @@
+(* Tests for the static analysis layer: the located s-expression reader,
+   the Egglog sort-checker (lib/egglog/check.ml), the dialect-aware lints
+   (lib/dialegg/lint.ml), the fixture corpus under test/fixtures/, and the
+   lint integration in the pipeline.  Runs from _build/default/test, so
+   fixtures/ and ../rules/ are reachable relative paths (declared as deps
+   in test/dune). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let codes diags = List.map (fun d -> d.Egglog.Diag.code) diags
+let errors diags = List.filter Egglog.Diag.is_error diags
+
+let has_code c diags = List.exists (fun d -> d.Egglog.Diag.code = c) diags
+
+let check_src src =
+  let env = Dialegg.Lint.fresh_env () in
+  Egglog.Check.check_program ~env src
+
+let lint_src src = Dialegg.Lint.lint_rules src
+
+let pp_diags diags = Fmt.str "%a" Egglog.Diag.pp_list diags
+
+let assert_code ?(what = "diagnostic codes") c diags =
+  checkb (Fmt.str "%s include %s in: %s" what c (pp_diags diags)) true (has_code c diags)
+
+let assert_clean what diags =
+  checks (Fmt.str "%s has no diagnostics" what) "" (pp_diags diags)
+
+(* ------------------------------------------------------------------ *)
+(* Located s-expressions                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_sexp_spans () =
+  let src = "(foo bar\n  (baz 42))" in
+  match Egglog.Sexp.parse_string_loc src with
+  | [ { node = N_list [ foo; bar; inner ]; span } ] ->
+    checki "top start line" 1 span.sp_start.line;
+    checki "top start col" 1 span.sp_start.col;
+    checki "top end line" 2 span.sp_end.line;
+    checki "foo line" 1 foo.span.sp_start.line;
+    checki "foo col" 2 foo.span.sp_start.col;
+    checki "bar col" 6 bar.span.sp_start.col;
+    checki "baz line" 2 inner.span.sp_start.line;
+    checki "baz col" 3 inner.span.sp_start.col
+  | _ -> Alcotest.fail "unexpected parse shape"
+
+let test_sexp_strip_roundtrip () =
+  let src = "(rewrite (f ?x) (g ?x \"s\" 1.5 -3))" in
+  let located = Egglog.Sexp.parse_string_loc src in
+  let plain = Egglog.Sexp.parse_string src in
+  checkb "strip matches plain parse" true
+    (List.map Egglog.Sexp.strip located = plain)
+
+let test_sexp_parse_error_location () =
+  match Egglog.Sexp.parse_string_loc "(f x\n  (g y)" with
+  | _ -> Alcotest.fail "expected a parse error"
+  | exception Egglog.Sexp.Parse_error { line; _ } ->
+    checkb "error on a real line" true (line >= 1)
+
+let test_dummy_spans () =
+  let loc = Egglog.Sexp.with_dummy_spans (Egglog.Sexp.Atom "x") in
+  checkb "dummy span detected" true (Egglog.Sexp.is_dummy_span loc.Egglog.Sexp.span)
+
+(* ------------------------------------------------------------------ *)
+(* Sort checker: each diagnostic class                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_unknown_function () =
+  let diags = check_src "(rewrite (arith_adi ?x ?y ?t) (arith_addi ?y ?x ?t))" in
+  assert_code "unknown-function" diags;
+  checkb "it is an error" true (Egglog.Diag.has_errors diags);
+  (* the span points at the bad head symbol *)
+  match List.find (fun d -> d.Egglog.Diag.code = "unknown-function") diags with
+  | { Egglog.Diag.span = Some sp; _ } ->
+    checki "line" 1 sp.sp_start.line;
+    checki "col" 11 sp.sp_start.col
+  | _ -> Alcotest.fail "unknown-function diagnostic has no span"
+
+let test_arity_mismatch () =
+  assert_code "arity-mismatch" (check_src "(rewrite (arith_addi ?x ?y) (arith_addi ?y ?x))")
+
+let test_sort_mismatch () =
+  assert_code "sort-mismatch"
+    (check_src "(rewrite (arith_addi (StringAttr \"x\") ?y ?t) (arith_addi ?y ?y ?t))")
+
+let test_unbound_rhs_var () =
+  assert_code "unbound-var"
+    (check_src "(rewrite (arith_addi ?x ?y ?t) (arith_addi ?x ?z ?t))")
+
+let test_wildcard_rhs () =
+  assert_code "wildcard-rhs" (check_src "(rewrite (arith_addi ?x ?y ?t) (arith_addi ?x _ ?t))")
+
+let test_unknown_ruleset () =
+  let diags =
+    check_src "(rewrite (arith_addi ?x ?y ?t) (arith_addi ?y ?x ?t) :ruleset opt)\n(run opt 4)"
+  in
+  assert_code "unknown-ruleset" diags;
+  checki "both references flagged" 2
+    (List.length (List.filter (fun d -> d.Egglog.Diag.code = "unknown-ruleset") diags))
+
+let test_rebound_let () =
+  assert_code "rebound-let" (check_src "(let a 1)\n(let a 2)")
+
+let test_unknown_name () =
+  assert_code "unknown-name" (check_src "(let a (+ b 1))")
+
+let test_unknown_sort () =
+  assert_code "unknown-sort" (check_src "(function f (Widget) i64)")
+
+let test_redeclared () =
+  let diags = check_src "(function f (i64) i64)\n(function f (i64 i64) i64)" in
+  assert_code "redeclared" diags
+
+let test_benign_redeclaration () =
+  (* identical redeclaration is how rules/prelude.egg coexists with the
+     baked-in prelude: it must stay silent *)
+  assert_clean "identical redeclaration"
+    (check_src "(function my_f (i64) i64)\n(function my_f (i64) i64)")
+
+let test_checker_never_raises () =
+  let diags = check_src "(((" in
+  assert_code "parse-error" diags
+
+let test_locations_survive_multiline () =
+  let src = ";; comment\n;; more\n(rewrite (arith_adi ?x ?y ?t)\n  (arith_addi ?y ?x ?t))" in
+  match List.find_opt (fun d -> d.Egglog.Diag.code = "unknown-function") (check_src src) with
+  | Some { Egglog.Diag.span = Some sp; _ } -> checki "line" 3 sp.sp_start.line
+  | _ -> Alcotest.fail "expected a located unknown-function diagnostic"
+
+(* ------------------------------------------------------------------ *)
+(* Dialect lints                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_dead_rule () =
+  let diags =
+    lint_src
+      "(function my_key (Op) i64)\n\
+       (rule ((= ?k (my_key ?x)) (= ?e (arith_addi ?x ?x ?t))) ((union ?e ?x)))"
+  in
+  (* my_key returns i64: the eggifier can't emit it, no translation hook
+     synthesises it, and nothing ever populates the table — the rule is dead *)
+  assert_code "dead-rule" diags
+
+let test_well_formed_op_not_dead () =
+  (* a well-formed user op constructor could be emitted by the eggifier for
+     a matching MLIR op, so matching on it is not dead *)
+  let diags =
+    lint_src
+      "(function my_op (Op Type) Op :cost 1)\n\
+       (rewrite (my_op ?x ?t) (arith_addi ?x ?x ?t))"
+  in
+  checkb (Fmt.str "no dead-rule in: %s" (pp_diags diags)) false (has_code "dead-rule" diags)
+
+let test_live_rule_not_flagged () =
+  let diags =
+    lint_src
+      "(function my_op (Op Type) Op :cost 1)\n\
+       (rewrite (arith_addi ?x ?x ?t) (my_op ?x ?t))\n\
+       (rewrite (my_op ?x ?t)\n\
+      \  (arith_muli ?x (arith_constant (NamedAttr \"value\" (IntegerAttr 2 ?t)) ?t) ?t))"
+  in
+  checkb (Fmt.str "no dead-rule in: %s" (pp_diags diags)) false (has_code "dead-rule" diags)
+
+let test_op_no_cost () =
+  assert_code "op-no-cost" (lint_src "(function my_op (Op Type) Op)")
+
+let test_bad_op_constructor () =
+  (* Type before Op violates the canonical operand order the eggifier
+     emits, so this constructor can never match a translated function *)
+  let diags = lint_src "(function weird_op (Type Op) Op :cost 1)" in
+  assert_code "bad-op-constructor" diags;
+  checkb "it is an error" true (Egglog.Diag.has_errors diags)
+
+let test_expansion_no_cost () =
+  let diags =
+    lint_src
+      "(function my_wrap (Op Type) Op)\n\
+       (rewrite (arith_addi ?x ?y ?t) (my_wrap (arith_addi ?x ?y ?t) ?t))"
+  in
+  assert_code "expansion-no-cost" diags
+
+let test_unstable_cost_unbound () =
+  let diags =
+    lint_src
+      "(rule ((= ?e (arith_addi ?x ?y ?t)))\n\
+      \      ((unstable-cost (arith_addi ?x ?y ?t) (nrows (type-of ?x)))))"
+  in
+  (* no (= _ (type-of ?x)) fact backs the lookup, so the cost expression
+     may read a row count that saturation never computed *)
+  assert_code "unstable-cost-unbound" diags
+
+let test_unstable_cost_bound_ok () =
+  let diags =
+    lint_src
+      "(rule ((= ?e (arith_addi ?x ?y ?t)) (= ?rt (type-of ?x)) (= ?n (nrows (type-of ?x))))\n\
+      \      ((unstable-cost (arith_addi ?x ?y ?t) ?n)))"
+  in
+  checkb (Fmt.str "no unstable-cost-unbound in: %s" (pp_diags diags)) false
+    (has_code "unstable-cost-unbound" diags)
+
+(* ------------------------------------------------------------------ *)
+(* Fixture corpus                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let fixture name = "fixtures/" ^ name ^ ".egg"
+
+let test_fixture name expect_code expect_error () =
+  let diags = Dialegg.Lint.lint_file (fixture name) in
+  assert_code ~what:(fixture name) expect_code diags;
+  checkb (Fmt.str "%s error status" name) expect_error (Egglog.Diag.has_errors diags);
+  (* every fixture diagnostic is located and carries the file name *)
+  List.iter
+    (fun d ->
+      checkb (Fmt.str "%s: diagnostic has a file" name) true (d.Egglog.Diag.file <> None))
+    diags
+
+let test_missing_file () =
+  let diags = Dialegg.Lint.lint_file "fixtures/does_not_exist.egg" in
+  assert_code "io-error" diags;
+  checkb "io-error is fatal" true (Egglog.Diag.has_errors diags)
+
+(* ------------------------------------------------------------------ *)
+(* The shipped rule files and workload rules lint clean                *)
+(* ------------------------------------------------------------------ *)
+
+let shipped_rules =
+  [ "const_fold"; "div_pow2"; "fast_inv_sqrt"; "horner"; "matmul_assoc"; "prelude" ]
+
+let test_shipped_rules_clean () =
+  List.iter
+    (fun name ->
+      let path = "../rules/" ^ name ^ ".egg" in
+      assert_clean path (Dialegg.Lint.lint_file path))
+    shipped_rules
+
+let test_workload_rules_clean () =
+  List.iter
+    (fun (b : Workloads.Benchmark.t) ->
+      assert_clean ("workload " ^ b.name) (errors (lint_src b.rules)))
+    Workloads.Suite.all
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline integration                                                *)
+(* ------------------------------------------------------------------ *)
+
+let trivial_module () =
+  Mlir.Parser.parse_module
+    "module {\n\
+    \  func.func @f(%a: i64) -> i64 {\n\
+    \    %0 = arith.addi %a, %a : i64\n\
+    \    func.return %0 : i64\n\
+    \  }\n\
+     }"
+
+let test_pipeline_fails_fast () =
+  let m = trivial_module () in
+  let config =
+    { Dialegg.Pipeline.default_config with
+      rules = "(rewrite (arith_adi ?x ?y ?t) (arith_addi ?y ?x ?t))"
+    }
+  in
+  match Dialegg.Pipeline.optimize_module ~config m with
+  | _ -> Alcotest.fail "expected Pipeline.Error"
+  | exception Dialegg.Pipeline.Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "mentions the failing code" true (contains msg "unknown-function")
+
+let test_pipeline_lint_off_passthrough () =
+  (* with lint disabled the unknown head is just an inert table, as before *)
+  let m = trivial_module () in
+  let config =
+    { Dialegg.Pipeline.default_config with
+      rules = "(function arith_adi (Op Op Type) Op :cost 1)";
+      lint = false
+    }
+  in
+  let _t = Dialegg.Pipeline.optimize_module ~config m in
+  checkb "module still one addi" true
+    (List.length (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.addi") m) = 1)
+
+let test_pipeline_accepts_clean_rules () =
+  let m = trivial_module () in
+  let config =
+    { Dialegg.Pipeline.default_config with
+      rules = "(rewrite (arith_addi ?x ?y ?t) (arith_addi ?y ?x ?t))"
+    }
+  in
+  let _t = Dialegg.Pipeline.optimize_module ~config m in
+  checkb "optimized fine with lint on" true true
+
+(* ------------------------------------------------------------------ *)
+(* Diagnostic plumbing                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_diag_rendering () =
+  let sp =
+    { Egglog.Sexp.sp_start = { line = 3; col = 7 }; sp_end = { line = 3; col = 12 } }
+  in
+  let d = Egglog.Diag.error ~file:"r.egg" ~span:sp "unknown-function" "no such thing" in
+  checks "render" "r.egg:3:7: error[unknown-function]: no such thing" (Egglog.Diag.to_string d)
+
+let test_diag_dedup () =
+  let d1 = Egglog.Diag.error "a" "x" in
+  let d2 = Egglog.Diag.error "a" "x" in
+  let d3 = Egglog.Diag.warning "b" "y" in
+  checki "dedup" 2 (List.length (Egglog.Diag.dedup [ d1; d2; d3; d1 ]))
+
+let test_diag_counts () =
+  let diags = check_src "(rewrite (arith_adi ?x ?y ?t) (arith_addi ?y ?z ?t))" in
+  checkb "errors and codes agree" true
+    (Egglog.Diag.count_errors diags = List.length (errors diags));
+  checkb "at least two defects" true (List.length (codes diags) >= 2)
+
+let () =
+  Alcotest.run "analysis"
+    [
+      ( "sexp-loc",
+        [
+          Alcotest.test_case "spans" `Quick test_sexp_spans;
+          Alcotest.test_case "strip = plain parse" `Quick test_sexp_strip_roundtrip;
+          Alcotest.test_case "parse error located" `Quick test_sexp_parse_error_location;
+          Alcotest.test_case "dummy spans" `Quick test_dummy_spans;
+        ] );
+      ( "check",
+        [
+          Alcotest.test_case "unknown function" `Quick test_unknown_function;
+          Alcotest.test_case "arity mismatch" `Quick test_arity_mismatch;
+          Alcotest.test_case "sort mismatch" `Quick test_sort_mismatch;
+          Alcotest.test_case "unbound RHS var" `Quick test_unbound_rhs_var;
+          Alcotest.test_case "wildcard on RHS" `Quick test_wildcard_rhs;
+          Alcotest.test_case "unknown ruleset" `Quick test_unknown_ruleset;
+          Alcotest.test_case "rebound let" `Quick test_rebound_let;
+          Alcotest.test_case "unknown name" `Quick test_unknown_name;
+          Alcotest.test_case "unknown sort" `Quick test_unknown_sort;
+          Alcotest.test_case "conflicting redeclaration" `Quick test_redeclared;
+          Alcotest.test_case "benign redeclaration" `Quick test_benign_redeclaration;
+          Alcotest.test_case "never raises" `Quick test_checker_never_raises;
+          Alcotest.test_case "multiline locations" `Quick test_locations_survive_multiline;
+        ] );
+      ( "lint",
+        [
+          Alcotest.test_case "dead rule" `Quick test_dead_rule;
+          Alcotest.test_case "well-formed op not dead" `Quick test_well_formed_op_not_dead;
+          Alcotest.test_case "live rule not flagged" `Quick test_live_rule_not_flagged;
+          Alcotest.test_case "op without cost" `Quick test_op_no_cost;
+          Alcotest.test_case "bad op constructor" `Quick test_bad_op_constructor;
+          Alcotest.test_case "expansion without cost" `Quick test_expansion_no_cost;
+          Alcotest.test_case "unstable-cost unbound" `Quick test_unstable_cost_unbound;
+          Alcotest.test_case "unstable-cost bound ok" `Quick test_unstable_cost_bound_ok;
+        ] );
+      ( "fixtures",
+        [
+          Alcotest.test_case "unknown constructor" `Quick
+            (test_fixture "unknown_constructor" "unknown-function" true);
+          Alcotest.test_case "arity mismatch" `Quick
+            (test_fixture "arity_mismatch" "arity-mismatch" true);
+          Alcotest.test_case "unbound RHS var" `Quick
+            (test_fixture "unbound_rhs" "unbound-var" true);
+          Alcotest.test_case "undeclared ruleset" `Quick
+            (test_fixture "undeclared_ruleset" "unknown-ruleset" true);
+          Alcotest.test_case "sort mismatch" `Quick
+            (test_fixture "sort_mismatch" "sort-mismatch" true);
+          Alcotest.test_case "expansion without cost" `Quick
+            (test_fixture "expansion_no_cost" "expansion-no-cost" false);
+          Alcotest.test_case "missing file" `Quick test_missing_file;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "shipped rules lint clean" `Quick test_shipped_rules_clean;
+          Alcotest.test_case "workload rules lint clean" `Quick test_workload_rules_clean;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "lint errors fail fast" `Quick test_pipeline_fails_fast;
+          Alcotest.test_case "lint off passes through" `Quick test_pipeline_lint_off_passthrough;
+          Alcotest.test_case "clean rules accepted" `Quick test_pipeline_accepts_clean_rules;
+        ] );
+      ( "diag",
+        [
+          Alcotest.test_case "rendering" `Quick test_diag_rendering;
+          Alcotest.test_case "dedup" `Quick test_diag_dedup;
+          Alcotest.test_case "counts" `Quick test_diag_counts;
+        ] );
+    ]
