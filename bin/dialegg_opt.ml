@@ -13,7 +13,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
-    dump_egg lint_only =
+    dump_egg lint_only show_stats no_backoff naive_matching =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if lint_only then begin
@@ -47,6 +47,8 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
         max_nodes;
         timeout = Some timeout;
         run_dce = not no_dce;
+        seminaive = not naive_matching;
+        backoff = not no_backoff;
       }
     in
     let only = match funcs with [] -> None | fs -> Some fs in
@@ -75,6 +77,8 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
       let timings = Dialegg.Pipeline.optimize_module ~config ?only m in
       if show_timings then
         Fmt.epr "%a@." Dialegg.Pipeline.pp_timings timings;
+      if show_stats then
+        Fmt.epr "%a" Dialegg.Pipeline.pp_rule_stats timings.Dialegg.Pipeline.rule_stats;
       print_string (Mlir.Printer.module_to_string m);
       `Ok ()
     end
@@ -126,6 +130,24 @@ let lint_only =
     & info [ "lint" ]
       ~doc:"Only lint the $(b,--egg) rules file and exit (non-zero if it has errors)")
 
+let show_stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+      ~doc:"Print per-rule saturation statistics (searches, matches, applies, bans, times) to stderr")
+
+let no_backoff =
+  Arg.(
+    value & flag
+    & info [ "no-backoff" ]
+      ~doc:"Disable the backoff rule scheduler: every rule fires every iteration")
+
+let naive_matching =
+  Arg.(
+    value & flag
+    & info [ "naive-matching" ]
+      ~doc:"Disable seminaive e-matching: re-match rules against the full e-graph every iteration")
+
 let cmd =
   let doc = "dialect-agnostic MLIR optimizer using equality saturation with Egglog" in
   Cmd.v
@@ -133,6 +155,7 @@ let cmd =
     Term.(
       ret
         (const run $ input $ egg_file $ iterations $ max_nodes $ timeout $ no_dce
-        $ funcs $ show_timings $ dump_egg $ lint_only))
+        $ funcs $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
+        $ naive_matching))
 
 let () = exit (Cmd.eval cmd)

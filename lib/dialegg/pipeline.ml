@@ -26,6 +26,12 @@ type config = {
   lint : bool;
       (** statically check the rules before saturation: lint errors raise
           {!Error}, warnings go to stderr *)
+  seminaive : bool;
+      (** seminaive e-matching: rules scan only rows created since they
+          last fired (default); off = full re-matching every iteration *)
+  backoff : bool;  (** egg-style backoff rule scheduler (default on) *)
+  match_limit : int;  (** scheduler: base per-rule match budget *)
+  ban_length : int;  (** scheduler: base ban duration in iterations *)
 }
 
 let default_config =
@@ -38,6 +44,10 @@ let default_config =
     run_dce = true;
     verify = true;
     lint = true;
+    seminaive = true;
+    backoff = true;
+    match_limit = 1000;
+    ban_length = 5;
   }
 
 (* Fail fast on lint errors instead of silently saturating with rules
@@ -61,6 +71,8 @@ type timings = {
   t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
   t_egglog : float;  (** total time inside the engine: saturation + extraction *)
   t_saturate : float;  (** the saturation part of [t_egglog] *)
+  t_search : float;  (** e-matching part of [t_saturate] *)
+  t_apply : float;  (** action-application part of [t_saturate] *)
   t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
   iterations : int;
   matches : int;
@@ -69,6 +81,8 @@ type timings = {
   n_classes : int;
   extracted_cost : int;  (** tree cost of the extraction *)
   extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
+  rule_stats : Egglog.Interp.rule_stat list;
+      (** per-rule search/apply counts and times ([dialegg-opt --stats]) *)
 }
 
 let zero_timings =
@@ -76,6 +90,8 @@ let zero_timings =
     t_mlir_to_egg = 0.;
     t_egglog = 0.;
     t_saturate = 0.;
+    t_search = 0.;
+    t_apply = 0.;
     t_egg_to_mlir = 0.;
     iterations = 0;
     matches = 0;
@@ -84,13 +100,44 @@ let zero_timings =
     n_classes = 0;
     extracted_cost = 0;
     extracted_dag_cost = 0;
+    rule_stats = [];
   }
+
+(* merge per-rule stats from two runs, by rule name, keeping [a]'s order *)
+let merge_rule_stats (a : Egglog.Interp.rule_stat list) (b : Egglog.Interp.rule_stat list) =
+  let open Egglog.Interp in
+  let merged =
+    List.map
+      (fun (sa : rule_stat) ->
+        match List.find_opt (fun (sb : rule_stat) -> sb.rs_name = sa.rs_name) b with
+        | None -> sa
+        | Some sb ->
+          {
+            sa with
+            rs_searches = sa.rs_searches + sb.rs_searches;
+            rs_matches = sa.rs_matches + sb.rs_matches;
+            rs_applied = sa.rs_applied + sb.rs_applied;
+            rs_bans = sa.rs_bans + sb.rs_bans;
+            rs_search_time = sa.rs_search_time +. sb.rs_search_time;
+            rs_apply_time = sa.rs_apply_time +. sb.rs_apply_time;
+          })
+      a
+  in
+  let extra =
+    List.filter
+      (fun (sb : rule_stat) ->
+        not (List.exists (fun (sa : rule_stat) -> sa.rs_name = sb.rs_name) a))
+      b
+  in
+  merged @ extra
 
 let add_timings a b =
   {
     t_mlir_to_egg = a.t_mlir_to_egg +. b.t_mlir_to_egg;
     t_egglog = a.t_egglog +. b.t_egglog;
     t_saturate = a.t_saturate +. b.t_saturate;
+    t_search = a.t_search +. b.t_search;
+    t_apply = a.t_apply +. b.t_apply;
     t_egg_to_mlir = a.t_egg_to_mlir +. b.t_egg_to_mlir;
     iterations = a.iterations + b.iterations;
     matches = a.matches + b.matches;
@@ -99,16 +146,34 @@ let add_timings a b =
     n_classes = a.n_classes + b.n_classes;
     extracted_cost = a.extracted_cost + b.extracted_cost;
     extracted_dag_cost = a.extracted_dag_cost + b.extracted_dag_cost;
+    rule_stats = merge_rule_stats a.rule_stats b.rule_stats;
   }
 
 let pp_timings ppf t =
   Fmt.pf ppf
-    "mlir->egg %.2fms | egglog %.2fms (sat %.2fms, %d iters, %d matches, %a) | egg->mlir \
-     %.2fms | %d nodes %d classes | cost %d (dag %d)"
-    (t.t_mlir_to_egg *. 1000.) (t.t_egglog *. 1000.) (t.t_saturate *. 1000.) t.iterations
+    "mlir->egg %.2fms | egglog %.2fms (sat %.2fms = search %.2fms + apply %.2fms, %d \
+     iters, %d matches, %a) | egg->mlir %.2fms | %d nodes %d classes | cost %d (dag %d)"
+    (t.t_mlir_to_egg *. 1000.) (t.t_egglog *. 1000.) (t.t_saturate *. 1000.)
+    (t.t_search *. 1000.) (t.t_apply *. 1000.) t.iterations
     t.matches Egglog.Interp.pp_stop_reason t.stop
     (t.t_egg_to_mlir *. 1000.)
     t.n_nodes t.n_classes t.extracted_cost t.extracted_dag_cost
+
+(** Per-rule statistics table ([dialegg-opt --stats]): one row per rule,
+    sorted by total time descending. *)
+let pp_rule_stats ppf (stats : Egglog.Interp.rule_stat list) =
+  let open Egglog.Interp in
+  let total s = s.rs_search_time +. s.rs_apply_time in
+  let stats = List.sort (fun a b -> compare (total b) (total a)) stats in
+  Fmt.pf ppf "%-40s %9s %9s %9s %5s %11s %11s@." "rule" "searches" "matches"
+    "applied" "bans" "search(ms)" "apply(ms)";
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "%-40s %9d %9d %9d %5d %11.2f %11.2f@." s.rs_name s.rs_searches
+        s.rs_matches s.rs_applied s.rs_bans
+        (s.rs_search_time *. 1000.)
+        (s.rs_apply_time *. 1000.))
+    stats
 
 let now () = Unix.gettimeofday ()
 
@@ -120,6 +185,10 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
   (* ---- MLIR -> Egglog ---- *)
   let t0 = now () in
   let engine = Egglog.Interp.create ~max_nodes:config.max_nodes ?timeout:config.timeout () in
+  Egglog.Interp.set_naive_matching engine (not config.seminaive);
+  Egglog.Interp.set_backoff engine config.backoff;
+  Egglog.Interp.set_match_limit engine config.match_limit;
+  Egglog.Interp.set_ban_length engine config.ban_length;
   Egglog.Interp.run_commands engine (Lazy.force Prelude.commands);
   (try Egglog.Interp.run_string engine config.rules
    with Egglog.Parser.Error msg -> raise (Error ("rules: " ^ msg)));
@@ -142,6 +211,8 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
             a.Egglog.Interp.iterations <- a.Egglog.Interp.iterations + s.Egglog.Interp.iterations;
             a.Egglog.Interp.matches <- a.Egglog.Interp.matches + s.Egglog.Interp.matches;
             a.Egglog.Interp.sat_time <- a.Egglog.Interp.sat_time +. s.Egglog.Interp.sat_time;
+            a.Egglog.Interp.search_time <- a.Egglog.Interp.search_time +. s.Egglog.Interp.search_time;
+            a.Egglog.Interp.apply_time <- a.Egglog.Interp.apply_time +. s.Egglog.Interp.apply_time;
             a.Egglog.Interp.stop <- s.Egglog.Interp.stop;
             Some a)
         None stages
@@ -176,6 +247,8 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
     t_mlir_to_egg = t1 -. t0;
     t_egglog = t2 -. t1;
     t_saturate = stats.Egglog.Interp.sat_time;
+    t_search = stats.Egglog.Interp.search_time;
+    t_apply = stats.Egglog.Interp.apply_time;
     t_egg_to_mlir = t3 -. t2;
     iterations = stats.Egglog.Interp.iterations;
     matches = stats.Egglog.Interp.matches;
@@ -184,6 +257,7 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
     n_classes = Egglog.Egraph.n_classes eg;
     extracted_cost = Egglog.Extract.cost_of_class extractor root_class;
     extracted_dag_cost = Egglog.Extract.dag_cost extractor root_term;
+    rule_stats = Egglog.Interp.rule_stats engine;
   }
 
 (** Optimize every function of a module in place (or only those named in

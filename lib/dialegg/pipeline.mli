@@ -17,6 +17,12 @@ type config = {
   lint : bool;
       (** statically check the rules (see {!Lint}) before saturation:
           lint errors raise {!Error}, warnings go to stderr *)
+  seminaive : bool;
+      (** seminaive e-matching: rules scan only rows created since they
+          last fired (default); off = full re-matching every iteration *)
+  backoff : bool;  (** egg-style backoff rule scheduler (default on) *)
+  match_limit : int;  (** scheduler: base per-rule match budget *)
+  ban_length : int;  (** scheduler: base ban duration in iterations *)
 }
 
 val default_config : config
@@ -25,6 +31,8 @@ type timings = {
   t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
   t_egglog : float;  (** total engine time: saturation + extraction *)
   t_saturate : float;  (** the saturation part of [t_egglog] *)
+  t_search : float;  (** e-matching part of [t_saturate] *)
+  t_apply : float;  (** action-application part of [t_saturate] *)
   t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
   iterations : int;
   matches : int;
@@ -33,11 +41,17 @@ type timings = {
   n_classes : int;
   extracted_cost : int;  (** tree cost of the extraction *)
   extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
+  rule_stats : Egglog.Interp.rule_stat list;
+      (** per-rule search/apply counts and times ([dialegg-opt --stats]);
+          merged by rule name when timings are summed *)
 }
 
 val zero_timings : timings
 val add_timings : timings -> timings -> timings
 val pp_timings : Format.formatter -> timings -> unit
+
+(** Per-rule statistics table, one row per rule, busiest first. *)
+val pp_rule_stats : Format.formatter -> Egglog.Interp.rule_stat list -> unit
 
 (** Optimize one [func.func] in place. *)
 val optimize_func : ?config:config -> ?hooks:Translate.hooks -> Mlir.Ir.op -> timings

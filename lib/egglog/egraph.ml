@@ -44,6 +44,13 @@ let pp_sort_kind ppf = function
 
 type row = { mutable out : Value.t; mutable stamp : int }
 
+(** One journal entry: the key and row as they were when the entry was
+    appended, plus the stamp at append time.  An entry is {e live} iff the
+    table still maps that exact key to that exact row record and the row's
+    stamp still equals the recorded one (a later rewrite of the same row
+    appends a fresh entry and retires this one). *)
+type log_entry = { le_args : Value.t array; le_row : row; le_stamp : int }
+
 type func = {
   sym : Symbol.t;
   arg_sorts : sort_kind array;
@@ -55,9 +62,14 @@ type func = {
           [None] means: error on conflicting primitive outputs *)
   mutable table : row Value.Args_tbl.t;
   mutable last_modified : int;
-      (** clock of the last insertion, output change, deletion, or
+      (** stamp of the last insertion, output change, deletion, or
           canonicalization touching this table — drives the scheduler's
-          dirty-table rule skipping *)
+          dirty-table rule skipping and the matcher's index invalidation *)
+  mutable log : log_entry array;
+      (** append-only journal of row insertions and rewrites, in stamp
+          order; seminaive e-matching scans the suffix newer than a rule's
+          last-scan stamp instead of the whole table *)
+  mutable log_len : int;
 }
 
 let is_constructor f = match f.ret_sort with S_eq _ -> true | _ -> false
@@ -78,6 +90,9 @@ type t = {
   (* when [immediate_rebuild] is set, every union triggers a full rebuild
      (the "no deferral" ablation from DESIGN.md §5.1) *)
   mutable immediate_rebuild : bool;
+  mutable pending_unions : bool;
+      (** true iff a union happened since the last {!rebuild}; a clean graph
+          makes rebuild O(1) instead of a full table scan *)
 }
 
 let create () =
@@ -91,6 +106,7 @@ let create () =
       clock = 0;
       n_unions = 0;
       immediate_rebuild = false;
+      pending_unions = false;
     }
   in
   List.iter
@@ -106,6 +122,49 @@ let create () =
 
 let clock t = t.clock
 let touched t = t.clock <- t.clock + 1
+
+(** Bump the clock and return it: a timestamp strictly greater than every
+    clock value observed before the call.  Rows are stamped with this, so a
+    scan that records [clock t] as its horizon sees every later mutation as
+    [stamp > horizon]. *)
+let next_stamp t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+(* --- per-table journal ------------------------------------------------ *)
+
+let dummy_log_entry =
+  { le_args = [||]; le_row = { out = Value.Unit; stamp = -1 }; le_stamp = -1 }
+
+let log_entry_live (f : func) (e : log_entry) =
+  e.le_row.stamp = e.le_stamp
+  &&
+  match Value.Args_tbl.find_opt f.table e.le_args with
+  | Some r -> r == e.le_row
+  | None -> false
+
+(** Append a journal entry for [(args -> row)], retiring any earlier entry
+    for the same row (liveness is checked via the row's current stamp).
+    Compacts the journal when more than half of it is dead. *)
+let log_append (f : func) args (row : row) =
+  let cap = Array.length f.log in
+  if f.log_len = cap then begin
+    let live = Array.sub f.log 0 f.log_len |> Array.to_list |> List.filter (log_entry_live f) in
+    let n_live = List.length live in
+    if n_live * 2 <= f.log_len && f.log_len >= 32 then begin
+      (* mostly dead: compact in place, preserving stamp order *)
+      List.iteri (fun i e -> f.log.(i) <- e) live;
+      Array.fill f.log n_live (f.log_len - n_live) dummy_log_entry;
+      f.log_len <- n_live
+    end
+    else begin
+      let log' = Array.make (max 32 (cap * 2)) dummy_log_entry in
+      Array.blit f.log 0 log' 0 f.log_len;
+      f.log <- log'
+    end
+  end;
+  f.log.(f.log_len) <- { le_args = args; le_row = row; le_stamp = row.stamp };
+  f.log_len <- f.log_len + 1
 
 (** Look up a declared sort by name. *)
 let find_sort t name =
@@ -143,6 +202,8 @@ let declare_function t ~name ~args ~ret ~cost ~merge ~unextractable =
       merge;
       table = Value.Args_tbl.create 16;
       last_modified = 0;
+      log = [||];
+      log_len = 0;
     }
   in
   Symbol.Tbl.replace t.funcs sym f;
@@ -195,7 +256,12 @@ let check_args t f (args : Value.t array) =
 (* ------------------------------------------------------------------ *)
 
 let canon t v = Value.canonicalize t.uf v
-let canon_args t args = Array.map (canon t) args
+
+(* no-alloc fast path: during search (no pending unions) args are almost
+   always already canonical, so the input array can be returned as-is *)
+let canon_args t args =
+  if Array.for_all (Value.is_canonical t.uf) args then args
+  else Array.map (canon t) args
 let find_class t id = Union_find.find t.uf id
 
 (** Allocate a fresh, empty e-class. *)
@@ -213,9 +279,11 @@ let lookup t f args =
 (** [insert t f args out] unconditionally inserts a row (caller must have
     resolved conflicts).  Internal. *)
 let insert_row t f args out =
-  Value.Args_tbl.replace f.table args { out; stamp = t.clock };
-  touched t;
-  f.last_modified <- t.clock
+  let stamp = next_stamp t in
+  let row = { out; stamp } in
+  Value.Args_tbl.replace f.table args row;
+  f.last_modified <- stamp;
+  log_append f args row
 
 (** Number of rows (e-nodes) across all tables. *)
 let n_nodes t =
@@ -247,6 +315,7 @@ let merge_outputs t f a b =
     | Eclass x, Eclass y ->
       t.n_unions <- t.n_unions + 1;
       touched t;
+      t.pending_unions <- true;
       Value.Eclass (Union_find.union t.uf x y)
     | _ -> (
       match f.merge with
@@ -277,19 +346,26 @@ let rebuild_pass t =
       in
       if stale <> [] then begin
         changed := true;
-        f.last_modified <- t.clock + 1;
-        touched t;
         List.iter (fun (args, _) -> Value.Args_tbl.remove f.table args) stale;
         List.iter
           (fun (args, row) ->
             let args' = canon_args t args in
             let out' = canon t row.out in
+            (* canonicalization rewrote this row: it gets a fresh stamp and a
+               fresh journal entry so seminaive matching sees it as new —
+               class merges are exactly what enables new joins over it *)
             match Value.Args_tbl.find_opt f.table args' with
-            | None -> Value.Args_tbl.replace f.table args' { row with out = out' }
+            | None ->
+              let row' = { out = out'; stamp = next_stamp t } in
+              Value.Args_tbl.replace f.table args' row';
+              f.last_modified <- row'.stamp;
+              log_append f args' row'
             | Some existing ->
               (* congruence: two rows collapsed onto the same key *)
               existing.out <- merge_outputs t f existing.out out';
-              existing.stamp <- max existing.stamp row.stamp)
+              existing.stamp <- next_stamp t;
+              f.last_modified <- existing.stamp;
+              log_append f args' existing)
           stale
       end)
     t.funcs;
@@ -316,13 +392,18 @@ let rebuild_pass t =
     t.costs;
   !changed
 
-(** Restore congruence: re-canonicalize all tables until fixpoint. *)
+(** Restore congruence: re-canonicalize all tables until fixpoint.  O(1)
+    when no union happened since the last rebuild (the tables are already
+    canonical then — only unions introduce stale keys). *)
 let rebuild t =
-  let passes = ref 0 in
-  while rebuild_pass t do
-    incr passes;
-    if !passes > 100_000 then error "rebuild did not converge"
-  done
+  if t.pending_unions then begin
+    let passes = ref 0 in
+    while rebuild_pass t do
+      incr passes;
+      if !passes > 100_000 then error "rebuild did not converge"
+    done;
+    t.pending_unions <- false
+  end
 
 (** [union t a b] asserts that classes [a] and [b] are equal.  Deferred:
     congruence is only restored at the next {!rebuild} (unless the
@@ -333,6 +414,7 @@ let union t a b =
     ignore (Union_find.union t.uf ra rb);
     t.n_unions <- t.n_unions + 1;
     touched t;
+    t.pending_unions <- true;
     if t.immediate_rebuild then rebuild t
   end
 
@@ -381,9 +463,9 @@ let set t f args out =
     let merged = merge_outputs t f row.out out in
     if not (Value.equal merged row.out) then begin
       row.out <- merged;
-      row.stamp <- t.clock;
-      touched t;
-      f.last_modified <- t.clock
+      row.stamp <- next_stamp t;
+      f.last_modified <- row.stamp;
+      log_append f args row
     end;
     if t.immediate_rebuild then rebuild t
 
@@ -392,8 +474,9 @@ let delete t f args =
   let args = canon_args t args in
   if Value.Args_tbl.mem f.table args then begin
     Value.Args_tbl.remove f.table args;
-    touched t;
-    f.last_modified <- t.clock
+    f.last_modified <- next_stamp t
+    (* the journal entry for the removed row goes dead automatically: its
+       key no longer resolves to its row *)
   end
 
 (* ------------------------------------------------------------------ *)
@@ -447,6 +530,35 @@ let fold_rows t f init k =
     (fun args row acc -> k acc (canon_args t args) (canon t row.out))
     f.table init
 
+(** [iter_rows_since t f ~since k] iterates only the rows of [f] inserted
+    or rewritten strictly after stamp [since], as
+    (canonical args, canonical output, stamp) — the seminaive delta.
+    Cost is proportional to the number of journal entries newer than
+    [since], not the table size. *)
+let iter_rows_since t f ~since k =
+  (* journal entries are in stamp order: scan the suffix *)
+  let lo =
+    (* binary search for the first entry with stamp > since *)
+    let lo = ref 0 and hi = ref f.log_len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if f.log.(mid).le_stamp > since then hi := mid else lo := mid + 1
+    done;
+    !lo
+  in
+  for i = lo to f.log_len - 1 do
+    let e = f.log.(i) in
+    if log_entry_live f e then
+      k (canon_args t e.le_args) (canon t e.le_row.out) e.le_stamp
+  done
+
+(** [lookup_row t f args] is {!lookup} plus the row's stamp. *)
+let lookup_row t f args =
+  let args = canon_args t args in
+  match Value.Args_tbl.find_opt f.table args with
+  | Some row -> Some (canon t row.out, row.stamp)
+  | None -> None
+
 (** [rows_with_output t f cls] lists rows of [f] whose output is in class
     [cls] — the e-nodes of [cls] built by [f]. *)
 let rows_with_output t f cls =
@@ -466,7 +578,9 @@ let copy t : t =
   let copy_func (f : func) =
     let table = Value.Args_tbl.create (Value.Args_tbl.length f.table) in
     Value.Args_tbl.iter (fun k (row : row) -> Value.Args_tbl.replace table (Array.copy k) { row with out = row.out }) f.table;
-    { f with table }
+    (* the journal restarts empty: a restored snapshot forces full rescans
+       anyway (the interpreter resets every rule's scan horizon on pop) *)
+    { f with table; log = [||]; log_len = 0 }
   in
   let funcs = Symbol.Tbl.create (Symbol.Tbl.length t.funcs) in
   Symbol.Tbl.iter (fun sym f -> Symbol.Tbl.replace funcs sym (copy_func f)) t.funcs;
@@ -486,6 +600,7 @@ let copy t : t =
     clock = t.clock;
     n_unions = t.n_unions;
     immediate_rebuild = t.immediate_rebuild;
+    pending_unions = t.pending_unions;
   }
 
 let pp_stats ppf t =

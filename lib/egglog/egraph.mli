@@ -33,11 +33,18 @@ type func = private {
   merge : (Value.t -> Value.t -> Value.t) option;
   mutable table : row Value.Args_tbl.t;
   mutable last_modified : int;
-      (** clock of the last change to this table (insert, output change,
-          delete, canonicalization) — drives dirty-table rule skipping *)
+      (** stamp of the last change to this table (insert, output change,
+          delete, canonicalization) — drives dirty-table rule skipping and
+          matcher index invalidation *)
+  mutable log : log_entry array;
+      (** append-only journal of insertions and rewrites in stamp order;
+          {!iter_rows_since} scans its suffix for seminaive deltas *)
+  mutable log_len : int;
 }
 
 and row = { mutable out : Value.t; mutable stamp : int }
+
+and log_entry = { le_args : Value.t array; le_row : row; le_stamp : int }
 
 (** Is the function's output an equivalence sort (i.e. is it a
     constructor)? *)
@@ -53,6 +60,9 @@ type t = {
   mutable n_unions : int;
   mutable immediate_rebuild : bool;
       (** ablation flag: rebuild after every union instead of deferring *)
+  mutable pending_unions : bool;
+      (** a union happened since the last {!rebuild}; when false the tables
+          are canonical and rebuild is O(1) *)
 }
 
 val create : unit -> t
@@ -100,6 +110,10 @@ val fresh_class : t -> int
 (** Output for the given key, if the row exists. *)
 val lookup : t -> func -> Value.t array -> Value.t option
 
+(** {!lookup} plus the row's stamp (when it was inserted or last
+    rewritten) — used by seminaive delta checks. *)
+val lookup_row : t -> func -> Value.t array -> (Value.t * int) option
+
 (** Constructor/table application: look up; on a miss, constructors
     allocate a fresh class, relations assert the fact, other functions
     return [None]. *)
@@ -137,6 +151,12 @@ val n_classes : t -> int
 val iter_rows : t -> func -> (Value.t array -> Value.t -> unit) -> unit
 
 val fold_rows : t -> func -> 'a -> ('a -> Value.t array -> Value.t -> 'a) -> 'a
+
+(** Iterate only the rows inserted or rewritten strictly after stamp
+    [since], as (canonical args, canonical output, stamp).  Cost scales
+    with the delta, not the table. *)
+val iter_rows_since :
+  t -> func -> since:int -> (Value.t array -> Value.t -> int -> unit) -> unit
 
 (** Rows of [f] whose output is in the given class — its e-nodes built by
     [f]. *)

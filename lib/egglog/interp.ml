@@ -14,7 +14,31 @@ type rule = {
   r_actions : Ast.action list;
   r_ruleset : string option;  (** [None] = the default ruleset *)
   r_refs : Symbol.t list;  (** function tables the premises read *)
+  r_plan : Matcher.plan;  (** compiled premises for seminaive matching *)
   mutable r_last_scan : int;  (** e-graph clock at the last match scan *)
+  (* backoff scheduler state (egg's BackoffScheduler) *)
+  mutable r_times_banned : int;
+  mutable r_banned_until : int;  (** absolute iteration number; banned while
+                                     [iteration < r_banned_until] *)
+  (* lifetime statistics *)
+  mutable r_n_searches : int;
+  mutable r_n_matches : int;  (** matches found (including discarded) *)
+  mutable r_n_applied : int;  (** matches actually applied *)
+  mutable r_n_bans : int;
+  mutable r_search_time : float;
+  mutable r_apply_time : float;
+}
+
+(** Immutable snapshot of one rule's saturation statistics. *)
+type rule_stat = {
+  rs_name : string;
+  rs_ruleset : string option;
+  rs_searches : int;
+  rs_matches : int;
+  rs_applied : int;
+  rs_bans : int;
+  rs_search_time : float;
+  rs_apply_time : float;
 }
 
 (** Why a [(run n)] stopped. *)
@@ -30,6 +54,8 @@ type run_stats = {
   mutable iterations : int;
   mutable matches : int;  (** total rule matches applied *)
   mutable sat_time : float;  (** seconds spent in [(run n)] *)
+  mutable search_time : float;  (** seconds in rule search (e-matching) *)
+  mutable apply_time : float;  (** seconds applying rule actions *)
   mutable stop : stop_reason;
 }
 
@@ -53,6 +79,17 @@ type t = {
   mutable snapshots : snapshot list;  (** push/pop stack *)
   mutable disable_dirty_skip : bool;
       (** testing/ablation: always rescan every rule *)
+  mutable naive_matching : bool;
+      (** fall back to full re-matching instead of seminaive deltas *)
+  mutable backoff : bool;  (** enable the backoff rule scheduler *)
+  mutable match_limit : int;  (** scheduler: base per-rule match budget *)
+  mutable ban_length : int;  (** scheduler: base ban duration (iterations) *)
+  mutable iter_counter : int;
+      (** absolute iteration count across all [(run)]s — the scheduler's
+          time base for bans *)
+  mutable idx : Matcher.index option;
+      (** cached persistent matcher index; invalidated when [eg] is
+          replaced (pop) *)
 }
 
 and snapshot = {
@@ -75,11 +112,46 @@ let create ?(max_nodes = 200_000) ?timeout () =
     outputs = [];
     snapshots = [];
     disable_dirty_skip = false;
+    naive_matching = false;
+    backoff = true;
+    match_limit = 1000;
+    ban_length = 5;
+    iter_counter = 0;
+    idx = None;
   }
 
 let set_disable_dirty_skip t b = t.disable_dirty_skip <- b
+let set_naive_matching t b = t.naive_matching <- b
+let set_backoff t b = t.backoff <- b
+let set_match_limit t n = t.match_limit <- n
+let set_ban_length t n = t.ban_length <- n
 let egraph t = t.eg
 let globals t = t.globals
+
+(** The persistent matcher index for the current e-graph (created lazily,
+    reused across iterations and runs). *)
+let get_index t =
+  match t.idx with
+  | Some idx -> idx
+  | None ->
+    let idx = Matcher.make_index t.eg t.globals in
+    t.idx <- Some idx;
+    idx
+
+let rule_stats t : rule_stat list =
+  List.map
+    (fun r ->
+      {
+        rs_name = r.r_name;
+        rs_ruleset = r.r_ruleset;
+        rs_searches = r.r_n_searches;
+        rs_matches = r.r_n_matches;
+        rs_applied = r.r_n_applied;
+        rs_bans = r.r_n_bans;
+        rs_search_time = r.r_search_time;
+        rs_apply_time = r.r_apply_time;
+      })
+    t.rules
 
 (** Value of global let-binding [x]. *)
 let global t x =
@@ -167,52 +239,105 @@ and run_actions t env actions = ignore (List.fold_left (run_action t) env action
 (* Saturation                                                          *)
 (* ------------------------------------------------------------------ *)
 
-(** Run one saturation iteration: match every rule against a snapshot of the
-    e-graph, apply all matches, then rebuild.  Returns the number of matches
-    applied. *)
-let run_iteration ?ruleset t : int =
+(** Is [r] due for a rescan?  A rule can only gain new matches after one of
+    its referenced tables changes. *)
+let rule_dirty t r =
+  t.disable_dirty_skip || r.r_last_scan < 0
+  || List.exists
+       (fun sym ->
+         match Egraph.find_func_opt t.eg sym with
+         | Some f -> f.Egraph.last_modified > r.r_last_scan
+         | None -> true)
+       r.r_refs
+
+(** Run one saturation iteration: search every due rule (seminaive deltas by
+    default), then apply all matches in a second phase, then rebuild.
+    Returns [(matches_applied, ban_skipped)] — [ban_skipped] is true when
+    the backoff scheduler banned a rule or skipped a banned one, in which
+    case a quiescent clock does {e not} mean saturation. *)
+let run_iteration ?ruleset t (stats : run_stats) : int * bool =
+  (* cheap when the previous iteration left the graph clean: rebuild is a
+     no-op unless unions are pending (the e-graph's dirty flag) *)
   Egraph.rebuild t.eg;
   let scan_clock = Egraph.clock t.eg in
-  let idx = Matcher.make_index t.eg t.globals in
-  let selected =
-    List.filter
+  let idx = get_index t in
+  t.iter_counter <- t.iter_counter + 1;
+  let iter = t.iter_counter in
+  let ban_skipped = ref false in
+  (* search phase: all rules match against the same snapshot *)
+  let batches =
+    List.filter_map
       (fun r ->
-        r.r_ruleset = ruleset
-        && (* dirty-table skipping: re-scan only if some referenced table
-              changed since this rule's last scan (a rule with no table
-              references scans once) *)
-        (t.disable_dirty_skip || r.r_last_scan < 0
-        || List.exists
-             (fun sym ->
-               match Egraph.find_func_opt t.eg sym with
-               | Some f -> f.Egraph.last_modified > r.r_last_scan
-               | None -> true)
-             r.r_refs))
+        if r.r_ruleset <> ruleset then None
+        else if t.backoff && iter < r.r_banned_until then begin
+          (* banned: no search; r_last_scan stays put, so the delta it will
+             eventually scan still covers everything it missed *)
+          ban_skipped := true;
+          None
+        end
+        else if not (rule_dirty t r) then None
+        else begin
+          let t0 = Unix.gettimeofday () in
+          let envs =
+            if (not t.naive_matching) && r.r_last_scan >= 0 && Matcher.eligible r.r_plan
+            then Matcher.solve_plan idx r.r_plan ~since:r.r_last_scan
+            else Matcher.solve_facts idx r.r_facts
+          in
+          let dt = Unix.gettimeofday () -. t0 in
+          r.r_n_searches <- r.r_n_searches + 1;
+          r.r_search_time <- r.r_search_time +. dt;
+          stats.search_time <- stats.search_time +. dt;
+          let n = List.length envs in
+          r.r_n_matches <- r.r_n_matches + n;
+          let threshold = t.match_limit lsl r.r_times_banned in
+          if t.backoff && n > threshold then begin
+            (* over budget: discard the matches and ban the rule; both the
+               budget and the ban double with each offence *)
+            let ban_len = t.ban_length lsl r.r_times_banned in
+            r.r_times_banned <- r.r_times_banned + 1;
+            r.r_banned_until <- iter + 1 + ban_len;
+            r.r_n_bans <- r.r_n_bans + 1;
+            ban_skipped := true;
+            None
+          end
+          else begin
+            r.r_last_scan <- scan_clock;
+            Some (r, envs)
+          end
+        end)
       t.rules
   in
-  let batches =
-    List.map
-      (fun r ->
-        let envs = Matcher.solve_facts idx r.r_facts in
-        r.r_last_scan <- scan_clock;
-        (r, envs))
-      selected
-  in
+  (* apply phase *)
   let n =
     List.fold_left
       (fun acc (r, envs) ->
+        let t0 = Unix.gettimeofday () in
         List.iter (fun env -> run_actions t env r.r_actions) envs;
-        acc + List.length envs)
+        let dt = Unix.gettimeofday () -. t0 in
+        let k = List.length envs in
+        r.r_n_applied <- r.r_n_applied + k;
+        r.r_apply_time <- r.r_apply_time +. dt;
+        stats.apply_time <- stats.apply_time +. dt;
+        acc + k)
       0 batches
   in
   Egraph.rebuild t.eg;
-  n
+  (n, !ban_skipped)
 
 (** [run t n] saturates: repeats {!run_iteration} until the e-graph stops
     changing, or [n] iterations, the node budget, or the timeout is hit.
     With [?ruleset], only rules registered in that ruleset run. *)
 let run ?ruleset t n : run_stats =
-  let stats = { iterations = 0; matches = 0; sat_time = 0.; stop = Saturated } in
+  let stats =
+    {
+      iterations = 0;
+      matches = 0;
+      sat_time = 0.;
+      search_time = 0.;
+      apply_time = 0.;
+      stop = Saturated;
+    }
+  in
   let t0 = Unix.gettimeofday () in
   let deadline = Option.map (fun s -> t0 +. s) t.timeout in
   (try
@@ -236,13 +361,36 @@ let run ?ruleset t n : run_stats =
        end
        else begin
          let before = Egraph.clock t.eg in
-         let m = run_iteration ?ruleset t in
+         let m, ban_skipped = run_iteration ?ruleset t stats in
          stats.iterations <- stats.iterations + 1;
          stats.matches <- stats.matches + m;
-         if Egraph.clock t.eg = before then begin
-           stats.stop <- Saturated;
-           continue := false
-         end
+         if Egraph.clock t.eg = before then
+           if not ban_skipped then begin
+             (* every due rule searched and nothing changed: true fixpoint *)
+             stats.stop <- Saturated;
+             continue := false
+           end
+           else begin
+             (* stalled but rules are banned: fast-forward the ban clocks so
+                the earliest ban expires next iteration (egg's can_stop);
+                budgets have doubled, so this terminates *)
+             let next_iter = t.iter_counter + 1 in
+             let banned =
+               List.filter
+                 (fun r -> r.r_ruleset = ruleset && next_iter < r.r_banned_until)
+                 t.rules
+             in
+             match banned with
+             | [] -> ()  (* a ban expires next iteration by itself *)
+             | _ ->
+               let min_until =
+                 List.fold_left (fun m r -> min m r.r_banned_until) max_int banned
+               in
+               let delta = min_until - next_iter in
+               List.iter
+                 (fun r -> r.r_banned_until <- r.r_banned_until - delta)
+                 banned
+           end
        end
      done
    with e ->
@@ -315,7 +463,16 @@ let add_rule t ?name ?ruleset facts actions =
           r_actions = actions;
           r_ruleset = ruleset;
           r_refs = fact_refs facts;
+          r_plan = Matcher.compile facts;
           r_last_scan = -1;
+          r_times_banned = 0;
+          r_banned_until = 0;
+          r_n_searches = 0;
+          r_n_matches = 0;
+          r_n_applied = 0;
+          r_n_bans = 0;
+          r_search_time = 0.;
+          r_apply_time = 0.;
         };
       ]
 
@@ -395,8 +552,7 @@ let run_command t (c : Ast.command) : unit =
     end
   | C_check facts ->
     Egraph.rebuild t.eg;
-    let idx = Matcher.make_index t.eg t.globals in
-    let envs = Matcher.solve_facts idx facts in
+    let envs = Matcher.solve_facts (get_index t) facts in
     if envs = [] then
       error "check failed: %a" Fmt.(list ~sep:sp Ast.pp_fact) facts
     else emit t O_checked
@@ -431,7 +587,15 @@ let run_command t (c : Ast.command) : unit =
       t.globals <- s.s_globals;
       t.rules <- s.s_rules;
       t.rulesets <- s.s_rulesets;
-      t.snapshots <- rest)
+      t.snapshots <- rest;
+      (* the restored graph has an older clock: scan horizons and ban
+         clocks recorded against the discarded graph are meaningless now *)
+      t.idx <- None;
+      List.iter
+        (fun r ->
+          r.r_last_scan <- -1;
+          r.r_banned_until <- 0)
+        t.rules)
 
 (** Execute a list of commands; outputs are appended to [t.outputs]. *)
 let run_commands t cmds = List.iter (run_command t) cmds

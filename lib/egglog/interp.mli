@@ -12,10 +12,32 @@ type rule = {
   r_actions : Ast.action list;
   r_ruleset : string option;  (** [None] = the default ruleset *)
   r_refs : Symbol.t list;  (** function tables the premises read *)
+  r_plan : Matcher.plan;  (** compiled premises for seminaive matching *)
   mutable r_last_scan : int;
-      (** e-graph clock at the last match scan; the scheduler skips rules
-          none of whose referenced tables changed since (dirty-table
-          skipping, a lightweight form of seminaive evaluation) *)
+      (** e-graph clock at the last match scan; seminaive matching scans
+          only rows stamped after this, and rules none of whose referenced
+          tables changed since are skipped outright *)
+  mutable r_times_banned : int;
+  mutable r_banned_until : int;
+      (** backoff scheduler: skipped while [iteration < r_banned_until] *)
+  mutable r_n_searches : int;
+  mutable r_n_matches : int;
+  mutable r_n_applied : int;
+  mutable r_n_bans : int;
+  mutable r_search_time : float;
+  mutable r_apply_time : float;
+}
+
+(** Immutable snapshot of one rule's lifetime saturation statistics. *)
+type rule_stat = {
+  rs_name : string;
+  rs_ruleset : string option;
+  rs_searches : int;  (** iterations in which the rule actually searched *)
+  rs_matches : int;  (** matches found, including ban-discarded ones *)
+  rs_applied : int;  (** matches whose actions ran *)
+  rs_bans : int;  (** times the backoff scheduler banned the rule *)
+  rs_search_time : float;  (** seconds e-matching *)
+  rs_apply_time : float;  (** seconds running actions *)
 }
 
 (** Why a [(run n)] stopped. *)
@@ -27,6 +49,8 @@ type run_stats = {
   mutable iterations : int;
   mutable matches : int;  (** total rule matches applied *)
   mutable sat_time : float;  (** seconds spent saturating *)
+  mutable search_time : float;  (** seconds in rule search (e-matching) *)
+  mutable apply_time : float;  (** seconds applying rule actions *)
   mutable stop : stop_reason;
 }
 
@@ -42,6 +66,28 @@ type t
 (** Testing/ablation hook: force every rule to rescan each iteration
     instead of dirty-table skipping. *)
 val set_disable_dirty_skip : t -> bool -> unit
+
+(** Fall back to full (naive) re-matching instead of seminaive deltas.
+    Observationally identical, asymptotically slower — for ablation and
+    the [--naive-matching] CLI escape hatch. *)
+val set_naive_matching : t -> bool -> unit
+
+(** Enable/disable the backoff rule scheduler (default: enabled).  When
+    disabled every due rule fires every iteration and saturation detection
+    never waits on bans. *)
+val set_backoff : t -> bool -> unit
+
+(** Scheduler: base per-rule match budget (default 1000); a rule finding
+    more than [budget << times_banned] matches in one search is banned and
+    its matches discarded. *)
+val set_match_limit : t -> int -> unit
+
+(** Scheduler: base ban duration in iterations (default 5); doubles with
+    each repeated offence. *)
+val set_ban_length : t -> int -> unit
+
+(** Per-rule lifetime saturation statistics, in registration order. *)
+val rule_stats : t -> rule_stat list
 
 (** Fresh engine.  [max_nodes] bounds e-graph growth during saturation;
     [timeout] bounds one [(run)]'s wall-clock time. *)

@@ -29,45 +29,95 @@ module Env = Map.Make (String)
 type env = Value.t Env.t
 
 (* ------------------------------------------------------------------ *)
-(* Snapshot index                                                      *)
+(* Persistent index                                                    *)
 (* ------------------------------------------------------------------ *)
 
-type rows = { all : (Value.t array * Value.t) list; by_output : (int, (Value.t array * Value.t) list) Hashtbl.t }
+(* Cached indexes for one function table, over entries of (canonical args,
+   canonical output, row stamp): [by_output] buckets rows by output e-class
+   (joining a pattern whose result class is known), [by_arg] buckets rows
+   by (argument position, argument e-class) (joining a pattern any of whose
+   arguments is known).  Buckets are mutable list refs so construction is a
+   single linear pass (one hash lookup + cons per row per key).  The cache
+   is invalidated by the table's [last_modified] stamp, so across
+   saturation iterations only the tables that actually changed are
+   re-indexed — untouched tables keep their index verbatim. *)
+type fcache = {
+  mutable by_output : (int, (Value.t array * Value.t * int) list ref) Hashtbl.t;
+  mutable by_arg : (int * int, (Value.t array * Value.t * int) list ref) Hashtbl.t;
+  mutable built_at : int;  (* the table's last_modified when built *)
+}
 
 type index = {
   eg : Egraph.t;
   globals : (string, Value.t) Hashtbl.t;
-  funcs : rows Symbol.Tbl.t;
+  caches : fcache Symbol.Tbl.t;
 }
 
-(** Build a matching snapshot.  [eg] must be rebuilt (congruence restored).
-    [globals] are the interpreter's top-level let-bindings. *)
-let make_index eg globals : index =
-  let funcs = Symbol.Tbl.create 64 in
-  List.iter
-    (fun (f : Egraph.func) ->
-      let all = Egraph.fold_rows eg f [] (fun acc args out -> (args, out) :: acc) in
-      let by_output = Hashtbl.create (List.length all) in
-      List.iter
-        (fun ((_, out) as row) ->
-          match out with
-          | Value.Eclass id ->
-            let id = Egraph.find_class eg id in
-            Hashtbl.replace by_output id (row :: Option.value ~default:[] (Hashtbl.find_opt by_output id))
-          | _ -> ())
-        all;
-      Symbol.Tbl.replace funcs f.sym { all; by_output })
-    (Egraph.functions eg);
-  { eg; globals; funcs }
+(** Build a matching index over [eg].  [globals] are the interpreter's
+    top-level let-bindings.  The index is cheap to create and {e persistent}:
+    per-function structures are built lazily on first use and reused across
+    saturation iterations until the underlying table changes.  Matching
+    requires the e-graph to be rebuilt (congruence restored). *)
+let make_index eg globals : index = { eg; globals; caches = Symbol.Tbl.create 64 }
 
-let rows_of idx sym =
-  match Symbol.Tbl.find_opt idx.funcs sym with
-  | Some r -> r
+let func_of idx sym : Egraph.func =
+  match Egraph.find_func_opt idx.eg sym with
+  | Some f -> f
   | None -> error "unknown function %s in pattern" (Symbol.name sym)
 
-let rows_with_output idx sym cls =
-  let r = rows_of idx sym in
-  Option.value ~default:[] (Hashtbl.find_opt r.by_output (Egraph.find_class idx.eg cls))
+let bucket_add tbl key entry =
+  match Hashtbl.find_opt tbl key with
+  | Some bucket -> bucket := entry :: !bucket
+  | None -> Hashtbl.add tbl key (ref [ entry ])
+
+let fcache_of idx (f : Egraph.func) : fcache =
+  let c =
+    match Symbol.Tbl.find_opt idx.caches f.sym with
+    | Some c -> c
+    | None ->
+      let c = { by_output = Hashtbl.create 8; by_arg = Hashtbl.create 8; built_at = min_int } in
+      Symbol.Tbl.replace idx.caches f.sym c;
+      c
+  in
+  if c.built_at < f.Egraph.last_modified then begin
+    let n = max 8 (Value.Args_tbl.length f.Egraph.table) in
+    let out_tbl = Hashtbl.create n in
+    let arg_tbl = Hashtbl.create n in
+    Value.Args_tbl.iter
+      (fun args (row : Egraph.row) ->
+        let out = Egraph.canon idx.eg row.out in
+        let cargs = Egraph.canon_args idx.eg args in
+        let entry = (cargs, out, row.stamp) in
+        (match out with
+        | Value.Eclass id -> bucket_add out_tbl id entry
+        | _ -> ());
+        Array.iteri
+          (fun i a ->
+            match a with Value.Eclass id -> bucket_add arg_tbl (i, id) entry | _ -> ())
+          cargs)
+      f.Egraph.table;
+    c.by_output <- out_tbl;
+    c.by_arg <- arg_tbl;
+    c.built_at <- f.Egraph.last_modified
+  end;
+  c
+
+(** Rows of [f] whose output is in class [cls], with their stamps. *)
+let rows_of_output idx (f : Egraph.func) cls : (Value.t array * Value.t * int) list =
+  let c = fcache_of idx f in
+  match Hashtbl.find_opt c.by_output (Egraph.find_class idx.eg cls) with
+  | Some bucket -> !bucket
+  | None -> []
+
+let rows_with_output idx sym cls : (Value.t array * Value.t * int) list =
+  rows_of_output idx (func_of idx sym) cls
+
+(** Rows of [f] whose [pos]-th argument is in class [cls]. *)
+let rows_with_arg idx (f : Egraph.func) pos cls : (Value.t array * Value.t * int) list =
+  let c = fcache_of idx f in
+  match Hashtbl.find_opt c.by_arg (pos, Egraph.find_class idx.eg cls) with
+  | Some bucket -> !bucket
+  | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Variable resolution                                                 *)
@@ -82,7 +132,7 @@ let resolve idx env x =
   | None -> if is_pattern_var x then None else Hashtbl.find_opt idx.globals x
 
 let values_equal idx a b =
-  Value.equal (Egraph.canon idx.eg a) (Egraph.canon idx.eg b)
+  Value.equal a b || Value.equal (Egraph.canon idx.eg a) (Egraph.canon idx.eg b)
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation (ground expressions inside premises)          *)
@@ -155,13 +205,14 @@ let rec match_value idx env (pat : Ast.expr) (v : Value.t) : env list =
   | Call (f, arg_pats) -> (
     (* child e-node pattern: v must be an e-class containing an f-node *)
     match v with
-    | Eclass cls ->
+    | Eclass cls -> (
       let sym = Symbol.intern f in
-      if not (Symbol.Tbl.mem idx.funcs sym) then
-        error "unknown function or primitive %s" f;
-      List.concat_map
-        (fun (args, _) -> match_args idx env arg_pats args)
-        (rows_with_output idx sym cls)
+      match Egraph.find_func_opt idx.eg sym with
+      | None -> error "unknown function or primitive %s" f
+      | Some fn ->
+        List.concat_map
+          (fun (args, _, _) -> match_args idx env arg_pats args)
+          (rows_of_output idx fn cls))
     | _ -> [])
 
 and match_args idx env (pats : Ast.expr list) (args : Value.t array) : env list =
@@ -175,16 +226,81 @@ and match_args idx env (pats : Ast.expr list) (args : Value.t array) : env list 
     in
     go [ env ] 0 pats
 
-(** Match a top-level pattern [(f pats)] against every row of [f], yielding
-    [(env, output)] pairs. *)
-let match_rooted idx env (f : string) (arg_pats : Ast.expr list) :
-    (env * Value.t) list =
-  let sym = Symbol.intern f in
-  let rows = rows_of idx sym in
-  List.concat_map
-    (fun (args, out) ->
-      List.map (fun env -> (env, out)) (match_args idx env arg_pats args))
-    rows.all
+(** How one table occurrence is restricted in a seminaive delta term.
+    [Δ(R₁⋈…⋈Rₖ) = Σₜ (R₁ᵒˡᵈ ⋈ … ⋈ ΔRₜ ⋈ … ⋈ Rₖᶠᵘˡˡ)]: the [t]-th term
+    takes the delta at occurrence [t], {e old} rows (stamp ≤ since) at
+    occurrences before it and the full table after it, so each combination
+    of rows is produced by exactly one term — no cross-term duplicates. *)
+type occ_mode =
+  | M_full
+  | M_delta of int  (** only rows with stamp > since *)
+  | M_old of int  (** only rows with stamp ≤ since *)
+
+let occ_admits occ stamp =
+  match occ with
+  | M_full -> true
+  | M_delta ts -> stamp > ts
+  | M_old ts -> stamp <= ts
+
+(** First argument pattern already bound to an e-class under [env] (an
+    entry point into the by-arg index). *)
+let find_bound_arg idx env (arg_pats : Ast.expr list) : (int * int) option =
+  let rec go i = function
+    | [] -> None
+    | p :: rest -> (
+      match eval_opt idx env p with
+      | Some v -> (
+        match Egraph.canon idx.eg v with
+        | Value.Eclass id -> Some (i, id)
+        | _ -> go (i + 1) rest)
+      | None -> go (i + 1) rest)
+  in
+  go 0 arg_pats
+
+(** Match a top-level pattern [(f pats)] against rows of [f], yielding
+    [(env, output)] pairs; [occ] restricts which rows participate.  If some
+    argument pattern already has a known e-class value under [env], only
+    the rows sharing that argument are scanned (via the by-arg index); a
+    delta occurrence scans the journal suffix; otherwise the whole table is
+    folded directly — no per-iteration row-list snapshot is materialized. *)
+let match_rooted_occ idx env (f : string) (arg_pats : Ast.expr list)
+    ~(occ : occ_mode) : (env * Value.t) list =
+  let fn = func_of idx (Symbol.intern f) in
+  match occ with
+  | M_delta ts ->
+    let acc = ref [] in
+    Egraph.iter_rows_since idx.eg fn ~since:ts (fun args out _stamp ->
+        List.iter
+          (fun env -> acc := (env, out) :: !acc)
+          (match_args idx env arg_pats args));
+    !acc
+  | M_full | M_old _ -> (
+    match find_bound_arg idx env arg_pats with
+    | Some (pos, cls) ->
+      List.fold_left
+        (fun acc (args, out, stamp) ->
+          if occ_admits occ stamp then
+            List.fold_left
+              (fun acc env -> (env, out) :: acc)
+              acc
+              (match_args idx env arg_pats args)
+          else acc)
+        []
+        (rows_with_arg idx fn pos cls)
+    | None ->
+      Value.Args_tbl.fold
+        (fun args (row : Egraph.row) acc ->
+          if occ_admits occ row.stamp then
+            let args = Egraph.canon_args idx.eg args in
+            let out = Egraph.canon idx.eg row.out in
+            List.fold_left
+              (fun acc env -> (env, out) :: acc)
+              acc
+              (match_args idx env arg_pats args)
+          else acc)
+        fn.Egraph.table [])
+
+let match_rooted idx env f arg_pats = match_rooted_occ idx env f arg_pats ~occ:M_full
 
 (* ------------------------------------------------------------------ *)
 (* Fact solving                                                        *)
@@ -198,12 +314,54 @@ let rec is_ground idx env (e : Ast.expr) =
   | Lit _ -> true
   | Call (_, args) -> List.for_all (is_ground idx env) args
 
+let eval_args_opt idx env (args : Ast.expr list) : Value.t list option =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | a :: rest -> (
+      match eval_opt idx env a with Some v -> go (v :: acc) rest | None -> None)
+  in
+  go [] args
+
 (** [solve_expr idx env e target] produces environments under which [e]
     holds.  With [target = Some v], [e] must match/evaluate to [v]; the
-    returned value component is the value of [e]. *)
-let solve_expr idx env (e : Ast.expr) ~(target : Value.t option) :
-    (env * Value.t) list =
+    returned value component is the value of [e].
+
+    [~occ] restricts the expression's {e root} table operation to a stamp
+    range (see {!occ_mode}) — the seminaive old/delta designation.  Only
+    declared-function applications are ever restricted (the compiler only
+    designates those as delta atoms). *)
+let solve_expr ?(occ : occ_mode = M_full) idx env (e : Ast.expr)
+    ~(target : Value.t option) : (env * Value.t) list =
   match (e, target) with
+  | Call (f, arg_pats), Some v when (not (Primitives.is_primitive f)) && occ <> M_full -> (
+    match Egraph.canon idx.eg v with
+    | Eclass cls ->
+      let sym = Symbol.intern f in
+      ignore (func_of idx sym);
+      List.concat_map
+        (fun (args, _, stamp) ->
+          if occ_admits occ stamp then
+            List.map (fun env -> (env, v)) (match_args idx env arg_pats args)
+          else [])
+        (rows_with_output idx sym cls)
+    | v ->
+      (* primitive-output table: no by-output index; scan the admitted
+         rows and keep those whose output equals the target *)
+      List.filter_map
+        (fun (env, out) -> if values_equal idx out v then Some (env, v) else None)
+        (match_rooted_occ idx env f arg_pats ~occ))
+  | Call (f, arg_pats), None when (not (Primitives.is_primitive f)) && occ <> M_full ->
+    if is_ground idx env e then
+      (* ground table application: the lookup only counts if the row's
+         stamp falls in the occurrence's range *)
+      match eval_args_opt idx env arg_pats with
+      | None -> []
+      | Some vals -> (
+        let fn = func_of idx (Symbol.intern f) in
+        match Egraph.lookup_row idx.eg fn (Array.of_list vals) with
+        | Some (v, stamp) when occ_admits occ stamp -> [ (env, v) ]
+        | _ -> [])
+    else match_rooted_occ idx env f arg_pats ~occ
   | Var x, Some v -> (
     match resolve idx env x with
     | Some bound -> if values_equal idx bound v then [ (env, v) ] else []
@@ -240,13 +398,16 @@ let solve_expr idx env (e : Ast.expr) ~(target : Value.t option) :
       match eval_opt idx env e with Some v -> [ (env, v) ] | None -> []
     else match_rooted idx env f arg_pats
 
-(** [solve_fact idx envs fact] filters/extends candidate environments. *)
-let solve_fact idx (envs : env list) (fact : Ast.fact) : env list =
+(** [solve_fact_occs occ_for idx envs fact] filters/extends candidate
+    environments; [occ_for j] is the stamp restriction on the [j]-th
+    conjunct's root table operation (0 for an [F_expr]). *)
+let solve_fact_occs (occ_for : int -> occ_mode) idx (envs : env list)
+    (fact : Ast.fact) : env list =
   match fact with
   | F_expr e ->
     List.concat_map
       (fun env ->
-        let results = solve_expr idx env e ~target:None in
+        let results = solve_expr ~occ:(occ_for 0) idx env e ~target:None in
         (* guard position: a primitive producing a boolean must be true *)
         List.filter_map
           (fun (env, v) ->
@@ -257,6 +418,7 @@ let solve_fact idx (envs : env list) (fact : Ast.fact) : env list =
     (* process conjuncts left to right, sharing one target value; a bare
        variable seen before the target is known is deferred and bound at
        the end *)
+    let exprs = List.mapi (fun i e -> (i, e)) exprs in
     List.concat_map
       (fun env ->
         let rec go env (target : Value.t option) pending = function
@@ -274,17 +436,398 @@ let solve_fact idx (envs : env list) (fact : Ast.fact) : env list =
                   [ env ] pending
               in
               envs)
-          | e :: rest -> (
+          | (i, e) :: rest -> (
             match e with
             | Ast.Var x when resolve idx env x = None && target = None ->
               go env target (e :: pending) rest
             | _ ->
-              let results = solve_expr idx env e ~target in
+              let results = solve_expr ~occ:(occ_for i) idx env e ~target in
               List.concat_map (fun (env, v) -> go env (Some v) pending rest) results)
         in
         go env None [] exprs)
       envs
 
+(** [solve_fact idx envs fact] filters/extends candidate environments.
+    [?restrict] is the seminaive delta designation: [(j, ts)] restricts the
+    [j]-th conjunct's root table operation (0 for an [F_expr]) to rows
+    newer than stamp [ts]. *)
+let solve_fact ?(restrict : (int * int) option) idx (envs : env list)
+    (fact : Ast.fact) : env list =
+  let occ_for j =
+    match restrict with Some (c, ts) when c = j -> M_delta ts | _ -> M_full
+  in
+  solve_fact_occs occ_for idx envs fact
+
 (** Solve all premises of a rule; returns the satisfying environments. *)
 let solve_facts idx (facts : Ast.fact list) : env list =
   List.fold_left (fun envs f -> if envs = [] then [] else solve_fact idx envs f) [ Env.empty ] facts
+
+(* ------------------------------------------------------------------ *)
+(* Seminaive plans                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** One delta candidate: the [a_conj]-th conjunct of the [a_fact]-th
+    (flattened) fact is an application of table [a_sym].  [a_order] is the
+    join order used when this atom takes the delta: the atom's fact first
+    (its small delta scan drives the join), then the remaining facts
+    greedily by variable connectivity, so each subsequent fact joins
+    through an index instead of enumerating its table. *)
+type atom = { a_fact : int; a_conj : int; a_sym : Symbol.t; a_order : int array }
+
+(** A compiled rule body.  [p_facts] is the flattened premise list: every
+    declared-function application nested inside another pattern has been
+    hoisted into its own [(= ?aux (f ...))] fact (inserted right after its
+    parent, so later guards still see its variables bound).  [p_atoms] are
+    the table-application occurrences; seminaive matching unions over which
+    single atom reads the delta.  [p_eligible] is false when some table
+    application hides where the delta cannot reach it (inside a primitive
+    application, e.g. under [vec-of]) — such rules fall back to naive
+    matching. *)
+type plan = {
+  p_facts : Ast.fact list;
+  p_atoms : atom list;
+  p_eligible : bool;
+}
+
+let eligible p = p.p_eligible
+let plan_facts p = p.p_facts
+
+(** Hoist nested declared-function applications out of pattern positions.
+
+    Placement matters for join cost, so two regimes are used, keyed on
+    whether the subtree's variables are all bound by {e earlier} facts:
+    - a {e ground} subtree (e.g. [(type-of ?y)] with [?y] bound above)
+      becomes O(1) lookups, so its facts go {e before} the parent fact,
+      innermost first;
+    - a {e binding} subtree (a destructuring pattern like the inner matmul
+      of [(linalg_matmul (linalg_matmul ...) ...)]) goes {e after} the
+      parent fact, outermost first, so each child's aux var is already
+      bound (by the parent's args) and its rows are found through the
+      by-output index rather than a full table scan. *)
+let compile (facts : Ast.fact list) : plan =
+  let counter = ref 0 in
+  let eligible = ref true in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "?__sn%d" !counter
+  in
+  (* variables bound by the facts already emitted *)
+  let bound : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  (* ground subtrees already hoisted, keyed syntactically: a repeated
+     occurrence (e.g. [(type-of ?x)] under both [nrows] and [ncols])
+     reuses the first aux var instead of emitting a duplicate fact *)
+  let cse : (Ast.expr, string) Hashtbl.t = Hashtbl.create 16 in
+  let rec add_vars (e : Ast.expr) =
+    match e with
+    | Ast.Var x -> Hashtbl.replace bound x ()
+    | Ast.Call (_, args) -> List.iter add_vars args
+    | Wildcard | Lit _ -> ()
+  in
+  let rec is_ground_subtree (e : Ast.expr) =
+    match e with
+    | Ast.Var x -> Hashtbl.mem bound x
+    | Ast.Wildcard -> false
+    | Ast.Lit _ -> true
+    | Ast.Call (_, args) -> List.for_all is_ground_subtree args
+  in
+  (* inside a primitive application the matcher evaluates, it cannot
+     delta-restrict: a table call there makes the rule ineligible *)
+  let rec scan_prim_args (e : Ast.expr) =
+    match e with
+    | Ast.Call (f, args) ->
+      if not (Primitives.is_primitive f) then eligible := false;
+      List.iter scan_prim_args args
+    | Var _ | Wildcard | Lit _ -> ()
+  in
+  (* ground regime: child facts accumulate onto [pre], innermost first *)
+  let rec flatten_ground pre (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Call (f, args) when Primitives.is_primitive f ->
+      List.iter scan_prim_args args;
+      e
+    | Ast.Call (f, args) ->
+      let args' =
+        List.map
+          (fun a ->
+            match a with
+            | Ast.Call (g, _) when not (Primitives.is_primitive g) -> (
+              match Hashtbl.find_opt cse a with
+              | Some aux -> Ast.Var aux
+              | None ->
+                let a' = flatten_ground pre a in
+                let aux = fresh () in
+                pre := !pre @ [ Ast.F_eq [ Ast.Var aux; a' ] ];
+                Hashtbl.add cse a aux;
+                Ast.Var aux)
+            | _ -> flatten_ground pre a)
+          args
+      in
+      Ast.Call (f, args')
+    | Var _ | Wildcard | Lit _ -> e
+  in
+  (* binding regime: ground children onto [pre]; binding children onto
+     [suf], each parent before its own children *)
+  let rec flatten_pat pre suf (e : Ast.expr) : Ast.expr =
+    match e with
+    | Ast.Call (f, args) when Primitives.is_primitive f ->
+      List.iter scan_prim_args args;
+      e
+    | Ast.Call (f, args) ->
+      let args' =
+        List.map
+          (fun a ->
+            match a with
+            | Ast.Call (g, _) when not (Primitives.is_primitive g) ->
+              if is_ground_subtree a then
+                match Hashtbl.find_opt cse a with
+                | Some aux -> Ast.Var aux
+                | None ->
+                  let a' = flatten_ground pre a in
+                  let aux = fresh () in
+                  pre := !pre @ [ Ast.F_eq [ Ast.Var aux; a' ] ];
+                  Hashtbl.add cse a aux;
+                  Ast.Var aux
+              else begin
+                let aux = fresh () in
+                let sub_suf = ref [] in
+                let a' = flatten_pat pre sub_suf a in
+                suf := !suf @ (Ast.F_eq [ Ast.Var aux; a' ] :: !sub_suf);
+                Ast.Var aux
+              end
+            | _ -> flatten_pat pre suf a)
+          args
+      in
+      Ast.Call (f, args')
+    | Var _ | Wildcard | Lit _ -> e
+  in
+  let flatten_fact (fact : Ast.fact) : Ast.fact list =
+    let pre = ref [] and suf = ref [] in
+    let fact' =
+      match fact with
+      | Ast.F_expr e -> Ast.F_expr (flatten_pat pre suf e)
+      | Ast.F_eq es -> Ast.F_eq (List.map (flatten_pat pre suf) es)
+    in
+    let group = !pre @ (fact' :: !suf) in
+    (* everything this group can bind is bound for the facts that follow *)
+    List.iter
+      (function Ast.F_eq es -> List.iter add_vars es | Ast.F_expr e -> add_vars e)
+      group;
+    group
+  in
+  let p_facts = List.concat_map flatten_fact facts in
+  let facts_arr = Array.of_list p_facts in
+  let n_facts = Array.length facts_arr in
+  (* --- static join-order analysis -------------------------------------
+     [vars.(i)]: every variable fact [i] mentions (all are bound once it is
+     solved).  [requires.(i)]: variables that must already be bound when
+     fact [i] runs, or the matcher would silently drop environments (vars
+     inside evaluated primitive applications) or error (a bare-var fact):
+     reordering must never schedule a fact before its requirements. *)
+  let exprs_of = function Ast.F_expr e -> [ e ] | Ast.F_eq es -> es in
+  let vars_of_fact fact =
+    let acc = ref [] in
+    let add x = if not (List.mem x !acc) then acc := x :: !acc in
+    let rec go e =
+      match e with
+      | Ast.Var x -> add x
+      | Ast.Call (_, args) -> List.iter go args
+      | Ast.Wildcard | Ast.Lit _ -> ()
+    in
+    List.iter go (exprs_of fact);
+    !acc
+  in
+  let requires_of_fact fact =
+    let acc = ref [] in
+    let add x = if not (List.mem x !acc) then acc := x :: !acc in
+    let rec all_vars e =
+      match e with
+      | Ast.Var x -> add x
+      | Ast.Call (_, args) -> List.iter all_vars args
+      | Ast.Wildcard | Ast.Lit _ -> ()
+    in
+    (* [pattern] = this position is matched against a row value (can bind);
+       evaluated positions require their variables *)
+    let rec go ~pattern e =
+      match e with
+      | Ast.Var _ | Ast.Wildcard | Ast.Lit _ -> ()
+      | Ast.Call ("vec-of", args) when pattern ->
+        (* destructuring: elements are again pattern positions *)
+        List.iter (go ~pattern:true) args
+      | Ast.Call (f, args) when Primitives.is_primitive f -> List.iter all_vars args
+      | Ast.Call (_, args) -> List.iter (go ~pattern:true) args
+    in
+    (match fact with
+    | Ast.F_expr (Ast.Var x) -> add x  (* bare-var fact errors when unbound *)
+    | Ast.F_expr e -> go ~pattern:false e
+    | Ast.F_eq es ->
+      List.iter (function Ast.Var _ | Ast.Wildcard -> () | e -> go ~pattern:false e) es;
+      (* an all-variables (=) errors with nothing bound: require the first *)
+      if
+        List.for_all (function Ast.Var _ | Ast.Wildcard -> true | _ -> false) es
+      then
+        match es with Ast.Var x :: _ -> add x | _ -> ());
+    !acc
+  in
+  let fact_vars = Array.map vars_of_fact facts_arr in
+  let fact_requires = Array.map requires_of_fact facts_arr in
+  let has_table_call fact =
+    let rec go e =
+      match e with
+      | Ast.Call (f, args) ->
+        (not (Primitives.is_primitive f)) || List.exists go args
+      | Ast.Var _ | Ast.Wildcard | Ast.Lit _ -> false
+    in
+    List.exists go (exprs_of fact)
+  in
+  let fact_has_table = Array.map has_table_call facts_arr in
+  (* greedy schedule starting from [first]: among facts whose requirements
+     are met, prefer fully-bound ones (pure filters), then table facts
+     sharing a bound variable (indexed joins); facts sharing nothing are
+     deferred (cartesian products).  Deadlock-free: the earliest remaining
+     fact in the original order always has its requirements met. *)
+  let schedule ~first : int array =
+    let bound = Hashtbl.create 16 in
+    let bind i = List.iter (fun x -> Hashtbl.replace bound x ()) fact_vars.(i) in
+    let scheduled = Array.make n_facts false in
+    let order = Array.make n_facts 0 in
+    scheduled.(first) <- true;
+    order.(0) <- first;
+    bind first;
+    for k = 1 to n_facts - 1 do
+      let best = ref (-1) and best_score = ref (-1) in
+      for i = 0 to n_facts - 1 do
+        if not scheduled.(i) then begin
+          let ok = List.for_all (Hashtbl.mem bound) fact_requires.(i) in
+          let score =
+            if not ok then -1
+            else if List.for_all (Hashtbl.mem bound) fact_vars.(i) then 3
+            else if fact_has_table.(i) && List.exists (Hashtbl.mem bound) fact_vars.(i)
+            then 2
+            else if List.exists (Hashtbl.mem bound) fact_vars.(i) then 1
+            else 0
+          in
+          if score > !best_score then begin
+            best := i;
+            best_score := score
+          end
+        end
+      done;
+      let pick =
+        if !best_score >= 0 then !best
+        else begin
+          (* no requirements met anywhere: fall back to the earliest
+             remaining fact, whose requirements the original order meets *)
+          let rec earliest i = if scheduled.(i) then earliest (i + 1) else i in
+          earliest 0
+        end
+      in
+      scheduled.(pick) <- true;
+      order.(k) <- pick;
+      bind pick
+    done;
+    order
+  in
+  let original_order = Array.init n_facts (fun i -> i) in
+  let p_atoms =
+    List.concat
+      (List.mapi
+         (fun i (fact : Ast.fact) ->
+           let order =
+             (* the delta scan can only drive the join if nothing the
+                atom's fact requires is missing at the start *)
+             if fact_requires.(i) = [] then schedule ~first:i else original_order
+           in
+           let atom_of j (e : Ast.expr) =
+             match e with
+             | Ast.Call (f, _) when not (Primitives.is_primitive f) ->
+               Some { a_fact = i; a_conj = j; a_sym = Symbol.intern f; a_order = order }
+             | _ -> None
+           in
+           match fact with
+           | Ast.F_expr e -> Option.to_list (atom_of 0 e)
+           | Ast.F_eq es -> List.filter_map Fun.id (List.mapi atom_of es))
+         p_facts)
+  in
+  { p_facts; p_atoms; p_eligible = !eligible }
+
+(** Compiler-generated auxiliary variable? (see [fresh] in {!compile}) *)
+let is_aux_var x = String.length x >= 5 && String.sub x 0 5 = "?__sn"
+
+(** Remove duplicate environments (seminaive delta terms overlap when a
+    match involves more than one new row).  Environments are compared on
+    the rule's own variables only: actions never mention the compiler's
+    aux vars, so environments differing only there are interchangeable
+    and keeping one of them also avoids re-applying the same action. *)
+let dedupe_envs (envs : env list) : env list =
+  match envs with
+  | [] | [ _ ] -> envs
+  | _ ->
+    let seen = Hashtbl.create (List.length envs) in
+    List.filter
+      (fun env ->
+        let key =
+          List.filter (fun (x, _) -> not (is_aux_var x)) (Env.bindings env)
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      envs
+
+(** Seminaive solve: environments satisfying the plan's premises that
+    involve at least one row newer than stamp [since].  Unions, over every
+    atom, the term where that atom takes the delta, occurrences before it
+    take only old rows and occurrences after it the full table (see
+    {!occ_mode}) — each combination of rows is derived by exactly one
+    term.  Atoms whose table did not change since [since] have an empty
+    delta and are skipped outright, so a rule with no new relevant rows
+    costs O(atoms). *)
+let solve_plan idx (p : plan) ~(since : int) : env list =
+  let facts = Array.of_list p.p_facts in
+  let atoms = Array.of_list p.p_atoms in
+  let n_facts = Array.length facts in
+  let solve_term t =
+    let a = atoms.(t) in
+    (* per-fact conjunct→mode map for this term's occurrence restrictions *)
+    let fact_occs : (int * occ_mode) list array = Array.make n_facts [] in
+    Array.iteri
+      (fun u (b : atom) ->
+        let mode =
+          if u < t then M_old since else if u = t then M_delta since else M_full
+        in
+        fact_occs.(b.a_fact) <- (b.a_conj, mode) :: fact_occs.(b.a_fact))
+      atoms;
+    (* follow the atom's precomputed join order: its (small) delta scan
+       drives the join, so the remaining facts — greedily ordered by
+       variable connectivity — join through the indexes instead of
+       enumerating tables *)
+    let envs = ref [ Env.empty ] in
+    Array.iter
+      (fun i ->
+        if !envs <> [] then begin
+          let occs = fact_occs.(i) in
+          let occ_for j =
+            match List.assq_opt j occs with Some m -> m | None -> M_full
+          in
+          envs := solve_fact_occs occ_for idx !envs facts.(i)
+        end)
+      a.a_order;
+    !envs
+  in
+  let terms = ref [] in
+  Array.iteri
+    (fun t (a : atom) ->
+      match Egraph.find_func_opt idx.eg a.a_sym with
+      | Some f when f.Egraph.last_modified > since -> (
+        match solve_term t with [] -> () | r -> terms := r :: !terms)
+      | Some _ -> ()  (* table untouched since the rule's last scan *)
+      | None -> error "unknown function %s in pattern" (Symbol.name a.a_sym))
+    atoms;
+  match !terms with
+  | [] -> []
+  | [ r ] -> r
+  | rs ->
+    (* terms are disjoint by construction; duplicates can still arise
+       within one term (distinct rows binding the same rule variables) *)
+    dedupe_envs (List.concat rs)

@@ -1,15 +1,24 @@
 (** E-matching: finding all substitutions under which a rule's premises
     hold in the current e-graph.
 
-    The matcher works on a snapshot {!index} built once per saturation
-    iteration (after {!Egraph.rebuild}); rows are indexed by output e-class
-    so nested patterns join in O(1) per candidate.
+    The matcher works against a persistent {!index}: per-function
+    by-output buckets are (re)built lazily only when the function's table
+    changed since the bucket was last built, so repeated iterations over a
+    mostly-quiescent database cost almost nothing.  Rows are indexed by
+    output e-class so nested patterns join in O(1) per candidate.
 
     Premises are solved left to right over a list of candidate
     environments: declared-function applications are patterns (relational
     joins over their tables), primitive applications are evaluated (and
     must be [true] in guard position), and [(= e1 e2 ...)] unifies the
-    values of all conjuncts, binding still-free variables. *)
+    values of all conjuncts, binding still-free variables.
+
+    Seminaive matching ({!compile} / {!solve_plan}) unions one term per
+    table-application atom: the term's atom scans only the rows stamped
+    after a given timestamp (the delta), atoms before it only older rows
+    and atoms after it the full table, so every row combination is derived
+    by exactly one term — a rule whose tables saw no new rows since its
+    last scan is dismissed in O(atoms). *)
 
 exception Error of string
 
@@ -19,8 +28,9 @@ type env = Value.t Env.t
 
 type index
 
-(** Build a matching snapshot.  The e-graph must be rebuilt.  [globals]
-    are the interpreter's top-level let-bindings. *)
+(** Build a matching index over the e-graph.  O(1); per-function buckets
+    are built lazily on first use and cached until the function's table
+    changes.  [globals] are the interpreter's top-level let-bindings. *)
 val make_index : Egraph.t -> (string, Value.t) Hashtbl.t -> index
 
 (** Value of an {!Ast.lit}. *)
@@ -34,8 +44,34 @@ val eval_opt : index -> env -> Ast.expr -> Value.t option
 (** Extend [env] in all ways that make the pattern match the value. *)
 val match_value : index -> env -> Ast.expr -> Value.t -> env list
 
-(** Solve one fact against candidate environments. *)
-val solve_fact : index -> env list -> Ast.fact -> env list
+(** Solve one fact against candidate environments.  [restrict], when
+    given as [(conj, since)], limits the [conj]-th conjunct (0 for
+    [F_expr]) to rows stamped strictly after [since] — the seminaive
+    delta restriction. *)
+val solve_fact : ?restrict:int * int -> index -> env list -> Ast.fact -> env list
 
 (** Solve all premises of a rule; the satisfying environments. *)
 val solve_facts : index -> Ast.fact list -> env list
+
+(** {1 Seminaive plans} *)
+
+(** A compiled rule body: premises flattened so every declared-function
+    application is its own atom, plus the list of delta candidates. *)
+type plan
+
+(** Flatten and analyse a premise list.  Total per rule, done once. *)
+val compile : Ast.fact list -> plan
+
+(** Whether the plan supports seminaive matching (false when a table
+    application is nested inside a primitive application, where the delta
+    restriction cannot reach it — callers fall back to naive matching). *)
+val eligible : plan -> bool
+
+(** The flattened premises (for naive matching of the same plan, keeping
+    both paths observationally identical). *)
+val plan_facts : plan -> Ast.fact list
+
+(** Environments satisfying the plan that involve at least one row
+    stamped strictly after [since].  Requires [eligible].  Results are
+    deduplicated. *)
+val solve_plan : index -> plan -> since:int -> env list

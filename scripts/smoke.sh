@@ -12,6 +12,10 @@ dune exec bin/dialegg_lint.exe -- rules/*.egg
 dune build @lint
 echo ok
 
+echo "== bench-smoke: seminaive and naive matching agree =="
+dune build @bench-smoke
+echo ok
+
 echo "== dialegg-lint: defects are caught =="
 if dune exec bin/dialegg_lint.exe -- test/fixtures/unknown_constructor.egg 2>/dev/null; then
   echo "expected a lint failure" >&2; exit 1

@@ -790,6 +790,115 @@ let test_dirty_skip_equivalence () =
          in
          run true = run false))
 
+let test_seminaive_equivalence () =
+  (* seminaive e-matching must reach exactly the same saturated e-graph
+     as full re-matching, on random rewriting systems (backoff off in
+     both so the iteration schedule is identical) *)
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"seminaive = naive" ~count:60
+       (QCheck.make random_trs_gen)
+       (fun src ->
+         let run naive =
+           let t = Interp.create ~max_nodes:3_000 () in
+           Interp.set_naive_matching t naive;
+           Interp.set_backoff t false;
+           (try Interp.run_string t src with Interp.Error _ -> ());
+           Egraph.rebuild (Interp.egraph t);
+           (Egraph.n_nodes (Interp.egraph t), Egraph.n_classes (Interp.egraph t))
+         in
+         run true = run false))
+
+let test_seminaive_extraction_identical () =
+  (* both matching modes must extract the same term from the paper's
+     running example *)
+  let src =
+    {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(function Mul (E E) E)
+(function Shl (E E) E)
+(rewrite (Mul ?x (Num 2)) (Shl ?x (Num 1)))
+(rewrite (Add ?x ?x) (Mul ?x (Num 2)))
+(let root (Add (Mul (Num 3) (Num 2)) (Mul (Num 3) (Num 2))))
+(run 10)
+(extract root)
+|}
+  in
+  let extract naive =
+    let t = Interp.create () in
+    Interp.set_naive_matching t naive;
+    Interp.run_string t src;
+    match Interp.last_extracted t with
+    | Some (term, cost) -> (Fmt.str "%a" Extract.pp_term term, cost)
+    | None -> Alcotest.fail "no extraction"
+  in
+  let e_sem = extract false and e_naive = extract true in
+  checks "same term" (fst e_naive) (fst e_sem);
+  checki "same cost" (snd e_naive) (snd e_sem)
+
+(* a workload with enough simultaneous matches to trip a tiny match
+   budget: commutativity over several distinct Adds *)
+let backoff_src =
+  {|
+(sort E)
+(function Num (i64) E)
+(function Add (E E) E)
+(rewrite (Add ?x ?y) (Add ?y ?x))
+(let a (Add (Num 1) (Num 2)))
+(let b (Add (Num 3) (Num 4)))
+(let c (Add (Num 5) (Num 6)))
+(let d (Add (Num 7) (Num 8)))
+(run 30)
+|}
+
+let test_backoff_ban_and_unban () =
+  (* with a match budget of 1 the commutativity rule is banned, resumes
+     after the ban expires, and still reaches the same final e-graph as
+     the unthrottled run — backoff delays matches, never loses them *)
+  let final backoff =
+    let t = Interp.create () in
+    Interp.set_backoff t backoff;
+    if backoff then Interp.set_match_limit t 1;
+    Interp.run_string t backoff_src;
+    let stats = Interp.rule_stats t in
+    let bans = List.fold_left (fun n s -> n + s.Interp.rs_bans) 0 stats in
+    (Egraph.n_nodes (Interp.egraph t), Egraph.n_classes (Interp.egraph t), bans)
+  in
+  let n_b, c_b, bans_b = final true in
+  let n_u, c_u, bans_u = final false in
+  checkb "throttled run was actually banned" true (bans_b > 0);
+  checki "no bans without backoff" 0 bans_u;
+  checki "same nodes" n_u n_b;
+  checki "same classes" c_u c_b
+
+let test_backoff_saturation_exact () =
+  (* a banned rule must not let the engine report Saturated early: the
+     run above stops as Saturated only once every rule really is dry *)
+  let t = Interp.create () in
+  Interp.set_backoff t true;
+  Interp.set_match_limit t 1;
+  Interp.set_ban_length t 2;
+  Interp.run_string t backoff_src;
+  (match Interp.last_stats t with
+  | Some s -> checkb "stopped saturated" true (s.Interp.stop = Interp.Saturated)
+  | None -> Alcotest.fail "no stats");
+  (* saturated means saturated: re-running finds nothing new *)
+  let nodes = Egraph.n_nodes (Interp.egraph t) in
+  Interp.run_string t "(run 5)";
+  checki "stable after saturation" nodes (Egraph.n_nodes (Interp.egraph t))
+
+let test_rule_stats_populated () =
+  let t = Interp.create () in
+  Interp.run_string t backoff_src;
+  let stats = Interp.rule_stats t in
+  checkb "one rule" true (List.length stats = 1);
+  let s = List.hd stats in
+  checkb "searched" true (s.Interp.rs_searches > 0);
+  checkb "matched" true (s.Interp.rs_matches > 0);
+  checkb "applied" true (s.Interp.rs_applied > 0);
+  checkb "timed" true (s.Interp.rs_search_time >= 0. && s.Interp.rs_apply_time >= 0.)
+
 let test_saturated_stays_stable () =
   (* running again on a saturated e-graph does nothing, quickly *)
   let t = Interp.create () in
@@ -894,6 +1003,14 @@ let () =
         [
           Alcotest.test_case "dirty-skip equals full rescan (property)" `Quick
             test_dirty_skip_equivalence;
+          Alcotest.test_case "seminaive equals naive (property)" `Quick
+            test_seminaive_equivalence;
+          Alcotest.test_case "seminaive extraction identical" `Quick
+            test_seminaive_extraction_identical;
+          Alcotest.test_case "backoff bans and unbans" `Quick test_backoff_ban_and_unban;
+          Alcotest.test_case "backoff saturation is exact" `Quick
+            test_backoff_saturation_exact;
+          Alcotest.test_case "rule stats populated" `Quick test_rule_stats_populated;
           Alcotest.test_case "saturated state is stable" `Quick test_saturated_stays_stable;
         ] );
     ]
