@@ -13,7 +13,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
-    dump_egg lint_only show_stats no_backoff naive_matching =
+    dump_egg lint_only show_stats no_backoff naive_matching no_validate analyze =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if lint_only then begin
@@ -32,13 +32,29 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
       | Some i -> i
       | None -> raise (Usage "required argument INPUT.mlir is missing")
     in
-    if egg_file = None && not dump_egg then
+    if egg_file = None && not (dump_egg || analyze) then
       Fmt.epr "%a@." Egglog.Diag.pp
         (Egglog.Diag.warning "no-rules"
            "no --egg rules file given: saturating with zero rewrite rules, the output will match the input");
     let src = read_file input in
     let m = Mlir.Parser.parse_module src in
-    Mlir.Verifier.verify_exn m;
+    (* uniform rendering with the rule lint and the round-trip validator *)
+    (match Dialegg.Validate.verify_diags ~file:input ~code:"invalid-input" m with
+    | [] -> ()
+    | diags ->
+      Fmt.epr "%a@." Egglog.Diag.pp_list diags;
+      exit 1);
+    if analyze then begin
+      (* print per-value dataflow facts instead of optimizing *)
+      List.iter
+        (fun op ->
+          if op.Mlir.Ir.op_name = "func.func"
+             && (funcs = [] || List.mem (Mlir.Ir.func_name op) funcs)
+          then Fmt.pr "%a" Mlir.Dataflow.Report.pp_func op)
+        (Mlir.Ir.module_ops m);
+      `Ok ()
+    end
+    else begin
     let config =
       {
         Dialegg.Pipeline.default_config with
@@ -47,6 +63,7 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
         max_nodes;
         timeout = Some timeout;
         run_dce = not no_dce;
+        validate = not no_validate;
         seminaive = not naive_matching;
         backoff = not no_backoff;
       }
@@ -81,6 +98,7 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
         Fmt.epr "%a" Dialegg.Pipeline.pp_rule_stats timings.Dialegg.Pipeline.rule_stats;
       print_string (Mlir.Printer.module_to_string m);
       `Ok ()
+    end
     end
     end
   with
@@ -148,6 +166,23 @@ let naive_matching =
     & info [ "naive-matching" ]
       ~doc:"Disable seminaive e-matching: re-match rules against the full e-graph every iteration")
 
+let no_validate =
+  Arg.(
+    value & flag
+    & info [ "no-validate" ]
+      ~doc:
+        "Skip translation validation (the post-extraction check that types, \
+         shapes and result value ranges still refine the input's)")
+
+let analyze =
+  Arg.(
+    value & flag
+    & info [ "analyze" ]
+      ~doc:
+        "Print per-value dataflow facts (intervals, known bits, constants, \
+         shapes, use counts, dead ops) for each function and exit without \
+         optimizing")
+
 let cmd =
   let doc = "dialect-agnostic MLIR optimizer using equality saturation with Egglog" in
   Cmd.v
@@ -156,6 +191,6 @@ let cmd =
       ret
         (const run $ input $ egg_file $ iterations $ max_nodes $ timeout $ no_dce
         $ funcs $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
-        $ naive_matching))
+        $ naive_matching $ no_validate $ analyze))
 
 let () = exit (Cmd.eval cmd)

@@ -23,6 +23,11 @@ type config = {
   timeout : float option;  (** per-function saturation wall-clock budget *)
   run_dce : bool;  (** clean dead ops after de-eggification *)
   verify : bool;  (** verify the rewritten module *)
+  validate : bool;
+      (** translation validation (see {!Validate}): verify the input,
+          snapshot its abstract facts, and after extraction check that
+          types, shapes and result intervals still refine them; any
+          error-severity diagnostic raises {!Error} *)
   lint : bool;
       (** statically check the rules before saturation: lint errors raise
           {!Error}, warnings go to stderr *)
@@ -43,6 +48,7 @@ let default_config =
     timeout = Some 30.0;
     run_dce = true;
     verify = true;
+    validate = true;
     lint = true;
     seminaive = true;
     backoff = true;
@@ -65,6 +71,19 @@ let lint_rules_exn config =
               (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
               (List.filter Egglog.Diag.is_error diags)))
   end
+
+(* Raise {!Error} if any diagnostic is error severity (warnings go to
+   stderr), rendering them uniformly with the rule lint. *)
+let diags_exn what diags =
+  List.iter
+    (fun d -> if not (Egglog.Diag.is_error d) then Fmt.epr "%a@." Egglog.Diag.pp d)
+    diags;
+  if Egglog.Diag.has_errors diags then
+    raise
+      (Error
+         (Fmt.str "%s:@\n%a" what
+            (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
+            (List.filter Egglog.Diag.is_error diags)))
 
 (** Per-function timing breakdown (Table 2 columns). *)
 type timings = {
@@ -182,6 +201,15 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
     (func : Mlir.Ir.op) : timings =
   Mlir.Registry.ensure_registered ();
   lint_rules_exn config;
+  (* verify the *input* before eggify: a malformed function would
+     otherwise surface as a confusing mis-translation *)
+  if config.validate || config.verify then
+    diags_exn
+      (Fmt.str "input function @%s fails verification" (Mlir.Ir.func_name func))
+      (Validate.verify_diags ~code:"invalid-input" func);
+  (* snapshot the input's signature and abstract facts for the
+     post-extraction translation validation *)
+  let snapshot = if config.validate then Some (Validate.capture func) else None in
   (* ---- MLIR -> Egglog ---- *)
   let t0 = now () in
   let engine = Egglog.Interp.create ~max_nodes:config.max_nodes ?timeout:config.timeout () in
@@ -233,15 +261,15 @@ let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
   Deeggify.rebuild_function deeggify func root_term;
   if config.run_dce then ignore (Mlir.Transforms.dce func);
   let t3 = now () in
-  if config.verify then (
-    match Mlir.Verifier.verify func with
-    | [] -> ()
-    | errs ->
-      raise
-        (Error
-           (Fmt.str "rewritten function fails verification:@\n%a"
-              (Fmt.list ~sep:Fmt.cut Mlir.Verifier.pp_error)
-              errs)));
+  (match snapshot with
+  | Some snap ->
+    diags_exn
+      (Fmt.str "translation validation failed for @%s" (Mlir.Ir.func_name func))
+      (Validate.check snap func)
+  | None ->
+    if config.verify then
+      diags_exn "rewritten function fails verification"
+        (Validate.verify_diags ~code:"invalid-extraction" func));
   let eg = Egglog.Interp.egraph engine in
   {
     t_mlir_to_egg = t1 -. t0;

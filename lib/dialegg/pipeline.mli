@@ -14,6 +14,12 @@ type config = {
   timeout : float option;  (** per-function saturation wall-clock budget *)
   run_dce : bool;  (** clean dead ops after de-eggification *)
   verify : bool;  (** verify the rewritten module *)
+  validate : bool;
+      (** translation validation (see {!Validate}, default on): verify the
+          input module before eggify, snapshot its abstract facts, and
+          after extraction check types / shapes / result intervals still
+          refine them; error diagnostics raise {!Error}
+          ([dialegg-opt --no-validate] turns this off) *)
   lint : bool;
       (** statically check the rules (see {!Lint}) before saturation:
           lint errors raise {!Error}, warnings go to stderr *)

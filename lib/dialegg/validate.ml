@@ -1,0 +1,104 @@
+(** Translation validation for the saturation round-trip (see the mli).
+
+    The refinement check is deliberately restricted to {e function
+    results} and to the interval + shape domains: intermediate values
+    rarely survive extraction unchanged, but the function results are the
+    observable behavior, and a rewrite that is semantics-preserving must
+    keep every result inside the facts the input admitted. *)
+
+module Dataflow = Mlir.Dataflow
+
+type snapshot = {
+  s_name : string;
+  s_args : Mlir.Typ.t list;
+  s_rets : Mlir.Typ.t list;  (** declared function type *)
+  s_ret_val_types : Mlir.Typ.t list;  (** types of the return operands *)
+  s_ret_intervals : Dataflow.Interval.t list;
+  s_ret_shapes : Dataflow.Shape.t list;
+}
+
+let capture (func : Mlir.Ir.op) : snapshot =
+  let args, rets = Mlir.Ir.func_type func in
+  let itv = Dataflow.Intervals.analyze func in
+  let shp = Dataflow.Shapes.analyze func in
+  let ret_val_types =
+    match Dataflow.Report.return_op func with
+    | Some t ->
+      Array.to_list (Array.map (fun (v : Mlir.Ir.value) -> v.Mlir.Ir.v_type) t.Mlir.Ir.operands)
+    | None -> []
+  in
+  {
+    s_name = Mlir.Ir.func_name func;
+    s_args = args;
+    s_rets = rets;
+    s_ret_val_types = ret_val_types;
+    s_ret_intervals = Dataflow.Intervals.return_facts itv func;
+    s_ret_shapes = Dataflow.Shapes.return_facts shp func;
+  }
+
+let verify_diags ?file ~code (op : Mlir.Ir.op) =
+  List.map
+    (fun (e : Mlir.Verifier.error) ->
+      Egglog.Diag.error ?file code "%s: %s" e.Mlir.Verifier.e_op e.Mlir.Verifier.e_msg)
+    (Mlir.Verifier.verify op)
+
+let check ?file (snap : snapshot) (func : Mlir.Ir.op) : Egglog.Diag.t list =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let error code fmt = Fmt.kstr (fun m -> add (Egglog.Diag.error ?file code "%s" m)) fmt in
+  (* (a) the extracted function must verify at all *)
+  let verr = verify_diags ?file ~code:"invalid-extraction" func in
+  List.iter add verr;
+  if verr = [] then begin
+    (* (b) signatures and result types must agree *)
+    let args, rets = Mlir.Ir.func_type func in
+    if args <> snap.s_args || rets <> snap.s_rets then
+      error "type-changed" "@%s: function type changed from (%a) -> (%a) to (%a) -> (%a)"
+        snap.s_name
+        Fmt.(list ~sep:(any ", ") Mlir.Typ.pp) snap.s_args
+        Fmt.(list ~sep:(any ", ") Mlir.Typ.pp) snap.s_rets
+        Fmt.(list ~sep:(any ", ") Mlir.Typ.pp) args
+        Fmt.(list ~sep:(any ", ") Mlir.Typ.pp) rets;
+    let ret_val_types =
+      match Dataflow.Report.return_op func with
+      | Some t ->
+        Array.to_list
+          (Array.map (fun (v : Mlir.Ir.value) -> v.Mlir.Ir.v_type) t.Mlir.Ir.operands)
+      | None -> []
+    in
+    if List.length ret_val_types <> List.length snap.s_ret_val_types then
+      error "type-changed" "@%s: result count changed from %d to %d" snap.s_name
+        (List.length snap.s_ret_val_types)
+        (List.length ret_val_types)
+    else begin
+      List.iteri
+        (fun i (was, now) ->
+          if not (Mlir.Typ.equal was now) then
+            error "type-changed" "@%s result %d: type changed from %a to %a"
+              snap.s_name i Mlir.Typ.pp was Mlir.Typ.pp now)
+        (List.combine snap.s_ret_val_types ret_val_types);
+      (* (c) abstract facts of the output must refine the input's *)
+      let itv = Dataflow.Intervals.analyze func in
+      let shp = Dataflow.Shapes.analyze func in
+      let out_itv = Dataflow.Intervals.return_facts itv func in
+      let out_shp = Dataflow.Shapes.return_facts shp func in
+      if List.length out_itv = List.length snap.s_ret_intervals then
+        List.iteri
+          (fun i (was, now) ->
+            if not (Dataflow.Interval.subset now was) then
+              error "range-widened"
+                "@%s result %d: interval %a does not refine the input's %a — \
+                 a rewrite rule is not semantics-preserving"
+                snap.s_name i Dataflow.Interval.pp now Dataflow.Interval.pp was)
+          (List.combine snap.s_ret_intervals out_itv);
+      if List.length out_shp = List.length snap.s_ret_shapes then
+        List.iteri
+          (fun i (was, now) ->
+            if not (Dataflow.Shape.compatible was now) then
+              error "shape-changed"
+                "@%s result %d: inferred shape %a contradicts the input's %a"
+                snap.s_name i Dataflow.Shape.pp now Dataflow.Shape.pp was)
+          (List.combine snap.s_ret_shapes out_shp)
+    end
+  end;
+  List.rev !diags

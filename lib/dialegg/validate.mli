@@ -1,0 +1,31 @@
+(** Translation validation for the saturation round-trip.
+
+    The pipeline rewrites a function in place (eggify → saturate →
+    extract → de-eggify), so {!capture} snapshots everything the check
+    needs from the {e input} function — its signature, its return operand
+    types, and the {!Mlir.Dataflow} facts for its results — and {!check}
+    compares the rewritten function against that snapshot.
+
+    Diagnostics use stable codes, uniform with the rule lint:
+
+    - [invalid-input]: the function fails {!Mlir.Verifier} before eggify;
+    - [invalid-extraction]: the extracted function fails {!Mlir.Verifier};
+    - [type-changed]: the signature or a return operand type differs;
+    - [shape-changed]: an inferred result shape contradicts the input's;
+    - [range-widened]: a result's interval fact no longer refines the
+      input's — the symptom of an unsound arithmetic rewrite. *)
+
+type snapshot
+
+(** Snapshot a [func.func] before it is rewritten. *)
+val capture : Mlir.Ir.op -> snapshot
+
+(** Run {!Mlir.Verifier.verify} and render each error as an error-severity
+    {!Egglog.Diag} with the given [code]. *)
+val verify_diags : ?file:string -> code:string -> Mlir.Ir.op -> Egglog.Diag.t list
+
+(** [check snapshot func] validates the rewritten [func] against its
+    pre-rewrite snapshot: verifier, signature/result types, inferred
+    shapes, and interval refinement of the function results.  Returns all
+    diagnostics (empty = validated). *)
+val check : ?file:string -> snapshot -> Mlir.Ir.op -> Egglog.Diag.t list

@@ -1,0 +1,1095 @@
+(** Lattice-parameterized forward dataflow over mini-MLIR.
+
+    The solver is a straightforward abstract interpreter: facts flow
+    op-to-op through a block, [scf.if] joins the facts its branches yield,
+    and loops ([scf.for], [scf.while]) iterate their loop-carried argument
+    facts — joining, then widening — until they stabilize (or a small
+    iteration budget runs out, in which case everything the loop touches
+    falls back to top).  Regions of unknown ops are analyzed with top
+    block arguments, so their contents still get (weak) facts.
+
+    Soundness is relative to {!Interp}: every concrete value an execution
+    produces must be described by the fact computed here.  Two
+    representation details matter throughout (see {!Interp} / {!Ints}):
+
+    - integers are stored sign-extended to [int64], and [Ints] only
+      re-truncates after the wrapping ops (add/sub/mul/shli/xori/shrui) —
+      comparisons, min/max and arithmetic shifts work on the raw [int64];
+    - [arith.cmpi] stores an {e unnormalized} [i1] ([0L] or [1L], never
+      [-1L]), so the top element for [i1] must cover [{-1, 0, 1}]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Lattice and analysis signatures                                     *)
+(* ------------------------------------------------------------------ *)
+
+module type LATTICE = sig
+  type t
+
+  val name : string
+  val top : Typ.t -> t
+  val equal : t -> t -> bool
+  val join : t -> t -> t
+  val widen : t -> t -> t
+  val induction : lb:t -> ub:t -> step:t -> t
+  val transfer : (Ir.value -> t) -> Ir.op -> t list option
+  val pp : Format.formatter -> t -> unit
+end
+
+module type ANALYSIS = sig
+  type elt
+  type facts
+
+  val analyze : ?init:(Ir.value -> elt option) -> Ir.op -> facts
+  val fact : facts -> Ir.value -> elt
+  val return_facts : facts -> Ir.op -> elt list
+end
+
+(* Single-result integer (or index) width of an op, the common gate for
+   the integer domains. *)
+let int_result_width (op : Ir.op) =
+  if Array.length op.Ir.results = 1 then
+    match op.Ir.results.(0).Ir.v_type with
+    | Typ.Integer w -> Some w
+    | Typ.Index -> Some 64
+    | _ -> None
+  else None
+
+let attr_int op name =
+  match Ir.attr op name with Some (Attr.Int (v, _)) -> Some v | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The solver                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Make (L : LATTICE) : ANALYSIS with type elt = L.t = struct
+  type elt = L.t
+  type facts = (int, L.t) Hashtbl.t
+
+  let fact tbl (v : Ir.value) =
+    match Hashtbl.find_opt tbl v.Ir.v_id with
+    | Some f -> f
+    | None -> L.top v.Ir.v_type
+
+  let set tbl (v : Ir.value) f = Hashtbl.replace tbl v.Ir.v_id f
+  let top_of (v : Ir.value) = L.top v.Ir.v_type
+
+  (* loop-carried facts that have not stabilized after this many rounds
+     fall back to top; widening normally converges much earlier *)
+  let max_loop_rounds = 32
+  let widen_after = 4
+
+  let rec exec_op tbl (op : Ir.op) =
+    match op.Ir.op_name with
+    | "scf.if" -> exec_if tbl op
+    | "scf.for" -> exec_for tbl op
+    | "scf.while" -> exec_while tbl op
+    | _ ->
+      (* unknown region-holding op: give nested block arguments top so the
+         nested code still gets sound facts *)
+      List.iter
+        (fun (r : Ir.region) ->
+          List.iter
+            (fun (b : Ir.block) ->
+              Array.iter (fun a -> set tbl a (top_of a)) b.Ir.blk_args;
+              exec_block tbl b)
+            r.Ir.blocks)
+        op.Ir.regions;
+      let facts =
+        (* a malformed op (bad arity, missing attr) must not kill the
+           analysis: treat it as unhandled *)
+        match (try L.transfer (fact tbl) op with _ -> None) with
+        | Some fs when List.length fs = Array.length op.Ir.results -> fs
+        | _ -> Array.to_list (Array.map top_of op.Ir.results)
+      in
+      List.iteri (fun i f -> set tbl op.Ir.results.(i) f) facts
+
+  and exec_block tbl (blk : Ir.block) = List.iter (exec_op tbl) blk.Ir.blk_ops
+
+  (* facts of a block's scf.yield operands, [] if it ends differently *)
+  and yield_facts tbl (blk : Ir.block) =
+    match Ir.terminator blk with
+    | Some t when t.Ir.op_name = "scf.yield" ->
+      Array.to_list (Array.map (fact tbl) t.Ir.operands)
+    | _ -> []
+
+  and set_results_top tbl (op : Ir.op) =
+    Array.iter (fun r -> set tbl r (top_of r)) op.Ir.results
+
+  and exec_if tbl (op : Ir.op) =
+    match op.Ir.regions with
+    | [ then_r; else_r ] ->
+      let branch r =
+        let b = Ir.entry_block r in
+        exec_block tbl b;
+        yield_facts tbl b
+      in
+      let ft = branch then_r and fe = branch else_r in
+      let n = Array.length op.Ir.results in
+      if List.length ft = n && List.length fe = n then
+        List.iteri (fun i f -> set tbl op.Ir.results.(i) f) (List.map2 L.join ft fe)
+      else set_results_top tbl op
+    | _ -> set_results_top tbl op
+
+  and exec_for tbl (op : Ir.op) =
+    match op.Ir.regions with
+    | [ body_r ] when Array.length op.Ir.operands >= 3 ->
+      let body = Ir.entry_block body_r in
+      let n_iters = Array.length op.Ir.operands - 3 in
+      if Array.length body.Ir.blk_args <> n_iters + 1 then begin
+        Array.iter (fun a -> set tbl a (top_of a)) body.Ir.blk_args;
+        exec_block tbl body;
+        set_results_top tbl op
+      end
+      else begin
+        let f i = fact tbl op.Ir.operands.(i) in
+        set tbl body.Ir.blk_args.(0) (L.induction ~lb:(f 0) ~ub:(f 1) ~step:(f 2));
+        let init = Array.init n_iters (fun i -> f (i + 3)) in
+        let final = solve_loop tbl ~args:(Array.sub body.Ir.blk_args 1 n_iters) ~init
+            ~run:(fun () -> exec_block tbl body; yield_facts tbl body)
+        in
+        Array.iteri (fun i f -> if i < Array.length op.Ir.results then
+            set tbl op.Ir.results.(i) f) final
+      end
+    | _ -> set_results_top tbl op
+
+  and exec_while tbl (op : Ir.op) =
+    match op.Ir.regions with
+    | [ before_r; after_r ] ->
+      let before = Ir.entry_block before_r and after = Ir.entry_block after_r in
+      let n = Array.length op.Ir.operands in
+      if Array.length before.Ir.blk_args <> n then begin
+        Array.iter (fun a -> set tbl a (top_of a)) before.Ir.blk_args;
+        Array.iter (fun a -> set tbl a (top_of a)) after.Ir.blk_args;
+        exec_block tbl before;
+        exec_block tbl after;
+        set_results_top tbl op
+      end
+      else begin
+        let condition () =
+          match Ir.terminator before with
+          | Some t when t.Ir.op_name = "scf.condition" && Array.length t.Ir.operands >= 1 ->
+            Some (Array.to_list (Array.map (fact tbl) (Array.sub t.Ir.operands 1 (Array.length t.Ir.operands - 1))))
+          | _ -> None
+        in
+        let init = Array.map (fact tbl) op.Ir.operands in
+        let run () =
+          exec_block tbl before;
+          match condition () with
+          | Some passed when List.length passed = Array.length after.Ir.blk_args ->
+            List.iteri (fun i f -> set tbl after.Ir.blk_args.(i) f) passed;
+            exec_block tbl after;
+            yield_facts tbl after
+          | _ ->
+            (* malformed: poison the after-region and bail to top *)
+            Array.iter (fun a -> set tbl a (top_of a)) after.Ir.blk_args;
+            exec_block tbl after;
+            []
+        in
+        ignore (solve_loop tbl ~args:before.Ir.blk_args ~init ~run);
+        (* results are the values the condition passes out *)
+        (match condition () with
+        | Some passed when List.length passed = Array.length op.Ir.results ->
+          List.iteri (fun i f -> set tbl op.Ir.results.(i) f) passed
+        | _ -> set_results_top tbl op)
+      end
+    | _ -> set_results_top tbl op
+
+  (* Iterate loop-carried facts for [args] to a fixpoint: each round sets
+     the argument facts, runs the body via [run] (which returns the
+     yielded facts, or [] if malformed) and joins them back in.  Returns
+     the stabilized argument facts (top on budget exhaustion). *)
+  and solve_loop tbl ~(args : Ir.value array) ~(init : L.t array) ~run =
+    let n = Array.length args in
+    let cur = ref init in
+    let stable = ref false in
+    let rounds = ref 0 in
+    while (not !stable) && !rounds < max_loop_rounds do
+      incr rounds;
+      Array.iteri (fun i f -> set tbl args.(i) f) !cur;
+      let ys = run () in
+      let ys =
+        if List.length ys = n then Array.of_list ys else Array.map top_of args
+      in
+      let next =
+        Array.init n (fun i ->
+            let j = L.join !cur.(i) ys.(i) in
+            if !rounds >= widen_after then L.widen !cur.(i) j else j)
+      in
+      if Array.for_all2 L.equal next !cur then stable := true else cur := next
+    done;
+    if not !stable then begin
+      (* did not converge: fall back to top and re-run once so every fact
+         inside the body is consistent with the top arguments *)
+      cur := Array.map top_of args;
+      Array.iteri (fun i f -> set tbl args.(i) f) !cur;
+      ignore (run ())
+    end;
+    !cur
+
+  let analyze ?init (func : Ir.op) : facts =
+    let tbl : facts = Hashtbl.create 256 in
+    (match func.Ir.regions with
+    | r :: _ ->
+      let body = Ir.entry_block r in
+      Array.iter
+        (fun a ->
+          let f =
+            match init with
+            | Some g -> ( match g a with Some f -> f | None -> top_of a)
+            | None -> top_of a
+          in
+          set tbl a f)
+        body.Ir.blk_args;
+      exec_block tbl body
+    | [] -> ());
+    tbl
+
+  let return_facts tbl (func : Ir.op) =
+    match func.Ir.regions with
+    | r :: _ -> (
+      match Ir.terminator (Ir.entry_block r) with
+      | Some t when t.Ir.op_name = "func.return" ->
+        Array.to_list (Array.map (fact tbl) t.Ir.operands)
+      | _ -> [])
+    | [] -> []
+end
+
+(* ------------------------------------------------------------------ *)
+(* Integer intervals                                                   *)
+(* ------------------------------------------------------------------ *)
+
+module Interval = struct
+  type itv = Bot | Range of int64 * int64
+  type t = itv
+
+  let name = "interval"
+
+  let min_signed w =
+    if w >= 64 then Int64.min_int else Int64.neg (Int64.shift_left 1L (w - 1))
+
+  let max_signed w =
+    if w >= 64 then Int64.max_int else Int64.sub (Int64.shift_left 1L (w - 1)) 1L
+
+  (* i1 is special: cmpi stores an unnormalized 1L, so concrete i1 values
+     range over {-1, 0, 1} *)
+  let top_int w = if w = 1 then Range (-1L, 1L) else Range (min_signed w, max_signed w)
+  let full = Range (Int64.min_int, Int64.max_int)
+
+  let top (ty : Typ.t) =
+    match ty with Typ.Integer w -> top_int w | Typ.Index -> top_int 64 | _ -> full
+
+  let equal (a : itv) (b : itv) = a = b
+  let of_const v = Range (v, v)
+  let exact = function Range (lo, hi) when Int64.equal lo hi -> Some lo | _ -> None
+
+  let contains i v =
+    match i with Bot -> false | Range (lo, hi) -> lo <= v && v <= hi
+
+  let subset a b =
+    match (a, b) with
+    | Bot, _ -> true
+    | _, Bot -> false
+    | Range (a1, a2), Range (b1, b2) -> b1 <= a1 && a2 <= b2
+
+  let join a b =
+    match (a, b) with
+    | Bot, x | x, Bot -> x
+    | Range (a1, a2), Range (b1, b2) -> Range (min a1 b1, max a2 b2)
+
+  let widen old next =
+    match (old, next) with
+    | Bot, x | x, Bot -> x
+    | Range (a1, a2), Range (b1, b2) ->
+      Range
+        ( (if b1 < a1 then Int64.min_int else a1),
+          if b2 > a2 then Int64.max_int else a2 )
+
+  (* int64 arithmetic with overflow detection *)
+  let add_ovf a b =
+    let r = Int64.add a b in
+    if a >= 0L = (b >= 0L) && r >= 0L <> (a >= 0L) then None else Some r
+
+  let sub_ovf a b =
+    let r = Int64.sub a b in
+    if a >= 0L <> (b >= 0L) && r >= 0L <> (a >= 0L) then None else Some r
+
+  let mul_ovf a b =
+    if Int64.equal a 0L || Int64.equal b 0L then Some 0L
+    else if (Int64.equal a (-1L) && Int64.equal b Int64.min_int)
+            || (Int64.equal b (-1L) && Int64.equal a Int64.min_int)
+    then None
+    else
+      let r = Int64.mul a b in
+      if Int64.equal (Int64.div r b) a then Some r else None
+
+  let shl_ovf a s =
+    (* a >= 0, 0 <= s <= 63 *)
+    if Int64.equal a 0L then Some 0L
+    else if Int64.shift_right_logical Int64.max_int s >= a then
+      Some (Int64.shift_left a s)
+    else None
+
+  (* After a truncating op ({!Ints.trunc}): bounds that already lie within
+     the width survive the wrap unchanged; otherwise the wrap can reorder
+     them, so fall back to the width's full range. *)
+  let fit w lo hi =
+    if lo >= min_signed w && hi <= max_signed w then Range (lo, hi) else top_int w
+
+  let r_add w (l1, h1) (l2, h2) =
+    match (add_ovf l1 l2, add_ovf h1 h2) with
+    | Some lo, Some hi -> fit w lo hi
+    | _ -> top_int w
+
+  let r_sub w (l1, h1) (l2, h2) =
+    match (sub_ovf l1 h2, sub_ovf h1 l2) with
+    | Some lo, Some hi -> fit w lo hi
+    | _ -> top_int w
+
+  let r_mul w (l1, h1) (l2, h2) =
+    match (mul_ovf l1 l2, mul_ovf l1 h2, mul_ovf h1 l2, mul_ovf h1 h2) with
+    | Some a, Some b, Some c, Some d ->
+      fit w (min (min a b) (min c d)) (max (max a b) (max c d))
+    | _ -> top_int w
+
+  let r_minsi _w (l1, h1) (l2, h2) = Range (min l1 l2, min h1 h2)
+  let r_maxsi _w (l1, h1) (l2, h2) = Range (max l1 l2, max h1 h2)
+
+  (* 0 <= a & b <= min a b when both are non-negative; anding with any
+     value cannot raise a non-negative operand *)
+  let r_andi w (l1, h1) (l2, h2) =
+    if l1 >= 0L && l2 >= 0L then Range (0L, min h1 h2)
+    else if l1 >= 0L then Range (0L, h1)
+    else if l2 >= 0L then Range (0L, h2)
+    else top_int w
+
+  (* max a b <= a | b <= a + b for non-negative a, b *)
+  let r_ori w (l1, h1) (l2, h2) =
+    if l1 >= 0L && l2 >= 0L then
+      match add_ovf h1 h2 with
+      | Some hi -> Range (max l1 l2, hi)
+      | None -> top_int w
+    else top_int w
+
+  let r_xori w (l1, h1) (l2, h2) =
+    if l1 >= 0L && l2 >= 0L then
+      match add_ovf h1 h2 with Some hi -> fit w 0L hi | None -> top_int w
+    else top_int w
+
+  let r_shli w (l1, h1) (l2, h2) =
+    if l1 >= 0L && l2 >= 0L && h2 <= 63L then
+      match (shl_ovf l1 (Int64.to_int l2), shl_ovf h1 (Int64.to_int h2)) with
+      | Some lo, Some hi -> fit w lo hi
+      | _ -> top_int w
+    else top_int w
+
+  (* monotone in the operand, antitone in the amount: the 4 corners bound
+     the result; no truncation in Ints.shrsi, so the raw bounds are exact *)
+  let r_shrsi _w (l1, h1) (l2, h2) =
+    if l2 >= 0L && h2 <= 63L then
+      let s1 = Int64.to_int l2 and s2 = Int64.to_int h2 in
+      let a = Int64.shift_right l1 s1
+      and b = Int64.shift_right l1 s2
+      and c = Int64.shift_right h1 s1
+      and d = Int64.shift_right h1 s2 in
+      Range (min (min a b) (min c d), max (max a b) (max c d))
+    else full
+
+  let r_shrui w (l1, h1) (l2, h2) =
+    if l1 >= 0L && l2 >= 0L && h2 <= 63L then
+      fit w
+        (Int64.shift_right_logical l1 (Int64.to_int h2))
+        (Int64.shift_right_logical h1 (Int64.to_int l2))
+    else top_int w
+
+  (* remainder by a known-positive divisor: |r| < h2 and r's sign follows
+     the dividend; no truncation in Ints.remsi *)
+  let r_remsi _w (l1, h1) (l2, h2) =
+    if l2 >= 1L then
+      let m = Int64.sub h2 1L in
+      Range ((if l1 >= 0L then 0L else Int64.neg m), if h1 <= 0L then 0L else m)
+    else full
+
+  (* Singleton operands are evaluated through {!Ints} so constant
+     subtrees mirror the interpreter (and Egglog's own constant folding)
+     bit for bit; otherwise the per-op range rule applies. *)
+  let lift2 w exactf rangef a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (l1, h1), Range (l2, h2) ->
+      if Int64.equal l1 h1 && Int64.equal l2 h2 then
+        match (try Some (exactf w l1 l2) with Failure _ -> None) with
+        | Some r -> Range (r, r)
+        | None -> top_int w (* traps (e.g. rem by zero): no value to describe *)
+      else rangef w (l1, h1) (l2, h2)
+
+  let cmpi_itv pred a b =
+    match (a, b) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (l1, h1), Range (l2, h2) ->
+      let yes = Range (1L, 1L) and no = Range (0L, 0L) and unk = Range (0L, 1L) in
+      let all_eq = Int64.equal l1 h1 && Int64.equal l2 h2 && Int64.equal l1 l2 in
+      let disjoint = h1 < l2 || h2 < l1 in
+      (match pred with
+      | 0 (* eq *) -> if all_eq then yes else if disjoint then no else unk
+      | 1 (* ne *) -> if disjoint then yes else if all_eq then no else unk
+      | 2 (* slt *) -> if h1 < l2 then yes else if l1 >= h2 then no else unk
+      | 3 (* sle *) -> if h1 <= l2 then yes else if l1 > h2 then no else unk
+      | 4 (* sgt *) -> if l1 > h2 then yes else if h1 <= l2 then no else unk
+      | 5 (* sge *) -> if l1 >= h2 then yes else if h1 < l2 then no else unk
+      | _ -> unk)
+
+  let induction ~lb ~ub ~step =
+    ignore step;
+    (* iv ranges over [lb, ub) and the interpreter requires step >= 1 *)
+    match (lb, ub) with
+    | Bot, _ | _, Bot -> Bot
+    | Range (llo, _), Range (_, uhi) ->
+      if Int64.equal uhi Int64.min_int || llo > Int64.sub uhi 1L then Bot
+      else Range (llo, Int64.sub uhi 1L)
+
+  let transfer get (op : Ir.op) =
+    match int_result_width op with
+    | None -> None
+    | Some w -> (
+      let v i = get op.Ir.operands.(i) in
+      let r1 x = Some [ x ] in
+      let bin exactf rangef = r1 (lift2 w exactf rangef (v 0) (v 1)) in
+      match op.Ir.op_name with
+      | "arith.constant" -> (
+        match Ir.attr op "value" with
+        | Some (Attr.Int (c, _)) -> r1 (Range (c, c))
+        | _ -> None)
+      | "arith.addi" -> bin Ints.add r_add
+      | "arith.subi" -> bin Ints.sub r_sub
+      | "arith.muli" -> bin Ints.mul r_mul
+      | "arith.minsi" -> bin Ints.minsi r_minsi
+      | "arith.maxsi" -> bin Ints.maxsi r_maxsi
+      | "arith.andi" -> bin Ints.andi r_andi
+      | "arith.ori" -> bin Ints.ori r_ori
+      | "arith.xori" -> bin Ints.xori r_xori
+      | "arith.shli" -> bin Ints.shli r_shli
+      | "arith.shrsi" -> bin Ints.shrsi r_shrsi
+      | "arith.shrui" -> bin Ints.shrui r_shrui
+      | "arith.remsi" -> bin Ints.remsi r_remsi
+      (* arith.divsi is deliberately not modeled: rounds toward zero while
+         the shrsi it is commonly strength-reduced to rounds toward -inf,
+         so a tight divsi fact would flag that sound rewrite as widening *)
+      | "arith.cmpi" -> (
+        match attr_int op "predicate" with
+        | Some p -> r1 (cmpi_itv (Int64.to_int p) (v 0) (v 1))
+        | None -> None)
+      | "arith.select" ->
+        let c = v 0 and a = v 1 and b = v 2 in
+        r1
+          (match c with
+          | Bot -> Bot
+          | Range (lo, hi) ->
+            if lo > 0L || hi < 0L then a (* cannot be 0: always true *)
+            else if Int64.equal lo 0L && Int64.equal hi 0L then b
+            else join a b)
+      | "arith.index_cast" -> r1 (v 0) (* the interpreter does not truncate *)
+      | _ -> None)
+
+  let pp ppf = function
+    | Bot -> Fmt.string ppf "bot"
+    | Range (lo, hi) ->
+      if Int64.equal lo hi then Fmt.pf ppf "[%Ld]" lo
+      else Fmt.pf ppf "[%Ld, %Ld]" lo hi
+end
+
+module Intervals = Make (Interval)
+
+(* ------------------------------------------------------------------ *)
+(* Known bits                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Known_bits = struct
+  type bits = { kz : int64; ko : int64 }
+  type t = bits
+
+  let name = "known-bits"
+  let top_bits = { kz = 0L; ko = 0L }
+  let top (_ : Typ.t) = top_bits
+  let equal a b = Int64.equal a.kz b.kz && Int64.equal a.ko b.ko
+  let join a b = { kz = Int64.logand a.kz b.kz; ko = Int64.logand a.ko b.ko }
+  let widen _old next = next
+  let induction ~lb:_ ~ub:_ ~step:_ = top_bits
+  let exactly v = { kz = Int64.lognot v; ko = v }
+  let exact b = if Int64.equal (Int64.logor b.kz b.ko) (-1L) then Some b.ko else None
+
+  let contains b v =
+    Int64.equal (Int64.logand v b.ko) b.ko && Int64.equal (Int64.logand v b.kz) 0L
+
+  (* After Ints.trunc: bits >= w-1 are copies of bit w-1, known only if
+     the (pre-truncation) sign bit of the width is known. *)
+  let retrunc w (m : bits) =
+    if w >= 64 then m
+    else begin
+      let sign = Int64.shift_left 1L (w - 1) in
+      let high = Int64.shift_left Int64.minus_one (w - 1) in
+      let low = Int64.lognot high in
+      {
+        kz =
+          Int64.logor (Int64.logand m.kz low)
+            (if Int64.logand m.kz sign <> 0L then high else 0L);
+        ko =
+          Int64.logor (Int64.logand m.ko low)
+            (if Int64.logand m.ko sign <> 0L then high else 0L);
+      }
+    end
+
+  let transfer get (op : Ir.op) =
+    match int_result_width op with
+    | None -> None
+    | Some w -> (
+      let v i = get op.Ir.operands.(i) in
+      let r1 x = Some [ x ] in
+      (* all-bits-known operands mirror the interpreter exactly *)
+      let exact2 f =
+        match (exact (v 0), exact (v 1)) with
+        | Some a, Some b -> (
+          try Some (exactly (f w a b)) with Failure _ -> Some top_bits)
+        | _ -> None
+      in
+      let with_exact f fallback =
+        r1 (match exact2 f with Some e -> e | None -> fallback ())
+      in
+      let shift_amount () =
+        match exact (v 1) with
+        | Some s when s >= 0L && s < 64L -> Some (Int64.to_int s)
+        | _ -> None
+      in
+      match op.Ir.op_name with
+      | "arith.constant" -> (
+        match Ir.attr op "value" with
+        | Some (Attr.Int (c, _)) -> r1 (exactly c)
+        | _ -> None)
+      | "arith.andi" ->
+        with_exact Ints.andi (fun () ->
+            let a = v 0 and b = v 1 in
+            { kz = Int64.logor a.kz b.kz; ko = Int64.logand a.ko b.ko })
+      | "arith.ori" ->
+        with_exact Ints.ori (fun () ->
+            let a = v 0 and b = v 1 in
+            { kz = Int64.logand a.kz b.kz; ko = Int64.logor a.ko b.ko })
+      | "arith.xori" ->
+        with_exact Ints.xori (fun () ->
+            let a = v 0 and b = v 1 in
+            let both = Int64.logand (Int64.logor a.kz a.ko) (Int64.logor b.kz b.ko) in
+            let x = Int64.logxor a.ko b.ko in
+            retrunc w
+              {
+                kz = Int64.logand both (Int64.lognot x);
+                ko = Int64.logand both x;
+              })
+      | "arith.shli" ->
+        with_exact Ints.shli (fun () ->
+            match shift_amount () with
+            | Some s ->
+              let a = v 0 in
+              retrunc w
+                {
+                  kz =
+                    Int64.logor
+                      (Int64.shift_left a.kz s)
+                      (Int64.sub (Int64.shift_left 1L s) 1L);
+                  ko = Int64.shift_left a.ko s;
+                }
+            | None -> top_bits)
+      | "arith.shrsi" ->
+        (* arithmetic shift replicates the (possibly known) sign bit of
+           the masks themselves; Ints.shrsi does not truncate *)
+        with_exact Ints.shrsi (fun () ->
+            match shift_amount () with
+            | Some s ->
+              let a = v 0 in
+              { kz = Int64.shift_right a.kz s; ko = Int64.shift_right a.ko s }
+            | None -> top_bits)
+      | "arith.shrui" when w = 64 ->
+        with_exact Ints.shrui (fun () ->
+            match shift_amount () with
+            | Some s ->
+              let a = v 0 in
+              let high =
+                if s = 0 then 0L else Int64.shift_left Int64.minus_one (64 - s)
+              in
+              {
+                kz = Int64.logor (Int64.shift_right_logical a.kz s) high;
+                ko = Int64.shift_right_logical a.ko s;
+              }
+            | None -> top_bits)
+      | "arith.addi" -> with_exact Ints.add (fun () -> top_bits)
+      | "arith.subi" -> with_exact Ints.sub (fun () -> top_bits)
+      | "arith.muli" -> with_exact Ints.mul (fun () -> top_bits)
+      | "arith.divsi" -> with_exact Ints.divsi (fun () -> top_bits)
+      | "arith.remsi" -> with_exact Ints.remsi (fun () -> top_bits)
+      | "arith.shrui" -> with_exact Ints.shrui (fun () -> top_bits)
+      | "arith.minsi" -> with_exact Ints.minsi (fun () -> join (v 0) (v 1))
+      | "arith.maxsi" -> with_exact Ints.maxsi (fun () -> join (v 0) (v 1))
+      | "arith.cmpi" -> (
+        match (attr_int op "predicate", exact (v 0), exact (v 1)) with
+        | Some p, Some a, Some b -> (
+          try
+            let w0 = Typ.int_width op.Ir.operands.(0).Ir.v_type in
+            r1 (exactly (if Ints.cmpi w0 (Int64.to_int p) a b then 1L else 0L))
+          with _ -> r1 { kz = Int64.lognot 1L; ko = 0L })
+        | _ -> r1 { kz = Int64.lognot 1L; ko = 0L })
+      | "arith.select" -> (
+        match exact (get op.Ir.operands.(0)) with
+        | Some c when not (Int64.equal c 0L) -> r1 (v 1)
+        | Some _ -> r1 (v 2)
+        | None -> r1 (join (v 1) (v 2)))
+      | "arith.index_cast" -> r1 (v 0)
+      | _ -> None)
+
+  let pp ppf b =
+    match exact b with
+    | Some v -> Fmt.pf ppf "%Ld" v
+    | None ->
+      if Int64.equal (Int64.logor b.kz b.ko) 0L then Fmt.string ppf "?"
+      else begin
+        Fmt.string ppf "...";
+        for i = 15 downto 0 do
+          let bit = Int64.shift_left 1L i in
+          if Int64.logand b.ko bit <> 0L then Fmt.string ppf "1"
+          else if Int64.logand b.kz bit <> 0L then Fmt.string ppf "0"
+          else Fmt.string ppf "?"
+        done
+      end
+end
+
+module Bits = Make (Known_bits)
+
+(* ------------------------------------------------------------------ *)
+(* Constantness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Constness = struct
+  type cv = Cbot | Cint of int64 | Cfloat of float | Ctop
+  type t = cv
+
+  let name = "const"
+  let top (_ : Typ.t) = Ctop
+
+  (* floats compare by bits so NaN facts still join with themselves *)
+  let equal a b =
+    match (a, b) with
+    | Cbot, Cbot | Ctop, Ctop -> true
+    | Cint x, Cint y -> Int64.equal x y
+    | Cfloat x, Cfloat y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+    | _ -> false
+
+  let join a b =
+    match (a, b) with
+    | Cbot, x | x, Cbot -> x
+    | _ -> if equal a b then a else Ctop
+
+  let widen = join
+  let induction ~lb:_ ~ub:_ ~step:_ = Ctop
+
+  let int_binops =
+    [
+      ("arith.addi", Ints.add);
+      ("arith.subi", Ints.sub);
+      ("arith.muli", Ints.mul);
+      ("arith.divsi", Ints.divsi);
+      ("arith.divui", Ints.divui);
+      ("arith.remsi", Ints.remsi);
+      ("arith.remui", Ints.remui);
+      ("arith.shli", Ints.shli);
+      ("arith.shrsi", Ints.shrsi);
+      ("arith.shrui", Ints.shrui);
+      ("arith.andi", Ints.andi);
+      ("arith.ori", Ints.ori);
+      ("arith.xori", Ints.xori);
+      ("arith.minsi", Ints.minsi);
+      ("arith.maxsi", Ints.maxsi);
+      ("arith.minui", Ints.minui);
+      ("arith.maxui", Ints.maxui);
+    ]
+
+  let float_binops =
+    [
+      ("arith.addf", Float.add);
+      ("arith.subf", Float.sub);
+      ("arith.mulf", Float.mul);
+      ("arith.divf", Float.div);
+      ("arith.maximumf", Float.max);
+      ("arith.minimumf", Float.min);
+      ("math.powf", Float.pow);
+    ]
+
+  let float_unops =
+    [
+      ("arith.negf", fun x -> -.x);
+      ("math.sqrt", Float.sqrt);
+      ("math.rsqrt", fun x -> 1.0 /. Float.sqrt x);
+      ("math.sin", Float.sin);
+      ("math.cos", Float.cos);
+      ("math.exp", Float.exp);
+      ("math.log", Float.log);
+      ("math.log2", fun x -> Float.log x /. Float.log 2.0);
+      ("math.absf", Float.abs);
+      ("math.tanh", Float.tanh);
+    ]
+
+  let transfer get (op : Ir.op) =
+    if Array.length op.Ir.results <> 1 then None
+    else begin
+      let v i = get op.Ir.operands.(i) in
+      let r1 x = Some [ x ] in
+      let width () =
+        match op.Ir.results.(0).Ir.v_type with
+        | Typ.Integer w -> w
+        | _ -> 64
+      in
+      match op.Ir.op_name with
+      | "arith.constant" -> (
+        match Ir.attr op "value" with
+        | Some (Attr.Int (c, _)) -> r1 (Cint c)
+        | Some (Attr.Float (f, _)) -> r1 (Cfloat f)
+        | _ -> None)
+      | "arith.cmpi" -> (
+        match (attr_int op "predicate", v 0, v 1) with
+        | Some p, Cint a, Cint b -> (
+          try
+            let w0 = Typ.int_width op.Ir.operands.(0).Ir.v_type in
+            r1 (Cint (if Ints.cmpi w0 (Int64.to_int p) a b then 1L else 0L))
+          with _ -> r1 Ctop)
+        | _, Cbot, _ | _, _, Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | "arith.cmpf" -> (
+        match (attr_int op "predicate", v 0, v 1) with
+        | Some p, Cfloat a, Cfloat b -> (
+          try r1 (Cint (if Ints.cmpf (Int64.to_int p) a b then 1L else 0L))
+          with _ -> r1 Ctop)
+        | _, Cbot, _ | _, _, Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | "arith.select" -> (
+        match v 0 with
+        | Cint c -> r1 (if Int64.equal c 0L then v 2 else v 1)
+        | Cbot -> r1 Cbot
+        | _ -> r1 (join (v 1) (v 2)))
+      | "arith.index_cast" -> r1 (v 0)
+      | "arith.sitofp" -> (
+        match v 0 with
+        | Cint c -> r1 (Cfloat (Int64.to_float c))
+        | Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | "arith.fptosi" -> (
+        match v 0 with
+        | Cfloat f -> r1 (Cint (Int64.of_float f))
+        | Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | "arith.truncf" | "arith.extf" -> (
+        match v 0 with
+        | Cfloat f ->
+          let k =
+            match op.Ir.results.(0).Ir.v_type with Typ.Float k -> k | _ -> Typ.F64
+          in
+          r1
+            (Cfloat
+               (if k = Typ.F32 then Int32.float_of_bits (Int32.bits_of_float f)
+                else f))
+        | Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | "math.fma" -> (
+        match (v 0, v 1, v 2) with
+        | Cfloat a, Cfloat b, Cfloat c -> r1 (Cfloat (Float.fma a b c))
+        | Cbot, _, _ | _, Cbot, _ | _, _, Cbot -> r1 Cbot
+        | _ -> r1 Ctop)
+      | name -> (
+        match List.assoc_opt name int_binops with
+        | Some f -> (
+          match (v 0, v 1) with
+          | Cint a, Cint b -> (
+            try r1 (Cint (f (width ()) a b)) with Failure _ -> r1 Ctop)
+          | Cbot, _ | _, Cbot -> r1 Cbot
+          | _ -> r1 Ctop)
+        | None -> (
+          match List.assoc_opt name float_binops with
+          | Some f -> (
+            match (v 0, v 1) with
+            | Cfloat a, Cfloat b -> r1 (Cfloat (f a b))
+            | Cbot, _ | _, Cbot -> r1 Cbot
+            | _ -> r1 Ctop)
+          | None -> (
+            match List.assoc_opt name float_unops with
+            | Some f -> (
+              match v 0 with
+              | Cfloat a -> r1 (Cfloat (f a))
+              | Cbot -> r1 Cbot
+              | _ -> r1 Ctop)
+            | None -> None)))
+    end
+
+  let pp ppf = function
+    | Cbot -> Fmt.string ppf "bot"
+    | Cint v -> Fmt.pf ppf "%Ld" v
+    | Cfloat f -> Fmt.pf ppf "%g" f
+    | Ctop -> Fmt.string ppf "top"
+end
+
+module Constants = Make (Constness)
+
+(* ------------------------------------------------------------------ *)
+(* Tensor shapes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+module Shape = struct
+  type sh = Sbot | Scalar | Dims of int list | Any_shape
+  type t = sh
+
+  let name = "shape"
+
+  let top (ty : Typ.t) =
+    match Typ.shape ty with
+    | Some dims -> Dims dims
+    | None -> ( match ty with Typ.Unranked_tensor _ -> Any_shape | _ -> Scalar)
+
+  let equal (a : sh) (b : sh) = a = b
+
+  let join a b =
+    match (a, b) with
+    | Sbot, x | x, Sbot -> x
+    | Scalar, Scalar -> Scalar
+    | Dims da, Dims db ->
+      if List.length da = List.length db then
+        Dims (List.map2 (fun x y -> if x = y then x else -1) da db)
+      else Any_shape
+    | _ -> Any_shape
+
+  let widen = join
+  let induction ~lb:_ ~ub:_ ~step:_ = Scalar
+
+  (* refine: prefer [a]'s known dimensions, fill its unknowns from [b] *)
+  let meet a b =
+    match (a, b) with
+    | Dims da, Dims db when List.length da = List.length db ->
+      Dims (List.map2 (fun x y -> if x >= 0 then x else y) da db)
+    | Any_shape, x | x, Any_shape -> x
+    | Sbot, _ | _, Sbot -> Sbot
+    | x, _ -> x
+
+  let compatible a b =
+    match (a, b) with
+    | Sbot, _ | _, Sbot -> true
+    | Any_shape, _ | _, Any_shape -> true
+    | Scalar, Scalar -> true
+    | Dims da, Dims db ->
+      List.length da = List.length db
+      && List.for_all2 (fun x y -> x < 0 || y < 0 || x = y) da db
+    | Scalar, Dims _ | Dims _, Scalar -> false
+
+  let dim sh i =
+    match sh with
+    | Dims ds -> ( match List.nth_opt ds i with Some d -> d | None -> -1)
+    | _ -> -1
+
+  let transfer get (op : Ir.op) =
+    if Array.length op.Ir.results <> 1 then None
+    else begin
+      let res_top = top op.Ir.results.(0).Ir.v_type in
+      let v i = get op.Ir.operands.(i) in
+      let r1 x = Some [ x ] in
+      match op.Ir.op_name with
+      | "linalg.matmul" ->
+        (* (m x k) @ (k x n) accumulated into out: result is m x n *)
+        r1 (meet (Dims [ dim (v 0) 0; dim (v 1) 1 ]) (meet (v 2) res_top))
+      | "linalg.add" -> r1 (meet (v 0) (meet (v 1) (meet (v 2) res_top)))
+      | "linalg.fill" -> r1 (meet (v 1) res_top)
+      | "tensor.insert" -> r1 (meet (v 1) res_top)
+      | _ -> None
+    end
+
+  let pp ppf = function
+    | Sbot -> Fmt.string ppf "bot"
+    | Scalar -> Fmt.string ppf "scalar"
+    | Any_shape -> Fmt.string ppf "?"
+    | Dims ds ->
+      Fmt.list ~sep:(Fmt.any "x")
+        (fun ppf d -> if d < 0 then Fmt.string ppf "?" else Fmt.int ppf d)
+        ppf ds
+end
+
+module Shapes = Make (Shape)
+
+(* ------------------------------------------------------------------ *)
+(* Def-use and dead code                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Defuse = struct
+  type t = (int, (Ir.op * int) list) Hashtbl.t
+
+  let of_op (root : Ir.op) : t =
+    let tbl = Hashtbl.create 128 in
+    Ir.walk_op
+      (fun o ->
+        Array.iteri
+          (fun i (v : Ir.value) ->
+            Hashtbl.replace tbl v.Ir.v_id
+              ((o, i) :: Option.value ~default:[] (Hashtbl.find_opt tbl v.Ir.v_id)))
+          o.Ir.operands)
+      root;
+    tbl
+
+  let uses (t : t) (v : Ir.value) =
+    List.rev (Option.value ~default:[] (Hashtbl.find_opt t v.Ir.v_id))
+
+  let n_uses t v = List.length (uses t v)
+  let is_dead t v = uses t v = []
+
+  (* What {!Transforms.dce} would erase, without mutating the IR: pure ops
+     with results, all transitively unused.  Candidates are only collected
+     outside the regions of unregistered ops, like the real DCE. *)
+  let dead_ops (root : Ir.op) : Ir.op list =
+    Registry.ensure_registered ();
+    let erased = Hashtbl.create 32 in
+    let rec walk_known f (op : Ir.op) =
+      f op;
+      if Dialect.is_registered op.Ir.op_name then
+        List.iter
+          (fun (r : Ir.region) ->
+            List.iter
+              (fun (b : Ir.block) -> List.iter (walk_known f) b.Ir.blk_ops)
+              r.Ir.blocks)
+          op.Ir.regions
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      let uses = Hashtbl.create 256 in
+      Ir.walk_op
+        (fun o ->
+          if not (Hashtbl.mem erased o.Ir.op_id) then
+            Array.iter
+              (fun (v : Ir.value) -> Hashtbl.replace uses v.Ir.v_id ())
+              o.Ir.operands)
+        root;
+      walk_known
+        (fun o ->
+          if
+            (not (Hashtbl.mem erased o.Ir.op_id))
+            && Dialect.is_pure o
+            && Array.length o.Ir.results > 0
+            && Array.for_all
+                 (fun (r : Ir.value) -> not (Hashtbl.mem uses r.Ir.v_id))
+                 o.Ir.results
+          then begin
+            Hashtbl.replace erased o.Ir.op_id o;
+            changed := true
+          end)
+        root
+    done;
+    (* report in program order *)
+    let out = ref [] in
+    Ir.walk_op
+      (fun o -> if Hashtbl.mem erased o.Ir.op_id then out := o :: !out)
+      root;
+    List.rev !out
+end
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+module Report = struct
+  (* SSA-ish display names: entry arguments are %argN, op results are
+     numbered in a pre-order walk like the printer does *)
+  let namer (func : Ir.op) =
+    let names = Hashtbl.create 64 in
+    (match func.Ir.regions with
+    | r :: _ ->
+      Array.iteri
+        (fun i (a : Ir.value) -> Hashtbl.replace names a.Ir.v_id (Fmt.str "%%arg%d" i))
+        (Ir.entry_block r).Ir.blk_args
+    | [] -> ());
+    let ctr = ref 0 in
+    Ir.walk_op
+      (fun o ->
+        List.iter
+          (fun (r : Ir.region) ->
+            List.iter
+              (fun (b : Ir.block) ->
+                Array.iter
+                  (fun (a : Ir.value) ->
+                    if not (Hashtbl.mem names a.Ir.v_id) then begin
+                      Hashtbl.replace names a.Ir.v_id (Fmt.str "%%b%d" !ctr);
+                      incr ctr
+                    end)
+                  b.Ir.blk_args)
+              r.Ir.blocks)
+          o.Ir.regions;
+        Array.iter
+          (fun (v : Ir.value) ->
+            Hashtbl.replace names v.Ir.v_id (Fmt.str "%%%d" !ctr);
+            incr ctr)
+          o.Ir.results)
+      func;
+    fun (v : Ir.value) ->
+      Option.value ~default:"%?" (Hashtbl.find_opt names v.Ir.v_id)
+
+  let return_op (func : Ir.op) =
+    match func.Ir.regions with
+    | r :: _ -> (
+      match Ir.terminator (Ir.entry_block r) with
+      | Some t when t.Ir.op_name = "func.return" -> Some t
+      | _ -> None)
+    | [] -> None
+
+  let pp_func ppf (func : Ir.op) =
+    let itv = Intervals.analyze func in
+    let kb = Bits.analyze func in
+    let cn = Constants.analyze func in
+    let sh = Shapes.analyze func in
+    let du = Defuse.of_op func in
+    let name = namer func in
+    let interesting_bits b = Known_bits.(not (equal b top_bits)) in
+    let pp_value ppf (v : Ir.value) =
+      Fmt.pf ppf "    %s : %a  interval=%a" (name v) Typ.pp v.Ir.v_type
+        Interval.pp (Intervals.fact itv v);
+      (match Constants.fact cn v with
+      | Constness.Ctop | Constness.Cbot -> ()
+      | c -> Fmt.pf ppf "  const=%a" Constness.pp c);
+      let b = Bits.fact kb v in
+      if interesting_bits b then Fmt.pf ppf "  bits=%a" Known_bits.pp b;
+      (match Shapes.fact sh v with
+      | Shape.Scalar -> ()
+      | s -> Fmt.pf ppf "  shape=%a" Shape.pp s);
+      Fmt.pf ppf "  uses=%d@\n" (Defuse.n_uses du v)
+    in
+    Fmt.pf ppf "func @%s@\n"
+      (try Ir.func_name func with Invalid_argument _ -> "?");
+    (match func.Ir.regions with
+    | r :: _ ->
+      Array.iter (pp_value ppf) (Ir.entry_block r).Ir.blk_args
+    | [] -> ());
+    Ir.walk_op
+      (fun o ->
+        if o.Ir.op_id <> func.Ir.op_id && Array.length o.Ir.results > 0 then begin
+          Fmt.pf ppf "  %s (%a)@\n"
+            o.Ir.op_name
+            Fmt.(array ~sep:(any ", ") (fun ppf v -> Fmt.string ppf (name v)))
+            o.Ir.operands;
+          Array.iter (pp_value ppf) o.Ir.results
+        end)
+      func;
+    (match return_op func with
+    | Some t ->
+      Fmt.pf ppf "  return %a@\n"
+        Fmt.(array ~sep:(any ", ") (fun ppf v ->
+            Fmt.pf ppf "%s interval=%a" (name v) Interval.pp (Intervals.fact itv v)))
+        t.Ir.operands
+    | None -> ());
+    match Defuse.dead_ops func with
+    | [] -> Fmt.pf ppf "  dead ops: none@\n"
+    | dead ->
+      Fmt.pf ppf "  dead ops: %a@\n"
+        Fmt.(list ~sep:(any ", ") (fun ppf (o : Ir.op) -> Fmt.string ppf o.Ir.op_name))
+        dead
+
+  let pp_module ppf (m : Ir.op) =
+    List.iter
+      (fun (o : Ir.op) -> if o.Ir.op_name = "func.func" then pp_func ppf o)
+      (Ir.module_ops m)
+end

@@ -1,0 +1,178 @@
+(** Lattice-parameterized forward dataflow over mini-MLIR (paper §9).
+
+    A {!LATTICE} packages an abstract domain: a per-type top element, join
+    / widening, and a transfer function for individual operations.  The
+    functor {!Make} turns it into a forward fixpoint solver over a
+    function body: facts flow op-to-op through straight-line code,
+    [scf.if] joins the facts yielded by its branches, and [scf.for] /
+    [scf.while] iterate their loop-carried facts to a (widened) fixpoint.
+
+    Four domains ship with the framework — {!Interval}, {!Known_bits},
+    {!Constness} and {!Shape} — plus the def-use / dead-code report in
+    {!Defuse}.  The translation validator ([Dialegg.Validate]) compares
+    {!Intervals} and {!Shapes} facts before and after a saturation
+    round-trip. *)
+
+(** An abstract domain.  Soundness contract: for every concrete execution
+    (as defined by {!Interp}), the concrete value of each SSA value is
+    described by the fact the solver computes for it. *)
+module type LATTICE = sig
+  type t
+
+  val name : string
+
+  (** Weakest fact for a value of the given type.  Must describe every
+      concrete value of that type. *)
+  val top : Typ.t -> t
+
+  val equal : t -> t -> bool
+
+  (** Least upper bound (or any sound upper bound). *)
+  val join : t -> t -> t
+
+  (** [widen old next] accelerates convergence on loop-carried facts; must
+      be an upper bound of both and eventually stabilize. *)
+  val widen : t -> t -> t
+
+  (** Fact for an [scf.for] induction variable given facts for the lower
+      bound, upper bound and step (all of [index] type). *)
+  val induction : lb:t -> ub:t -> step:t -> t
+
+  (** [transfer get op] returns one fact per result of [op], reading
+      operand facts with [get].  [None] means the op is not handled: the
+      solver uses {!top} for each result.  Must be sound w.r.t.
+      {!Interp}'s semantics for the op. *)
+  val transfer : (Ir.value -> t) -> Ir.op -> t list option
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A solved analysis: a table of facts for every SSA value in a
+    function. *)
+module type ANALYSIS = sig
+  type elt
+  type facts
+
+  (** [analyze func] runs the forward fixpoint over a [func.func] op (or
+      any single-region op).  [init] overrides the initial fact for entry
+      block arguments (default {!LATTICE.top} of the argument type). *)
+  val analyze : ?init:(Ir.value -> elt option) -> Ir.op -> facts
+
+  (** Fact for a value; {!LATTICE.top} of its type if the solver never
+      reached it. *)
+  val fact : facts -> Ir.value -> elt
+
+  (** Facts for the operands of the function's [func.return] (empty if
+      the body has no return terminator). *)
+  val return_facts : facts -> Ir.op -> elt list
+end
+
+module Make (L : LATTICE) : ANALYSIS with type elt = L.t
+
+(* ------------------------------------------------------------------ *)
+(* Shipped domains                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Signed integer intervals [\[lo, hi\]] over the sign-extended [int64]
+    representation used by {!Interp} (the OCaml-side generalization of
+    [examples/interval_analysis.ml]'s Egglog [lo]/[hi] tables). *)
+module Interval : sig
+  type itv =
+    | Bot  (** unreachable / no concrete value *)
+    | Range of int64 * int64  (** inclusive bounds, [lo <= hi] *)
+
+  include LATTICE with type t = itv
+
+  val of_const : int64 -> itv
+
+  (** [Some v] iff the interval is the singleton [\[v, v\]]. *)
+  val exact : itv -> int64 option
+
+  val contains : itv -> int64 -> bool
+
+  (** [subset a b]: every concrete value admitted by [a] is admitted by
+      [b] (the refinement order used by the translation validator). *)
+  val subset : itv -> itv -> bool
+end
+
+module Intervals : ANALYSIS with type elt = Interval.t
+
+(** Known-bits: [kz] masks bits known to be zero, [ko] bits known to be
+    one (over the sign-extended [int64] representation).  Top is both
+    masks empty. *)
+module Known_bits : sig
+  type bits = { kz : int64; ko : int64 }
+
+  include LATTICE with type t = bits
+
+  val contains : bits -> int64 -> bool
+
+  (** [Some v] iff all 64 bits are known. *)
+  val exact : bits -> int64 option
+end
+
+module Bits : ANALYSIS with type elt = Known_bits.t
+
+(** Constant propagation mirroring {!Interp} exactly on the ops it
+    models. *)
+module Constness : sig
+  type cv = Cbot | Cint of int64 | Cfloat of float | Ctop
+
+  include LATTICE with type t = cv
+end
+
+module Constants : ANALYSIS with type elt = Constness.t
+
+(** Tensor/memref shape inference.  [Dims] entries use [-1] for an
+    unknown (dynamic) dimension, mirroring {!Typ.Ranked_tensor}. *)
+module Shape : sig
+  type sh =
+    | Sbot
+    | Scalar  (** not a shaped type *)
+    | Dims of int list
+    | Any_shape  (** shaped, rank unknown *)
+
+  include LATTICE with type t = sh
+
+  (** [compatible a b]: no contradiction between the known dimensions —
+      the relation the translation validator enforces between input and
+      output result shapes. *)
+  val compatible : sh -> sh -> bool
+end
+
+module Shapes : ANALYSIS with type elt = Shape.t
+
+(* ------------------------------------------------------------------ *)
+(* Def-use and liveness                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Defuse : sig
+  type t
+
+  (** Build the def-use table for all ops nested under [op]. *)
+  val of_op : Ir.op -> t
+
+  (** All uses of a value as [(user op, operand index)] pairs. *)
+  val uses : t -> Ir.value -> (Ir.op * int) list
+
+  val n_uses : t -> Ir.value -> int
+  val is_dead : t -> Ir.value -> bool
+
+  (** Pure ops whose results are all transitively unused — what
+      {!Transforms.dce} would erase, computed without mutating the IR. *)
+  val dead_ops : Ir.op -> Ir.op list
+end
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Human-readable per-value fact dump ([dialegg-opt --analyze]): runs all
+    four analyses plus {!Defuse} over each function. *)
+module Report : sig
+  (** The [func.return] terminator of a function body, if any. *)
+  val return_op : Ir.op -> Ir.op option
+
+  val pp_func : Format.formatter -> Ir.op -> unit
+  val pp_module : Format.formatter -> Ir.op -> unit
+end

@@ -16,6 +16,20 @@ echo "== bench-smoke: seminaive and naive matching agree =="
 dune build @bench-smoke
 echo ok
 
+echo "== analyze-smoke: dataflow facts + validated example/benchmark runs =="
+dune build @analyze-smoke
+echo ok
+
+echo "== translation validator: unsound fold is rejected =="
+if dune exec bin/dialegg_opt.exe -- test/fixtures/unsound_demo.mlir \
+  --egg test/fixtures/unsound_fold.egg >/dev/null 2>/tmp/dialegg_validate.err; then
+  echo "expected the validator to reject the unsound fold" >&2; exit 1
+fi
+grep -q range-widened /tmp/dialegg_validate.err
+dune exec bin/dialegg_opt.exe -- test/fixtures/unsound_demo.mlir \
+  --egg test/fixtures/unsound_fold.egg --no-validate | grep -q 'arith.constant 0'
+echo ok
+
 echo "== dialegg-lint: defects are caught =="
 if dune exec bin/dialegg_lint.exe -- test/fixtures/unknown_constructor.egg 2>/dev/null; then
   echo "expected a lint failure" >&2; exit 1

@@ -1,0 +1,12 @@
+// The victim for test/fixtures/unsound_fold.egg: @fold_me returns 10 + 20,
+// so the input interval analysis proves the result is exactly [30] — the
+// unsound rewrite extracts the constant 0 instead, which the translation
+// validator must reject (`range-widened`).
+module {
+  func.func @fold_me() -> i64 {
+    %c10 = arith.constant 10 : i64
+    %c20 = arith.constant 20 : i64
+    %sum = arith.addi %c10, %c20 : i64
+    func.return %sum : i64
+  }
+}

@@ -79,8 +79,10 @@ let program_gen : program t =
   let* instrs = go 0 [] in
   return { n_args; instrs }
 
-(** Build an MLIR module [func.func \@f(args: i64...) -> i64]. *)
-let to_module (p : program) : Mlir.Ir.op =
+(** Build an MLIR module [func.func \@f(args: i64...) -> i64], returning
+    also the SSA values in program order (arguments first, then one per
+    instruction — aligned with {!eval_all}). *)
+let to_module_values (p : program) : Mlir.Ir.op * Mlir.Ir.value list =
   Mlir.Registry.ensure_registered ();
   let m = Mlir.Ir.create_module () in
   let arg_types = List.init p.n_args (fun _ -> Mlir.Typ.i64) in
@@ -105,10 +107,13 @@ let to_module (p : program) : Mlir.Ir.op =
     p.instrs;
   let last = List.nth !values (List.length !values - 1) in
   ignore (Mlir.D_func.return blk [ last ]);
-  m
+  (m, !values)
 
-(** Reference evaluation in OCaml (i64 semantics, width 64). *)
-let eval (p : program) (args : int64 list) : int64 =
+let to_module (p : program) : Mlir.Ir.op = fst (to_module_values p)
+
+(** Reference evaluation in OCaml (i64 semantics, width 64): every value
+    in program order, aligned with {!to_module_values}. *)
+let eval_all (p : program) (args : int64 list) : int64 array =
   let values = ref (Array.of_list args) in
   let push v = values := Array.append !values [| v |] in
   List.iter
@@ -133,7 +138,11 @@ let eval (p : program) (args : int64 list) : int64 =
         in
         push r)
     p.instrs;
-  !values.(Array.length !values - 1)
+  !values
+
+let eval (p : program) (args : int64 list) : int64 =
+  let values = eval_all p args in
+  values.(Array.length values - 1)
 
 let run_module (m : Mlir.Ir.op) (args : int64 list) : int64 =
   let r = Mlir.Interp.run m "f" (List.map (fun a -> Mlir.Interp.Ri (a, 64)) args) in

@@ -317,6 +317,389 @@ let test_diag_counts () =
     (Egglog.Diag.count_errors diags = List.length (errors diags));
   checkb "at least two defects" true (List.length (codes diags) >= 2)
 
+(* ------------------------------------------------------------------ *)
+(* Dataflow: the lattice solvers over mini-MLIR                        *)
+(* ------------------------------------------------------------------ *)
+
+module Df = Mlir.Dataflow
+
+let parse_func src =
+  let m = Mlir.Parser.parse_module src in
+  List.find (fun o -> o.Mlir.Ir.op_name = "func.func") (Mlir.Ir.module_ops m)
+
+let return_interval f =
+  let facts = Df.Intervals.analyze f in
+  match Df.Intervals.return_facts facts f with
+  | [ itv ] -> itv
+  | l -> Alcotest.fail (Fmt.str "expected one return fact, got %d" (List.length l))
+
+let test_interval_straightline () =
+  let itv =
+    return_interval
+      (parse_func
+         "func.func @k() -> i64 {\n\
+         \  %c10 = arith.constant 10 : i64\n\
+         \  %c20 = arith.constant 20 : i64\n\
+         \  %s = arith.addi %c10, %c20 : i64\n\
+         \  func.return %s : i64\n\
+          }")
+  in
+  checkb "exact 30" true (Df.Interval.exact itv = Some 30L)
+
+let test_interval_if_join () =
+  let itv =
+    return_interval
+      (parse_func
+         "func.func @j(%c: i1) -> i64 {\n\
+         \  %r = scf.if %c -> (i64) {\n\
+         \    %a = arith.constant 1 : i64\n\
+         \    scf.yield %a : i64\n\
+         \  } else {\n\
+         \    %b = arith.constant 5 : i64\n\
+         \    scf.yield %b : i64\n\
+         \  }\n\
+         \  func.return %r : i64\n\
+          }")
+  in
+  checkb "join of branches is [1,5]" true (Df.Interval.equal itv (Df.Interval.Range (1L, 5L)))
+
+let test_interval_loop_sound () =
+  (* sum 0..9 = 45: the loop fixpoint must cover the concrete result, and
+     the induction variable gets the precise [0, 9] from lb/ub/step *)
+  let f =
+    parse_func
+      "func.func @sum10() -> i64 {\n\
+      \  %c0 = arith.constant 0 : index\n\
+      \  %c10 = arith.constant 10 : index\n\
+      \  %c1 = arith.constant 1 : index\n\
+      \  %z = arith.constant 0 : i64\n\
+      \  %r = scf.for %i = %c0 to %c10 step %c1 iter_args(%acc = %z) -> (i64) {\n\
+      \    %iv = arith.index_cast %i : index to i64\n\
+      \    %acc2 = arith.addi %acc, %iv : i64\n\
+      \    scf.yield %acc2 : i64\n\
+      \  }\n\
+      \  func.return %r : i64\n\
+       }"
+  in
+  let facts = Df.Intervals.analyze f in
+  (match Df.Intervals.return_facts facts f with
+  | [ itv ] -> checkb "contains the concrete sum 45" true (Df.Interval.contains itv 45L)
+  | _ -> Alcotest.fail "one return fact expected");
+  let cast = List.hd (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.index_cast") f) in
+  checkb "induction variable is exactly [0, 9]" true
+    (Df.Interval.equal (Df.Intervals.fact facts (Mlir.Ir.result1 cast))
+       (Df.Interval.Range (0L, 9L)))
+
+let test_known_bits_mask () =
+  let f =
+    parse_func
+      "func.func @m(%a: i64) -> i64 {\n\
+      \  %c15 = arith.constant 15 : i64\n\
+      \  %r = arith.andi %a, %c15 : i64\n\
+      \  func.return %r : i64\n\
+       }"
+  in
+  let facts = Df.Bits.analyze f in
+  match Df.Bits.return_facts facts f with
+  | [ b ] ->
+    let high = Int64.lognot 15L in
+    checkb "bits above the mask known zero" true (Int64.logand b.Df.Known_bits.kz high = high);
+    checkb "7 fits the mask" true (Df.Known_bits.contains b 7L);
+    checkb "-1 contradicts the known zeros" false (Df.Known_bits.contains b (-1L))
+  | _ -> Alcotest.fail "one return fact expected"
+
+let test_known_bits_exact () =
+  let f =
+    parse_func
+      "func.func @x() -> i64 {\n\
+      \  %c12 = arith.constant 12 : i64\n\
+      \  %c10 = arith.constant 10 : i64\n\
+      \  %r = arith.xori %c12, %c10 : i64\n\
+      \  func.return %r : i64\n\
+       }"
+  in
+  let facts = Df.Bits.analyze f in
+  match Df.Bits.return_facts facts f with
+  | [ b ] -> checkb "12 xor 10 fully known" true (Df.Known_bits.exact b = Some 6L)
+  | _ -> Alcotest.fail "one return fact expected"
+
+let test_constantness () =
+  let f =
+    parse_func
+      "func.func @c(%a: i64) -> i64 {\n\
+      \  %c30 = arith.constant 30 : i64\n\
+      \  %c20 = arith.constant 20 : i64\n\
+      \  %p = arith.muli %c30, %c20 : i64\n\
+      \  %q = arith.addi %p, %a : i64\n\
+      \  func.return %q : i64\n\
+       }"
+  in
+  let facts = Df.Constants.analyze f in
+  let muli = List.hd (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.muli") f) in
+  checkb "product is the constant 600" true
+    (Df.Constants.fact facts (Mlir.Ir.result1 muli) = Df.Constness.Cint 600L);
+  (match Df.Constants.return_facts facts f with
+  | [ cv ] -> checkb "sum with an argument is top" true (cv = Df.Constness.Ctop)
+  | _ -> Alcotest.fail "one return fact expected")
+
+let mm_src =
+  "func.func @mm(%a: tensor<2x3xf64>, %b: tensor<3x4xf64>, %c: tensor<5x3xf64>) \
+   -> tensor<?x?xf64> {\n\
+  \  %e = tensor.empty() : tensor<?x?xf64>\n\
+  \  %r = linalg.matmul ins(%a, %b : tensor<2x3xf64>, tensor<3x4xf64>) \
+   outs(%e : tensor<?x?xf64>) -> tensor<?x?xf64>\n\
+  \  func.return %r : tensor<?x?xf64>\n\
+   }"
+
+let test_shape_matmul () =
+  let f = parse_func mm_src in
+  let facts = Df.Shapes.analyze f in
+  match Df.Shapes.return_facts facts f with
+  | [ sh ] ->
+    checkb "matmul result is 2x4 despite the dynamic type" true
+      (Df.Shape.equal sh (Df.Shape.Dims [ 2; 4 ]))
+  | _ -> Alcotest.fail "one return fact expected"
+
+let test_defuse_dead_ops () =
+  let f =
+    parse_func
+      "func.func @d(%a: i64) -> i64 {\n\
+      \  %u = arith.addi %a, %a : i64\n\
+      \  %r = arith.muli %a, %a : i64\n\
+      \  func.return %r : i64\n\
+       }"
+  in
+  let du = Df.Defuse.of_op f in
+  let addi = List.hd (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.addi") f) in
+  let muli = List.hd (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.muli") f) in
+  checkb "unused addi is dead" true (Df.Defuse.is_dead du (Mlir.Ir.result1 addi));
+  checki "muli used once" 1 (Df.Defuse.n_uses du (Mlir.Ir.result1 muli));
+  (match Df.Defuse.dead_ops f with
+  | [ o ] -> checks "dead op is the addi" "arith.addi" o.Mlir.Ir.op_name
+  | l -> Alcotest.fail (Fmt.str "expected exactly one dead op, got %d" (List.length l)))
+
+(* ------------------------------------------------------------------ *)
+(* Translation validator                                               *)
+(* ------------------------------------------------------------------ *)
+
+let const_ret_src name v ty =
+  Fmt.str
+    "func.func @%s() -> %s {\n\
+    \  %%c = arith.constant %s : %s\n\
+    \  func.return %%c : %s\n\
+     }"
+    name ty v ty ty
+
+let test_validate_clean () =
+  let f = parse_func (const_ret_src "same" "30" "i64") in
+  assert_clean "identical function" (Dialegg.Validate.check (Dialegg.Validate.capture f) f)
+
+let test_validate_type_changed () =
+  let f1 = parse_func (const_ret_src "t" "1" "i64") in
+  let f2 = parse_func (const_ret_src "t" "1" "i32") in
+  let diags = Dialegg.Validate.check (Dialegg.Validate.capture f1) f2 in
+  assert_code "type-changed" diags;
+  checkb "it is an error" true (Egglog.Diag.has_errors diags)
+
+let test_validate_range_widened () =
+  let f1 = parse_func (const_ret_src "r" "30" "i64") in
+  let f2 = parse_func (const_ret_src "r" "0" "i64") in
+  let diags = Dialegg.Validate.check (Dialegg.Validate.capture f1) f2 in
+  assert_code "range-widened" diags;
+  (* the message names the offending result *)
+  (match List.find_opt (fun d -> d.Egglog.Diag.code = "range-widened") diags with
+  | Some d ->
+    checkb "message names @r result 0" true
+      (let msg = Egglog.Diag.to_string d in
+       let contains hay needle =
+         let nh = String.length hay and nn = String.length needle in
+         let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+         go 0
+       in
+       contains msg "@r result 0")
+  | None -> Alcotest.fail "no range-widened diagnostic")
+
+let test_validate_shape_changed () =
+  let f = parse_func mm_src in
+  let snap = Dialegg.Validate.capture f in
+  (* rewire the matmul to 5x3 @ 3x4: every value type is unchanged (the
+     result stays tensor<?x?xf64>) but the inferred 5x4 shape contradicts
+     the captured 2x4 *)
+  let mm = List.hd (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "linalg.matmul") f) in
+  let c_arg = (Mlir.Ir.func_body f).Mlir.Ir.blk_args.(2) in
+  mm.Mlir.Ir.operands.(0) <- c_arg;
+  let diags = Dialegg.Validate.check snap f in
+  assert_code "shape-changed" diags
+
+let test_validate_invalid_extraction () =
+  let f = parse_func (const_ret_src "b" "1" "i64") in
+  let snap = Dialegg.Validate.capture f in
+  let blk = Mlir.Ir.func_body f in
+  Mlir.Ir.set_ops blk (List.rev blk.Mlir.Ir.blk_ops);
+  let diags = Dialegg.Validate.check snap f in
+  assert_code "invalid-extraction" diags;
+  checkb "broken body is an error" true (Egglog.Diag.has_errors diags);
+  (* broken IR also surfaces through the input-side helper *)
+  assert_code "invalid-input" (Dialegg.Validate.verify_diags ~code:"invalid-input" f)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let unsound_module () = Mlir.Parser.parse_module (read_file "fixtures/unsound_demo.mlir")
+let unsound_rules () = read_file "fixtures/unsound_fold.egg"
+
+let test_pipeline_validator_rejects () =
+  let m = unsound_module () in
+  let config = { Dialegg.Pipeline.default_config with rules = unsound_rules () } in
+  match Dialegg.Pipeline.optimize_module ~config m with
+  | _ -> Alcotest.fail "expected the validator to reject the unsound fold"
+  | exception Dialegg.Pipeline.Error msg ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "names the code" true (contains msg "range-widened");
+    checkb "names the function" true (contains msg "@fold_me")
+
+let test_pipeline_no_validate_passthrough () =
+  let m = unsound_module () in
+  let config =
+    { Dialegg.Pipeline.default_config with rules = unsound_rules (); validate = false }
+  in
+  ignore (Dialegg.Pipeline.optimize_module ~config m);
+  (* without validation the unsound fold goes through: the addi is gone *)
+  checki "addi folded away" 0
+    (List.length (Mlir.Ir.collect_ops (fun o -> o.Mlir.Ir.op_name = "arith.addi") m))
+
+(* ------------------------------------------------------------------ *)
+(* Cross-check: Egglog-side lo/hi tables vs the OCaml interval solver  *)
+(* ------------------------------------------------------------------ *)
+
+(* the lattice rules from examples/interval_analysis.ml (lo joins with
+   max, hi with min, propagated through constants / addi / shrsi) *)
+let interval_egg_rules =
+  {|
+(function lo (Op) i64 :merge (max old new))
+(function hi (Op) i64 :merge (min old new))
+(rule ((= ?e (arith_constant (NamedAttr "value" (IntegerAttr ?v ?t)) ?t)))
+      ((set (lo ?e) ?v) (set (hi ?e) ?v)))
+(rule ((= ?e (arith_addi ?x ?y ?t))
+       (= ?xl (lo ?x)) (= ?xh (hi ?x))
+       (= ?yl (lo ?y)) (= ?yh (hi ?y)))
+      ((set (lo ?e) (+ ?xl ?yl)) (set (hi ?e) (+ ?xh ?yh))))
+(rule ((= ?e (arith_shrsi ?x ?y ?t))
+       (= ?xl (lo ?x)) (= ?xh (hi ?x))
+       (= ?yl (lo ?y)) (>= ?yl 0))
+      ((set (lo ?e) (>> ?xl ?yl)) (set (hi ?e) (>> ?xh ?yl))))
+|}
+
+let test_egg_ocaml_intervals_agree () =
+  let func =
+    parse_func
+      "func.func @range_demo() -> i64 {\n\
+      \  %c10 = arith.constant 10 : i64\n\
+      \  %c20 = arith.constant 20 : i64\n\
+      \  %c100 = arith.constant 100 : i64\n\
+      \  %c2 = arith.constant 2 : i64\n\
+      \  %small = arith.addi %c10, %c20 : i64\n\
+      \  %shifted = arith.shrsi %c100, %c2 : i64\n\
+      \  %sum = arith.addi %small, %shifted : i64\n\
+      \  func.return %sum : i64\n\
+       }"
+  in
+  let engine = Egglog.Interp.create () in
+  Egglog.Interp.run_commands engine (Lazy.force Dialegg.Prelude.commands);
+  Egglog.Interp.run_string engine interval_egg_rules;
+  let sigs = Dialegg.Sigs.scan (Egglog.Interp.egraph engine) in
+  Egglog.Interp.run_commands engine (Dialegg.Sigs.type_of_rules sigs);
+  let hooks = Dialegg.Translate.make_hooks () in
+  let eggify = Dialegg.Eggify.create ~engine ~sigs ~hooks in
+  ignore (Dialegg.Eggify.translate_function eggify func);
+  ignore (Egglog.Interp.run engine 10);
+  let eg = Egglog.Interp.egraph engine in
+  let lo_f = Egglog.Egraph.find_func eg (Egglog.Symbol.intern "lo") in
+  let hi_f = Egglog.Egraph.find_func eg (Egglog.Symbol.intern "hi") in
+  let facts = Df.Intervals.analyze func in
+  let checked = ref 0 in
+  Mlir.Ir.walk_op
+    (fun o ->
+      if Array.length o.Mlir.Ir.results = 1 then begin
+        let v = o.Mlir.Ir.results.(0) in
+        match Hashtbl.find_opt eggify.Dialegg.Eggify.value_class v.Mlir.Ir.v_id with
+        | None -> ()
+        | Some cls ->
+          let key = [| Egglog.Value.Eclass (Egglog.Egraph.find_class eg cls) |] in
+          (match (Egglog.Egraph.lookup eg lo_f key, Egglog.Egraph.lookup eg hi_f key) with
+          | Some (Egglog.Value.I64 el), Some (Egglog.Value.I64 eh) ->
+            incr checked;
+            (match Df.Intervals.fact facts v with
+            | Df.Interval.Range (ol, oh) ->
+              checkb
+                (Fmt.str "OCaml [%Ld,%Ld] at least as tight as egg [%Ld,%Ld]" ol oh el eh)
+                true
+                (el <= ol && oh <= eh)
+            | Df.Interval.Bot -> Alcotest.fail "OCaml fact is bottom for an egg-ranged value")
+          | _ -> ())
+      end)
+    func;
+  checkb (Fmt.str "cross-checked %d values (want >= 3)" !checked) true (!checked >= 3)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized soundness: Interp values lie inside the computed facts   *)
+(* ------------------------------------------------------------------ *)
+
+let test_random_soundness () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~count:120 ~name:"interp values lie inside interval/known-bits facts"
+       (QCheck.make
+          QCheck.Gen.(
+            Test_support.Gen_mlir.program_gen >>= fun p ->
+            Test_support.Gen_mlir.args_gen p >>= fun args -> return (p, args)))
+       (fun (p, args) ->
+         let m, values = Test_support.Gen_mlir.to_module_values p in
+         let func =
+           List.find (fun o -> o.Mlir.Ir.op_name = "func.func") (Mlir.Ir.module_ops m)
+         in
+         let concrete = Test_support.Gen_mlir.eval_all p args in
+         (* seed the entry arguments with the exact values we run with *)
+         let arg_arr = Array.of_list args in
+         let seed = Hashtbl.create 8 in
+         List.iteri
+           (fun i (v : Mlir.Ir.value) ->
+             if i < p.Test_support.Gen_mlir.n_args then
+               Hashtbl.replace seed v.Mlir.Ir.v_id arg_arr.(i))
+           values;
+         let iinit v =
+           Option.map Df.Interval.of_const (Hashtbl.find_opt seed v.Mlir.Ir.v_id)
+         in
+         let binit v =
+           Option.map
+             (fun c -> { Df.Known_bits.kz = Int64.lognot c; Df.Known_bits.ko = c })
+             (Hashtbl.find_opt seed v.Mlir.Ir.v_id)
+         in
+         let ifacts = Df.Intervals.analyze ~init:iinit func in
+         let bfacts = Df.Bits.analyze ~init:binit func in
+         List.iteri
+           (fun i (v : Mlir.Ir.value) ->
+             let c = concrete.(i) in
+             let itv = Df.Intervals.fact ifacts v in
+             if not (Df.Interval.contains itv c) then
+               QCheck.Test.fail_reportf "value %d: interval %a excludes concrete %Ld" i
+                 (fun ppf -> Df.Interval.pp ppf)
+                 itv c;
+             let b = Df.Bits.fact bfacts v in
+             if not (Df.Known_bits.contains b c) then
+               QCheck.Test.fail_reportf "value %d: known-bits %a exclude concrete %Ld" i
+                 (fun ppf -> Df.Known_bits.pp ppf)
+                 b c)
+           values;
+         (* and the facts really describe what Interp computes *)
+         Test_support.Gen_mlir.run_module m args = concrete.(Array.length concrete - 1)))
+
 let () =
   Alcotest.run "analysis"
     [
@@ -387,4 +770,34 @@ let () =
           Alcotest.test_case "dedup" `Quick test_diag_dedup;
           Alcotest.test_case "counts" `Quick test_diag_counts;
         ] );
+      ( "dataflow",
+        [
+          Alcotest.test_case "intervals: straight line" `Quick test_interval_straightline;
+          Alcotest.test_case "intervals: scf.if join" `Quick test_interval_if_join;
+          Alcotest.test_case "intervals: scf.for sound" `Quick test_interval_loop_sound;
+          Alcotest.test_case "known bits: and mask" `Quick test_known_bits_mask;
+          Alcotest.test_case "known bits: exact fold" `Quick test_known_bits_exact;
+          Alcotest.test_case "constantness" `Quick test_constantness;
+          Alcotest.test_case "shapes: matmul" `Quick test_shape_matmul;
+          Alcotest.test_case "def-use and dead ops" `Quick test_defuse_dead_ops;
+        ] );
+      ( "validate",
+        [
+          Alcotest.test_case "identical function is clean" `Quick test_validate_clean;
+          Alcotest.test_case "type-changed" `Quick test_validate_type_changed;
+          Alcotest.test_case "range-widened" `Quick test_validate_range_widened;
+          Alcotest.test_case "shape-changed" `Quick test_validate_shape_changed;
+          Alcotest.test_case "invalid-extraction" `Quick test_validate_invalid_extraction;
+          Alcotest.test_case "pipeline rejects unsound fold" `Quick
+            test_pipeline_validator_rejects;
+          Alcotest.test_case "--no-validate passthrough" `Quick
+            test_pipeline_no_validate_passthrough;
+        ] );
+      ( "xcheck",
+        [
+          Alcotest.test_case "egg lo/hi vs OCaml intervals" `Quick
+            test_egg_ocaml_intervals_agree;
+        ] );
+      ( "soundness",
+        [ Alcotest.test_case "random programs" `Slow test_random_soundness ]);
     ]
