@@ -118,7 +118,15 @@ let table2_row ~name ~rules ~src ~main_func ~max_nodes ~timeout ~with_hand =
   let n_ops = Workloads.Benchmark.op_count m in
   let n_rules = Dialegg.Rules.count_rules rules in
   let config =
-    { Dialegg.Pipeline.default_config with rules; max_nodes; timeout = Some timeout }
+    {
+      Dialegg.Pipeline.default_config with
+      rules;
+      max_nodes;
+      timeout = Some timeout;
+      (* the big rows are expected to hit budgets: keep the best
+         extraction (and report the stop reason) instead of aborting *)
+      on_limit = Dialegg.Pipeline.Best_effort;
+    }
   in
   let t = Dialegg.Pipeline.optimize_module ~config ~only:[ main_func ] m in
   let canon_ms = time_canon src *. 1000. in
@@ -194,7 +202,10 @@ let cost_model_ablation () =
   in
   let mults_of rules =
     let m = Mlir.Parser.parse_module src in
-    let config = { Dialegg.Pipeline.default_config with rules } in
+    let config =
+      { Dialegg.Pipeline.default_config with rules;
+        on_limit = Dialegg.Pipeline.Best_effort }
+    in
     ignore (Dialegg.Pipeline.optimize_module ~config m);
     List.fold_left
       (fun acc (o : Mlir.Ir.op) ->
@@ -264,6 +275,8 @@ type sat_measure = {
   sm_apply_time : float;
   sm_extract_time : float;
   sm_n_nodes : int;
+  sm_peak_nodes : int;  (* largest e-graph seen while saturating *)
+  sm_stop : Egglog.Interp.stop_reason;
   sm_output : string;  (* the optimized MLIR, for cross-mode comparison *)
 }
 
@@ -282,6 +295,9 @@ let sat_run ~scale ~seminaive : sat_measure =
       timeout = Some 300.0;
       seminaive;
       backoff = seminaive;
+      (* large chains may hit the node budget: take the best extraction
+         within it rather than aborting the whole run *)
+      on_limit = Dialegg.Pipeline.Best_effort;
     }
   in
   let t = Dialegg.Pipeline.optimize_module ~config ~only:[ "mm_chain" ] m in
@@ -293,14 +309,17 @@ let sat_run ~scale ~seminaive : sat_measure =
     sm_apply_time = t.Dialegg.Pipeline.t_apply;
     sm_extract_time = t.Dialegg.Pipeline.t_egglog -. t.Dialegg.Pipeline.t_saturate;
     sm_n_nodes = t.Dialegg.Pipeline.n_nodes;
+    sm_peak_nodes = t.Dialegg.Pipeline.peak_nodes;
+    sm_stop = t.Dialegg.Pipeline.stop;
     sm_output = Mlir.Printer.module_to_string m;
   }
 
 let json_of_measure (s : sat_measure) =
   Printf.sprintf
-    {|{"iterations": %d, "matches": %d, "sat_time_s": %.6f, "search_time_s": %.6f, "apply_time_s": %.6f, "extract_time_s": %.6f, "n_nodes": %d}|}
+    {|{"iterations": %d, "matches": %d, "sat_time_s": %.6f, "search_time_s": %.6f, "apply_time_s": %.6f, "extract_time_s": %.6f, "n_nodes": %d, "peak_nodes": %d, "stop_reason": "%s"}|}
     s.sm_iterations s.sm_matches s.sm_sat_time s.sm_search_time s.sm_apply_time
-    s.sm_extract_time s.sm_n_nodes
+    s.sm_extract_time s.sm_n_nodes s.sm_peak_nodes
+    (Fmt.str "%a" Egglog.Interp.pp_stop_reason s.sm_stop)
 
 (* best-of-[reps] to damp scheduler/GC noise: saturation wall-clock is the
    min across repetitions (standard practice for sub-100ms measurements);
@@ -375,7 +394,10 @@ let micro_tests () =
     Test.make ~name
       (Staged.stage (fun () ->
            let m = Mlir.Parser.parse_module src in
-           let config = { Dialegg.Pipeline.default_config with rules } in
+           let config =
+             { Dialegg.Pipeline.default_config with rules;
+               on_limit = Dialegg.Pipeline.Best_effort }
+           in
            ignore (Dialegg.Pipeline.optimize_module ~config ~only:[ func ] m)))
   in
   let simple_div =

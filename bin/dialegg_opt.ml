@@ -12,8 +12,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
-    dump_egg lint_only show_stats no_backoff naive_matching no_validate analyze =
+let run input egg_file iterations max_nodes timeout timeout_ms max_memory_mb
+    on_limit inject_fault no_dce funcs show_timings dump_egg lint_only show_stats
+    no_backoff naive_matching no_validate analyze =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if lint_only then begin
@@ -37,7 +38,18 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
         (Egglog.Diag.warning "no-rules"
            "no --egg rules file given: saturating with zero rewrite rules, the output will match the input");
     let src = read_file input in
-    let m = Mlir.Parser.parse_module src in
+    let m =
+      try Mlir.Parser.parse_module src
+      with Mlir.Parser.Syntax_error { line; col; msg } ->
+        (* render parse failures like every other diagnostic: located, no
+           backtrace, non-zero exit *)
+        let pos = { Egglog.Sexp.line; col } in
+        Fmt.epr "%a@." Egglog.Diag.pp
+          (Egglog.Diag.error ~file:input
+             ~span:{ Egglog.Sexp.sp_start = pos; sp_end = pos }
+             "mlir-parse" "%s" msg);
+        exit 1
+    in
     (* uniform rendering with the rule lint and the round-trip validator *)
     (match Dialegg.Validate.verify_diags ~file:input ~code:"invalid-input" m with
     | [] -> ()
@@ -55,6 +67,9 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
       `Ok ()
     end
     else begin
+    let timeout =
+      match timeout_ms with Some ms -> ms /. 1000. | None -> timeout
+    in
     let config =
       {
         Dialegg.Pipeline.default_config with
@@ -62,6 +77,9 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
         max_iterations = iterations;
         max_nodes;
         timeout = Some timeout;
+        max_memory_mb;
+        on_limit;
+        inject = inject_fault;
         run_dce = not no_dce;
         validate = not no_validate;
         seminaive = not naive_matching;
@@ -91,11 +109,21 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
       `Ok ()
     end
     else begin
-      let timings = Dialegg.Pipeline.optimize_module ~config ?only m in
+      let report = Dialegg.Pipeline.optimize_module_report ~config ?only m in
+      let timings = report.Dialegg.Pipeline.r_timings in
+      (* the per-function outcome report: always when asked for timings or
+         stats, and unprompted whenever something degraded or hit a hard
+         resource limit *)
+      if show_timings || show_stats || not (Dialegg.Pipeline.report_clean report)
+      then Fmt.epr "%a" Dialegg.Pipeline.pp_report report;
       if show_timings then
         Fmt.epr "%a@." Dialegg.Pipeline.pp_timings timings;
-      if show_stats then
-        Fmt.epr "%a" Dialegg.Pipeline.pp_rule_stats timings.Dialegg.Pipeline.rule_stats;
+      if show_stats then begin
+        Fmt.epr "stop reason: %a | peak e-graph size: %d nodes@."
+          Egglog.Interp.pp_stop_reason timings.Dialegg.Pipeline.stop
+          timings.Dialegg.Pipeline.peak_nodes;
+        Fmt.epr "%a" Dialegg.Pipeline.pp_rule_stats timings.Dialegg.Pipeline.rule_stats
+      end;
       print_string (Mlir.Printer.module_to_string m);
       `Ok ()
     end
@@ -105,11 +133,14 @@ let run input egg_file iterations max_nodes timeout no_dce funcs show_timings
   | Usage e -> `Error (true, e)
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Mlir.Parser.Syntax_error { line; col; msg } ->
+    `Error (false, Printf.sprintf "%d:%d: parse error: %s" line col msg)
   | Mlir.Typ.Parse_error e -> `Error (false, "type parse error: " ^ e)
   | Dialegg.Pipeline.Error e -> `Error (false, "pipeline error: " ^ e)
   | Egglog.Parser.Error e -> `Error (false, "egglog parse error: " ^ e)
   | Egglog.Interp.Error e -> `Error (false, "egglog error: " ^ e)
   | Failure e -> `Error (false, e)
+  | Stack_overflow -> `Error (false, "stack overflow")
 
 let input =
   Arg.(
@@ -124,13 +155,64 @@ let egg_file =
     & info [ "egg" ] ~docv:"RULES.egg" ~doc:"Egglog file with user declarations and rewrite rules")
 
 let iterations =
-  Arg.(value & opt int 64 & info [ "iterations"; "i" ] ~doc:"Max saturation iterations")
+  Arg.(
+    value
+    & opt int 64
+    & info [ "iterations"; "max-iters"; "i" ] ~doc:"Max saturation iterations")
 
 let max_nodes =
   Arg.(value & opt int 100_000 & info [ "max-nodes" ] ~doc:"E-graph node budget")
 
 let timeout =
   Arg.(value & opt float 30.0 & info [ "timeout" ] ~doc:"Per-function saturation timeout (s)")
+
+let timeout_ms =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout-ms" ]
+        ~doc:"Per-function saturation timeout in milliseconds (overrides $(b,--timeout))")
+
+let max_memory_mb =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "max-memory-mb" ]
+        ~doc:"Approximate e-graph memory budget in megabytes (off by default)")
+
+let on_limit =
+  let policies =
+    Dialegg.Pipeline.
+      [ ("fail", Fail); ("best-effort", Best_effort); ("identity", Identity) ]
+  in
+  Arg.(
+    value
+    & opt (enum policies) Dialegg.Pipeline.Fail
+    & info [ "on-limit" ] ~docv:"POLICY"
+        ~doc:
+          "What to do when a function hits a resource limit or an internal \
+           fault: $(b,fail) aborts (default), $(b,best-effort) keeps the best \
+           extraction reachable within the budget, $(b,identity) keeps the \
+           original function body")
+
+let inject_fault =
+  let fault_conv =
+    Arg.conv
+      ( (fun s ->
+          match Dialegg.Faults.parse s with
+          | Ok f -> Ok f
+          | Error e -> Error (`Msg e)),
+        fun ppf f -> Fmt.string ppf (Dialegg.Faults.to_string f) )
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject-fault" ] ~docv:"STAGE:KIND"
+        ~doc:
+          "Testing: raise a deterministic fault at a pipeline stage boundary \
+           (stages: eggify|saturate|extract|deeggify|validate; kinds: \
+           exn|error|overflow).  The $(b,DIALEGG_INJECT_FAULT) environment \
+           variable arms the same thing")
 
 let no_dce = Arg.(value & flag & info [ "no-dce" ] ~doc:"Skip dead-code elimination after extraction")
 
@@ -189,8 +271,9 @@ let cmd =
     (Cmd.info "dialegg-opt" ~version:"1.0.0" ~doc)
     Term.(
       ret
-        (const run $ input $ egg_file $ iterations $ max_nodes $ timeout $ no_dce
-        $ funcs $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
+        (const run $ input $ egg_file $ iterations $ max_nodes $ timeout
+        $ timeout_ms $ max_memory_mb $ on_limit $ inject_fault $ no_dce $ funcs
+        $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
         $ naive_matching $ no_validate $ analyze))
 
 let () = exit (Cmd.eval cmd)

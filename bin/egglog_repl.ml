@@ -36,7 +36,44 @@ let print_outputs outs =
       | Egglog.Interp.O_msg m -> print_string m)
     outs
 
-let repl engine =
+(* Render a runtime failure as a diagnostic; never lets the session die.
+   [Sys.Break] (ctrl-C) is the one exception that must keep propagating. *)
+let runtime_diag e =
+  let msg =
+    match e with
+    | Egglog.Parser.Error e -> "parse: " ^ e
+    | Egglog.Interp.Error e -> e
+    | Egglog.Egraph.Error e -> "e-graph: " ^ e
+    | Egglog.Matcher.Error e -> "match: " ^ e
+    | Egglog.Primitives.Error e -> "primitive: " ^ e
+    | Egglog.Extract.Error e -> "extraction: " ^ e
+    | Failure e -> e
+    | Stack_overflow -> "stack overflow"
+    | e -> Printexc.to_string e
+  in
+  Egglog.Diag.error "runtime" "%s" msg
+
+(* Execute one chunk of source: sort-check first (located diagnostics),
+   run only when the check is clean, and convert any runtime exception to
+   a diagnostic.  Returns [false] if anything was reported as an error. *)
+let run_chunk ?file engine check_env src =
+  (* diagnose against a scratch copy so a rejected chunk leaves no
+     half-recorded declarations behind *)
+  let scratch = Egglog.Check.copy_env check_env in
+  let diags = Egglog.Check.check_program ?file ~env:scratch src in
+  List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) diags;
+  if Egglog.Diag.has_errors diags then false
+  else begin
+    ignore (Egglog.Check.check_program ?file ~env:check_env src);
+    match Egglog.Interp.run_string engine src with
+    | () -> true
+    | exception Sys.Break -> raise Sys.Break
+    | exception e ->
+      Fmt.epr "%a@." Egglog.Diag.pp (runtime_diag e);
+      false
+  end
+
+let repl engine check_env =
   Printf.printf "egglog repl — enter commands, :q to quit\n%!";
   let buf = Buffer.create 256 in
   let depth s =
@@ -58,12 +95,7 @@ let repl engine =
         let src = Buffer.contents buf in
         Buffer.clear buf;
         let before = List.length (Egglog.Interp.outputs engine) in
-        (try Egglog.Interp.run_string engine src with
-        | Egglog.Parser.Error e -> Printf.printf "parse error: %s\n%!" e
-        | Egglog.Interp.Error e -> Printf.printf "error: %s\n%!" e
-        | Egglog.Egraph.Error e -> Printf.printf "e-graph error: %s\n%!" e
-        | Egglog.Matcher.Error e -> Printf.printf "match error: %s\n%!" e
-        | Egglog.Primitives.Error e -> Printf.printf "primitive error: %s\n%!" e);
+        ignore (run_chunk engine check_env src);
         let outs = Egglog.Interp.outputs engine in
         print_outputs (List.filteri (fun i _ -> i >= before) outs);
         loop 0
@@ -73,19 +105,22 @@ let repl engine =
 
 let run files max_nodes timeout stats =
   let engine = Egglog.Interp.create ~max_nodes ~timeout () in
+  let check_env = Egglog.Check.create_env () in
   try
-    List.iter (fun f -> Egglog.Interp.run_string engine (read_file f)) files;
+    (* file mode: an error in one file is reported (located) and does not
+       stop the remaining files from running; the exit code records it *)
+    let ok =
+      List.fold_left
+        (fun ok f -> run_chunk ~file:f engine check_env (read_file f) && ok)
+        true files
+    in
     print_outputs (Egglog.Interp.outputs engine);
     if stats then
       Fmt.epr "%a@." Egglog.Egraph.pp_stats (Egglog.Interp.egraph engine);
-    if files = [] then repl engine;
-    `Ok ()
+    if files = [] then repl engine check_env;
+    if ok then `Ok () else `Error (false, "errors were reported")
   with
   | Sys_error e -> `Error (false, e)
-  | Egglog.Parser.Error e -> `Error (false, "parse error: " ^ e)
-  | Egglog.Interp.Error e -> `Error (false, e)
-  | Egglog.Egraph.Error e -> `Error (false, e)
-  | Egglog.Matcher.Error e -> `Error (false, e)
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE.egg")
 

@@ -42,6 +42,8 @@ let run input passes verify_only =
   with
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Mlir.Parser.Syntax_error { line; col; msg } ->
+    `Error (false, Printf.sprintf "%d:%d: parse error: %s" line col msg)
   | Failure e -> `Error (false, e)
 
 let input =

@@ -51,6 +51,8 @@ let run input func args =
   with
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
+  | Mlir.Parser.Syntax_error { line; col; msg } ->
+    `Error (false, Printf.sprintf "%d:%d: parse error: %s" line col msg)
   | Mlir.Interp.Runtime_error e -> `Error (false, "runtime error: " ^ e)
   | Failure e -> `Error (false, e)
 

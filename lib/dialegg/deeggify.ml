@@ -60,18 +60,34 @@ let term_head t =
 
 (** Build (or look up) the MLIR value for [term] in [scope].  Returns
     [None] for zero-result operations (anchors). *)
+(* Allocation ops produce a buffer consumed destructively as an [outs]
+   destination (the interpreter's linear-use assumption), so their results
+   must never be shared between consumers.  Hash-consing puts two
+   identical [tensor_empty]s in one e-class; materializing that class once
+   would alias two matmuls' accumulators. *)
+let never_share (d : t) (term : term) =
+  match term.t_kind with
+  | Node (name, _) -> (
+    match Sigs.find_egg d.sigs (Egglog.Symbol.name name) with
+    | Some s ->
+      s.Sigs.mlir_name = "tensor.empty" || s.Sigs.mlir_name = "memref.alloc"
+    | None -> false)
+  | _ -> false
+
 let rec build (d : t) (scope : scope) (term : term) : Mlir.Ir.value option =
   let cls =
     match term.t_class with
     | Some c -> c
     | None -> error "extracted op term has no e-class annotation"
   in
-  match memo_find scope cls with
-  | Some v -> v
-  | None ->
-    let v = build_uncached d scope term in
-    memo_add scope cls v;
-    v
+  if never_share d term then build_uncached d scope term
+  else
+    match memo_find scope cls with
+    | Some v -> v
+    | None ->
+      let v = build_uncached d scope term in
+      memo_add scope cls v;
+      v
 
 and build_uncached d scope term : Mlir.Ir.value option =
   let name, args = term_head term in

@@ -1,0 +1,63 @@
+(** Deterministic fault injection at pipeline stage boundaries; see the
+    interface for the model. *)
+
+type stage = Eggify | Saturate | Extract | Deeggify | Validate
+type kind = K_exn | K_error | K_overflow
+type t = { stage : stage; kind : kind }
+
+let all_stages = [ Eggify; Saturate; Extract; Deeggify; Validate ]
+let all_kinds = [ K_exn; K_error; K_overflow ]
+
+let stage_name = function
+  | Eggify -> "eggify"
+  | Saturate -> "saturate"
+  | Extract -> "extract"
+  | Deeggify -> "deeggify"
+  | Validate -> "validate"
+
+let kind_name = function
+  | K_exn -> "exn"
+  | K_error -> "error"
+  | K_overflow -> "overflow"
+
+let to_string f = stage_name f.stage ^ ":" ^ kind_name f.kind
+
+let parse s =
+  match String.index_opt s ':' with
+  | None -> Error (Printf.sprintf "expected STAGE:KIND, got %S" s)
+  | Some i -> (
+    let stage_s = String.sub s 0 i in
+    let kind_s = String.sub s (i + 1) (String.length s - i - 1) in
+    match
+      ( List.find_opt (fun st -> stage_name st = stage_s) all_stages,
+        List.find_opt (fun k -> kind_name k = kind_s) all_kinds )
+    with
+    | Some stage, Some kind -> Ok { stage; kind }
+    | None, _ ->
+      Error
+        (Printf.sprintf "unknown stage %S (expected %s)" stage_s
+           (String.concat "|" (List.map stage_name all_stages)))
+    | _, None ->
+      Error
+        (Printf.sprintf "unknown fault kind %S (expected %s)" kind_s
+           (String.concat "|" (List.map kind_name all_kinds))))
+
+let env_var = "DIALEGG_INJECT_FAULT"
+
+let from_env () =
+  match Sys.getenv_opt env_var with
+  | None | Some "" -> None
+  | Some s -> ( match parse s with Ok f -> Some f | Error _ -> None)
+
+let raise_fault f =
+  let where = stage_name f.stage in
+  match f.kind with
+  | K_exn -> failwith (Printf.sprintf "injected fault at %s" where)
+  | K_error ->
+    raise (Egglog.Interp.Error (Printf.sprintf "injected engine fault at %s" where))
+  | K_overflow -> raise Stack_overflow
+
+let trip armed stage =
+  match (match armed with Some _ -> armed | None -> from_env ()) with
+  | Some f when f.stage = stage -> raise_fault f
+  | _ -> ()

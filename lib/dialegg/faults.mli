@@ -1,0 +1,46 @@
+(** Deterministic fault injection at pipeline stage boundaries.
+
+    Graceful degradation is only trustworthy if every degradation path is
+    actually exercised, so the pipeline calls {!trip} at the entry of each
+    stage; when a fault is armed for that stage it raises the configured
+    exception, exactly once per call site, with no randomness.  The tests
+    sweep the full stage × kind matrix under every [--on-limit] policy.
+
+    A fault is armed either programmatically (the [inject] field of
+    {!Pipeline.config}, set from [dialegg-opt --inject-fault=STAGE:KIND])
+    or through the [DIALEGG_INJECT_FAULT] environment variable (read on
+    every {!trip}, so tests can toggle it at runtime). *)
+
+(** The five pipeline stages with a boundary to fault at. *)
+type stage = Eggify | Saturate | Extract | Deeggify | Validate
+
+(** What to raise:
+    - [K_exn]: a generic [Failure] — an unanticipated crash;
+    - [K_error]: the engine's own error exception ({!Egglog.Interp.Error})
+      — an anticipated, message-carrying failure;
+    - [K_overflow]: [Stack_overflow] — a runaway recursion. *)
+type kind = K_exn | K_error | K_overflow
+
+type t = { stage : stage; kind : kind }
+
+val all_stages : stage list
+val all_kinds : kind list
+
+val stage_name : stage -> string
+val kind_name : kind -> string
+
+(** ["STAGE:KIND"], e.g. ["saturate:exn"] — the CLI / env-var syntax. *)
+val to_string : t -> string
+
+val parse : string -> (t, string) result
+
+(** ["DIALEGG_INJECT_FAULT"] *)
+val env_var : string
+
+(** The fault armed via [DIALEGG_INJECT_FAULT], if any and well-formed. *)
+val from_env : unit -> t option
+
+(** [trip fault stage] raises [fault]'s exception if it targets [stage];
+    when [fault] is [None] the environment variable is consulted.  A
+    no-op otherwise. *)
+val trip : t option -> stage -> unit

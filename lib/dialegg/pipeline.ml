@@ -13,6 +13,32 @@
 
 exception Error of string
 
+(** What to do when a function's optimization hits a hard resource limit
+    (node / time / memory budget) or a fault:
+
+    - [Fail]: raise {!Error} — strict mode, the whole module aborts;
+    - [Best_effort]: keep the best result available — extraction from the
+      truncated e-graph after a limit, the last anytime checkpoint after
+      an extraction failure, the untouched original after a stage fault —
+      and continue with the remaining functions;
+    - [Identity]: any hard limit or fault restores the original function
+      body verbatim and continues.
+
+    Running out of [max_iterations] is the scheduling bound, not a hard
+    limit: it degrades nothing under any policy. *)
+type on_limit = Fail | Best_effort | Identity
+
+let on_limit_name = function
+  | Fail -> "fail"
+  | Best_effort -> "best-effort"
+  | Identity -> "identity"
+
+let on_limit_of_string = function
+  | "fail" -> Some Fail
+  | "best-effort" -> Some Best_effort
+  | "identity" -> Some Identity
+  | _ -> None
+
 type config = {
   rules : string;  (** Egglog source: user declarations, rules, cost models *)
   schedule : (string option * int) list option;
@@ -37,6 +63,16 @@ type config = {
   backoff : bool;  (** egg-style backoff rule scheduler (default on) *)
   match_limit : int;  (** scheduler: base per-rule match budget *)
   ban_length : int;  (** scheduler: base ban duration in iterations *)
+  max_memory_mb : float option;
+      (** approximate e-graph memory budget (see {!Egglog.Limits}) *)
+  on_limit : on_limit;  (** degradation policy (default [Fail]) *)
+  checkpoint_every : int;
+      (** anytime-checkpoint cadence in saturation iterations (0 = off;
+          only used under non-[Fail] policies) *)
+  inject : Faults.t option;
+      (** deterministic fault injection at stage boundaries (tests /
+          [--inject-fault]); the [DIALEGG_INJECT_FAULT] env var also arms
+          one *)
 }
 
 let default_config =
@@ -54,6 +90,10 @@ let default_config =
     backoff = true;
     match_limit = 1000;
     ban_length = 5;
+    max_memory_mb = None;
+    on_limit = Fail;
+    checkpoint_every = 4;
+    inject = None;
   }
 
 (* Fail fast on lint errors instead of silently saturating with rules
@@ -97,6 +137,7 @@ type timings = {
   matches : int;
   stop : Egglog.Interp.stop_reason;
   n_nodes : int;  (** e-graph size after saturation *)
+  peak_nodes : int;  (** largest e-graph size seen while saturating *)
   n_classes : int;
   extracted_cost : int;  (** tree cost of the extraction *)
   extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
@@ -116,6 +157,7 @@ let zero_timings =
     matches = 0;
     stop = Egglog.Interp.Saturated;
     n_nodes = 0;
+    peak_nodes = 0;
     n_classes = 0;
     extracted_cost = 0;
     extracted_dag_cost = 0;
@@ -162,6 +204,7 @@ let add_timings a b =
     matches = a.matches + b.matches;
     stop = (if b.stop = Egglog.Interp.Saturated then a.stop else b.stop);
     n_nodes = a.n_nodes + b.n_nodes;
+    peak_nodes = max a.peak_nodes b.peak_nodes;
     n_classes = a.n_classes + b.n_classes;
     extracted_cost = a.extracted_cost + b.extracted_cost;
     extracted_dag_cost = a.extracted_dag_cost + b.extracted_dag_cost;
@@ -196,108 +239,344 @@ let pp_rule_stats ppf (stats : Egglog.Interp.rule_stat list) =
 
 let now () = Unix.gettimeofday ()
 
-(** Optimize one [func.func] op in place.  Returns the timing breakdown. *)
-let optimize_func ?(config = default_config) ?(hooks = Translate.make_hooks ())
-    (func : Mlir.Ir.op) : timings =
+(* ------------------------------------------------------------------ *)
+(* Per-function outcomes and fault isolation                           *)
+(* ------------------------------------------------------------------ *)
+
+(** What happened to one function. *)
+type outcome =
+  | Optimized  (** extraction replaced the body *)
+  | Degraded of Faults.stage * Egglog.Diag.t
+      (** a stage failed; the original body was kept (identity fallback) *)
+
+type func_report = {
+  fr_name : string;
+  fr_outcome : outcome;
+  fr_stop : Egglog.Interp.stop_reason;  (** why saturation stopped *)
+  fr_timings : timings;
+}
+
+type report = { r_funcs : func_report list; r_timings : timings }
+
+let pp_outcome ppf = function
+  | Optimized -> Fmt.string ppf "optimized"
+  | Degraded (stage, d) ->
+    Fmt.pf ppf "degraded at %s (%s)" (Faults.stage_name stage)
+      (Egglog.Diag.to_string d)
+
+let pp_report ppf (r : report) =
+  List.iter
+    (fun fr ->
+      Fmt.pf ppf "@%s: %a | stop: %a | %d iters, peak %d nodes@." fr.fr_name
+        pp_outcome fr.fr_outcome Egglog.Interp.pp_stop_reason fr.fr_stop
+        fr.fr_timings.iterations fr.fr_timings.peak_nodes)
+    r.r_funcs
+
+(** Did the module survive without degradations or hard stops? *)
+let report_clean (r : report) =
+  List.for_all
+    (fun fr ->
+      (match fr.fr_outcome with Optimized -> true | Degraded _ -> false)
+      && match fr.fr_stop with
+         | Egglog.Interp.Saturated | Egglog.Interp.Iteration_limit -> true
+         | _ -> false)
+    r.r_funcs
+
+(* A hard stop is one that lost work: over a resource budget or a captured
+   fault.  Running out of max_iterations is the scheduling bound and
+   routine. *)
+let hard_stop = function
+  | Egglog.Interp.Node_limit | Egglog.Interp.Timeout | Egglog.Interp.Memory_limit
+  | Egglog.Interp.Fault _ ->
+    true
+  | Egglog.Interp.Saturated | Egglog.Interp.Iteration_limit -> false
+
+(* internal: a guarded stage failed under a non-strict policy *)
+exception Stage_fault of Faults.stage * Egglog.Diag.t
+
+let capturable = function Sys.Break -> false | _ -> true
+
+let fault_diag (stage : Faults.stage) (e : exn) : Egglog.Diag.t =
+  let msg =
+    match e with
+    | Error m -> m
+    | Egglog.Interp.Error m -> m
+    | Egglog.Egraph.Error m -> "e-graph: " ^ m
+    | Egglog.Matcher.Error m -> "match: " ^ m
+    | Egglog.Extract.Error m -> "extraction: " ^ m
+    | Egglog.Parser.Error m -> "egglog parse: " ^ m
+    | Mlir.Parser.Error m -> "mlir parse: " ^ m
+    | Mlir.Parser.Syntax_error { line; col; msg } ->
+      Printf.sprintf "mlir parse: %d:%d: %s" line col msg
+    | Failure m -> m
+    | Stack_overflow -> "stack overflow"
+    | e -> Printexc.to_string e
+  in
+  Egglog.Diag.error ("fault-" ^ Faults.stage_name stage) "%s" msg
+
+(* Run one stage.  Strict mode lets exceptions propagate exactly as the
+   pre-isolation pipeline did; otherwise any capturable exception becomes a
+   [Stage_fault] handled at the function level. *)
+let stage ~strict (s : Faults.stage) (inject : Faults.t option) (f : unit -> 'a) : 'a =
+  if strict then begin
+    Faults.trip inject s;
+    f ()
+  end
+  else
+    try
+      Faults.trip inject s;
+      f ()
+    with e when capturable e -> raise (Stage_fault (s, fault_diag s e))
+
+(* Identity fallback: the pipeline rewrites the function in place (the
+   de-eggifier clears the body before rebuilding it), so degradation
+   restores from a textual snapshot taken before anything was mutated. *)
+let snapshot_function (func : Mlir.Ir.op) = Mlir.Printer.op_to_string func
+
+let restore_function (func : Mlir.Ir.op) (src : string) =
+  try
+    let m = Mlir.Parser.parse_function_module src in
+    match Mlir.Ir.module_ops m with
+    | [ fresh ] when fresh.Mlir.Ir.op_name = "func.func" ->
+      func.Mlir.Ir.attrs <- fresh.Mlir.Ir.attrs;
+      func.Mlir.Ir.regions <- fresh.Mlir.Ir.regions;
+      List.iter
+        (fun r -> r.Mlir.Ir.reg_parent <- Some func)
+        fresh.Mlir.Ir.regions
+    | _ -> ()
+  with e when capturable e ->
+    (* a snapshot that fails to re-parse would be a printer bug; leave the
+       function as-is rather than crash the fallback path *)
+    Fmt.epr "warning: identity fallback failed to restore @%s: %s@."
+      (Mlir.Ir.func_name func) (Printexc.to_string e)
+
+(** Optimize one [func.func] op in place and report what happened.  Under
+    [config.on_limit = Fail] failures raise {!Error}; under the other
+    policies every stage runs inside a fault handler and failures degrade
+    to the original function body. *)
+let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hooks ())
+    (func : Mlir.Ir.op) : func_report =
   Mlir.Registry.ensure_registered ();
   lint_rules_exn config;
-  (* verify the *input* before eggify: a malformed function would
-     otherwise surface as a confusing mis-translation *)
-  if config.validate || config.verify then
-    diags_exn
-      (Fmt.str "input function @%s fails verification" (Mlir.Ir.func_name func))
-      (Validate.verify_diags ~code:"invalid-input" func);
-  (* snapshot the input's signature and abstract facts for the
-     post-extraction translation validation *)
-  let snapshot = if config.validate then Some (Validate.capture func) else None in
-  (* ---- MLIR -> Egglog ---- *)
-  let t0 = now () in
-  let engine = Egglog.Interp.create ~max_nodes:config.max_nodes ?timeout:config.timeout () in
-  Egglog.Interp.set_naive_matching engine (not config.seminaive);
-  Egglog.Interp.set_backoff engine config.backoff;
-  Egglog.Interp.set_match_limit engine config.match_limit;
-  Egglog.Interp.set_ban_length engine config.ban_length;
-  Egglog.Interp.run_commands engine (Lazy.force Prelude.commands);
-  (try Egglog.Interp.run_string engine config.rules
-   with Egglog.Parser.Error msg -> raise (Error ("rules: " ^ msg)));
-  let sigs = Sigs.scan (Egglog.Interp.egraph engine) in
-  Egglog.Interp.run_commands engine (Sigs.type_of_rules sigs);
-  let eggify = Eggify.create ~engine ~sigs ~hooks in
-  let root = Eggify.translate_function eggify func in
-  let t1 = now () in
-  (* ---- saturate (possibly a staged schedule of rulesets) ---- *)
-  let stats =
-    match config.schedule with
-    | None -> Egglog.Interp.run engine config.max_iterations
-    | Some stages ->
-      List.fold_left
-        (fun (acc : Egglog.Interp.run_stats option) (ruleset, n) ->
-          let s = Egglog.Interp.run ?ruleset engine n in
-          match acc with
-          | None -> Some s
-          | Some a ->
-            a.Egglog.Interp.iterations <- a.Egglog.Interp.iterations + s.Egglog.Interp.iterations;
-            a.Egglog.Interp.matches <- a.Egglog.Interp.matches + s.Egglog.Interp.matches;
-            a.Egglog.Interp.sat_time <- a.Egglog.Interp.sat_time +. s.Egglog.Interp.sat_time;
-            a.Egglog.Interp.search_time <- a.Egglog.Interp.search_time +. s.Egglog.Interp.search_time;
-            a.Egglog.Interp.apply_time <- a.Egglog.Interp.apply_time +. s.Egglog.Interp.apply_time;
-            a.Egglog.Interp.stop <- s.Egglog.Interp.stop;
-            Some a)
-        None stages
-      |> Option.get
+  let fname = Mlir.Ir.func_name func in
+  let strict = config.on_limit = Fail in
+  let original = if strict then None else Some (snapshot_function func) in
+  let finish ?(outcome = Optimized) ~stop timings =
+    { fr_name = fname; fr_outcome = outcome; fr_stop = stop; fr_timings = timings }
   in
-  (* ---- extract ---- *)
-  Egglog.Egraph.rebuild (Egglog.Interp.egraph engine);
-  let extractor = Egglog.Extract.make (Egglog.Interp.egraph engine) in
-  let root_class =
-    match Egglog.Interp.global engine root with
-    | Egglog.Value.Eclass c -> c
-    | _ -> raise (Error "root is not an e-class")
-  in
-  let root_term = Egglog.Extract.extract_class extractor root_class in
-  let t2 = now () in
-  (* ---- Egglog -> MLIR ---- *)
-  let deeggify = Deeggify.create ~sigs ~hooks ~extractor ~eggify in
-  Deeggify.rebuild_function deeggify func root_term;
-  if config.run_dce then ignore (Mlir.Transforms.dce func);
-  let t3 = now () in
-  (match snapshot with
-  | Some snap ->
-    diags_exn
-      (Fmt.str "translation validation failed for @%s" (Mlir.Ir.func_name func))
-      (Validate.check snap func)
-  | None ->
-    if config.verify then
-      diags_exn "rewritten function fails verification"
-        (Validate.verify_diags ~code:"invalid-extraction" func));
-  let eg = Egglog.Interp.egraph engine in
-  {
-    t_mlir_to_egg = t1 -. t0;
-    t_egglog = t2 -. t1;
-    t_saturate = stats.Egglog.Interp.sat_time;
-    t_search = stats.Egglog.Interp.search_time;
-    t_apply = stats.Egglog.Interp.apply_time;
-    t_egg_to_mlir = t3 -. t2;
-    iterations = stats.Egglog.Interp.iterations;
-    matches = stats.Egglog.Interp.matches;
-    stop = stats.Egglog.Interp.stop;
-    n_nodes = Egglog.Egraph.n_nodes eg;
-    n_classes = Egglog.Egraph.n_classes eg;
-    extracted_cost = Egglog.Extract.cost_of_class extractor root_class;
-    extracted_dag_cost = Egglog.Extract.dag_cost extractor root_term;
-    rule_stats = Egglog.Interp.rule_stats engine;
-  }
+  (* what we know if a later stage faults: saturation stats survive *)
+  let partial_timings = ref zero_timings in
+  let partial_stop = ref None in
+  try
+    (* verify the *input* before eggify: a malformed function would
+       otherwise surface as a confusing mis-translation *)
+    if config.validate || config.verify then
+      stage ~strict Faults.Validate config.inject (fun () ->
+          diags_exn
+            (Fmt.str "input function @%s fails verification" fname)
+            (Validate.verify_diags ~code:"invalid-input" func));
+    (* snapshot the input's signature and abstract facts for the
+       post-extraction translation validation *)
+    let snapshot = if config.validate then Some (Validate.capture func) else None in
+    (* ---- MLIR -> Egglog ---- *)
+    let t0 = now () in
+    let engine, eggify, sigs, root =
+      stage ~strict Faults.Eggify config.inject (fun () ->
+          let limits =
+            Egglog.Limits.make ~max_nodes:config.max_nodes
+              ?max_time_ms:(Option.map (fun s -> s *. 1000.) config.timeout)
+              ?max_memory_mb:config.max_memory_mb ()
+          in
+          let engine = Egglog.Interp.create ~limits () in
+          Egglog.Interp.set_naive_matching engine (not config.seminaive);
+          Egglog.Interp.set_backoff engine config.backoff;
+          Egglog.Interp.set_match_limit engine config.match_limit;
+          Egglog.Interp.set_ban_length engine config.ban_length;
+          Egglog.Interp.run_commands engine (Lazy.force Prelude.commands);
+          (try Egglog.Interp.run_string engine config.rules
+           with Egglog.Parser.Error msg -> raise (Error ("rules: " ^ msg)));
+          let sigs = Sigs.scan (Egglog.Interp.egraph engine) in
+          Egglog.Interp.run_commands engine (Sigs.type_of_rules sigs);
+          let eggify = Eggify.create ~engine ~sigs ~hooks in
+          let root = Eggify.translate_function eggify func in
+          (engine, eggify, sigs, root))
+    in
+    let t1 = now () in
+    (* anytime checkpoints: track the root's best extraction so a limit or
+       fault still yields the best term found so far *)
+    if (not strict) && config.checkpoint_every > 0 then
+      Egglog.Interp.set_checkpoint_root ~every:config.checkpoint_every engine
+        (Egglog.Interp.global engine root);
+    (* ---- saturate (possibly a staged schedule of rulesets) ---- *)
+    let stats =
+      stage ~strict Faults.Saturate config.inject (fun () ->
+          match config.schedule with
+          | None -> Egglog.Interp.run engine config.max_iterations
+          | Some stages ->
+            List.fold_left
+              (fun (acc : Egglog.Interp.run_stats option) (ruleset, n) ->
+                let s = Egglog.Interp.run ?ruleset engine n in
+                match acc with
+                | None -> Some s
+                | Some a ->
+                  a.Egglog.Interp.iterations <- a.Egglog.Interp.iterations + s.Egglog.Interp.iterations;
+                  a.Egglog.Interp.matches <- a.Egglog.Interp.matches + s.Egglog.Interp.matches;
+                  a.Egglog.Interp.sat_time <- a.Egglog.Interp.sat_time +. s.Egglog.Interp.sat_time;
+                  a.Egglog.Interp.search_time <- a.Egglog.Interp.search_time +. s.Egglog.Interp.search_time;
+                  a.Egglog.Interp.apply_time <- a.Egglog.Interp.apply_time +. s.Egglog.Interp.apply_time;
+                  a.Egglog.Interp.stop <- s.Egglog.Interp.stop;
+                  a.Egglog.Interp.peak_nodes <- max a.Egglog.Interp.peak_nodes s.Egglog.Interp.peak_nodes;
+                  Some a)
+              None stages
+            |> Option.get)
+    in
+    let stop = stats.Egglog.Interp.stop in
+    let sat_timings =
+      {
+        zero_timings with
+        t_mlir_to_egg = t1 -. t0;
+        t_saturate = stats.Egglog.Interp.sat_time;
+        t_search = stats.Egglog.Interp.search_time;
+        t_apply = stats.Egglog.Interp.apply_time;
+        iterations = stats.Egglog.Interp.iterations;
+        matches = stats.Egglog.Interp.matches;
+        stop;
+        peak_nodes = stats.Egglog.Interp.peak_nodes;
+        rule_stats = Egglog.Interp.rule_stats engine;
+      }
+    in
+    partial_timings := sat_timings;
+    partial_stop := Some stop;
+    if hard_stop stop then begin
+      (* policy decision point: the run lost work *)
+      match config.on_limit with
+      | Fail ->
+        raise
+          (Error
+             (Fmt.str "saturation of @%s stopped: %a" fname
+                Egglog.Interp.pp_stop_reason stop))
+      | Identity ->
+        let diag =
+          match stop with
+          | Egglog.Interp.Fault d -> d
+          | _ ->
+            Egglog.Diag.error "resource-limit" "saturation of @%s stopped: %a"
+              fname Egglog.Interp.pp_stop_reason stop
+        in
+        raise (Stage_fault (Faults.Saturate, diag))
+      | Best_effort -> ()  (* fall through: extract the best we found *)
+    end;
+    (* ---- extract ---- *)
+    let extractor_opt, root_term, extracted_cost, extracted_dag_cost =
+      stage ~strict Faults.Extract config.inject (fun () ->
+          let direct () =
+            Egglog.Egraph.rebuild (Egglog.Interp.egraph engine);
+            let extractor = Egglog.Extract.make (Egglog.Interp.egraph engine) in
+            let root_class =
+              match Egglog.Interp.global engine root with
+              | Egglog.Value.Eclass c -> c
+              | _ -> raise (Error "root is not an e-class")
+            in
+            let term = Egglog.Extract.extract_class extractor root_class in
+            ( Some extractor,
+              term,
+              Egglog.Extract.cost_of_class extractor root_class,
+              Egglog.Extract.dag_cost extractor term )
+          in
+          if strict then direct ()
+          else
+            (* anytime guarantee: if direct extraction fails (e.g. the
+               root class lost its finite-cost witness to a fault), the
+               last checkpoint still holds the best term found so far *)
+            try direct ()
+            with e when capturable e -> (
+              match Egglog.Interp.best_checkpoint engine with
+              | Some ck ->
+                Fmt.epr "%a@." Egglog.Diag.pp
+                  (Egglog.Diag.warning "anytime-extraction"
+                     "@%s: extraction failed (%s); using the iteration-%d checkpoint"
+                     fname (Printexc.to_string e) ck.Egglog.Interp.ck_iteration);
+                (None, ck.Egglog.Interp.ck_term, ck.Egglog.Interp.ck_cost,
+                 ck.Egglog.Interp.ck_cost)
+              | None -> raise e))
+    in
+    let t2 = now () in
+    (* ---- Egglog -> MLIR ---- *)
+    stage ~strict Faults.Deeggify config.inject (fun () ->
+        let extractor =
+          match extractor_opt with
+          | Some ex -> ex
+          | None -> Egglog.Extract.make (Egglog.Interp.egraph engine)
+        in
+        let deeggify = Deeggify.create ~sigs ~hooks ~extractor ~eggify in
+        Deeggify.rebuild_function deeggify func root_term;
+        if config.run_dce then ignore (Mlir.Transforms.dce func));
+    let t3 = now () in
+    stage ~strict Faults.Validate config.inject (fun () ->
+        match snapshot with
+        | Some snap ->
+          diags_exn
+            (Fmt.str "translation validation failed for @%s" fname)
+            (Validate.check snap func)
+        | None ->
+          if config.verify then
+            diags_exn "rewritten function fails verification"
+              (Validate.verify_diags ~code:"invalid-extraction" func));
+    let eg = Egglog.Interp.egraph engine in
+    finish ~stop
+      {
+        sat_timings with
+        t_egglog = t2 -. t1;
+        t_egg_to_mlir = t3 -. t2;
+        n_nodes = Egglog.Egraph.n_nodes eg;
+        n_classes = Egglog.Egraph.n_classes eg;
+        extracted_cost;
+        extracted_dag_cost;
+      }
+  with Stage_fault (s, diag) ->
+    (* only reachable under non-strict policies: fall back to the original
+       function body and report the failure *)
+    (match original with
+    | Some src -> restore_function func src
+    | None -> ());
+    let stop =
+      match !partial_stop with
+      | Some stop when hard_stop stop -> stop  (* e.g. Node_limit under Identity *)
+      | _ -> Egglog.Interp.Fault diag
+    in
+    finish ~outcome:(Degraded (s, diag)) ~stop !partial_timings
+
+(** Optimize one [func.func] op in place.  Returns the timing breakdown.
+    @raise Error under [on_limit = Fail] (the default) when any stage
+    fails or a hard resource limit is hit. *)
+let optimize_func ?config ?hooks (func : Mlir.Ir.op) : timings =
+  (optimize_func_report ?config ?hooks func).fr_timings
 
 (** Optimize every function of a module in place (or only those named in
-    [only]).  Returns the summed timings. *)
-let optimize_module ?(config = default_config) ?hooks ?only (m : Mlir.Ir.op) : timings =
+    [only]), with per-function fault isolation: under non-[Fail] policies
+    a failing function degrades to its original body and the remaining
+    functions still run. *)
+let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.op) :
+    report =
   lint_rules_exn config;
   (* the rules were just linted; don't redo it per function *)
   let config = { config with lint = false } in
   let should name = match only with None -> true | Some names -> List.mem name names in
-  List.fold_left
-    (fun acc op ->
-      if op.Mlir.Ir.op_name = "func.func" && should (Mlir.Ir.func_name op) then
-        add_timings acc (optimize_func ~config ?hooks op)
-      else acc)
-    zero_timings (Mlir.Ir.module_ops m)
+  let reports =
+    List.filter_map
+      (fun op ->
+        if op.Mlir.Ir.op_name = "func.func" && should (Mlir.Ir.func_name op) then
+          Some (optimize_func_report ~config ?hooks op)
+        else None)
+      (Mlir.Ir.module_ops m)
+  in
+  {
+    r_funcs = reports;
+    r_timings =
+      List.fold_left (fun acc fr -> add_timings acc fr.fr_timings) zero_timings reports;
+  }
+
+(** Optimize every function of a module in place (or only those named in
+    [only]).  Returns the summed timings. *)
+let optimize_module ?config ?hooks ?only (m : Mlir.Ir.op) : timings =
+  (optimize_module_report ?config ?hooks ?only m).r_timings

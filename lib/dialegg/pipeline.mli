@@ -4,6 +4,24 @@
 
 exception Error of string
 
+(** Degradation policy when a function's optimization hits a hard
+    resource limit (node / time / memory) or a fault:
+
+    - [Fail] (default): raise {!Error} — the whole module aborts;
+    - [Best_effort]: keep the best result available (truncated-e-graph
+      extraction after a limit, the last anytime checkpoint after an
+      extraction failure, the untouched original after a stage fault) and
+      continue with the remaining functions;
+    - [Identity]: any hard limit or fault restores the original function
+      body verbatim and continues.
+
+    Running out of [max_iterations] is the scheduling bound, not a hard
+    limit: it degrades nothing under any policy. *)
+type on_limit = Fail | Best_effort | Identity
+
+val on_limit_name : on_limit -> string
+val on_limit_of_string : string -> on_limit option
+
 type config = {
   rules : string;  (** Egglog source: user declarations, rules, cost models *)
   schedule : (string option * int) list option;
@@ -29,6 +47,16 @@ type config = {
   backoff : bool;  (** egg-style backoff rule scheduler (default on) *)
   match_limit : int;  (** scheduler: base per-rule match budget *)
   ban_length : int;  (** scheduler: base ban duration in iterations *)
+  max_memory_mb : float option;
+      (** approximate e-graph memory budget (see {!Egglog.Limits}) *)
+  on_limit : on_limit;  (** degradation policy (default [Fail]) *)
+  checkpoint_every : int;
+      (** anytime-checkpoint cadence in saturation iterations (0 = off;
+          only used under non-[Fail] policies) *)
+  inject : Faults.t option;
+      (** deterministic fault injection at stage boundaries (tests /
+          [dialegg-opt --inject-fault]); the [DIALEGG_INJECT_FAULT] env
+          var also arms one *)
 }
 
 val default_config : config
@@ -44,6 +72,7 @@ type timings = {
   matches : int;
   stop : Egglog.Interp.stop_reason;
   n_nodes : int;  (** e-graph size after saturation *)
+  peak_nodes : int;  (** largest e-graph size seen while saturating *)
   n_classes : int;
   extracted_cost : int;  (** tree cost of the extraction *)
   extracted_dag_cost : int;  (** cost with shared sub-terms counted once *)
@@ -59,8 +88,47 @@ val pp_timings : Format.formatter -> timings -> unit
 (** Per-rule statistics table, one row per rule, busiest first. *)
 val pp_rule_stats : Format.formatter -> Egglog.Interp.rule_stat list -> unit
 
+(** {1 Per-function outcomes and fault isolation} *)
+
+(** What happened to one function. *)
+type outcome =
+  | Optimized  (** extraction replaced the body *)
+  | Degraded of Faults.stage * Egglog.Diag.t
+      (** a stage failed; the original body was kept (identity fallback) *)
+
+type func_report = {
+  fr_name : string;
+  fr_outcome : outcome;
+  fr_stop : Egglog.Interp.stop_reason;  (** why saturation stopped *)
+  fr_timings : timings;
+}
+
+type report = { r_funcs : func_report list; r_timings : timings }
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+(** One line per function: outcome, stop reason, iterations, peak size. *)
+val pp_report : Format.formatter -> report -> unit
+
+(** No degradations and no hard stops (saturated or iteration-bounded
+    only). *)
+val report_clean : report -> bool
+
+(** Optimize one [func.func] in place and report what happened.  Under
+    [on_limit = Fail] failures raise {!Error}; under the other policies
+    every stage runs inside a fault handler and failures degrade to the
+    original function body. *)
+val optimize_func_report :
+  ?config:config -> ?hooks:Translate.hooks -> Mlir.Ir.op -> func_report
+
 (** Optimize one [func.func] in place. *)
 val optimize_func : ?config:config -> ?hooks:Translate.hooks -> Mlir.Ir.op -> timings
+
+(** Optimize every function of a module in place (or only those named in
+    [only]), with per-function fault isolation under non-[Fail]
+    policies. *)
+val optimize_module_report :
+  ?config:config -> ?hooks:Translate.hooks -> ?only:string list -> Mlir.Ir.op -> report
 
 (** Optimize every function of a module in place (or only those named in
     [only]); summed timings. *)

@@ -289,6 +289,26 @@ let insert_row t f args out =
 let n_nodes t =
   Symbol.Tbl.fold (fun _ f acc -> acc + Value.Args_tbl.length f.table) t.funcs 0
 
+(** Approximate e-graph footprint in words, for memory budgets: per row we
+    charge the key array, the row record and the hash-table slot; the
+    journal charges its entries; the union-find charges one word per
+    class.  A deliberate under-estimate is fine — the budget is a
+    guard-rail against runaway growth, not an accountant. *)
+let approx_memory_words t =
+  let per_func acc f =
+    let arity = Array.length f.arg_sorts in
+    let rows = Value.Args_tbl.length f.table in
+    (* key array (arity+1 header), row record (3), table slot (3) *)
+    acc + (rows * (arity + 7)) + (f.log_len * (arity + 4))
+  in
+  let tables = Symbol.Tbl.fold (fun _ f acc -> per_func acc f) t.funcs 0 in
+  let costs =
+    Symbol.Tbl.fold
+      (fun _ tbl acc -> acc + (Value.Args_tbl.length tbl * 6))
+      t.costs 0
+  in
+  tables + costs + Union_find.size t.uf
+
 (** Number of canonical e-classes that appear as some row's output. *)
 let n_classes t =
   let seen = Hashtbl.create 64 in

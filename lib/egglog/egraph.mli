@@ -147,6 +147,11 @@ val cost_override : t -> func -> Value.t array -> int option
 val n_nodes : t -> int
 val n_classes : t -> int
 
+(** Approximate footprint in words (tables + journals + cost overrides +
+    union-find) — the gauge for {!Limits} memory budgets.  An estimate,
+    not an accounting: proportional to e-graph size, cheap to compute. *)
+val approx_memory_words : t -> int
+
 (** Iterate rows as (canonical args, canonical output). *)
 val iter_rows : t -> func -> (Value.t array -> Value.t -> unit) -> unit
 

@@ -41,14 +41,35 @@ type rule_stat = {
   rs_apply_time : float;
 }
 
-(** Why a [(run n)] stopped. *)
-type stop_reason = Saturated | Iteration_limit | Node_limit | Timeout
+(** Why a [(run n)] stopped.  [Fault] carries the structured diagnostic of
+    an exception captured mid-saturation (rule panic, merge conflict,
+    primitive error): the run stops, the e-graph is re-canonicalized, and
+    whatever it contains — at minimum the original program — remains
+    extractable. *)
+type stop_reason =
+  | Saturated
+  | Iteration_limit
+  | Node_limit
+  | Timeout
+  | Memory_limit
+  | Fault of Diag.t
 
 let pp_stop_reason ppf = function
   | Saturated -> Fmt.string ppf "saturated"
   | Iteration_limit -> Fmt.string ppf "iteration limit"
   | Node_limit -> Fmt.string ppf "node limit"
   | Timeout -> Fmt.string ppf "timeout"
+  | Memory_limit -> Fmt.string ppf "memory limit"
+  | Fault d -> Fmt.pf ppf "fault: %s" (Diag.to_string d)
+
+(** True saturation: the run reached a fixpoint rather than a budget. *)
+let stopped_saturated = function Saturated -> true | _ -> false
+
+(** Did the run stop on a resource budget (as opposed to saturating or
+    faulting)? *)
+let stopped_on_limit = function
+  | Iteration_limit | Node_limit | Timeout | Memory_limit -> true
+  | Saturated | Fault _ -> false
 
 type run_stats = {
   mutable iterations : int;
@@ -57,6 +78,7 @@ type run_stats = {
   mutable search_time : float;  (** seconds in rule search (e-matching) *)
   mutable apply_time : float;  (** seconds applying rule actions *)
   mutable stop : stop_reason;
+  mutable peak_nodes : int;  (** largest e-graph size seen during the run *)
 }
 
 type output =
@@ -66,14 +88,18 @@ type output =
   | O_ran of run_stats
   | O_msg of string
 
+(** An anytime checkpoint: the best extraction of the checkpoint root seen
+    so far, recorded periodically during saturation so that a limit or a
+    fault still yields a result. *)
+type checkpoint = { ck_term : Extract.term; ck_cost : int; ck_iteration : int }
+
 type t = {
   mutable eg : Egraph.t;
   mutable globals : (string, Value.t) Hashtbl.t;
   mutable rules : rule list;  (** in registration order *)
   mutable rulesets : string list;  (** declared ruleset names *)
   mutable rule_counter : int;
-  mutable max_nodes : int;  (** node budget for saturation *)
-  mutable timeout : float option;  (** wall-clock budget for one [(run)] *)
+  mutable limits : Limits.t;  (** resource budgets for saturation *)
   mutable last_stats : run_stats option;
   mutable outputs : output list;  (** reverse order *)
   mutable snapshots : snapshot list;  (** push/pop stack *)
@@ -90,6 +116,11 @@ type t = {
   mutable idx : Matcher.index option;
       (** cached persistent matcher index; invalidated when [eg] is
           replaced (pop) *)
+  mutable ck_root : Value.t option;
+      (** value whose best extraction the anytime checkpoints track *)
+  mutable ck_every : int;
+      (** checkpoint every n successful iterations (0 = only on demand) *)
+  mutable best_ck : checkpoint option;
 }
 
 and snapshot = {
@@ -99,15 +130,22 @@ and snapshot = {
   s_rulesets : string list;
 }
 
-let create ?(max_nodes = 200_000) ?timeout () =
+let create ?(max_nodes = 200_000) ?timeout ?limits () =
+  let limits =
+    match limits with
+    | Some l -> l
+    | None ->
+      Limits.make ~max_nodes
+        ?max_time_ms:(Option.map (fun s -> s *. 1000.) timeout)
+        ()
+  in
   {
     eg = Egraph.create ();
     globals = Hashtbl.create 64;
     rules = [];
     rulesets = [];
     rule_counter = 0;
-    max_nodes;
-    timeout;
+    limits;
     last_stats = None;
     outputs = [];
     snapshots = [];
@@ -118,9 +156,14 @@ let create ?(max_nodes = 200_000) ?timeout () =
     ban_length = 5;
     iter_counter = 0;
     idx = None;
+    ck_root = None;
+    ck_every = 0;
+    best_ck = None;
   }
 
 let set_disable_dirty_skip t b = t.disable_dirty_skip <- b
+let set_limits t l = t.limits <- l
+let limits t = t.limits
 let set_naive_matching t b = t.naive_matching <- b
 let set_backoff t b = t.backoff <- b
 let set_match_limit t n = t.match_limit <- n
@@ -236,6 +279,39 @@ let rec run_action t (env : Matcher.env) (a : Ast.action) : Matcher.env =
 and run_actions t env actions = ignore (List.fold_left (run_action t) env actions)
 
 (* ------------------------------------------------------------------ *)
+(* Anytime checkpoints                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Extract the checkpoint root from the current e-graph and keep the
+    result if it beats the best seen so far.  Never raises: a checkpoint
+    attempt that fails (e.g. the root class has no finite-cost term yet,
+    or the graph is mid-fault) simply records nothing — the previous best
+    survives. *)
+let take_checkpoint t =
+  match t.ck_root with
+  | None -> ()
+  | Some root -> (
+    try
+      Egraph.rebuild t.eg;
+      let term, cost = Extract.extract t.eg root in
+      match t.best_ck with
+      | Some ck when ck.ck_cost <= cost -> ()
+      | _ ->
+        t.best_ck <- Some { ck_term = term; ck_cost = cost; ck_iteration = t.iter_counter }
+    with _ -> ())
+
+(** Track [root]'s best extraction with a checkpoint every [every]
+    successful iterations (and once immediately, so a crash on iteration 1
+    still has the input program to fall back to). *)
+let set_checkpoint_root ?(every = 4) t root =
+  t.ck_root <- Some root;
+  t.ck_every <- max 0 every;
+  t.best_ck <- None;
+  take_checkpoint t
+
+let best_checkpoint t = t.best_ck
+
+(* ------------------------------------------------------------------ *)
 (* Saturation                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -324,9 +400,27 @@ let run_iteration ?ruleset t (stats : run_stats) : int * bool =
   Egraph.rebuild t.eg;
   (n, !ban_skipped)
 
+(** Render a captured saturation exception as a structured diagnostic. *)
+let diag_of_exn (e : exn) : Diag.t =
+  let msg =
+    match e with
+    | Error m -> m
+    | Egraph.Error m -> "e-graph: " ^ m
+    | Matcher.Error m -> "match: " ^ m
+    | Primitives.Error m -> "primitive: " ^ m
+    | Extract.Error m -> "extraction: " ^ m
+    | Failure m -> m
+    | Stack_overflow -> "stack overflow"
+    | e -> Printexc.to_string e
+  in
+  Diag.error "saturation-fault" "%s" msg
+
 (** [run t n] saturates: repeats {!run_iteration} until the e-graph stops
-    changing, or [n] iterations, the node budget, or the timeout is hit.
-    With [?ruleset], only rules registered in that ruleset run. *)
+    changing, or [n] iterations, or any {!Limits} budget (nodes, wall
+    clock, memory) is exhausted.  An exception escaping a rule stops the
+    run with [Fault] instead of propagating: the e-graph is rebuilt to a
+    canonical state and remains extractable.  With [?ruleset], only rules
+    registered in that ruleset run. *)
 let run ?ruleset t n : run_stats =
   let stats =
     {
@@ -336,67 +430,93 @@ let run ?ruleset t n : run_stats =
       search_time = 0.;
       apply_time = 0.;
       stop = Saturated;
+      peak_nodes = Egraph.n_nodes t.eg;
+    }
+  in
+  let watch = Limits.start () in
+  (* [n] is this call's iteration budget; the engine-wide budget, if any,
+     also applies *)
+  let eff_limits =
+    let open Limits in
+    {
+      t.limits with
+      max_iters =
+        Some (match t.limits.max_iters with Some m -> min m n | None -> n);
+    }
+  in
+  let gauge () =
+    {
+      Limits.g_iters = stats.iterations;
+      g_nodes = Egraph.n_nodes t.eg;
+      g_memory_words = Egraph.approx_memory_words t.eg;
+      g_elapsed_ms = Limits.elapsed_ms watch;
     }
   in
   let t0 = Unix.gettimeofday () in
-  let deadline = Option.map (fun s -> t0 +. s) t.timeout in
   (try
      let continue = ref true in
      while !continue do
-       if stats.iterations >= n then begin
-         stats.stop <- Iteration_limit;
+       match Limits.check eff_limits (gauge ()) with
+       | Some hit ->
+         stats.stop <-
+           (match hit with
+           | Limits.L_iterations -> Iteration_limit
+           | Limits.L_nodes -> Node_limit
+           | Limits.L_time -> Timeout
+           | Limits.L_memory -> Memory_limit);
          continue := false
-       end
-       else if Egraph.n_nodes t.eg > t.max_nodes then begin
-         stats.stop <- Node_limit;
-         continue := false
-       end
-       else if
-         match deadline with
-         | Some d -> Unix.gettimeofday () > d
-         | None -> false
-       then begin
-         stats.stop <- Timeout;
-         continue := false
-       end
-       else begin
+       | None -> (
          let before = Egraph.clock t.eg in
-         let m, ban_skipped = run_iteration ?ruleset t stats in
-         stats.iterations <- stats.iterations + 1;
-         stats.matches <- stats.matches + m;
-         if Egraph.clock t.eg = before then
-           if not ban_skipped then begin
-             (* every due rule searched and nothing changed: true fixpoint *)
-             stats.stop <- Saturated;
-             continue := false
-           end
-           else begin
-             (* stalled but rules are banned: fast-forward the ban clocks so
-                the earliest ban expires next iteration (egg's can_stop);
-                budgets have doubled, so this terminates *)
-             let next_iter = t.iter_counter + 1 in
-             let banned =
-               List.filter
-                 (fun r -> r.r_ruleset = ruleset && next_iter < r.r_banned_until)
-                 t.rules
-             in
-             match banned with
-             | [] -> ()  (* a ban expires next iteration by itself *)
-             | _ ->
-               let min_until =
-                 List.fold_left (fun m r -> min m r.r_banned_until) max_int banned
+         match run_iteration ?ruleset t stats with
+         | exception Sys.Break -> raise Sys.Break
+         | exception e ->
+           (* fault isolation: canonicalize what we have and stop; the
+              e-graph still holds every term found before the fault *)
+           (try Egraph.rebuild t.eg with _ -> ());
+           stats.stop <- Fault (diag_of_exn e);
+           continue := false
+         | m, ban_skipped ->
+           stats.iterations <- stats.iterations + 1;
+           stats.matches <- stats.matches + m;
+           stats.peak_nodes <- max stats.peak_nodes (Egraph.n_nodes t.eg);
+           if t.ck_every > 0 && stats.iterations mod t.ck_every = 0 then
+             take_checkpoint t;
+           if Egraph.clock t.eg = before then
+             if not ban_skipped then begin
+               (* every due rule searched and nothing changed: true fixpoint *)
+               stats.stop <- Saturated;
+               continue := false
+             end
+             else begin
+               (* stalled but rules are banned: fast-forward the ban clocks so
+                  the earliest ban expires next iteration (egg's can_stop);
+                  budgets have doubled, so this terminates *)
+               let next_iter = t.iter_counter + 1 in
+               let banned =
+                 List.filter
+                   (fun r -> r.r_ruleset = ruleset && next_iter < r.r_banned_until)
+                   t.rules
                in
-               let delta = min_until - next_iter in
-               List.iter
-                 (fun r -> r.r_banned_until <- r.r_banned_until - delta)
-                 banned
-           end
-       end
+               match banned with
+               | [] -> ()  (* a ban expires next iteration by itself *)
+               | _ ->
+                 let min_until =
+                   List.fold_left (fun m r -> min m r.r_banned_until) max_int banned
+                 in
+                 let delta = min_until - next_iter in
+                 List.iter
+                   (fun r -> r.r_banned_until <- r.r_banned_until - delta)
+                   banned
+             end)
      done
    with e ->
      stats.sat_time <- Unix.gettimeofday () -. t0;
      t.last_stats <- Some stats;
      raise e);
+  (* a final checkpoint so the best-so-far term reflects the whole run,
+     whatever stopped it *)
+  take_checkpoint t;
+  stats.peak_nodes <- max stats.peak_nodes (Egraph.n_nodes t.eg);
   stats.sat_time <- Unix.gettimeofday () -. t0;
   t.last_stats <- Some stats;
   stats

@@ -40,10 +40,27 @@ type rule_stat = {
   rs_apply_time : float;  (** seconds running actions *)
 }
 
-(** Why a [(run n)] stopped. *)
-type stop_reason = Saturated | Iteration_limit | Node_limit | Timeout
+(** Why a [(run n)] stopped.  [Fault] carries the structured diagnostic of
+    an exception captured mid-saturation (rule panic, merge conflict,
+    primitive error): the run stops, the e-graph is re-canonicalized, and
+    whatever it contains — at minimum the original program — remains
+    extractable. *)
+type stop_reason =
+  | Saturated
+  | Iteration_limit
+  | Node_limit
+  | Timeout
+  | Memory_limit
+  | Fault of Diag.t
 
 val pp_stop_reason : Format.formatter -> stop_reason -> unit
+
+(** True saturation: the run reached a fixpoint rather than a budget. *)
+val stopped_saturated : stop_reason -> bool
+
+(** Did the run stop on a resource budget (as opposed to saturating or
+    faulting)? *)
+val stopped_on_limit : stop_reason -> bool
 
 type run_stats = {
   mutable iterations : int;
@@ -52,6 +69,7 @@ type run_stats = {
   mutable search_time : float;  (** seconds in rule search (e-matching) *)
   mutable apply_time : float;  (** seconds applying rule actions *)
   mutable stop : stop_reason;
+  mutable peak_nodes : int;  (** largest e-graph size seen during the run *)
 }
 
 type output =
@@ -89,9 +107,30 @@ val set_ban_length : t -> int -> unit
 (** Per-rule lifetime saturation statistics, in registration order. *)
 val rule_stats : t -> rule_stat list
 
-(** Fresh engine.  [max_nodes] bounds e-graph growth during saturation;
-    [timeout] bounds one [(run)]'s wall-clock time. *)
-val create : ?max_nodes:int -> ?timeout:float -> unit -> t
+(** Fresh engine.  [limits] sets the full resource budget; the legacy
+    [max_nodes] (default 200k) and [timeout] (seconds) are shorthands for
+    a node-and-time-only budget and are ignored when [limits] is given. *)
+val create : ?max_nodes:int -> ?timeout:float -> ?limits:Limits.t -> unit -> t
+
+(** Replace the engine's resource budgets (applies to subsequent runs). *)
+val set_limits : t -> Limits.t -> unit
+
+val limits : t -> Limits.t
+
+(** {1 Anytime checkpoints} *)
+
+(** The best extraction of the checkpoint root seen so far, recorded
+    periodically during saturation so a limit or fault still yields a
+    result. *)
+type checkpoint = { ck_term : Extract.term; ck_cost : int; ck_iteration : int }
+
+(** Track [root]'s best extraction with a checkpoint every [every]
+    (default 4) successful iterations, plus one immediately and one when a
+    run stops (for any reason).  Checkpointing never raises. *)
+val set_checkpoint_root : ?every:int -> t -> Value.t -> unit
+
+(** Best checkpoint so far (lowest cost), if any was taken. *)
+val best_checkpoint : t -> checkpoint option
 
 val egraph : t -> Egraph.t
 val globals : t -> (string, Value.t) Hashtbl.t

@@ -1,0 +1,74 @@
+(** Resource budgets for saturation; see the interface for the model. *)
+
+type t = {
+  max_iters : int option;
+  max_nodes : int option;
+  max_time_ms : float option;
+  max_memory_words : int option;
+}
+
+let none =
+  { max_iters = None; max_nodes = None; max_time_ms = None; max_memory_words = None }
+
+let make ?max_iters ?max_nodes ?max_time_ms ?max_memory_mb () =
+  {
+    max_iters;
+    max_nodes;
+    max_time_ms;
+    max_memory_words =
+      Option.map (fun mb -> int_of_float (mb *. 1024. *. 1024. /. 8.)) max_memory_mb;
+  }
+
+type hit = L_iterations | L_nodes | L_time | L_memory
+
+let hit_name = function
+  | L_iterations -> "iteration limit"
+  | L_nodes -> "node limit"
+  | L_time -> "time limit"
+  | L_memory -> "memory limit"
+
+type gauge = {
+  g_iters : int;
+  g_nodes : int;
+  g_memory_words : int;
+  g_elapsed_ms : float;
+}
+
+let check t g =
+  let over lim v = match lim with Some l -> v >= l | None -> false in
+  if over t.max_iters g.g_iters then Some L_iterations
+  else if over t.max_nodes g.g_nodes then Some L_nodes
+  else if (match t.max_time_ms with Some l -> g.g_elapsed_ms >= l | None -> false)
+  then Some L_time
+  else if over t.max_memory_words g.g_memory_words then Some L_memory
+  else None
+
+(* ------------------------------------------------------------------ *)
+(* Monotonic clock                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* [Unix.gettimeofday] can step backwards (NTP adjustments, manual clock
+   changes); clamping every reading to the running maximum makes the
+   sequence monotone, which is all a deadline check needs. *)
+let last_reading = ref 0.
+
+let now_ms () =
+  let raw = Unix.gettimeofday () *. 1000. in
+  if raw > !last_reading then last_reading := raw;
+  !last_reading
+
+type stopwatch = float  (* the start reading *)
+
+let start () : stopwatch = now_ms ()
+let elapsed_ms (s : stopwatch) = now_ms () -. s
+
+let pp ppf t =
+  let field name pp_v ppf = function
+    | None -> Fmt.pf ppf "%s=∞" name
+    | Some v -> Fmt.pf ppf "%s=%a" name pp_v v
+  in
+  Fmt.pf ppf "{%a %a %a %a}"
+    (field "iters" Fmt.int) t.max_iters
+    (field "nodes" Fmt.int) t.max_nodes
+    (field "time_ms" Fmt.float) t.max_time_ms
+    (field "mem_words" Fmt.int) t.max_memory_words

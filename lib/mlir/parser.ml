@@ -7,7 +7,22 @@
 
 exception Error of string
 
+exception Syntax_error of { line : int; col : int; msg : string }
+
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
+
+(* 1-based line/column of byte offset [pos] in [src] *)
+let line_col src pos =
+  let pos = min pos (String.length src) in
+  let line = ref 1 and col = ref 1 in
+  for i = 0 to pos - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      col := 1
+    end
+    else incr col
+  done;
+  (!line, !col)
 
 type state = {
   c : Typ.cursor;
@@ -822,25 +837,32 @@ and parse_func st blk results : Ir.op =
 let parse_module (src : string) : Ir.op =
   Registry.ensure_registered ();
   let st = { c = { Typ.src; pos = 0 }; values = Hashtbl.create 64 } in
-  let m = Ir.create_module () in
-  let blk = Ir.module_block m in
-  let wrapped = eat st "module" in
-  if wrapped then expect st "{";
-  let rec go () =
-    skip_ws st;
-    if st.c.pos >= String.length src then ()
-    else if looking_at st "}" then ()
-    else begin
-      ignore (parse_op st blk);
-      go ()
-    end
+  let located msg =
+    let line, col = line_col src st.c.pos in
+    raise (Syntax_error { line; col; msg })
   in
-  go ();
-  if wrapped then expect st "}";
-  skip_ws st;
-  if st.c.pos <> String.length src then
-    error "trailing input at position %d" st.c.pos;
-  m
+  try
+    let m = Ir.create_module () in
+    let blk = Ir.module_block m in
+    let wrapped = eat st "module" in
+    if wrapped then expect st "{";
+    let rec go () =
+      skip_ws st;
+      if st.c.pos >= String.length src then ()
+      else if looking_at st "}" then ()
+      else begin
+        ignore (parse_op st blk);
+        go ()
+      end
+    in
+    go ();
+    if wrapped then expect st "}";
+    skip_ws st;
+    if st.c.pos <> String.length src then located "trailing input";
+    m
+  with
+  | Error msg -> located msg
+  | Typ.Parse_error msg -> located ("type: " ^ msg)
 
 (** Parse a single function given as [func.func @f(...) { ... }] into a
     fresh module; returns the module. *)

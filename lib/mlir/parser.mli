@@ -4,9 +4,15 @@
     {!Printer} round-trips.  SSA values must be defined before use;
     functions are independent naming scopes. *)
 
+(** Raised by internal parsing helpers; the entry points below convert it
+    (and {!Typ.Parse_error}) into a located {!Syntax_error}. *)
 exception Error of string
 
-(** Parse a whole module; the [module { ... }] wrapper is optional. *)
+(** A parse failure with its 1-based source location. *)
+exception Syntax_error of { line : int; col : int; msg : string }
+
+(** Parse a whole module; the [module { ... }] wrapper is optional.
+    @raise Syntax_error on malformed input. *)
 val parse_module : string -> Ir.op
 
 (** Alias of {!parse_module} (a bare function parses into a fresh module). *)

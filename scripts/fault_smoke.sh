@@ -1,0 +1,81 @@
+#!/bin/sh
+# Fault-injection smoke test (dune build @fault-smoke, wired into
+# scripts/smoke.sh): sweeps the full stage x kind injection matrix through
+# the dialegg-opt CLI and checks every degradation contract end to end:
+#
+#   - under --on-limit=best-effort / identity an injected fault degrades
+#     the function to its original body, prints a structured "degraded at
+#     <stage>" report, and exits zero;
+#   - under the strict default policy the same fault makes the run fail;
+#   - starvation budgets (--max-nodes, --timeout-ms) still print a valid
+#     module and report the explicit stop reason;
+#   - the DIALEGG_INJECT_FAULT environment variable arms the same faults;
+#   - MLIR parse failures are located diagnostics, not backtraces.
+#
+# Usage: fault_smoke.sh <dialegg_opt.exe> <input.mlir> <rules.egg>
+set -e
+
+OPT="$1"
+MLIR="$2"
+EGG="$3"
+ERR="${TMPDIR:-/tmp}/fault_smoke.$$.err"
+BAD="${TMPDIR:-/tmp}/fault_smoke.$$.bad.mlir"
+trap 'rm -f "$ERR" "$BAD"' EXIT
+
+for stage in eggify saturate extract deeggify validate; do
+  for kind in exn error overflow; do
+    for policy in best-effort identity; do
+      out=$("$OPT" "$MLIR" --egg "$EGG" --inject-fault="$stage:$kind" \
+        --on-limit="$policy" 2>"$ERR") || {
+        echo "fault $stage:$kind/$policy: expected a zero exit" >&2
+        cat "$ERR" >&2
+        exit 1
+      }
+      echo "$out" | grep -q linalg.matmul || {
+        echo "fault $stage:$kind/$policy: function body lost" >&2
+        exit 1
+      }
+      grep -q "degraded at $stage" "$ERR" || {
+        echo "fault $stage:$kind/$policy: no degradation report" >&2
+        cat "$ERR" >&2
+        exit 1
+      }
+    done
+    # the strict default policy must propagate the fault as a failure
+    if "$OPT" "$MLIR" --egg "$EGG" --inject-fault="$stage:$kind" >/dev/null 2>&1; then
+      echo "fault $stage:$kind: strict policy must fail" >&2
+      exit 1
+    fi
+  done
+done
+
+# a starvation node budget still yields a valid module and an explicit stop
+"$OPT" "$MLIR" --egg "$EGG" --max-nodes 10 --on-limit=best-effort --stats \
+  2>"$ERR" | grep -q linalg.matmul
+grep -q "node limit" "$ERR"
+
+# same for an expired wall-clock budget
+"$OPT" "$MLIR" --egg "$EGG" --timeout-ms 0 --on-limit=best-effort --stats \
+  2>"$ERR" | grep -q linalg.matmul
+grep -q "timeout" "$ERR"
+
+# the environment variable arms the same injection
+if DIALEGG_INJECT_FAULT=saturate:exn "$OPT" "$MLIR" --egg "$EGG" >/dev/null 2>&1; then
+  echo "env-armed fault must fail under the strict policy" >&2
+  exit 1
+fi
+
+# parse failures are located diagnostics with a clean non-zero exit
+printf 'func.func @f( { garbage' >"$BAD"
+if "$OPT" "$BAD" 2>"$ERR" >/dev/null; then
+  echo "parse failure must exit non-zero" >&2
+  exit 1
+fi
+grep -q 'error\[mlir-parse\]' "$ERR"
+if grep -q "Raised at" "$ERR"; then
+  echo "parse failure printed a backtrace" >&2
+  cat "$ERR" >&2
+  exit 1
+fi
+
+echo "fault-injection smoke passed"

@@ -20,6 +20,10 @@ echo "== analyze-smoke: dataflow facts + validated example/benchmark runs =="
 dune build @analyze-smoke
 echo ok
 
+echo "== fault-smoke: injection matrix, degradation policies, starvation budgets =="
+dune build @fault-smoke
+echo ok
+
 echo "== translation validator: unsound fold is rejected =="
 if dune exec bin/dialegg_opt.exe -- test/fixtures/unsound_demo.mlir \
   --egg test/fixtures/unsound_fold.egg >/dev/null 2>/tmp/dialegg_validate.err; then

@@ -172,7 +172,7 @@ func.func @uses_h(%a: tensor<4x5xf64>, %b: tensor<5x6xf64>) -> tensor<4x6xf64> {
 let test_parse_errors () =
   let fails s =
     match Mlir.Parser.parse_module s with
-    | exception Mlir.Parser.Error _ -> ()
+    | exception Mlir.Parser.Syntax_error _ -> ()
     | _ -> Alcotest.fail ("should reject: " ^ s)
   in
   fails "func.func @f() -> i64 { func.return %undefined : i64 }";

@@ -1,0 +1,465 @@
+(* Robustness tests for the resource-governance layer: budget checking and
+   the monotonic clock (Egglog.Limits), stop reasons and anytime
+   checkpoints in the saturation loop, per-function fault isolation in the
+   pipeline, the full fault-injection matrix, and randomized
+   interrupt-soundness (a best-effort result under an arbitrary budget must
+   still be reference-correct). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Limits: budget checks and the monotonic clock                       *)
+(* ------------------------------------------------------------------ *)
+
+let gauge ?(iters = 0) ?(nodes = 0) ?(mem = 0) ?(ms = 0.) () =
+  { Egglog.Limits.g_iters = iters; g_nodes = nodes; g_memory_words = mem; g_elapsed_ms = ms }
+
+let test_limits_check () =
+  let open Egglog.Limits in
+  checkb "no budgets never stop" true (check none (gauge ~iters:max_int ~nodes:max_int ()) = None);
+  let l = make ~max_iters:10 ~max_nodes:100 ~max_time_ms:50. ~max_memory_mb:1. () in
+  checkb "under every budget" true (check l (gauge ~iters:9 ~nodes:99 ~ms:49.9 ()) = None);
+  checkb "iterations hit" true (check l (gauge ~iters:10 ()) = Some L_iterations);
+  checkb "nodes hit" true (check l (gauge ~nodes:100 ()) = Some L_nodes);
+  checkb "time hit" true (check l (gauge ~ms:50. ()) = Some L_time);
+  checkb "memory hit (1MB = 131072 words)" true
+    (check l (gauge ~mem:131072 ()) = Some L_memory);
+  (* deterministic priority when several budgets are exhausted at once *)
+  checkb "iterations checked first" true
+    (check l (gauge ~iters:10 ~nodes:100 ~ms:50. ~mem:131072 ()) = Some L_iterations);
+  checkb "nodes before time" true
+    (check l (gauge ~nodes:100 ~ms:50. ()) = Some L_nodes)
+
+let test_monotonic_clock () =
+  let a = Egglog.Limits.now_ms () in
+  let b = Egglog.Limits.now_ms () in
+  checkb "clock never decreases" true (b >= a);
+  let w = Egglog.Limits.start () in
+  let e1 = Egglog.Limits.elapsed_ms w in
+  let e2 = Egglog.Limits.elapsed_ms w in
+  checkb "elapsed non-negative" true (e1 >= 0.);
+  checkb "elapsed non-decreasing" true (e2 >= e1)
+
+(* ------------------------------------------------------------------ *)
+(* Engine: stop reasons, fault capture, anytime checkpoints            *)
+(* ------------------------------------------------------------------ *)
+
+(* a rule that grows the e-graph forever *)
+let explosive =
+  {|
+(sort E)
+(function Z () E)
+(function S (E) E)
+(rule ((= ?x (S ?e))) ((S ?x)))
+(let start (S (Z)))
+|}
+
+let run_explosive limits n =
+  let t = Egglog.Interp.create ~limits () in
+  Egglog.Interp.run_string t explosive;
+  Egglog.Interp.run t n
+
+let test_stop_reasons () =
+  let open Egglog.Interp in
+  let s = run_explosive (Egglog.Limits.make ~max_nodes:200 ()) 10_000 in
+  checkb "node limit" true (s.stop = Node_limit);
+  checkb "node limit counts as a limit" true (stopped_on_limit s.stop);
+  checkb "node limit is not saturation" false (stopped_saturated s.stop);
+  let s = run_explosive (Egglog.Limits.make ~max_time_ms:0. ()) 10_000 in
+  checkb "timeout (zero budget expires immediately)" true (s.stop = Timeout);
+  checki "timeout before the first iteration" 0 s.iterations;
+  let s = run_explosive (Egglog.Limits.make ~max_memory_mb:0.000001 ()) 10_000 in
+  checkb "memory limit" true (s.stop = Memory_limit);
+  let s = run_explosive Egglog.Limits.none 3 in
+  checkb "iteration limit" true (s.stop = Iteration_limit);
+  checki "iteration limit honoured" 3 s.iterations
+
+let test_peak_nodes () =
+  let s = run_explosive (Egglog.Limits.make ~max_nodes:200 ()) 10_000 in
+  checkb "peak nodes recorded" true (s.Egglog.Interp.peak_nodes >= 200)
+
+let test_fault_capture () =
+  (* a rule whose action divides by zero: the exception must be captured
+     as a structured Fault, not escape the run *)
+  let t = Egglog.Interp.create () in
+  Egglog.Interp.run_string t
+    {|
+(sort E)
+(function N (i64) E)
+(rule ((= ?x (N ?n))) ((N (/ ?n 0))))
+(let a (N 4))
+|};
+  let s = Egglog.Interp.run t 5 in
+  (match s.Egglog.Interp.stop with
+  | Egglog.Interp.Fault d ->
+    checkb "fault diag mentions the division" true
+      (let m = Egglog.Diag.to_string d in
+       let has_sub needle hay =
+         let nl = String.length needle and hl = String.length hay in
+         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+         go 0
+       in
+       has_sub "division" m || has_sub "zero" m)
+  | other ->
+    Alcotest.fail
+      (Fmt.str "expected a fault stop, got %a" Egglog.Interp.pp_stop_reason other));
+  (* the e-graph survives: the original term is still extractable *)
+  match Egglog.Interp.global t "a" with
+  | Egglog.Value.Eclass c ->
+    let ex = Egglog.Extract.make (Egglog.Interp.egraph t) in
+    ignore (Egglog.Extract.extract_class ex c)
+  | _ -> Alcotest.fail "global a is not an e-class"
+
+let test_checkpoints () =
+  let t = Egglog.Interp.create () in
+  Egglog.Interp.run_string t
+    {|
+(sort Expr)
+(function Num (i64) Expr :cost 1)
+(function Var (String) Expr :cost 1)
+(function Mul (Expr Expr) Expr :cost 2)
+(function Div (Expr Expr) Expr :cost 2)
+(rewrite (Div (Mul ?a ?b) ?b) ?a)
+(let root (Div (Mul (Var "a") (Num 2)) (Num 2)))
+|};
+  Egglog.Interp.set_checkpoint_root ~every:1 t (Egglog.Interp.global t "root");
+  (* one checkpoint is taken immediately, before any saturation *)
+  (match Egglog.Interp.best_checkpoint t with
+  | Some ck -> checkb "initial checkpoint has the unrewritten cost" true (ck.Egglog.Interp.ck_cost > 1)
+  | None -> Alcotest.fail "no initial checkpoint");
+  ignore (Egglog.Interp.run t 10);
+  match Egglog.Interp.best_checkpoint t with
+  | Some ck ->
+    checki "best checkpoint found the simplified term" 1 ck.Egglog.Interp.ck_cost;
+    Alcotest.(check string)
+      "checkpoint term" "(Var \"a\")"
+      (Egglog.Extract.term_to_string ck.Egglog.Interp.ck_term)
+  | None -> Alcotest.fail "no checkpoint after running"
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline: policies, fault matrix, identity fallback                 *)
+(* ------------------------------------------------------------------ *)
+
+let chain_module scale = Mlir.Parser.parse_module (Workloads.Matmul_chain.source ~scale)
+
+let chain_config =
+  {
+    Dialegg.Pipeline.default_config with
+    rules = Dialegg.Rules.matmul_assoc;
+    max_iterations = 64;
+  }
+
+let func_src m name =
+  Mlir.Printer.op_to_string (Option.get (Mlir.Ir.find_function m name))
+
+(* run the optimized module on seeded input and verify against the OCaml
+   reference implementation *)
+let reference_correct ~scale (m : Mlir.Ir.op) =
+  let b = Workloads.Matmul_chain.benchmark_nmm scale in
+  let input = b.Workloads.Benchmark.make_input ~scale ~seed:42 in
+  let r = Mlir.Interp.run m b.Workloads.Benchmark.main_func input in
+  b.Workloads.Benchmark.check ~scale ~input ~output:r.Mlir.Interp.values
+
+let test_best_effort_node_limit () =
+  (* a budget far below the saturated size must still produce a valid,
+     reference-correct program and report the limit *)
+  let m = chain_module 4 in
+  (* a budget below even the eggified input size: the limit is guaranteed
+     to fire, and best-effort must still produce a correct program *)
+  let config =
+    { chain_config with max_nodes = 10; on_limit = Dialegg.Pipeline.Best_effort }
+  in
+  let report = Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m in
+  (match report.Dialegg.Pipeline.r_funcs with
+  | [ fr ] ->
+    checkb "outcome is optimized (not degraded)" true
+      (fr.Dialegg.Pipeline.fr_outcome = Dialegg.Pipeline.Optimized);
+    checkb "stop reason is the node limit" true
+      (fr.Dialegg.Pipeline.fr_stop = Egglog.Interp.Node_limit)
+  | frs -> Alcotest.fail (Printf.sprintf "expected 1 function report, got %d" (List.length frs)));
+  Mlir.Verifier.verify_exn m;
+  match reference_correct ~scale:4 m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("best-effort output is wrong: " ^ e)
+
+let test_fail_policy_raises_on_limit () =
+  let m = chain_module 4 in
+  let config = { chain_config with max_nodes = 10; on_limit = Dialegg.Pipeline.Fail } in
+  match Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m with
+  | exception Dialegg.Pipeline.Error _ -> ()
+  | _ -> Alcotest.fail "Fail policy must raise when the node budget is hit"
+
+let test_identity_policy_on_limit () =
+  let m = chain_module 4 in
+  let original = func_src m "mm_chain" in
+  let config =
+    { chain_config with max_nodes = 10; on_limit = Dialegg.Pipeline.Identity }
+  in
+  let report = Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m in
+  (match report.Dialegg.Pipeline.r_funcs with
+  | [ fr ] ->
+    checkb "degraded" true
+      (match fr.Dialegg.Pipeline.fr_outcome with
+      | Dialegg.Pipeline.Degraded _ -> true
+      | Dialegg.Pipeline.Optimized -> false);
+    checkb "stop records the underlying limit" true
+      (fr.Dialegg.Pipeline.fr_stop = Egglog.Interp.Node_limit)
+  | _ -> Alcotest.fail "expected 1 function report");
+  Alcotest.(check string) "function body restored verbatim" original (func_src m "mm_chain");
+  Mlir.Verifier.verify_exn m
+
+(* Every stage x kind, under both degrading policies: never a crash, the
+   function degrades to its original body, the diagnostic names the stage,
+   and the module still verifies and runs correctly. *)
+let test_fault_matrix () =
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun stage ->
+          List.iter
+            (fun kind ->
+              let fault = { Dialegg.Faults.stage; kind } in
+              let label =
+                Printf.sprintf "%s under %s" (Dialegg.Faults.to_string fault)
+                  (Dialegg.Pipeline.on_limit_name policy)
+              in
+              let m = chain_module 3 in
+              let original = func_src m "mm_chain" in
+              let config =
+                { chain_config with on_limit = policy; inject = Some fault }
+              in
+              match Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m with
+              | report -> (
+                match report.Dialegg.Pipeline.r_funcs with
+                | [ fr ] -> (
+                  match fr.Dialegg.Pipeline.fr_outcome with
+                  | Dialegg.Pipeline.Degraded (s, d) ->
+                    checkb (label ^ ": fault reported at the injected stage") true
+                      (s = stage);
+                    checkb (label ^ ": structured diagnostic") true
+                      (Egglog.Diag.is_error d);
+                    Alcotest.(check string)
+                      (label ^ ": original body kept")
+                      original (func_src m "mm_chain");
+                    Mlir.Verifier.verify_exn m;
+                    (match reference_correct ~scale:3 m with
+                    | Ok () -> ()
+                    | Error e -> Alcotest.fail (label ^ ": degraded module is wrong: " ^ e))
+                  | Dialegg.Pipeline.Optimized ->
+                    Alcotest.fail (label ^ ": expected degradation, got Optimized"))
+                | _ -> Alcotest.fail (label ^ ": expected 1 function report"))
+              | exception e ->
+                Alcotest.fail
+                  (label ^ ": must not raise, got " ^ Printexc.to_string e))
+            Dialegg.Faults.all_kinds)
+        Dialegg.Faults.all_stages)
+    [ Dialegg.Pipeline.Best_effort; Dialegg.Pipeline.Identity ]
+
+let test_fault_matrix_fail_policy () =
+  (* under the strict policy every injected fault must propagate *)
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun kind ->
+          let fault = { Dialegg.Faults.stage; kind } in
+          let m = chain_module 3 in
+          let config =
+            { chain_config with on_limit = Dialegg.Pipeline.Fail; inject = Some fault }
+          in
+          match Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m with
+          | _ ->
+            Alcotest.fail
+              (Dialegg.Faults.to_string fault ^ ": Fail policy must propagate the fault")
+          | exception _ -> ())
+        Dialegg.Faults.all_kinds)
+    Dialegg.Faults.all_stages
+
+let test_fault_parse () =
+  (match Dialegg.Faults.parse "saturate:exn" with
+  | Ok f ->
+    checkb "stage" true (f.Dialegg.Faults.stage = Dialegg.Faults.Saturate);
+    checkb "kind" true (f.Dialegg.Faults.kind = Dialegg.Faults.K_exn)
+  | Error e -> Alcotest.fail e);
+  checkb "missing colon rejected" true (Result.is_error (Dialegg.Faults.parse "saturate"));
+  checkb "unknown stage rejected" true (Result.is_error (Dialegg.Faults.parse "nope:exn"));
+  checkb "unknown kind rejected" true (Result.is_error (Dialegg.Faults.parse "saturate:nope"));
+  (* round-trip through the string syntax *)
+  List.iter
+    (fun stage ->
+      List.iter
+        (fun kind ->
+          let f = { Dialegg.Faults.stage; kind } in
+          checkb (Dialegg.Faults.to_string f ^ " round-trips") true
+            (Dialegg.Faults.parse (Dialegg.Faults.to_string f) = Ok f))
+        Dialegg.Faults.all_kinds)
+    Dialegg.Faults.all_stages
+
+let test_env_var_injection () =
+  (* the DIALEGG_INJECT_FAULT environment variable arms a fault without
+     touching the config *)
+  Unix.putenv Dialegg.Faults.env_var "deeggify:exn";
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv Dialegg.Faults.env_var "")
+    (fun () ->
+      let m = chain_module 3 in
+      let original = func_src m "mm_chain" in
+      let config = { chain_config with on_limit = Dialegg.Pipeline.Best_effort } in
+      let report = Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m in
+      match report.Dialegg.Pipeline.r_funcs with
+      | [ fr ] ->
+        checkb "degraded via env var" true
+          (match fr.Dialegg.Pipeline.fr_outcome with
+          | Dialegg.Pipeline.Degraded (Dialegg.Faults.Deeggify, _) -> true
+          | _ -> false);
+        Alcotest.(check string) "original kept" original (func_src m "mm_chain")
+      | _ -> Alcotest.fail "expected 1 function report")
+
+let test_fault_isolation_other_functions_proceed () =
+  (* one function degrading must not stop the others from optimizing *)
+  let m = chain_module 3 in
+  let config =
+    { chain_config with
+      on_limit = Dialegg.Pipeline.Best_effort;
+      inject = Some { Dialegg.Faults.stage = Dialegg.Faults.Eggify; kind = Dialegg.Faults.K_exn } }
+  in
+  let report = Dialegg.Pipeline.optimize_module_report ~config m in
+  checkb "every function got a report" true
+    (List.length report.Dialegg.Pipeline.r_funcs >= 1);
+  List.iter
+    (fun fr ->
+      checkb (fr.Dialegg.Pipeline.fr_name ^ " degraded, not crashed") true
+        (match fr.Dialegg.Pipeline.fr_outcome with
+        | Dialegg.Pipeline.Degraded (Dialegg.Faults.Eggify, _) -> true
+        | _ -> false))
+    report.Dialegg.Pipeline.r_funcs;
+  Mlir.Verifier.verify_exn m
+
+(* ------------------------------------------------------------------ *)
+(* Randomized interrupt soundness                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Under an arbitrary node budget, the best-effort result must verify,
+   validate, and compute the same function as the reference — the anytime
+   guarantee is exactly that an interrupt never costs correctness. *)
+let test_interrupt_soundness_prop () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"best-effort extraction under random node budgets is sound"
+       ~count:25
+       QCheck.(pair (int_range 10 2_000) (int_range 2 4))
+       (fun (budget, scale) ->
+         let m = chain_module scale in
+         let config =
+           { chain_config with
+             max_nodes = budget;
+             on_limit = Dialegg.Pipeline.Best_effort;
+             checkpoint_every = 1 + (budget mod 3) }
+         in
+         let report =
+           Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m
+         in
+         (match report.Dialegg.Pipeline.r_funcs with
+         | [ fr ] ->
+           (* whatever the stop reason, the result must be well-formed *)
+           ignore fr.Dialegg.Pipeline.fr_stop
+         | _ -> QCheck.Test.fail_report "expected one function report");
+         Mlir.Verifier.verify_exn m;
+         match reference_correct ~scale m with
+         | Ok () -> true
+         | Error e -> QCheck.Test.fail_report ("wrong result under budget: " ^ e)))
+
+let test_interrupt_soundness_time_prop () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"best-effort extraction under random time budgets is sound"
+       ~count:10
+       QCheck.(int_range 0 3)
+       (fun budget_ms ->
+         let scale = 3 in
+         let m = chain_module scale in
+         let config =
+           { chain_config with
+             timeout = Some (float_of_int budget_ms /. 1000.);
+             on_limit = Dialegg.Pipeline.Best_effort }
+         in
+         ignore (Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m);
+         Mlir.Verifier.verify_exn m;
+         match reference_correct ~scale m with
+         | Ok () -> true
+         | Error e -> QCheck.Test.fail_report ("wrong result under time budget: " ^ e)))
+
+(* ------------------------------------------------------------------ *)
+(* Acceptance: the ISSUE's 10-matmul scenario                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_10mm_ten_percent_budget () =
+  (* learn the saturated e-graph size, then re-run with ~10% of it *)
+  let saturated_nodes =
+    let m = chain_module 10 in
+    let config =
+      { chain_config with
+        max_nodes = 400_000;
+        max_iterations = 400;
+        on_limit = Dialegg.Pipeline.Best_effort }
+    in
+    let report = Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m in
+    report.Dialegg.Pipeline.r_timings.Dialegg.Pipeline.peak_nodes
+  in
+  let budget = max 10 (saturated_nodes / 10) in
+  let m = chain_module 10 in
+  let config =
+    { chain_config with
+      max_nodes = budget;
+      max_iterations = 400;
+      on_limit = Dialegg.Pipeline.Best_effort }
+  in
+  let report = Dialegg.Pipeline.optimize_module_report ~config ~only:[ "mm_chain" ] m in
+  (match report.Dialegg.Pipeline.r_funcs with
+  | [ fr ] ->
+    checkb "outcome optimized" true
+      (fr.Dialegg.Pipeline.fr_outcome = Dialegg.Pipeline.Optimized);
+    checkb
+      (Printf.sprintf "stop is the node limit (budget %d of %d)" budget saturated_nodes)
+      true
+      (fr.Dialegg.Pipeline.fr_stop = Egglog.Interp.Node_limit)
+  | _ -> Alcotest.fail "expected 1 function report");
+  (* config.validate was on, so the translation validator already passed;
+     double-check against the executable reference *)
+  Mlir.Verifier.verify_exn m;
+  match reference_correct ~scale:10 m with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("10MM under 10% budget is wrong: " ^ e)
+
+let () =
+  Alcotest.run "robustness"
+    [
+      ( "limits",
+        [
+          Alcotest.test_case "budget checks" `Quick test_limits_check;
+          Alcotest.test_case "monotonic clock" `Quick test_monotonic_clock;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "stop reasons" `Quick test_stop_reasons;
+          Alcotest.test_case "peak nodes" `Quick test_peak_nodes;
+          Alcotest.test_case "fault capture" `Quick test_fault_capture;
+          Alcotest.test_case "anytime checkpoints" `Quick test_checkpoints;
+        ] );
+      ( "pipeline",
+        [
+          Alcotest.test_case "best-effort under node limit" `Quick test_best_effort_node_limit;
+          Alcotest.test_case "fail policy raises" `Quick test_fail_policy_raises_on_limit;
+          Alcotest.test_case "identity policy restores" `Quick test_identity_policy_on_limit;
+          Alcotest.test_case "fault parsing" `Quick test_fault_parse;
+          Alcotest.test_case "fault matrix (degrading policies)" `Quick test_fault_matrix;
+          Alcotest.test_case "fault matrix (fail policy)" `Quick test_fault_matrix_fail_policy;
+          Alcotest.test_case "env-var injection" `Quick test_env_var_injection;
+          Alcotest.test_case "isolation across functions" `Quick
+            test_fault_isolation_other_functions_proceed;
+        ] );
+      ( "interrupt-soundness",
+        [
+          Alcotest.test_case "random node budgets" `Quick test_interrupt_soundness_prop;
+          Alcotest.test_case "random time budgets" `Quick test_interrupt_soundness_time_prop;
+          Alcotest.test_case "10MM at 10% of saturated size" `Slow test_10mm_ten_percent_budget;
+        ] );
+    ]
