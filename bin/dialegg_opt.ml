@@ -12,10 +12,11 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run input egg_file iterations max_nodes timeout timeout_ms max_memory_mb
-    on_limit inject_fault no_dce funcs show_timings dump_egg lint_only show_stats
-    no_backoff naive_matching no_validate analyze =
+let run input egg_file output iterations max_nodes timeout timeout_ms
+    max_memory_mb on_limit inject_fault no_dce funcs show_timings dump_egg
+    lint_only show_stats no_backoff naive_matching no_validate analyze =
   try
+    Serve.Atomic_io.install_signal_cleanup ();
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if lint_only then begin
       (* check the rules and stop: no MLIR input needed *)
@@ -124,7 +125,10 @@ let run input egg_file iterations max_nodes timeout timeout_ms max_memory_mb
           timings.Dialegg.Pipeline.peak_nodes;
         Fmt.epr "%a" Dialegg.Pipeline.pp_rule_stats timings.Dialegg.Pipeline.rule_stats
       end;
-      print_string (Mlir.Printer.module_to_string m);
+      let text = Mlir.Printer.module_to_string m in
+      (match output with
+      | Some path -> Serve.Atomic_io.write_atomic ~path text
+      | None -> print_string text);
       `Ok ()
     end
     end
@@ -153,6 +157,15 @@ let egg_file =
     value
     & opt (some file) None
     & info [ "egg" ] ~docv:"RULES.egg" ~doc:"Egglog file with user declarations and rewrite rules")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT.mlir"
+        ~doc:
+          "Write the optimized module to $(docv) atomically (same-directory \
+           temp file + rename, cleaned up on SIGINT/SIGTERM) instead of stdout")
 
 let iterations =
   Arg.(
@@ -271,7 +284,7 @@ let cmd =
     (Cmd.info "dialegg-opt" ~version:"1.0.0" ~doc)
     Term.(
       ret
-        (const run $ input $ egg_file $ iterations $ max_nodes $ timeout
+        (const run $ input $ egg_file $ output $ iterations $ max_nodes $ timeout
         $ timeout_ms $ max_memory_mb $ on_limit $ inject_fault $ no_dce $ funcs
         $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
         $ naive_matching $ no_validate $ analyze))

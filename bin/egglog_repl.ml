@@ -73,35 +73,43 @@ let run_chunk ?file engine check_env src =
       false
   end
 
+(* Returns whether every chunk was clean.  Interactively the prompt makes
+   errors visible as they happen; when stdin is a pipe the session is a
+   script, so the caller must fold the result into the exit code for
+   failures to be detectable at all. *)
 let repl engine check_env =
-  Printf.printf "egglog repl — enter commands, :q to quit\n%!";
+  let interactive = Unix.isatty Unix.stdin in
+  if interactive then Printf.printf "egglog repl — enter commands, :q to quit\n%!";
   let buf = Buffer.create 256 in
   let depth s =
     String.fold_left
       (fun d c -> if c = '(' then d + 1 else if c = ')' then d - 1 else d)
       0 s
   in
-  let rec loop pending_depth =
-    print_string (if pending_depth > 0 then "... " else ">>> ");
+  let rec loop ok pending_depth =
+    if interactive then print_string (if pending_depth > 0 then "... " else ">>> ");
     match read_line () with
-    | exception End_of_file -> ()
-    | ":q" | ":quit" -> ()
+    | exception End_of_file -> ok
+    | ":q" | ":quit" -> ok
     | line ->
       Buffer.add_string buf line;
       Buffer.add_char buf '\n';
       let d = pending_depth + depth line in
-      if d > 0 then loop d
+      if d > 0 then loop ok d
       else begin
         let src = Buffer.contents buf in
         Buffer.clear buf;
         let before = List.length (Egglog.Interp.outputs engine) in
-        ignore (run_chunk engine check_env src);
+        let chunk_ok = run_chunk engine check_env src in
         let outs = Egglog.Interp.outputs engine in
         print_outputs (List.filteri (fun i _ -> i >= before) outs);
-        loop 0
+        loop (ok && chunk_ok) 0
       end
   in
-  loop 0
+  let ok = loop true 0 in
+  (* an interactive session already showed its errors; only a piped one
+     turns them into a non-zero exit *)
+  interactive || ok
 
 let run files max_nodes timeout stats =
   let engine = Egglog.Interp.create ~max_nodes ~timeout () in
@@ -117,7 +125,7 @@ let run files max_nodes timeout stats =
     print_outputs (Egglog.Interp.outputs engine);
     if stats then
       Fmt.epr "%a@." Egglog.Egraph.pp_stats (Egglog.Interp.egraph engine);
-    if files = [] then repl engine check_env;
+    let ok = if files = [] then repl engine check_env && ok else ok in
     if ok then `Ok () else `Error (false, "errors were reported")
   with
   | Sys_error e -> `Error (false, e)

@@ -9,8 +9,9 @@ let read_file path =
     ~finally:(fun () -> close_in ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run input passes verify_only =
+let run input output passes verify_only =
   try
+    Serve.Atomic_io.install_signal_cleanup ();
     let m = Mlir.Parser.parse_module (read_file input) in
     (match Mlir.Verifier.verify m with
     | [] -> ()
@@ -36,7 +37,10 @@ let run input passes verify_only =
           | p -> failwith ("unknown pass " ^ p))
         passes;
       Mlir.Verifier.verify_exn m;
-      print_string (Mlir.Printer.module_to_string m);
+      let text = Mlir.Printer.module_to_string m in
+      (match output with
+      | Some path -> Serve.Atomic_io.write_atomic ~path text
+      | None -> print_string text);
       `Ok ()
     end
   with
@@ -48,6 +52,15 @@ let run input passes verify_only =
 
 let input =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.mlir" ~doc:"MLIR input file")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"OUT.mlir"
+        ~doc:
+          "Write the result to $(docv) atomically (same-directory temp file + \
+           rename, cleaned up on SIGINT/SIGTERM) instead of stdout")
 
 let passes =
   Arg.(
@@ -62,6 +75,6 @@ let cmd =
   let doc = "classical MLIR optimization passes (canonicalization baseline)" in
   Cmd.v
     (Cmd.info "mlir-opt" ~version:"1.0.0" ~doc)
-    Term.(ret (const run $ input $ passes $ verify_only))
+    Term.(ret (const run $ input $ output $ passes $ verify_only))
 
 let () = exit (Cmd.eval cmd)

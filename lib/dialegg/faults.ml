@@ -61,3 +61,57 @@ let trip armed stage =
   match (match armed with Some _ -> armed | None -> from_env ()) with
   | Some f when f.stage = stage -> raise_fault f
   | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Process-level faults (batch-driver workers)                         *)
+(* ------------------------------------------------------------------ *)
+
+type proc_kind = W_hang | W_segv | W_garbage | W_oom
+
+let all_proc_kinds = [ W_hang; W_segv; W_garbage; W_oom ]
+
+let proc_kind_name = function
+  | W_hang -> "worker-hang"
+  | W_segv -> "worker-segv"
+  | W_garbage -> "worker-garbage"
+  | W_oom -> "worker-oom"
+
+let proc_kind_of_string s =
+  List.find_opt (fun k -> proc_kind_name k = s) all_proc_kinds
+
+type proc_fault = { pf_job : string; pf_kind : proc_kind; pf_first : int option }
+
+let proc_fault_to_string f =
+  Printf.sprintf "%s:%s%s" f.pf_job (proc_kind_name f.pf_kind)
+    (match f.pf_first with None -> "" | Some n -> ":" ^ string_of_int n)
+
+let parse_proc s =
+  let err () =
+    Error
+      (Printf.sprintf
+         "expected JOB:KIND[:N] with KIND one of %s, got %S"
+         (String.concat "|" (List.map proc_kind_name all_proc_kinds))
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ job; kind ] when job <> "" -> (
+    match proc_kind_of_string kind with
+    | Some pf_kind -> Ok { pf_job = job; pf_kind; pf_first = None }
+    | None -> err ())
+  | [ job; kind; n ] when job <> "" -> (
+    match (proc_kind_of_string kind, int_of_string_opt n) with
+    | Some pf_kind, Some n when n > 0 ->
+      Ok { pf_job = job; pf_kind; pf_first = Some n }
+    | Some _, _ -> Error (Printf.sprintf "bad attempt count %S in %S" n s)
+    | None, _ -> err ())
+  | _ -> err ()
+
+let proc_matches faults ~job ~attempt =
+  List.find_map
+    (fun f ->
+      if
+        f.pf_job = job
+        && match f.pf_first with None -> true | Some n -> attempt < n
+      then Some f.pf_kind
+      else None)
+    faults

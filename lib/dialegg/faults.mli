@@ -44,3 +44,48 @@ val from_env : unit -> t option
     when [fault] is [None] the environment variable is consulted.  A
     no-op otherwise. *)
 val trip : t option -> stage -> unit
+
+(** {1 Process-level faults}
+
+    The batch driver ({!Serve.Supervisor}) supervises whole worker
+    subprocesses, so its failure modes live at the process boundary, not
+    at a pipeline stage.  Each kind makes a worker die (or misbehave) in
+    one of the ways the supervisor must classify and survive:
+
+    - [W_hang]: the worker ignores SIGTERM and sleeps forever — only the
+      supervisor's SIGKILL escalation can reclaim it;
+    - [W_segv]: the worker aborts via a fatal signal, bypassing
+      [Stdlib.exit] and every [at_exit] hook (a segfault/abort);
+    - [W_garbage]: the worker writes bytes that are not a protocol frame
+      and exits zero — a protocol-corruption failure;
+    - [W_oom]: the worker dies by SIGKILL with no warning, exactly as
+      the kernel OOM killer would take it.
+
+    The kinds are declared here (with the [stage]-level faults) so the
+    whole injection surface has one home; the enactment lives in
+    [Serve.Worker] where the pipes and signals are. *)
+
+type proc_kind = W_hang | W_segv | W_garbage | W_oom
+
+val all_proc_kinds : proc_kind list
+
+(** ["worker-hang"], ["worker-segv"], ["worker-garbage"], ["worker-oom"] *)
+val proc_kind_name : proc_kind -> string
+
+val proc_kind_of_string : string -> proc_kind option
+
+(** A fault armed against one job of a batch: [pf_job] is the job id
+    (e.g. the input's basename or a function name) and [pf_first]
+    restricts it to the first [n] attempts — [Some 1] faults the first
+    attempt only, so a retry succeeds; [None] faults every attempt, so
+    the retry budget exhausts into the identity fallback. *)
+type proc_fault = { pf_job : string; pf_kind : proc_kind; pf_first : int option }
+
+(** ["JOB:KIND[:N]"], e.g. ["2mm.mlir:worker-hang:1"] — the CLI syntax. *)
+val proc_fault_to_string : proc_fault -> string
+
+val parse_proc : string -> (proc_fault, string) result
+
+(** The kind to inject for [job] on [attempt] (0-based), if any armed
+    fault matches. *)
+val proc_matches : proc_fault list -> job:string -> attempt:int -> proc_kind option

@@ -580,3 +580,34 @@ let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.
     [only]).  Returns the summed timings. *)
 let optimize_module ?config ?hooks ?only (m : Mlir.Ir.op) : timings =
   (optimize_module_report ?config ?hooks ?only m).r_timings
+
+(* ------------------------------------------------------------------ *)
+(* Whole-source entry points                                           *)
+(* ------------------------------------------------------------------ *)
+
+(** Optimize MLIR source text end to end: parse, verify the input,
+    optimize every function (or only those in [only]), and print.  This
+    is the exact sequence the sequential [dialegg-opt] CLI performs, so
+    anything that calls it — in particular the batch driver's workers —
+    produces byte-identical output to a sequential run under the same
+    [config].  Parse failures raise {!Mlir.Parser.Syntax_error}; input
+    verification failures raise {!Error}. *)
+let optimize_source ?config ?hooks ?only ?file (src : string) : string * report =
+  let m = Mlir.Parser.parse_module src in
+  (match Validate.verify_diags ?file ~code:"invalid-input" m with
+  | [] -> ()
+  | diags ->
+    raise
+      (Error
+         (Fmt.str "input module fails verification:@\n%a" Egglog.Diag.pp_list
+            diags)));
+  let report = optimize_module_report ?config ?hooks ?only m in
+  (Mlir.Printer.module_to_string m, report)
+
+(** The identity "optimization": parse [src] and re-print it unchanged.
+    This is what a fully-degraded [on_limit = Identity] run produces, and
+    what the batch driver falls back to when a job's retry budget is
+    exhausted — the output is a valid, normalized module whose semantics
+    are the input's. *)
+let identity_source (src : string) : string =
+  Mlir.Printer.module_to_string (Mlir.Parser.parse_module src)

@@ -134,3 +134,23 @@ val optimize_module_report :
     [only]); summed timings. *)
 val optimize_module :
   ?config:config -> ?hooks:Translate.hooks -> ?only:string list -> Mlir.Ir.op -> timings
+
+(** Optimize MLIR source text end to end — parse, verify the input,
+    optimize, print — the exact sequence the sequential [dialegg-opt] CLI
+    performs, so callers (notably batch-driver workers) produce
+    byte-identical output to a sequential run under the same [config].
+    @raise Mlir.Parser.Syntax_error on parse failure
+    @raise Error when the input fails verification, or per [config]'s
+    [on_limit] policy. *)
+val optimize_source :
+  ?config:config ->
+  ?hooks:Translate.hooks ->
+  ?only:string list ->
+  ?file:string ->
+  string ->
+  string * report
+
+(** Parse and re-print [src] unchanged: the output a fully-degraded
+    [Identity] run would produce.  The batch driver's last-resort
+    fallback when a job's retry budget is exhausted. *)
+val identity_source : string -> string

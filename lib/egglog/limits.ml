@@ -19,6 +19,26 @@ let make ?max_iters ?max_nodes ?max_time_ms ?max_memory_mb () =
       Option.map (fun mb -> int_of_float (mb *. 1024. *. 1024. /. 8.)) max_memory_mb;
   }
 
+(* Per-attempt budget derivation for supervised retries: a job that blew
+   its budget once is unlikely to fit a *larger* one, so each retry halves
+   every finite budget — the retry either succeeds quickly on a transient
+   failure or fails fast into the caller's fallback.  Floors keep the
+   derived budgets meaningful (one iteration, a handful of nodes, enough
+   wall clock to start up at all). *)
+let for_attempt t ~attempt =
+  if attempt <= 0 then t
+  else begin
+    let shift = min attempt 16 in
+    let div_int floor_ v = max floor_ (v asr shift) in
+    let div_float floor_ v = Float.max floor_ (v /. float_of_int (1 lsl shift)) in
+    {
+      max_iters = Option.map (div_int 1) t.max_iters;
+      max_nodes = Option.map (div_int 64) t.max_nodes;
+      max_time_ms = Option.map (div_float 50.) t.max_time_ms;
+      max_memory_words = Option.map (div_int (1024 * 1024 / 8)) t.max_memory_words;
+    }
+  end
+
 type hit = L_iterations | L_nodes | L_time | L_memory
 
 let hit_name = function

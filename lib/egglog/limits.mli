@@ -32,6 +32,15 @@ val make :
   unit ->
   t
 
+(** [for_attempt t ~attempt] derives the budget for retry number
+    [attempt] (0 = the first try, returned unchanged): every finite
+    budget is halved per retry, with floors (1 iteration, 64 nodes,
+    50 ms, 1 MB) so a derived budget can still make progress.  A job
+    that exhausted its budget once is retried under a tighter one, so a
+    deterministic blowup fails fast into the caller's fallback instead
+    of burning the full budget on every attempt. *)
+val for_attempt : t -> attempt:int -> t
+
 (** Which budget was exhausted. *)
 type hit = L_iterations | L_nodes | L_time | L_memory
 

@@ -27,7 +27,23 @@ let line_col src pos =
 type state = {
   c : Typ.cursor;
   values : (string, Ir.value) Hashtbl.t;  (** in-scope SSA names, per function *)
+  depth : int ref;  (** current region/attribute nesting, shared across scopes *)
 }
+
+(* A recursive-descent parser's stack is proportional to the input's
+   nesting, so an adversarial (or corrupted) input of ~100k open braces
+   dies with an unlocatable [Stack_overflow] long before any semantic
+   check runs.  Bound the recursion explicitly instead, far above any
+   legitimate module and far below stack exhaustion, and report it like
+   every other syntax error. *)
+let max_depth = 1000
+
+let enter_nested st =
+  incr st.depth;
+  if !(st.depth) > max_depth then
+    error "nesting depth exceeds the parser's limit (%d)" max_depth
+
+let exit_nested st = decr st.depth
 
 (* ------------------------------------------------------------------ *)
 (* Lexical helpers                                                     *)
@@ -216,6 +232,7 @@ let rec read_attr st : Attr.t =
     Attr.Symbol_ref (read_ident st)
   | Some '[' ->
     expect st "[";
+    enter_nested st;
     let rec items acc =
       if eat st "]" then List.rev acc
       else begin
@@ -224,7 +241,9 @@ let rec read_attr st : Attr.t =
         items (a :: acc)
       end
     in
-    Attr.Array (items [])
+    let elems = items [] in
+    exit_nested st;
+    Attr.Array elems
   | Some '#' ->
     expect st "#";
     let name = read_ident st in
@@ -310,6 +329,7 @@ let finish_op st blk results (op : Ir.op) =
 
 (** Parse ops until the closing brace of the current block. *)
 let rec parse_block_body st (blk : Ir.block) =
+  enter_nested st;
   let rec go () =
     skip_ws st;
     if looking_at st "}" then ()
@@ -318,7 +338,8 @@ let rec parse_block_body st (blk : Ir.block) =
       go ()
     end
   in
-  go ()
+  go ();
+  exit_nested st
 
 and parse_op st (blk : Ir.block) : Ir.op =
   (* optional result list *)
@@ -836,7 +857,7 @@ and parse_func st blk results : Ir.op =
 (** Parse a whole module.  The [module { ... }] wrapper is optional. *)
 let parse_module (src : string) : Ir.op =
   Registry.ensure_registered ();
-  let st = { c = { Typ.src; pos = 0 }; values = Hashtbl.create 64 } in
+  let st = { c = { Typ.src; pos = 0 }; values = Hashtbl.create 64; depth = ref 0 } in
   let located msg =
     let line, col = line_col src st.c.pos in
     raise (Syntax_error { line; col; msg })

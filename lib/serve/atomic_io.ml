@@ -1,0 +1,80 @@
+(** Crash-safe file output: temp file + rename, with signal hygiene; see
+    the interface for the model. *)
+
+(* Temp paths that would be orphaned if we die right now.  The signal
+   handler unlinks them, so an interrupted run never leaves a partially
+   written output (or a stray temp) behind. *)
+let temps = ref []
+
+let register p = temps := p :: !temps
+let unregister p = temps := List.filter (fun q -> q <> p) !temps
+
+let cleanup_temps () =
+  List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) !temps;
+  temps := []
+
+let installed = ref false
+
+let install_signal_cleanup () =
+  if not !installed then begin
+    installed := true;
+    let handler signal =
+      cleanup_temps ();
+      (* re-deliver with the default disposition so the exit status still
+         records death-by-signal for whoever is supervising *us* *)
+      Sys.set_signal signal Sys.Signal_default;
+      Unix.kill (Unix.getpid ()) signal
+    in
+    List.iter
+      (fun s ->
+        try Sys.set_signal s (Sys.Signal_handle handler)
+        with Invalid_argument _ | Sys_error _ -> ())
+      [ Sys.sigint; Sys.sigterm ]
+  end
+
+let write_all fd data =
+  let b = Bytes.unsafe_of_string data in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      let w =
+        try Unix.write fd b off (n - off)
+        with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+      in
+      go (off + w)
+  in
+  go 0
+
+let write_atomic ?(fsync = true) ~path data =
+  let dir = Filename.dirname path in
+  (* same directory as the destination so the rename cannot cross a
+     filesystem boundary (rename is only atomic within one) *)
+  let tmp =
+    Filename.concat dir
+      (Printf.sprintf ".%s.tmp.%d" (Filename.basename path) (Unix.getpid ()))
+  in
+  register tmp;
+  match
+    let fd = Unix.openfile tmp [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        write_all fd data;
+        if fsync then Unix.fsync fd);
+    Unix.rename tmp path
+  with
+  | () ->
+    unregister tmp;
+    if fsync then (
+      (* make the rename itself durable; best-effort — some filesystems
+         refuse to fsync a directory fd *)
+      try
+        let d = Unix.openfile dir [ O_RDONLY; O_CLOEXEC ] 0 in
+        Fun.protect
+          ~finally:(fun () -> try Unix.close d with Unix.Unix_error _ -> ())
+          (fun () -> Unix.fsync d)
+      with Unix.Unix_error _ -> ())
+  | exception e ->
+    (try Sys.remove tmp with Sys_error _ -> ());
+    unregister tmp;
+    raise e

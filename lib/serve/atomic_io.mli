@@ -1,0 +1,26 @@
+(** Crash-safe output files: write-to-temp + atomic rename, plus signal
+    hygiene so an interrupted process never leaves a truncated output (or
+    an orphaned temp file) behind.
+
+    Every writer in the project that produces a user-visible artifact —
+    [dialegg-opt -o], [mlir-opt -o], and each job output of the batch
+    driver — goes through {!write_atomic}: readers of the destination
+    path observe either the complete old contents or the complete new
+    contents, never a torn write.  Combined with
+    {!install_signal_cleanup}, a SIGINT/SIGTERM mid-write removes the
+    in-flight temp file and then re-delivers the signal with the default
+    disposition, so the exit status still records death-by-signal. *)
+
+(** Write [data] to [path] via a temp file in the same directory and an
+    atomic [rename].  With [fsync] (default true) the data is fsync'd
+    before the rename and the directory after it, so the result survives
+    a power cut as well as a crash. *)
+val write_atomic : ?fsync:bool -> path:string -> string -> unit
+
+(** Install SIGINT/SIGTERM handlers that unlink any in-flight temp files
+    and re-deliver the signal.  Idempotent. *)
+val install_signal_cleanup : unit -> unit
+
+(** [write_all fd s] writes all of [s], retrying on partial writes and
+    [EINTR].  Exposed for the journal and the worker protocol. *)
+val write_all : Unix.file_descr -> string -> unit

@@ -1,0 +1,154 @@
+(** Length-prefixed Marshal frames between the supervisor and its forked
+    workers; see the interface for the model. *)
+
+let magic = "DGGB"
+let version = 1
+let header_size = 4 + 1 + 4 (* magic, version byte, big-endian length *)
+
+(* An upper bound nothing legitimate approaches: a length beyond it means
+   the stream is garbage, not a frame. *)
+let max_frame = 256 * 1024 * 1024
+
+type job_input =
+  | J_file of string
+  | J_func of { path : string; func : string }
+
+let job_input_path = function J_file p -> p | J_func { path; _ } -> path
+
+type request = {
+  rq_id : string;
+  rq_attempt : int;
+  rq_input : job_input;
+  rq_config : Dialegg.Pipeline.config;
+  rq_fault : Dialegg.Faults.proc_kind option;
+}
+
+type response = {
+  rs_id : string;
+  rs_result : (string, string) result;
+  rs_degraded : int;
+}
+
+type message = M_request of request | M_response of response
+
+(* ------------------------------------------------------------------ *)
+(* Writing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let encode (m : message) : string =
+  (* both ends are forks of the same binary, so Marshal is type-safe here;
+     the magic/version header catches everything else (truncation, a
+     non-worker writing to the pipe, skew after a future format change) *)
+  let payload = Marshal.to_string m [] in
+  let n = String.length payload in
+  let b = Bytes.create (header_size + n) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set b 4 (Char.chr version);
+  Bytes.set_int32_be b 5 (Int32.of_int n);
+  Bytes.blit_string payload 0 b header_size n;
+  Bytes.unsafe_to_string b
+
+let write_message fd m = Atomic_io.write_all fd (encode m)
+
+(* ------------------------------------------------------------------ *)
+(* Reading                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type next = Msg of message | Incomplete | Eof | Garbage of string
+
+type reader = {
+  rd_fd : Unix.file_descr;
+  rd_buf : Buffer.t;
+  mutable rd_eof : bool;
+  mutable rd_bad : string option; (* sticky: garbage never recovers *)
+}
+
+let reader fd = { rd_fd = fd; rd_buf = Buffer.create 4096; rd_eof = false; rd_bad = None }
+
+let chunk_size = 65536
+
+(* Pull everything currently available without blocking (the fd must be in
+   non-blocking mode).  EOF and connection errors latch [rd_eof]. *)
+let fill_nonblocking r =
+  let chunk = Bytes.create chunk_size in
+  let rec go () =
+    if not r.rd_eof then
+      match Unix.read r.rd_fd chunk 0 chunk_size with
+      | 0 -> r.rd_eof <- true
+      | n ->
+        Buffer.add_subbytes r.rd_buf chunk 0 n;
+        go ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) -> ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+        ->
+        r.rd_eof <- true
+  in
+  go ()
+
+(* One blocking read (the worker side, where waiting is the point). *)
+let fill_blocking r =
+  let chunk = Bytes.create chunk_size in
+  if not r.rd_eof then
+    match Unix.read r.rd_fd chunk 0 chunk_size with
+    | 0 -> r.rd_eof <- true
+    | n -> Buffer.add_subbytes r.rd_buf chunk 0 n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET | Unix.EBADF), _, _)
+      ->
+      r.rd_eof <- true
+
+let garbage r msg =
+  r.rd_bad <- Some msg;
+  Garbage msg
+
+(* Try to decode one frame from the buffered bytes. *)
+let parse_frame r : next =
+  match r.rd_bad with
+  | Some m -> Garbage m
+  | None ->
+    let buf = Buffer.contents r.rd_buf in
+    let len = String.length buf in
+    if len = 0 then if r.rd_eof then Eof else Incomplete
+    else if len < header_size then begin
+      (* a short buffer must still be a prefix of a valid header *)
+      let prefix_len = min len (String.length magic) in
+      if String.sub buf 0 prefix_len <> String.sub magic 0 prefix_len then
+        garbage r "bad frame magic"
+      else if r.rd_eof then garbage r "truncated frame header"
+      else Incomplete
+    end
+    else if String.sub buf 0 4 <> magic then garbage r "bad frame magic"
+    else if Char.code buf.[4] <> version then
+      garbage r
+        (Printf.sprintf "protocol version mismatch (got %d, want %d)"
+           (Char.code buf.[4]) version)
+    else begin
+      let n = Int32.to_int (String.get_int32_be buf 5) in
+      if n < 0 || n > max_frame then
+        garbage r (Printf.sprintf "implausible frame length %d" n)
+      else if len < header_size + n then
+        if r.rd_eof then garbage r "truncated frame payload" else Incomplete
+      else
+        match (Marshal.from_string buf header_size : message) with
+        | m ->
+          Buffer.clear r.rd_buf;
+          Buffer.add_substring r.rd_buf buf (header_size + n)
+            (len - header_size - n);
+          Msg m
+        | exception _ -> garbage r "undecodable frame payload"
+    end
+
+let poll r =
+  fill_nonblocking r;
+  parse_frame r
+
+let read_blocking r =
+  let rec go () =
+    match parse_frame r with
+    | Incomplete ->
+      fill_blocking r;
+      go ()
+    | other -> other
+  in
+  go ()

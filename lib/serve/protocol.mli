@@ -1,0 +1,64 @@
+(** The supervisor ↔ worker wire protocol: length-prefixed [Marshal]
+    frames over pipes, with a magic/version header.
+
+    Both ends are forks of the same binary, so [Marshal] payloads are
+    type-safe; the 9-byte header (["DGGB"], a version byte, a big-endian
+    payload length) exists to make every *other* failure detectable: a
+    worker that writes random bytes, dies mid-frame, or speaks a future
+    protocol version is classified as {!Garbage} instead of corrupting
+    the supervisor.  Garbage is sticky — once a stream has desynced there
+    is no way back, and the supervisor's only safe move is to kill the
+    worker and retry the job elsewhere. *)
+
+(** What a worker is asked to optimize: a whole [.mlir] file, or one
+    function of a multi-function module. *)
+type job_input =
+  | J_file of string
+  | J_func of { path : string; func : string }
+
+val job_input_path : job_input -> string
+
+type request = {
+  rq_id : string;  (** job id, echoed back in the response *)
+  rq_attempt : int;  (** 0-based attempt number *)
+  rq_input : job_input;
+  rq_config : Dialegg.Pipeline.config;
+      (** full pipeline config, rules text included — workers never
+          re-read the rules file, so every attempt sees one snapshot *)
+  rq_fault : Dialegg.Faults.proc_kind option;
+      (** deterministic process-fault injection for this attempt *)
+}
+
+type response = {
+  rs_id : string;
+  rs_result : (string, string) result;
+      (** printed output, or the pipeline's error message *)
+  rs_degraded : int;  (** functions that fell back inside the worker *)
+}
+
+type message = M_request of request | M_response of response
+
+(** Write one frame; retries partial writes.  Raises [Unix.Unix_error]
+    ([EPIPE] with SIGPIPE ignored) if the peer is gone. *)
+val write_message : Unix.file_descr -> message -> unit
+
+(** One step of reading:
+    - [Msg m]: a complete, valid frame;
+    - [Incomplete]: nothing decodable yet, the stream is still alive;
+    - [Eof]: clean end of stream at a frame boundary;
+    - [Garbage reason]: the stream is corrupt (bad magic, bad version,
+      implausible length, truncated mid-frame, undecodable payload) —
+      sticky, every later call returns it again. *)
+type next = Msg of message | Incomplete | Eof | Garbage of string
+
+(** A buffered frame decoder over one fd. *)
+type reader
+
+val reader : Unix.file_descr -> reader
+
+(** Supervisor side: drain whatever is available (the fd must be in
+    non-blocking mode) and try to decode one frame. *)
+val poll : reader -> next
+
+(** Worker side: block until a frame, EOF, or garbage. *)
+val read_blocking : reader -> next

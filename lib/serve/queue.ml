@@ -1,0 +1,139 @@
+(** Job sharding and the crash-safe batch journal; see the interface for
+    the model. *)
+
+type job = {
+  job_id : string;
+  job_input : Protocol.job_input;
+  job_out : string option;
+}
+
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Sharding                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let shard_dir ~input_dir ~out_dir =
+  let entries =
+    try Sys.readdir input_dir
+    with Sys_error e -> errorf "cannot read input directory: %s" e
+  in
+  let files =
+    Array.to_list entries
+    |> List.filter (fun f -> Filename.check_suffix f ".mlir")
+    |> List.sort compare
+  in
+  if files = [] then errorf "no .mlir files in %s" input_dir;
+  List.map
+    (fun f ->
+      {
+        job_id = f;
+        job_input = Protocol.J_file (Filename.concat input_dir f);
+        job_out = Some (Filename.concat out_dir f);
+      })
+    files
+
+let shard_module ~path (m : Mlir.Ir.op) =
+  List.filter_map
+    (fun op ->
+      if op.Mlir.Ir.op_name = "func.func" then
+        let func = Mlir.Ir.func_name op in
+        Some
+          {
+            job_id = "@" ^ func;
+            job_input = Protocol.J_func { path; func };
+            job_out = None;
+          }
+      else None)
+    (Mlir.Ir.module_ops m)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = O_optimized | O_identity | O_failed
+
+let outcome_name = function
+  | O_optimized -> "optimized"
+  | O_identity -> "identity"
+  | O_failed -> "failed"
+
+let outcome_of_string s =
+  List.find_opt
+    (fun o -> outcome_name o = s)
+    [ O_optimized; O_identity; O_failed ]
+
+type entry = { e_id : string; e_outcome : outcome; e_attempts : int; e_bytes : int }
+
+type journal = { j_path : string; j_fd : Unix.file_descr }
+
+let header_line = "dialegg-journal v1"
+
+(* Records are tab-separated lines ending in a "." sentinel field: a line
+   without the sentinel (the torn tail of a crashed append) is ignored on
+   replay.  Appends are fsync'd, so at most the final record can be torn. *)
+let append j fields =
+  Atomic_io.write_all j.j_fd (String.concat "\t" (fields @ [ "." ]) ^ "\n");
+  Unix.fsync j.j_fd
+
+let log_start j ~id ~attempt = append j [ "start"; id; string_of_int attempt ]
+
+let log_done j ~id ~outcome ~attempts ~bytes =
+  append j
+    [ "done"; id; outcome_name outcome; string_of_int attempts; string_of_int bytes ]
+
+(* Replay: the completed entries, first occurrence per job id winning (a
+   well-formed journal has exactly one [done] per job; keeping the first
+   makes a corrupt double-entry harmless). *)
+let replay path : entry list =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | l when l = header_line -> ()
+      | _ -> errorf "%s: not a dialegg journal (bad header)" path
+      | exception End_of_file -> errorf "%s: empty journal" path);
+      let seen = Hashtbl.create 16 in
+      let entries = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char '\t' line with
+           | [ "done"; id; oc; attempts; bytes; "." ] -> (
+             match
+               (outcome_of_string oc, int_of_string_opt attempts,
+                int_of_string_opt bytes)
+             with
+             | Some e_outcome, Some e_attempts, Some e_bytes ->
+               if not (Hashtbl.mem seen id) then begin
+                 Hashtbl.add seen id ();
+                 entries :=
+                   { e_id = id; e_outcome; e_attempts; e_bytes } :: !entries
+               end
+             | _ -> () (* malformed record: ignore, like a torn line *))
+           | "start" :: _ -> ()
+           | _ -> () (* torn or foreign line *)
+         done
+       with End_of_file -> ());
+      List.rev !entries)
+
+let journal_open ~path ~resume : journal * entry list =
+  let completed = if resume && Sys.file_exists path then replay path else [] in
+  let fd =
+    if resume && Sys.file_exists path then
+      Unix.openfile path [ O_WRONLY; O_APPEND; O_CLOEXEC ] 0o644
+    else begin
+      let fd =
+        Unix.openfile path [ O_WRONLY; O_CREAT; O_TRUNC; O_CLOEXEC ] 0o644
+      in
+      Atomic_io.write_all fd (header_line ^ "\n");
+      Unix.fsync fd;
+      fd
+    end
+  in
+  ({ j_path = path; j_fd = fd }, completed)
+
+let journal_close j = try Unix.close j.j_fd with Unix.Unix_error _ -> ()

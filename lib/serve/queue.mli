@@ -1,0 +1,66 @@
+(** Batch sharding and the crash-safe job journal.
+
+    {2 Sharding}
+
+    A batch is a list of {!job}s: either one per [.mlir] file of an input
+    directory (outputs go to same-named files in the output directory),
+    or one per [func.func] of a multi-function module (outputs are
+    spliced back into the module by the driver).  Job ids are stable
+    across runs — the file's basename, or ["@" ^ function name] — which
+    is what makes the journal replayable and fault injection targetable.
+
+    {2 Journal}
+
+    The journal ([.dialegg-journal] in the output directory) is an
+    append-only, fsync'd record of batch progress: a [start] line per
+    dispatch attempt and exactly one [done] line per finished job.  A
+    [done] line is appended only {e after} the job's output has been
+    atomically renamed into place, so on replay a completed entry implies
+    a complete output file.  Records end in a sentinel field; the torn
+    tail of a crashed append fails the sentinel check and is ignored,
+    making a journal written up to a SIGKILL replayable byte-for-byte.
+    [--resume] replays the journal and skips completed jobs whose outputs
+    still exist. *)
+
+type job = {
+  job_id : string;  (** stable id: file basename, or ["@func"] *)
+  job_input : Protocol.job_input;
+  job_out : string option;  (** output path (directory mode) *)
+}
+
+exception Error of string
+
+(** One job per [.mlir] file of [input_dir], sorted by name.
+    @raise Error if the directory is unreadable or holds no [.mlir]. *)
+val shard_dir : input_dir:string -> out_dir:string -> job list
+
+(** One job per [func.func] of a parsed module at [path]. *)
+val shard_module : path:string -> Mlir.Ir.op -> job list
+
+(** How a job ended: optimized output written, identity fallback written
+    after the retry budget was exhausted, or failed outright (even the
+    fallback was impossible — e.g. an unparseable input). *)
+type outcome = O_optimized | O_identity | O_failed
+
+val outcome_name : outcome -> string
+val outcome_of_string : string -> outcome option
+
+(** A replayed [done] record. *)
+type entry = { e_id : string; e_outcome : outcome; e_attempts : int; e_bytes : int }
+
+type journal
+
+(** Open (or, with [resume], reopen-and-replay) the journal at [path].
+    Returns the journal in append mode and the completed entries (empty
+    unless resuming).  @raise Error on a malformed journal header. *)
+val journal_open : path:string -> resume:bool -> journal * entry list
+
+(** Record that an attempt of [id] was dispatched. *)
+val log_start : journal -> id:string -> attempt:int -> unit
+
+(** Record [id]'s single, final outcome.  Call exactly once per job, and
+    only after its output is durably in place. *)
+val log_done :
+  journal -> id:string -> outcome:outcome -> attempts:int -> bytes:int -> unit
+
+val journal_close : journal -> unit

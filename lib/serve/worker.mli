@@ -1,0 +1,21 @@
+(** The child side of the batch driver: a persistent loop that reads
+    {!Protocol.request}s off a pipe, runs the DialEgg pipeline on one job
+    per request, and writes one {!Protocol.response} back.
+
+    A worker is deliberately boring: it holds no batch state, never
+    touches output files (the supervisor owns all writes), and exits 0 on
+    EOF of its request pipe.  Anything that goes wrong inside a job —
+    pipeline errors, parse failures, resource limits under the strict
+    policy — is caught and returned as an [Error] response over the
+    protocol; the process only dies for process-level reasons (injected
+    faults, real crashes, the supervisor's watchdog), which is exactly
+    the failure classification boundary the supervisor relies on. *)
+
+(** Run one request and catch every job-level failure into the response. *)
+val process : Protocol.request -> Protocol.response
+
+(** The worker main loop.  Resets inherited signal dispositions (SIGTERM
+    must kill it; SIGPIPE on a dead supervisor too), then serves requests
+    until EOF.  Never returns — exits 0 on EOF, 3 on a garbled request
+    stream. *)
+val main : in_fd:Unix.file_descr -> out_fd:Unix.file_descr -> 'never

@@ -1,0 +1,68 @@
+#!/bin/sh
+# serve-smoke: the batch driver over the benchmark suite with injected
+# process faults.  A pool of 4 workers optimizes every benchmark while
+# one job hangs on its first attempt (the watchdog + retry must recover
+# it) and another crashes on every attempt (it must degrade to the
+# identity fallback).  Asserts: exit 0, every non-faulted output
+# byte-identical to a sequential dialegg-opt run, the faulted job
+# present-but-unoptimized, exactly one journal outcome per job, and a
+# --resume that recomputes nothing.
+#
+# Usage: serve_smoke.sh DIALEGG_BATCH DIALEGG_OPT MLIR_OPT BENCH_DIR RULES.egg
+set -e
+
+BATCH="$1"
+OPT="$2"
+MOPT="$3"
+BENCH_DIR="$4"
+RULES="$5"
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/dialegg-serve-smoke.XXXXXX")
+trap 'rm -rf "$WORK"' EXIT
+SEQ="$WORK/seq"
+OUT="$WORK/batch"
+mkdir -p "$SEQ"
+
+echo "-- sequential reference"
+for f in "$BENCH_DIR"/*.mlir; do
+  "$OPT" "$f" --egg "$RULES" -o "$SEQ/$(basename "$f")"
+done
+
+echo "-- batch: pool 4, one hang (recovers on retry), one persistent crash"
+"$BATCH" "$BENCH_DIR" --egg "$RULES" -o "$OUT" -j 4 \
+  --job-timeout 1 --grace 0.3 --retries 2 --backoff-ms 10 \
+  --inject-worker-fault poly.mlir:worker-hang:1 \
+  --inject-worker-fault vec-norm.mlir:worker-segv \
+  2> "$WORK/report.txt"
+
+echo "-- non-faulted outputs are byte-identical to the sequential run"
+for f in "$BENCH_DIR"/*.mlir; do
+  b=$(basename "$f")
+  if [ "$b" != vec-norm.mlir ]; then
+    cmp "$SEQ/$b" "$OUT/$b"
+  fi
+done
+
+echo "-- the crashed job degraded to identity: present, valid, unoptimized"
+test -s "$OUT/vec-norm.mlir"
+"$MOPT" "$OUT/vec-norm.mlir" --verify >/dev/null
+if cmp -s "$SEQ/vec-norm.mlir" "$OUT/vec-norm.mlir"; then
+  echo "faulted job should not have produced the optimized output" >&2
+  exit 1
+fi
+
+echo "-- report: N-1 optimized + 1 identity fallback, nothing failed"
+grep -q "5 optimized, 1 identity-fallback, 0 failed" "$WORK/report.txt"
+
+echo "-- journal: exactly one outcome per job"
+n=$(grep -c "^done" "$OUT/.dialegg-journal")
+[ "$n" -eq 6 ]
+awk -F'\t' '$1=="done"{c[$2]++} END{for (j in c) if (c[j]!=1) exit 1}' \
+  "$OUT/.dialegg-journal"
+
+echo "-- --resume recomputes nothing"
+"$BATCH" "$BENCH_DIR" --egg "$RULES" -o "$OUT" -j 4 --resume \
+  2> "$WORK/resume.txt"
+grep -q "0 optimized, 0 identity-fallback, 0 failed, 6 resumed" "$WORK/resume.txt"
+
+echo "serve-smoke ok"

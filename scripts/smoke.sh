@@ -24,6 +24,17 @@ echo "== fault-smoke: injection matrix, degradation policies, starvation budgets
 dune build @fault-smoke
 echo ok
 
+echo "== serve-smoke: supervised batch driver, injected hang + crash, resume =="
+dune build @serve-smoke
+echo ok
+
+echo "== egglog: a piped session with errors exits non-zero =="
+if echo '(bogus-command 1)' | dune exec bin/egglog_repl.exe >/dev/null 2>&1; then
+  echo "expected a non-zero exit from a failing piped session" >&2; exit 1
+fi
+echo '(datatype Num (N i64))' | dune exec bin/egglog_repl.exe >/dev/null
+echo ok
+
 echo "== translation validator: unsound fold is rejected =="
 if dune exec bin/dialegg_opt.exe -- test/fixtures/unsound_demo.mlir \
   --egg test/fixtures/unsound_fold.egg >/dev/null 2>/tmp/dialegg_validate.err; then

@@ -429,6 +429,37 @@ let test_10mm_ten_percent_budget () =
   | Ok () -> ()
   | Error e -> Alcotest.fail ("10MM under 10% budget is wrong: " ^ e)
 
+(* ------------------------------------------------------------------ *)
+(* Parser: bounded recursion instead of stack overflow                 *)
+(* ------------------------------------------------------------------ *)
+
+let nested_module depth =
+  let b = Buffer.create (depth * 16) in
+  Buffer.add_string b "module {\n  func.func @deep() {\n    %c = arith.constant 1 : i1\n";
+  for _ = 1 to depth do
+    Buffer.add_string b "scf.if %c {\n"
+  done;
+  for _ = 1 to depth do
+    Buffer.add_string b "}\n"
+  done;
+  Buffer.add_string b "    func.return\n  }\n}\n";
+  Buffer.contents b
+
+let test_parser_depth_limit () =
+  (* 100k-deep nesting used to die with an unlocatable Stack_overflow;
+     it must now be a located syntax error like any other *)
+  (match Mlir.Parser.parse_module (nested_module 100_000) with
+  | _ -> Alcotest.fail "pathological nesting must be rejected"
+  | exception Mlir.Parser.Syntax_error { line; msg; _ } ->
+    checkb "located near the limit" true (line > 1000);
+    checkb "names the depth limit" true
+      (String.length msg >= 7 && String.sub msg 0 7 = "nesting")
+  | exception Stack_overflow -> Alcotest.fail "still overflows the stack");
+  (* legitimate deep-but-sane nesting keeps parsing *)
+  match Mlir.Parser.parse_module (nested_module 500) with
+  | m -> Mlir.Verifier.verify_exn m
+  | exception e -> Alcotest.fail ("500-deep rejected: " ^ Printexc.to_string e)
+
 let () =
   Alcotest.run "robustness"
     [
@@ -456,6 +487,8 @@ let () =
           Alcotest.test_case "isolation across functions" `Quick
             test_fault_isolation_other_functions_proceed;
         ] );
+      ( "parser",
+        [ Alcotest.test_case "depth limit" `Quick test_parser_depth_limit ] );
       ( "interrupt-soundness",
         [
           Alcotest.test_case "random node budgets" `Quick test_interrupt_soundness_prop;

@@ -1,0 +1,656 @@
+(* Tests for the supervised batch driver: the wire protocol (roundtrip,
+   garbage detection), process-fault parsing and targeting, the
+   crash-safe journal (replay, torn tails, first-wins), the supervisor's
+   injection matrix (hang/segv/garbage/oom x retry budgets), resume
+   after a simulated mid-batch kill, and the batch == sequential
+   byte-identity property. *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let tmp_counter = ref 0
+
+let fresh_dir () =
+  incr tmp_counter;
+  let d =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "dialegg-serve-%d-%d" (Unix.getpid ()) !tmp_counter)
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+(* ------------------------------------------------------------------ *)
+(* Fixtures: a rule with a real effect, so optimized != identity       *)
+(* ------------------------------------------------------------------ *)
+
+let div_rule =
+  {|
+(rule ((= ?lhs (arith_divsi ?x
+                 (arith_constant (NamedAttr "value" (IntegerAttr ?n ?t)) ?t) ?t))
+       (= ?k (log2 ?n))
+       (= (pow 2 ?k) ?n))
+      ((union ?lhs
+         (arith_shrsi ?x
+           (arith_constant (NamedAttr "value" (IntegerAttr ?k ?t)) ?t) ?t))))
+|}
+
+let div_src n name =
+  Printf.sprintf
+    "func.func @%s(%%x: i64) -> i64 {\n\
+    \  %%c = arith.constant %d : i64\n\
+    \  %%r = arith.divsi %%x, %%c : i64\n\
+    \  func.return %%r : i64\n\
+     }\n"
+    name n
+
+let add_src name =
+  Printf.sprintf
+    "func.func @%s(%%x: i64, %%y: i64) -> i64 {\n\
+    \  %%r = arith.addi %%x, %%y : i64\n\
+    \  func.return %%r : i64\n\
+     }\n"
+    name
+
+let pipeline_config = { Dialegg.Pipeline.default_config with rules = div_rule }
+
+(* input dir with 4 jobs: three rewritable, one untouched by the rule *)
+let make_input_dir () =
+  let d = fresh_dir () in
+  write_file (Filename.concat d "a.mlir") (div_src 256 "a");
+  write_file (Filename.concat d "b.mlir") (div_src 16 "b");
+  write_file (Filename.concat d "c.mlir") (add_src "c");
+  write_file (Filename.concat d "d.mlir") (div_src 1024 "d");
+  d
+
+let sequential src =
+  fst (Dialegg.Pipeline.optimize_source ~config:pipeline_config src)
+
+let batch_config ?(retries = 1) ?(pool = 2) ?(faults = []) ?journal_path
+    ?(resume = false) ?(job_timeout = 10.) ?(grace = 0.3) () =
+  {
+    Serve.Supervisor.default_config with
+    pool;
+    retries;
+    job_timeout;
+    grace;
+    backoff = 0.01;
+    pipeline = pipeline_config;
+    faults;
+    journal_path;
+    resume;
+  }
+
+let outcome_label = function
+  | Serve.Supervisor.J_optimized _ -> "optimized"
+  | Serve.Supervisor.J_identity _ -> "identity"
+  | Serve.Supervisor.J_failed _ -> "failed"
+  | Serve.Supervisor.J_resumed _ -> "resumed"
+
+(* ------------------------------------------------------------------ *)
+(* Protocol                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip msg =
+  let r, w = Unix.pipe () in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close r with Unix.Unix_error _ -> ());
+      try Unix.close w with Unix.Unix_error _ -> ())
+    (fun () ->
+      Serve.Protocol.write_message w msg;
+      Unix.set_nonblock r;
+      Serve.Protocol.poll (Serve.Protocol.reader r))
+
+let test_protocol_roundtrip () =
+  let rq =
+    {
+      Serve.Protocol.rq_id = "a.mlir";
+      rq_attempt = 2;
+      rq_input = Serve.Protocol.J_file "/tmp/a.mlir";
+      rq_config = pipeline_config;
+      rq_fault = Some Dialegg.Faults.W_hang;
+    }
+  in
+  (match roundtrip (Serve.Protocol.M_request rq) with
+  | Serve.Protocol.Msg (Serve.Protocol.M_request rq') ->
+    checks "id" rq.Serve.Protocol.rq_id rq'.Serve.Protocol.rq_id;
+    checki "attempt" rq.Serve.Protocol.rq_attempt rq'.Serve.Protocol.rq_attempt;
+    checkb "fault" true (rq'.Serve.Protocol.rq_fault = Some Dialegg.Faults.W_hang);
+    checks "rules survive the wire" div_rule
+      rq'.Serve.Protocol.rq_config.Dialegg.Pipeline.rules
+  | _ -> Alcotest.fail "request did not roundtrip");
+  let rs =
+    {
+      Serve.Protocol.rs_id = "a.mlir";
+      rs_result = Ok "module {}\n";
+      rs_degraded = 1;
+    }
+  in
+  match roundtrip (Serve.Protocol.M_response rs) with
+  | Serve.Protocol.Msg (Serve.Protocol.M_response rs') ->
+    checkb "response" true (rs' = rs)
+  | _ -> Alcotest.fail "response did not roundtrip"
+
+let test_protocol_incomplete_and_eof () =
+  let r, w = Unix.pipe () in
+  Unix.set_nonblock r;
+  let rd = Serve.Protocol.reader r in
+  checkb "empty stream is incomplete" true (Serve.Protocol.poll rd = Serve.Protocol.Incomplete);
+  Unix.close w;
+  checkb "closed stream is eof" true (Serve.Protocol.poll rd = Serve.Protocol.Eof);
+  checkb "eof is stable" true (Serve.Protocol.poll rd = Serve.Protocol.Eof);
+  Unix.close r
+
+let test_protocol_garbage () =
+  let garbage bytes =
+    let r, w = Unix.pipe () in
+    Serve.Atomic_io.write_all w bytes;
+    Unix.close w;
+    Unix.set_nonblock r;
+    let rd = Serve.Protocol.reader r in
+    let n1 = Serve.Protocol.poll rd in
+    let n2 = Serve.Protocol.poll rd in
+    Unix.close r;
+    (n1, n2)
+  in
+  (match garbage "!! not a dialegg frame at all, definitely !!" with
+  | Serve.Protocol.Garbage _, Serve.Protocol.Garbage _ -> ()
+  | _ -> Alcotest.fail "random bytes must be sticky garbage");
+  (* a valid frame truncated mid-payload, then EOF *)
+  let whole =
+    let r, w = Unix.pipe () in
+    Serve.Protocol.write_message w
+      (Serve.Protocol.M_response
+         { Serve.Protocol.rs_id = "x"; rs_result = Ok "y"; rs_degraded = 0 });
+    Unix.close w;
+    Unix.set_nonblock r;
+    let buf = Bytes.create 65536 in
+    let n = Unix.read r buf 0 65536 in
+    Unix.close r;
+    Bytes.sub_string buf 0 n
+  in
+  (match garbage (String.sub whole 0 (String.length whole - 2)) with
+  | Serve.Protocol.Garbage _, _ -> ()
+  | _ -> Alcotest.fail "truncated frame + eof must be garbage");
+  (* a frame from a future protocol version *)
+  let future = Bytes.of_string whole in
+  Bytes.set future 4 '\x63';
+  match garbage (Bytes.to_string future) with
+  | Serve.Protocol.Garbage _, _ -> ()
+  | _ -> Alcotest.fail "future version must be garbage"
+
+(* ------------------------------------------------------------------ *)
+(* Process-fault parsing and targeting                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_proc_fault_parse () =
+  (match Dialegg.Faults.parse_proc "a.mlir:worker-hang" with
+  | Ok f ->
+    checks "job" "a.mlir" f.Dialegg.Faults.pf_job;
+    checkb "kind" true (f.Dialegg.Faults.pf_kind = Dialegg.Faults.W_hang);
+    checkb "persistent" true (f.Dialegg.Faults.pf_first = None)
+  | Error e -> Alcotest.fail e);
+  (match Dialegg.Faults.parse_proc "@f:worker-segv:2" with
+  | Ok f ->
+    checkb "first two attempts" true (f.Dialegg.Faults.pf_first = Some 2)
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun s ->
+      match Dialegg.Faults.parse_proc s with
+      | Ok _ -> Alcotest.fail ("accepted bad spec " ^ s)
+      | Error _ -> ())
+    [ ""; "a.mlir"; "a.mlir:busted"; "a.mlir:worker-hang:0"; "a.mlir:worker-hang:x" ]
+
+let test_proc_fault_matching () =
+  let fs =
+    [
+      { Dialegg.Faults.pf_job = "a"; pf_kind = Dialegg.Faults.W_oom; pf_first = Some 1 };
+      { Dialegg.Faults.pf_job = "b"; pf_kind = Dialegg.Faults.W_hang; pf_first = None };
+    ]
+  in
+  checkb "first attempt fires" true
+    (Dialegg.Faults.proc_matches fs ~job:"a" ~attempt:0 = Some Dialegg.Faults.W_oom);
+  checkb "retry is clean" true
+    (Dialegg.Faults.proc_matches fs ~job:"a" ~attempt:1 = None);
+  checkb "persistent fires forever" true
+    (Dialegg.Faults.proc_matches fs ~job:"b" ~attempt:7 = Some Dialegg.Faults.W_hang);
+  checkb "other jobs untouched" true
+    (Dialegg.Faults.proc_matches fs ~job:"c" ~attempt:0 = None)
+
+(* ------------------------------------------------------------------ *)
+(* Journal                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_journal_replay () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "journal" in
+  let j, completed = Serve.Queue.journal_open ~path ~resume:false in
+  checkb "fresh journal is empty" true (completed = []);
+  Serve.Queue.log_start j ~id:"a" ~attempt:0;
+  Serve.Queue.log_done j ~id:"a" ~outcome:Serve.Queue.O_optimized ~attempts:1 ~bytes:42;
+  Serve.Queue.log_start j ~id:"b" ~attempt:0;
+  Serve.Queue.log_start j ~id:"b" ~attempt:1;
+  Serve.Queue.log_done j ~id:"b" ~outcome:Serve.Queue.O_identity ~attempts:2 ~bytes:7;
+  Serve.Queue.journal_close j;
+  let j2, completed = Serve.Queue.journal_open ~path ~resume:true in
+  Serve.Queue.journal_close j2;
+  checki "two completed" 2 (List.length completed);
+  let a = List.find (fun e -> e.Serve.Queue.e_id = "a") completed in
+  checkb "a optimized" true (a.Serve.Queue.e_outcome = Serve.Queue.O_optimized);
+  checki "a bytes" 42 a.Serve.Queue.e_bytes;
+  let b = List.find (fun e -> e.Serve.Queue.e_id = "b") completed in
+  checkb "b identity after 2 attempts" true
+    (b.Serve.Queue.e_outcome = Serve.Queue.O_identity && b.Serve.Queue.e_attempts = 2)
+
+let test_journal_torn_tail () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "journal" in
+  let j, _ = Serve.Queue.journal_open ~path ~resume:false in
+  Serve.Queue.log_done j ~id:"a" ~outcome:Serve.Queue.O_optimized ~attempts:1 ~bytes:1;
+  Serve.Queue.journal_close j;
+  (* simulate a crash mid-append: a record missing its sentinel *)
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc "done\tb\toptimized\t1\t9";
+  close_out oc;
+  let j2, completed = Serve.Queue.journal_open ~path ~resume:true in
+  Serve.Queue.journal_close j2;
+  checki "torn record ignored" 1 (List.length completed);
+  checks "the intact record survives" "a" (List.hd completed).Serve.Queue.e_id
+
+let test_journal_first_wins () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "journal" in
+  let j, _ = Serve.Queue.journal_open ~path ~resume:false in
+  Serve.Queue.log_done j ~id:"a" ~outcome:Serve.Queue.O_optimized ~attempts:1 ~bytes:1;
+  Serve.Queue.log_done j ~id:"a" ~outcome:Serve.Queue.O_failed ~attempts:9 ~bytes:0;
+  Serve.Queue.journal_close j;
+  let j2, completed = Serve.Queue.journal_open ~path ~resume:true in
+  Serve.Queue.journal_close j2;
+  checki "one entry" 1 (List.length completed);
+  checkb "first occurrence wins" true
+    ((List.hd completed).Serve.Queue.e_outcome = Serve.Queue.O_optimized)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_write () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "out.mlir" in
+  Serve.Atomic_io.write_atomic ~path "first\n";
+  checks "written" "first\n" (read_file path);
+  Serve.Atomic_io.write_atomic ~path "second\n";
+  checks "overwritten atomically" "second\n" (read_file path);
+  (* no temp litter *)
+  checki "directory holds only the output" 1 (Array.length (Sys.readdir d))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: clean batch == sequential, byte for byte                *)
+(* ------------------------------------------------------------------ *)
+
+let run_dir ?retries ?pool ?faults ?journal_path ?resume ?job_timeout input_dir
+    out_dir =
+  let jobs = Serve.Queue.shard_dir ~input_dir ~out_dir in
+  Serve.Supervisor.run
+    ~config:(batch_config ?retries ?pool ?faults ?journal_path ?resume ?job_timeout ())
+    jobs
+
+let check_outputs_match_sequential input_dir out_dir ~except =
+  List.iter
+    (fun f ->
+      if not (List.mem f except) then
+        checks (f ^ " batch == sequential")
+          (sequential (read_file (Filename.concat input_dir f)))
+          (read_file (Filename.concat out_dir f)))
+    (List.sort compare
+       (List.filter
+          (fun f -> Filename.check_suffix f ".mlir")
+          (Array.to_list (Sys.readdir input_dir))))
+
+let test_batch_clean () =
+  let input = make_input_dir () in
+  let out = fresh_dir () in
+  let report = run_dir ~pool:3 input out in
+  checkb "report ok" true (Serve.Supervisor.report_ok report);
+  let o, i, f, s = Serve.Supervisor.counts report in
+  checkb "all optimized" true (o = 4 && i = 0 && f = 0 && s = 0);
+  check_outputs_match_sequential input out ~except:[];
+  (* the rewrite really happened: optimized != input for a.mlir *)
+  checkb "rule had an effect" true
+    (read_file (Filename.concat out "a.mlir")
+    <> Dialegg.Pipeline.identity_source (read_file (Filename.concat input "a.mlir")))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: the injection matrix                                    *)
+(* ------------------------------------------------------------------ *)
+
+let class_matches kind (cls : Serve.Supervisor.fail_class) =
+  match (kind, cls) with
+  | Dialegg.Faults.W_hang, Serve.Supervisor.C_hang -> true
+  | Dialegg.Faults.W_segv, Serve.Supervisor.C_signal s -> s = Sys.sigabrt
+  | Dialegg.Faults.W_oom, Serve.Supervisor.C_signal s -> s = Sys.sigkill
+  | Dialegg.Faults.W_garbage, Serve.Supervisor.C_garbage _ -> true
+  (* a garbage worker can also die before its junk is read *)
+  | Dialegg.Faults.W_garbage, Serve.Supervisor.C_nonzero 0 -> true
+  | _ -> false
+
+let test_injection_matrix () =
+  List.iter
+    (fun kind ->
+      let input = make_input_dir () in
+      let out = fresh_dir () in
+      let faults =
+        [ { Dialegg.Faults.pf_job = "b.mlir"; pf_kind = kind; pf_first = None } ]
+      in
+      let report =
+        run_dir ~pool:2 ~retries:1 ~faults
+          ~job_timeout:(if kind = Dialegg.Faults.W_hang then 0.4 else 10.)
+          input out
+      in
+      let name = Dialegg.Faults.proc_kind_name kind in
+      checkb (name ^ ": no outright failures") true
+        (Serve.Supervisor.report_ok report);
+      List.iter
+        (fun jr ->
+          let id = jr.Serve.Supervisor.jr_job.Serve.Queue.job_id in
+          if id = "b.mlir" then begin
+            (match jr.Serve.Supervisor.jr_outcome with
+            | Serve.Supervisor.J_identity cls ->
+              checkb
+                (Printf.sprintf "%s: classified correctly (%s)" name
+                   (Serve.Supervisor.fail_class_name cls))
+                true (class_matches kind cls)
+            | o ->
+              Alcotest.failf "%s: expected identity fallback, got %s" name
+                (outcome_label o));
+            checki (name ^ ": used the whole retry budget") 2
+              jr.Serve.Supervisor.jr_attempts;
+            (* the fallback output is exactly parse + re-print *)
+            checks (name ^ ": identity bytes")
+              (Dialegg.Pipeline.identity_source
+                 (read_file (Filename.concat input "b.mlir")))
+              (read_file (Filename.concat out "b.mlir"))
+          end
+          else
+            checkb (name ^ ": " ^ id ^ " optimized") true
+              (match jr.Serve.Supervisor.jr_outcome with
+              | Serve.Supervisor.J_optimized _ -> true
+              | _ -> false))
+        report.Serve.Supervisor.br_results;
+      check_outputs_match_sequential input out ~except:[ "b.mlir" ])
+    Dialegg.Faults.all_proc_kinds
+
+let test_fault_once_then_recover () =
+  (* the fault fires only on attempt 0: one retry must recover and produce
+     the real optimized output, not the fallback *)
+  let input = make_input_dir () in
+  let out = fresh_dir () in
+  let faults =
+    [ { Dialegg.Faults.pf_job = "a.mlir"; pf_kind = Dialegg.Faults.W_segv; pf_first = Some 1 } ]
+  in
+  let report = run_dir ~pool:2 ~retries:2 ~faults input out in
+  checkb "report ok" true (Serve.Supervisor.report_ok report);
+  let jr =
+    List.find
+      (fun jr -> jr.Serve.Supervisor.jr_job.Serve.Queue.job_id = "a.mlir")
+      report.Serve.Supervisor.br_results
+  in
+  (match jr.Serve.Supervisor.jr_outcome with
+  | Serve.Supervisor.J_optimized _ -> ()
+  | o -> Alcotest.failf "expected optimized after recovery, got %s" (outcome_label o));
+  checki "recovered on the second attempt" 2 jr.Serve.Supervisor.jr_attempts;
+  check_outputs_match_sequential input out ~except:[]
+
+let test_job_error_consumes_retries () =
+  (* an unparseable input fails at the job level on every attempt, and even
+     the identity fallback is impossible: the job must be J_failed and the
+     batch not ok *)
+  let input = fresh_dir () in
+  write_file (Filename.concat input "bad.mlir") "func.func @broken( {{{\n";
+  write_file (Filename.concat input "good.mlir") (div_src 64 "good");
+  let out = fresh_dir () in
+  let report = run_dir ~pool:2 ~retries:1 input out in
+  checkb "batch not ok" false (Serve.Supervisor.report_ok report);
+  let bad =
+    List.find
+      (fun jr -> jr.Serve.Supervisor.jr_job.Serve.Queue.job_id = "bad.mlir")
+      report.Serve.Supervisor.br_results
+  in
+  (match bad.Serve.Supervisor.jr_outcome with
+  | Serve.Supervisor.J_failed _ -> ()
+  | o -> Alcotest.failf "expected failed, got %s" (outcome_label o));
+  checki "all attempts spent" 2 bad.Serve.Supervisor.jr_attempts;
+  checkb "no output file for the failed job" false
+    (Sys.file_exists (Filename.concat out "bad.mlir"));
+  (* the good job is unaffected by its neighbour *)
+  checks "good.mlir batch == sequential"
+    (sequential (read_file (Filename.concat input "good.mlir")))
+    (read_file (Filename.concat out "good.mlir"))
+
+let test_config_tightening () =
+  let c =
+    { pipeline_config with
+      Dialegg.Pipeline.max_iterations = 64;
+      max_nodes = 100_000;
+      timeout = Some 30.;
+      max_memory_mb = Some 64. }
+  in
+  let c1 = Serve.Supervisor.config_for_attempt c ~attempt:1 in
+  let c2 = Serve.Supervisor.config_for_attempt c ~attempt:2 in
+  checkb "attempt 0 unchanged" true (Serve.Supervisor.config_for_attempt c ~attempt:0 = c);
+  checki "iterations halved" 32 c1.Dialegg.Pipeline.max_iterations;
+  checki "nodes halved" 50_000 c1.Dialegg.Pipeline.max_nodes;
+  checkb "timeout halved" true (c1.Dialegg.Pipeline.timeout = Some 15.);
+  checkb "memory halved" true (c1.Dialegg.Pipeline.max_memory_mb = Some 32.);
+  checki "second retry quarters" 16 c2.Dialegg.Pipeline.max_iterations;
+  (* floors hold even at absurd attempt counts *)
+  let deep = Serve.Supervisor.config_for_attempt c ~attempt:50 in
+  checkb "iteration floor" true (deep.Dialegg.Pipeline.max_iterations >= 1);
+  checkb "node floor" true (deep.Dialegg.Pipeline.max_nodes >= 64);
+  checkb "time floor" true
+    (match deep.Dialegg.Pipeline.timeout with Some t -> t >= 0.05 | None -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Resume                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let count_done_lines path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = ref 0 in
+      (try
+         while true do
+           let l = input_line ic in
+           if String.length l >= 5 && String.sub l 0 5 = "done\t" then incr n
+         done
+       with End_of_file -> ());
+      !n)
+
+let test_resume_after_kill () =
+  let input = make_input_dir () in
+  let out = fresh_dir () in
+  let journal = Filename.concat out "journal" in
+  let report = run_dir ~pool:2 ~journal_path:journal input out in
+  checkb "first run ok" true (Serve.Supervisor.report_ok report);
+  checki "exactly one done record per job" 4 (count_done_lines journal);
+  (* simulate a SIGKILL mid-batch: the journal keeps records for two jobs
+     plus a torn tail; the other two outputs never made it *)
+  let keep = [ "a.mlir"; "c.mlir" ] in
+  let lines =
+    String.split_on_char '\n' (read_file journal)
+    |> List.filter (fun l ->
+           not
+             (List.exists
+                (fun victim -> String.length l > 0 &&
+                  (match String.split_on_char '\t' l with
+                  | _ :: id :: _ -> id = victim
+                  | _ -> false))
+                [ "b.mlir"; "d.mlir" ]))
+  in
+  write_file journal (String.concat "\n" lines);
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 journal in
+  output_string oc "done\tb.mlir\topt";
+  close_out oc;
+  Sys.remove (Filename.concat out "b.mlir");
+  Sys.remove (Filename.concat out "d.mlir");
+  let report2 = run_dir ~pool:2 ~journal_path:journal ~resume:true input out in
+  checkb "resume ok" true (Serve.Supervisor.report_ok report2);
+  List.iter
+    (fun jr ->
+      let id = jr.Serve.Supervisor.jr_job.Serve.Queue.job_id in
+      match jr.Serve.Supervisor.jr_outcome with
+      | Serve.Supervisor.J_resumed _ ->
+        checkb (id ^ " was journaled complete") true (List.mem id keep)
+      | Serve.Supervisor.J_optimized _ ->
+        checkb (id ^ " was recomputed") true (not (List.mem id keep))
+      | o -> Alcotest.failf "%s: unexpected outcome %s" id (outcome_label o))
+    report2.Serve.Supervisor.br_results;
+  check_outputs_match_sequential input out ~except:[]
+
+let test_resume_redoes_missing_output () =
+  (* a journaled-complete job whose output vanished is not trusted *)
+  let input = make_input_dir () in
+  let out = fresh_dir () in
+  let journal = Filename.concat out "journal" in
+  ignore (run_dir ~pool:2 ~journal_path:journal input out);
+  Sys.remove (Filename.concat out "c.mlir");
+  let report = run_dir ~pool:2 ~journal_path:journal ~resume:true input out in
+  let _, _, _, resumed = Serve.Supervisor.counts report in
+  checki "three resumed, one redone" 3 resumed;
+  checkb "output restored" true (Sys.file_exists (Filename.concat out "c.mlir"))
+
+(* ------------------------------------------------------------------ *)
+(* Module mode                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let two_func_module =
+  "module {\n" ^ div_src 256 "f" ^ div_src 16 "g" ^ "}\n"
+
+let test_module_mode_splice () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "m.mlir" in
+  write_file path two_func_module;
+  let m = Mlir.Parser.parse_module two_func_module in
+  let jobs = Serve.Queue.shard_module ~path m in
+  checki "one job per function" 2 (List.length jobs);
+  let report = Serve.Supervisor.run ~config:(batch_config ()) jobs in
+  checkb "report ok" true (Serve.Supervisor.report_ok report);
+  Serve.Supervisor.splice_results m report;
+  checks "spliced module == sequential" (sequential two_func_module)
+    (Mlir.Printer.module_to_string m)
+
+let test_module_mode_faulted_function_untouched () =
+  let d = fresh_dir () in
+  let path = Filename.concat d "m.mlir" in
+  write_file path two_func_module;
+  let m = Mlir.Parser.parse_module two_func_module in
+  let jobs = Serve.Queue.shard_module ~path m in
+  let faults =
+    [ { Dialegg.Faults.pf_job = "@g"; pf_kind = Dialegg.Faults.W_oom; pf_first = None } ]
+  in
+  let report = Serve.Supervisor.run ~config:(batch_config ~retries:0 ~faults ()) jobs in
+  checkb "report ok (identity is not failure)" true (Serve.Supervisor.report_ok report);
+  Serve.Supervisor.splice_results m report;
+  let printed = Mlir.Printer.module_to_string m in
+  (* @g keeps its original divsi; @f got the shift rewrite *)
+  checkb "@g untouched" true (contains printed "arith.divsi");
+  checkb "@f rewritten" true (contains printed "arith.shrsi")
+
+(* ------------------------------------------------------------------ *)
+(* Property: batch == sequential for random pools and file subsets     *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_equals_sequential_prop () =
+  QCheck.Test.check_exn
+    (QCheck.Test.make ~name:"batch outputs are byte-identical to sequential runs"
+       ~count:8
+       QCheck.(pair (int_range 1 4) (int_range 1 6))
+       (fun (pool, nfiles) ->
+         let input = fresh_dir () in
+         let divisors = [| 2; 8; 64; 256; 1024; 4096 |] in
+         for i = 0 to nfiles - 1 do
+           write_file
+             (Filename.concat input (Printf.sprintf "f%d.mlir" i))
+             (div_src divisors.(i mod Array.length divisors)
+                (Printf.sprintf "f%d" i))
+         done;
+         let out = fresh_dir () in
+         let report = run_dir ~pool input out in
+         if not (Serve.Supervisor.report_ok report) then
+           QCheck.Test.fail_report "batch reported failures";
+         for i = 0 to nfiles - 1 do
+           let f = Printf.sprintf "f%d.mlir" i in
+           let seq = sequential (read_file (Filename.concat input f)) in
+           let got = read_file (Filename.concat out f) in
+           if seq <> got then QCheck.Test.fail_reportf "%s differs" f
+         done;
+         true))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_protocol_roundtrip;
+          Alcotest.test_case "incomplete and eof" `Quick test_protocol_incomplete_and_eof;
+          Alcotest.test_case "garbage detection" `Quick test_protocol_garbage;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "proc fault parsing" `Quick test_proc_fault_parse;
+          Alcotest.test_case "proc fault targeting" `Quick test_proc_fault_matching;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "replay" `Quick test_journal_replay;
+          Alcotest.test_case "torn tail ignored" `Quick test_journal_torn_tail;
+          Alcotest.test_case "first occurrence wins" `Quick test_journal_first_wins;
+          Alcotest.test_case "atomic writes" `Quick test_atomic_write;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "clean batch == sequential" `Quick test_batch_clean;
+          Alcotest.test_case "injection matrix" `Quick test_injection_matrix;
+          Alcotest.test_case "fault once, then recover" `Quick test_fault_once_then_recover;
+          Alcotest.test_case "unfixable job fails, neighbours survive" `Quick
+            test_job_error_consumes_retries;
+          Alcotest.test_case "per-attempt budget tightening" `Quick test_config_tightening;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "replay after a simulated kill" `Quick test_resume_after_kill;
+          Alcotest.test_case "missing output is recomputed" `Quick
+            test_resume_redoes_missing_output;
+        ] );
+      ( "module-mode",
+        [
+          Alcotest.test_case "splice back" `Quick test_module_mode_splice;
+          Alcotest.test_case "faulted function left untouched" `Quick
+            test_module_mode_faulted_function_untouched;
+        ] );
+      ( "property",
+        [
+          Alcotest.test_case "batch == sequential (random pools)" `Quick
+            test_batch_equals_sequential_prop;
+        ] );
+    ]
