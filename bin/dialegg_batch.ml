@@ -15,7 +15,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run input egg_file output jobs retries job_timeout grace backoff_ms resume
-    faults iterations max_nodes timeout max_memory_mb on_limit quiet verbose =
+    faults iterations max_nodes timeout max_memory_mb on_limit no_vet show_stats
+    quiet verbose =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if egg_file = None then
@@ -32,8 +33,18 @@ let run input egg_file output jobs retries job_timeout grace backoff_ms resume
         timeout = Some timeout;
         max_memory_mb;
         on_limit;
+        vet = not no_vet;
       }
     in
+    (* vet once in the supervisor and fail fast before any worker forks;
+       a repeat invocation over the same ruleset hits the on-disk memo *)
+    let vet_result = Dialegg.Pipeline.vet_rules_exn pipeline in
+    (match vet_result with
+    | Some (v, status) when show_stats ->
+      Fmt.epr "%a [%s]@." Dialegg.Vet.pp_summary v
+        (Dialegg.Vet.cache_status_name status)
+    | _ -> ());
+    let pipeline = { pipeline with Dialegg.Pipeline.vet = false } in
     let config journal_path =
       {
         Serve.Supervisor.pool = jobs;
@@ -231,6 +242,22 @@ let on_limit =
            $(b,fail) makes a limit hit cost the job an attempt (default), \
            $(b,best-effort)/$(b,identity) degrade inside the worker instead")
 
+let no_vet =
+  Arg.(
+    value & flag
+    & info [ "no-vet" ]
+        ~doc:
+          "Skip the static ruleset verification the supervisor normally runs \
+           (memoized by ruleset hash) before dispatching any job")
+
+let show_stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print the ruleset vet summary and its cache status (computed vs \
+           memo hit) to stderr")
+
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the batch report")
 
@@ -248,6 +275,7 @@ let cmd =
       ret
         (const run $ input $ egg_file $ output $ jobs $ retries $ job_timeout
         $ grace $ backoff_ms $ resume $ faults $ iterations $ max_nodes
-        $ timeout $ max_memory_mb $ on_limit $ quiet $ verbose))
+        $ timeout $ max_memory_mb $ on_limit $ no_vet $ show_stats $ quiet
+        $ verbose))
 
 let () = exit (Cmd.eval cmd)

@@ -14,7 +14,8 @@ let read_file path =
 
 let run input egg_file output iterations max_nodes timeout timeout_ms
     max_memory_mb on_limit inject_fault no_dce funcs show_timings dump_egg
-    lint_only show_stats no_backoff naive_matching no_validate analyze =
+    lint_only vet_only no_vet show_stats no_backoff naive_matching no_validate
+    analyze =
   try
     Serve.Atomic_io.install_signal_cleanup ();
     let rules = match egg_file with Some f -> read_file f | None -> "" in
@@ -26,6 +27,18 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
         let diags = Dialegg.Lint.lint_rules ~file:f rules in
         List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) diags;
         if Egglog.Diag.has_errors diags then exit 1;
+        `Ok ()
+    end
+    else if vet_only then begin
+      (* statically verify the rules and stop: no MLIR input needed *)
+      match egg_file with
+      | None -> `Error (true, "--vet requires an --egg rules file to check")
+      | Some f ->
+        let report, status = Dialegg.Vet.vet_cached ~file:f rules in
+        List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Vet.v_diags;
+        Fmt.epr "%a [%s]@." Dialegg.Vet.pp_summary report
+          (Dialegg.Vet.cache_status_name status);
+        if Egglog.Diag.has_errors report.Dialegg.Vet.v_diags then exit 1;
         `Ok ()
     end
     else begin
@@ -83,6 +96,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
         inject = inject_fault;
         run_dce = not no_dce;
         validate = not no_validate;
+        vet = not no_vet;
         seminaive = not naive_matching;
         backoff = not no_backoff;
       }
@@ -120,6 +134,12 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
       if show_timings then
         Fmt.epr "%a@." Dialegg.Pipeline.pp_timings timings;
       if show_stats then begin
+        (match report.Dialegg.Pipeline.r_vet with
+        | Some (v, status) ->
+          Fmt.epr "vet: %s@.%a@."
+            (Dialegg.Vet.cache_status_name status)
+            Dialegg.Vet.pp_classification v
+        | None -> ());
         Fmt.epr "stop reason: %a | peak e-graph size: %d nodes@."
           Egglog.Interp.pp_stop_reason timings.Dialegg.Pipeline.stop
           timings.Dialegg.Pipeline.peak_nodes;
@@ -243,6 +263,22 @@ let lint_only =
     & info [ "lint" ]
       ~doc:"Only lint the $(b,--egg) rules file and exit (non-zero if it has errors)")
 
+let vet_only =
+  Arg.(
+    value & flag
+    & info [ "vet" ]
+      ~doc:
+        "Only run the static ruleset verifier (soundness, expansion, overlap) \
+         on the $(b,--egg) rules file and exit (non-zero if it has errors)")
+
+let no_vet =
+  Arg.(
+    value & flag
+    & info [ "no-vet" ]
+      ~doc:
+        "Skip the static ruleset verification that normally runs (memoized) \
+         before saturation")
+
 let show_stats =
   Arg.(
     value & flag
@@ -286,7 +322,7 @@ let cmd =
       ret
         (const run $ input $ egg_file $ output $ iterations $ max_nodes $ timeout
         $ timeout_ms $ max_memory_mb $ on_limit $ inject_fault $ no_dce $ funcs
-        $ show_timings $ dump_egg $ lint_only $ show_stats $ no_backoff
-        $ naive_matching $ no_validate $ analyze))
+        $ show_timings $ dump_egg $ lint_only $ vet_only $ no_vet $ show_stats
+        $ no_backoff $ naive_matching $ no_validate $ analyze))
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,66 @@
+(* dialegg-vet: static ruleset verifier.
+
+   Runs Dialegg.Vet's three passes (abstract-interpretation soundness,
+   termination/expansion, overlap/shadowing) over each rule file and
+   prints the diagnostics.  Exits non-zero if any file has
+   error-severity findings; with --strict, warnings fail too.  Reports
+   are memoized by a content hash of the file, so re-vetting an
+   unchanged ruleset is a cache hit (disable with --no-cache). *)
+
+open Cmdliner
+
+let run strict verbose no_cache cache_dir files =
+  let n_errors = ref 0 and n_warnings = ref 0 in
+  List.iter
+    (fun file ->
+      match In_channel.with_open_text file In_channel.input_all with
+      | exception Sys_error msg ->
+        Fmt.epr "%a@." Egglog.Diag.pp (Egglog.Diag.make ~file Egglog.Diag.Error "io-error" msg);
+        incr n_errors
+      | src ->
+        let report, status =
+          if no_cache then (Dialegg.Vet.vet ~file src, Dialegg.Vet.Computed)
+          else Dialegg.Vet.vet_cached ?cache_dir ~file src
+        in
+        List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Vet.v_diags;
+        if verbose then
+          Fmt.pr "%s: %a@.%a@." file Dialegg.Vet.pp_summary report
+            Dialegg.Vet.pp_classification report
+        else
+          Fmt.pr "%s: %a [%s]@." file Dialegg.Vet.pp_summary report
+            (Dialegg.Vet.cache_status_name status);
+        n_errors := !n_errors + Egglog.Diag.count_errors report.Dialegg.Vet.v_diags;
+        n_warnings := !n_warnings + Egglog.Diag.count_warnings report.Dialegg.Vet.v_diags)
+    files;
+  if !n_errors > 0 || (strict && !n_warnings > 0) then exit 1;
+  `Ok ()
+
+let files =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"RULES.egg" ~doc:"Egglog rule file(s) to vet (none is a no-op success)")
+
+let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings too")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-rule classification table")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Recompute even if a memoized report exists")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+      ~doc:
+        "Disk cache directory for vet reports (default \\$DIALEGG_VET_CACHE or the system \
+         temporary directory)")
+
+let cmd =
+  let doc = "static ruleset verifier for DialEgg Egglog rule files" in
+  Cmd.v
+    (Cmd.info "dialegg-vet" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ strict $ verbose $ no_cache $ cache_dir $ files))
+
+let () = exit (Cmd.eval cmd)

@@ -57,6 +57,14 @@ type config = {
   lint : bool;
       (** statically check the rules before saturation: lint errors raise
           {!Error}, warnings go to stderr *)
+  vet : bool;
+      (** statically verify the rules before saturation (see {!Vet}):
+          soundness errors raise {!Error}, expansion/overlap warnings go
+          to stderr.  The verdict is memoized by ruleset content hash,
+          so a batch run vets its ruleset once. *)
+  vet_cache_dir : string option;
+      (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or
+          the system temporary directory) *)
   seminaive : bool;
       (** seminaive e-matching: rules scan only rows created since they
           last fired (default); off = full re-matching every iteration *)
@@ -86,6 +94,8 @@ let default_config =
     verify = true;
     validate = true;
     lint = true;
+    vet = true;
+    vet_cache_dir = None;
     seminaive = true;
     backoff = true;
     match_limit = 1000;
@@ -111,6 +121,32 @@ let lint_rules_exn config =
               (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
               (List.filter Egglog.Diag.is_error diags)))
   end
+
+(* The second fail-fast tier: static rule verification (see {!Vet}).
+   Soundness errors abort before any saturation runs; expansion and
+   overlap warnings are surfaced but not fatal.  Memoized by ruleset
+   content hash, so repeated runs over the same rules (every function of
+   a module, every job of a batch) pay for the analysis once; the
+   (report, cache status) pair is kept for [--stats]. *)
+let vet_rules_exn config : (Vet.report * Vet.cache_status) option =
+  if config.vet && config.rules <> "" then begin
+    let report, status =
+      Vet.vet_cached ?cache_dir:config.vet_cache_dir ~file:"<rules>" config.rules
+    in
+    (* an in-process memo hit already printed its warnings *)
+    if status <> Vet.Hit_memory then
+      List.iter
+        (fun d -> if not (Egglog.Diag.is_error d) then Fmt.epr "%a@." Egglog.Diag.pp d)
+        report.Vet.v_diags;
+    if Egglog.Diag.has_errors report.Vet.v_diags then
+      raise
+        (Error
+           (Fmt.str "rules failed vet:@\n%a"
+              (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
+              (List.filter Egglog.Diag.is_error report.Vet.v_diags)));
+    Some (report, status)
+  end
+  else None
 
 (* Raise {!Error} if any diagnostic is error severity (warnings go to
    stderr), rendering them uniformly with the rule lint. *)
@@ -256,7 +292,14 @@ type func_report = {
   fr_timings : timings;
 }
 
-type report = { r_funcs : func_report list; r_timings : timings }
+type report = {
+  r_funcs : func_report list;
+  r_timings : timings;
+  r_vet : (Vet.report * Vet.cache_status) option;
+      (** the ruleset's static verification verdict and whether it was
+          recomputed or served from the memo ([None] when vetting is off
+          or there are no rules) *)
+}
 
 let pp_outcome ppf = function
   | Optimized -> Fmt.string ppf "optimized"
@@ -265,6 +308,10 @@ let pp_outcome ppf = function
       (Egglog.Diag.to_string d)
 
 let pp_report ppf (r : report) =
+  (match r.r_vet with
+  | Some (v, status) ->
+    Fmt.pf ppf "%a [%s]@." Vet.pp_summary v (Vet.cache_status_name status)
+  | None -> ());
   List.iter
     (fun fr ->
       Fmt.pf ppf "@%s: %a | stop: %a | %d iters, peak %d nodes@." fr.fr_name
@@ -358,6 +405,7 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
     (func : Mlir.Ir.op) : func_report =
   Mlir.Registry.ensure_registered ();
   lint_rules_exn config;
+  ignore (vet_rules_exn config : (Vet.report * Vet.cache_status) option);
   let fname = Mlir.Ir.func_name func in
   let strict = config.on_limit = Fail in
   let original = if strict then None else Some (snapshot_function func) in
@@ -559,8 +607,9 @@ let optimize_func ?config ?hooks (func : Mlir.Ir.op) : timings =
 let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.op) :
     report =
   lint_rules_exn config;
-  (* the rules were just linted; don't redo it per function *)
-  let config = { config with lint = false } in
+  let vet_result = vet_rules_exn config in
+  (* the rules were just linted and vetted; don't redo either per function *)
+  let config = { config with lint = false; vet = false } in
   let should name = match only with None -> true | Some names -> List.mem name names in
   let reports =
     List.filter_map
@@ -574,6 +623,7 @@ let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.
     r_funcs = reports;
     r_timings =
       List.fold_left (fun acc fr -> add_timings acc fr.fr_timings) zero_timings reports;
+    r_vet = vet_result;
   }
 
 (** Optimize every function of a module in place (or only those named in

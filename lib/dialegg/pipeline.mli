@@ -41,6 +41,15 @@ type config = {
   lint : bool;
       (** statically check the rules (see {!Lint}) before saturation:
           lint errors raise {!Error}, warnings go to stderr *)
+  vet : bool;
+      (** statically verify the rules (see {!Vet}, default on) before
+          saturation: abstract-interpretation soundness errors raise
+          {!Error}, expansion/overlap warnings go to stderr.  The verdict
+          is memoized by ruleset content hash, so a module or batch run
+          vets its ruleset once ([dialegg-opt --no-vet] turns this off) *)
+  vet_cache_dir : string option;
+      (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or the
+          system temporary directory; [DIALEGG_VET_CACHE=""] disables) *)
   seminaive : bool;
       (** seminaive e-matching: rules scan only rows created since they
           last fired (default); off = full re-matching every iteration *)
@@ -60,6 +69,12 @@ type config = {
 }
 
 val default_config : config
+
+(** Run the {!Vet} fail-fast tier over [config.rules]: prints warnings to
+    stderr and returns the memoized (report, cache status); [None] when
+    [config.vet] is off or there are no rules.
+    @raise Error on any error-severity vet diagnostic. *)
+val vet_rules_exn : config -> (Vet.report * Vet.cache_status) option
 
 type timings = {
   t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
@@ -103,7 +118,14 @@ type func_report = {
   fr_timings : timings;
 }
 
-type report = { r_funcs : func_report list; r_timings : timings }
+type report = {
+  r_funcs : func_report list;
+  r_timings : timings;
+  r_vet : (Vet.report * Vet.cache_status) option;
+      (** the ruleset's static verification verdict and whether it was
+          recomputed or served from the memo ([None] when vetting is off
+          or there are no rules) *)
+}
 
 val pp_outcome : Format.formatter -> outcome -> unit
 

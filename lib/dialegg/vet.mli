@@ -1,0 +1,77 @@
+(** Static ruleset verifier ([dialegg-vet]).
+
+    Analyzes a ruleset once, before any saturation runs, and reports
+    {!Egglog.Diag} diagnostics from three passes:
+
+    - {b Soundness}: each directed rule's two sides are evaluated
+      symbolically under the {!Mlir.Dataflow} interval, shape and
+      constant domains, with pattern variables at the weakest fact and
+      shared between the sides.  If the right-hand side's fact does not
+      refine the left-hand side's, the rule can change observable
+      behaviour: errors [rule-range-widened], [rule-shape-changed],
+      [rule-type-changed].
+    - {b Termination/expansion}: rules are classified by term size and a
+      rule-dependency graph (RHS-constructed terms unified against LHS
+      patterns) is searched for cycles through non-contracting rules:
+      warning [expansive-cycle].
+    - {b Overlap/shadowing}: pairwise LHS comparison of unconditional
+      rewrites: warnings [rule-shadowed] (duplicate or subsumed rule)
+      and [rule-overlap] (same LHS, different RHS).
+
+    Guards are ignored by the soundness pass (they only narrow the LHS),
+    so a rule that is sound only because of its guard may be flagged;
+    see DESIGN.md.  Reports are memoized by a content hash of the
+    ruleset source, in-process and on disk ({!vet_cached}). *)
+
+(** How a directed rule changes term size. *)
+type classification = Contracting | Size_preserving | Expanding
+
+val classification_name : classification -> string
+
+(** Per-rule verdict, as printed by [--stats] and [dialegg-vet -v]. *)
+type rule_info = {
+  vr_name : string;  (** the rule's [:name], or a synthesized [lhs=>rhs@line] label *)
+  vr_line : int;
+  vr_class : classification;
+  vr_interval : (Mlir.Dataflow.Interval.t * Mlir.Dataflow.Interval.t) option;
+      (** symbolic (lhs, rhs) facts; [None] when the rule was not analyzable *)
+  vr_shape : (Mlir.Dataflow.Shape.t * Mlir.Dataflow.Shape.t) option;
+  vr_const : (Mlir.Dataflow.Constness.t * Mlir.Dataflow.Constness.t) option;
+  vr_sound : bool;
+}
+
+type report = {
+  v_hash : string;  (** content hash of the ruleset source, the cache key *)
+  v_file : string option;
+  v_rules : rule_info list;
+  v_diags : Egglog.Diag.t list;
+}
+
+(** Content hash used as the memoization key (hex MD5 of the source
+    prefixed with a format-version tag). *)
+val hash_source : string -> string
+
+(** Run all three passes on a ruleset source.  Never raises: a program
+    the sort-checker rejects yields its check errors as the report's
+    diagnostics with no per-rule results. *)
+val vet : ?file:string -> string -> report
+
+(** Where a {!vet_cached} report came from. *)
+type cache_status = Hit_memory | Hit_disk | Computed
+
+val cache_status_name : cache_status -> string
+
+(** Like {!vet}, memoized by {!hash_source}: first in an in-process
+    table, then in an on-disk cache directory ([cache_dir], defaulting
+    to [$DIALEGG_VET_CACHE] or [<tmpdir>/dialegg-vet-cache]; setting
+    [DIALEGG_VET_CACHE=""] disables the disk cache).  Disk writes are
+    atomic (temp file + rename) and unreadable or stale entries are
+    treated as misses, so a corrupt cache can never fail a build. *)
+val vet_cached : ?cache_dir:string -> ?file:string -> string -> report * cache_status
+
+(** One line per rule: name, classification, soundness verdict, and the
+    symbolic interval pair when it changed. *)
+val pp_classification : Format.formatter -> report -> unit
+
+(** One-line totals: rule counts per class, errors, warnings. *)
+val pp_summary : Format.formatter -> report -> unit

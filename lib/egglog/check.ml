@@ -17,6 +17,9 @@
       (rewrite RHS, action, primitive argument) but never bound;
     - [wildcard-rhs] — a wildcard in evaluated position;
     - [rebound-let] — a global [let] name defined twice;
+    - [duplicate-rule] — two rules declared with the same [:name];
+    - [duplicate-constructor] — a constructor declared twice in the same
+      [datatype];
     - [redeclared] — conflicting sort/function/ruleset redeclaration
       (an identical redeclaration is benign, so a rules file may repeat
       the prelude);
@@ -66,6 +69,7 @@ type env = {
   funcs : (string, fsig) Hashtbl.t;
   globals : (string, ty) Hashtbl.t;
   rulesets : (string, unit) Hashtbl.t;
+  rule_names : (string, unit) Hashtbl.t;  (** [:name]d rules seen so far *)
 }
 
 let builtin_sorts = [ "i64"; "f64"; "String"; "bool"; "Unit" ]
@@ -77,6 +81,7 @@ let create_env () =
       funcs = Hashtbl.create 64;
       globals = Hashtbl.create 16;
       rulesets = Hashtbl.create 8;
+      rule_names = Hashtbl.create 8;
     }
   in
   List.iter (fun s -> Hashtbl.replace env.sorts s Plain) builtin_sorts;
@@ -98,6 +103,7 @@ let copy_env env =
        Hashtbl.iter (fun k v -> Hashtbl.replace g k (zonk v)) env.globals;
        g);
     rulesets = Hashtbl.copy env.rulesets;
+    rule_names = Hashtbl.copy env.rule_names;
   }
 
 let find_func env name = Hashtbl.find_opt env.funcs name
@@ -670,8 +676,21 @@ let check_located ctx (cmd : Ast.command) (cloc : Sexp.located) =
     (match Hashtbl.find_opt ctx.env.sorts name with
     | Some Plain | None -> Hashtbl.replace ctx.env.sorts name Plain
     | Some _ -> errf ctx span "redeclared" "sort %s redeclared with a different definition" name);
-    List.iter
-      (fun (v : Ast.variant) -> declare_func ctx span v.v_name v.v_args name v.v_cost)
+    let seen = Hashtbl.create 8 in
+    List.iteri
+      (fun i (v : Ast.variant) ->
+        (* children of the command are [datatype; name; variant...] *)
+        let vspan =
+          match List.nth_opt (children cloc) (i + 2) with
+          | Some l -> l.Sexp.span
+          | None -> span
+        in
+        if Hashtbl.mem seen v.v_name then
+          errf ctx vspan "duplicate-constructor"
+            "constructor %s declared twice in datatype %s — the second declaration shadows the first"
+            v.v_name name
+        else Hashtbl.replace seen v.v_name ();
+        declare_func ctx vspan v.v_name v.v_args name v.v_cost)
       variants
   | C_function d ->
     declare_func ctx span d.f_name d.f_args d.f_ret d.f_cost;
@@ -725,13 +744,22 @@ let check_located ctx (cmd : Ast.command) (cloc : Sexp.located) =
     in
     direction lhs_l rhs_l;
     if bidirectional then direction rhs_l lhs_l
-  | C_rule { ruleset; _ } ->
+  | C_rule { ruleset; name; _ } ->
     let fact_locs = children (child_or_self cloc 1) in
     let action_locs = children (child_or_self cloc 2) in
     let rs_span =
       match find_option_loc cloc ":ruleset" with Some v -> v.span | None -> span
     in
     check_ruleset_ref ctx rs_span ruleset;
+    (match name with
+    | Some n ->
+      let n_span =
+        match find_option_loc cloc ":name" with Some v -> v.span | None -> span
+      in
+      if Hashtbl.mem ctx.env.rule_names n then
+        errf ctx n_span "duplicate-rule" "rule %S is already defined" n
+      else Hashtbl.replace ctx.env.rule_names n ()
+    | None -> ());
     let bound = Hashtbl.create 8 in
     List.iter (check_fact ctx bound) fact_locs;
     List.iter (check_laction ctx (Rule bound)) action_locs

@@ -6,8 +6,9 @@
     reports violations as structured {!Diag.t} values: unknown symbols,
     arity mismatches, sort conflicts, variables used on a rewrite RHS or
     in actions without being bound, wildcards in evaluated position,
-    rebound or unknown [let] names, and references to undeclared
-    rulesets.  See [check.ml] for the full list of diagnostic codes. *)
+    rebound or unknown [let] names, references to undeclared rulesets,
+    duplicate [:name]d rules and duplicate datatype constructors.  See
+    [check.ml] for the full list of diagnostic codes. *)
 
 (** A function (or constructor, or relation) signature as declared. *)
 type fsig = {

@@ -915,6 +915,32 @@ end
 module Shapes = Make (Shape)
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Run a domain's transfer function over detached operations built from
+   rewrite patterns rather than a real function body ([Dialegg.Vet]'s
+   static soundness pass).  A value whose type is {!placeholder} stands
+   for "a value of completely unknown type": its fact is {!unknown}, the
+   join of the tops of every type family the domains distinguish. *)
+module Symbolic (L : LATTICE) = struct
+  let unknown =
+    List.fold_left L.join (L.top Typ.i64)
+      [ L.top Typ.f64; L.top Typ.index; L.top (Typ.Unranked_tensor Typ.f64) ]
+
+  let placeholder = Typ.Opaque ("!sym.any", "sym")
+  let is_placeholder ty = Typ.equal ty placeholder
+  let top_of ty = if is_placeholder ty then unknown else L.top ty
+
+  let eval ~get (op : Ir.op) : L.t list =
+    let fallback (r : Ir.value) = top_of r.Ir.v_type in
+    (* like the solver, a malformed op must be unhandled, not a crash *)
+    match (try L.transfer get op with _ -> None) with
+    | Some fs when List.length fs = Array.length op.Ir.results -> fs
+    | _ -> List.map fallback (Array.to_list op.Ir.results)
+end
+
+(* ------------------------------------------------------------------ *)
 (* Def-use and dead code                                               *)
 (* ------------------------------------------------------------------ *)
 

@@ -143,6 +143,36 @@ end
 module Shapes : ANALYSIS with type elt = Shape.t
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic evaluation                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(** Run a domain's transfer function over symbolic (detached) operations
+    — the building block of [Dialegg.Vet]'s static rule-soundness pass,
+    which evaluates rewrite patterns instead of function bodies.  The
+    caller builds ops with {!Ir.create_op}, registers facts for operand
+    values, and reads results through {!eval}. *)
+module Symbolic (L : LATTICE) : sig
+  (** Weakest fact across every type family the domains distinguish
+      (integer, float, index, shaped): the fact of a pattern variable
+      standing for an arbitrary value of unknown type. *)
+  val unknown : L.t
+
+  (** The type given to symbolic values whose type the pattern does not
+      pin down.  {!LATTICE.top} of this type is meaningless, so
+      {!eval}'s fallback and {!top_of} use {!unknown} for it instead. *)
+  val placeholder : Typ.t
+
+  val is_placeholder : Typ.t -> bool
+
+  (** [top_of ty]: [L.top ty], or {!unknown} for the placeholder. *)
+  val top_of : Typ.t -> L.t
+
+  (** [eval ~get op]: one fact per result — [L.transfer] when the op is
+      handled, {!top_of} of each result type otherwise.  Never raises. *)
+  val eval : get:(Ir.value -> L.t) -> Ir.op -> L.t list
+end
+
+(* ------------------------------------------------------------------ *)
 (* Def-use and liveness                                                *)
 (* ------------------------------------------------------------------ *)
 

@@ -12,6 +12,47 @@ dune exec bin/dialegg_lint.exe -- rules/*.egg
 dune build @lint
 echo ok
 
+echo "== dialegg-vet: shipped rules verify statically =="
+VET_CACHE=$(mktemp -d)
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_vet.exe -- rules/*.egg
+dune build @vet
+echo ok
+
+echo "== dialegg-vet: guard-dropping rule rejected without saturation =="
+if DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_vet.exe -- \
+  test/fixtures/unsound_rule.egg 2>/tmp/dialegg_vet.err; then
+  echo "expected a vet failure" >&2; exit 1
+fi
+grep -q rule-range-widened /tmp/dialegg_vet.err
+echo ok
+
+echo "== dialegg-vet: matmul associativity is an expansive cycle =="
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_vet.exe -- \
+  rules/matmul_assoc.egg 2>&1 | grep -q expansive-cycle
+echo ok
+
+echo "== dialegg-opt: --vet mode and the pipeline's vet tier =="
+if dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir \
+  --egg test/fixtures/unsound_rule.egg >/dev/null 2>/tmp/dialegg_vet_opt.err; then
+  echo "expected the pipeline vet tier to reject the ruleset" >&2; exit 1
+fi
+grep -q rule-range-widened /tmp/dialegg_vet_opt.err
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_opt.exe -- --vet \
+  --egg rules/const_fold.egg
+echo ok
+
+echo "== dialegg-batch: vet memoized across invocations (--stats) =="
+BATCH_DIR=$(mktemp -d); BATCH_OUT=$(mktemp -d)
+cp benchmarks/div_pow2_demo.mlir "$BATCH_DIR"/
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_batch.exe -- "$BATCH_DIR" \
+  -o "$BATCH_OUT" --egg rules/div_pow2.egg --stats -q 2>/tmp/dialegg_batch1.err
+rm -rf "$BATCH_OUT"; BATCH_OUT=$(mktemp -d)
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_batch.exe -- "$BATCH_DIR" \
+  -o "$BATCH_OUT" --egg rules/div_pow2.egg --stats -q 2>/tmp/dialegg_batch2.err
+grep -q 'hit (disk)' /tmp/dialegg_batch2.err
+rm -rf "$VET_CACHE" "$BATCH_DIR" "$BATCH_OUT"
+echo ok
+
 echo "== bench-smoke: seminaive and naive matching agree =="
 dune build @bench-smoke
 echo ok
