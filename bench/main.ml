@@ -273,6 +273,7 @@ type sat_measure = {
   sm_sat_time : float;
   sm_search_time : float;
   sm_apply_time : float;
+  sm_rebuild_time : float;  (* congruence-rebuild part of sm_sat_time *)
   sm_extract_time : float;
   sm_n_nodes : int;
   sm_peak_nodes : int;  (* largest e-graph seen while saturating *)
@@ -280,10 +281,11 @@ type sat_measure = {
   sm_output : string;  (* the optimized MLIR, for cross-mode comparison *)
 }
 
-(* One full pipeline run over the NMM chain at [scale].  [seminaive]
-   selects the incremental engine (the default); false reproduces the seed
-   engine's regime: full re-matching every iteration, no scheduler. *)
-let sat_run ~scale ~seminaive : sat_measure =
+(* One full pipeline run over the NMM chain at [scale].  The measured axes:
+   [engine] selects row storage (arena vs legacy), [seminaive] the matching
+   regime (false reproduces the seed engine: full re-matching, no
+   scheduler), [jobs] the number of search domains. *)
+let sat_run ~scale ~engine ~seminaive ~jobs : sat_measure =
   let src = Workloads.Matmul_chain.source ~scale in
   let m = Mlir.Parser.parse_module src in
   let config =
@@ -293,8 +295,13 @@ let sat_run ~scale ~seminaive : sat_measure =
       max_iterations = 400;
       max_nodes = 400_000;
       timeout = Some 300.0;
+      engine;
+      jobs;
       seminaive;
       backoff = seminaive;
+      (* no anytime checkpoints: each one is an extraction inside the
+         timed saturation loop, which would blur the engine comparison *)
+      checkpoint_every = 0;
       (* large chains may hit the node budget: take the best extraction
          within it rather than aborting the whole run *)
       on_limit = Dialegg.Pipeline.Best_effort;
@@ -307,6 +314,7 @@ let sat_run ~scale ~seminaive : sat_measure =
     sm_sat_time = t.Dialegg.Pipeline.t_saturate;
     sm_search_time = t.Dialegg.Pipeline.t_search;
     sm_apply_time = t.Dialegg.Pipeline.t_apply;
+    sm_rebuild_time = t.Dialegg.Pipeline.t_rebuild;
     sm_extract_time = t.Dialegg.Pipeline.t_egglog -. t.Dialegg.Pipeline.t_saturate;
     sm_n_nodes = t.Dialegg.Pipeline.n_nodes;
     sm_peak_nodes = t.Dialegg.Pipeline.peak_nodes;
@@ -316,70 +324,123 @@ let sat_run ~scale ~seminaive : sat_measure =
 
 let json_of_measure (s : sat_measure) =
   Printf.sprintf
-    {|{"iterations": %d, "matches": %d, "sat_time_s": %.6f, "search_time_s": %.6f, "apply_time_s": %.6f, "extract_time_s": %.6f, "n_nodes": %d, "peak_nodes": %d, "stop_reason": "%s"}|}
+    {|{"iterations": %d, "matches": %d, "sat_time_s": %.6f, "search_time_s": %.6f, "apply_time_s": %.6f, "rebuild_time_s": %.6f, "extract_time_s": %.6f, "n_nodes": %d, "peak_nodes": %d, "stop_reason": "%s"}|}
     s.sm_iterations s.sm_matches s.sm_sat_time s.sm_search_time s.sm_apply_time
-    s.sm_extract_time s.sm_n_nodes s.sm_peak_nodes
+    s.sm_rebuild_time s.sm_extract_time s.sm_n_nodes s.sm_peak_nodes
     (Fmt.str "%a" Egglog.Interp.pp_stop_reason s.sm_stop)
 
 (* best-of-[reps] to damp scheduler/GC noise: saturation wall-clock is the
    min across repetitions (standard practice for sub-100ms measurements);
    counters (iterations, matches, nodes) are identical across reps *)
-let sat_best ~reps ~scale ~seminaive : sat_measure =
-  let best = ref (sat_run ~scale ~seminaive) in
+let sat_best ~reps ~scale ~engine ~seminaive ?(jobs = 1) () : sat_measure =
+  let best = ref (sat_run ~scale ~engine ~seminaive ~jobs) in
   for _ = 2 to reps do
     Gc.full_major ();
-    let m = sat_run ~scale ~seminaive in
+    let m = sat_run ~scale ~engine ~seminaive ~jobs in
     if m.sm_sat_time < !best.sm_sat_time then best := m
   done;
   !best
 
 let saturation ~max_chain ~json_path () =
-  fprintf "== Saturation engine: NMM scaling, seminaive+backoff vs naive ==\n";
+  fprintf "== Saturation engine: NMM scaling, arena vs legacy storage ==\n";
   fprintf
-    "(both modes must extract the identical program; speedup is naive\n\
-    \ saturation wall-clock over seminaive, best of 3 runs)\n\n";
-  fprintf "%-7s %7s %9s %12s | %7s %9s %12s | %8s %5s\n" "chain" "s-iters"
-    "s-matches" "s-sat(ms)" "n-iters" "n-matches" "n-sat(ms)" "speedup" "same";
-  let lengths = List.filter (fun n -> n <= max_chain) [ 2; 3; 4; 5; 6; 8; 10 ] in
+    "(all three configurations must extract the identical program; speedups\n\
+    \ are legacy saturation wall-clock over arena, best of 5 runs)\n\n";
+  fprintf "%-7s %9s %12s | %12s %8s | %12s %8s | %5s\n" "chain" "a-matches"
+    "arena(ms)" "l-semi(ms)" "spd" "l-naive(ms)" "spd" "same";
+  let lengths =
+    List.filter (fun n -> n <= max_chain) [ 2; 3; 4; 5; 6; 8; 10; 12; 14 ]
+  in
   let rows =
     List.map
       (fun n ->
-        let s = sat_best ~reps:3 ~scale:n ~seminaive:true in
-        let nv = sat_best ~reps:3 ~scale:n ~seminaive:false in
-        let same = String.equal s.sm_output nv.sm_output in
-        let speedup = nv.sm_sat_time /. Float.max 1e-6 s.sm_sat_time in
-        fprintf "%-7s %7d %9d %12.2f | %7d %9d %12.2f | %7.2fx %5s\n"
+        let a =
+          sat_best ~reps:5 ~scale:n ~engine:Egglog.Egraph.Arena ~seminaive:true ()
+        in
+        let ls =
+          sat_best ~reps:5 ~scale:n ~engine:Egglog.Egraph.Legacy ~seminaive:true ()
+        in
+        let ln =
+          sat_best ~reps:5 ~scale:n ~engine:Egglog.Egraph.Legacy ~seminaive:false ()
+        in
+        let same =
+          String.equal a.sm_output ls.sm_output
+          && String.equal a.sm_output ln.sm_output
+        in
+        let spd_semi = ls.sm_sat_time /. Float.max 1e-6 a.sm_sat_time in
+        let spd_naive = ln.sm_sat_time /. Float.max 1e-6 a.sm_sat_time in
+        fprintf "%-7s %9d %12.2f | %12.2f %7.2fx | %12.2f %7.2fx | %5s\n"
           (Printf.sprintf "%dMM" n)
-          s.sm_iterations s.sm_matches (s.sm_sat_time *. 1000.) nv.sm_iterations
-          nv.sm_matches (nv.sm_sat_time *. 1000.) speedup
+          a.sm_matches (a.sm_sat_time *. 1000.) (ls.sm_sat_time *. 1000.)
+          spd_semi (ln.sm_sat_time *. 1000.) spd_naive
           (if same then "yes" else "NO");
-        (n, s, nv, same, speedup))
+        (n, a, ls, ln, same, spd_semi, spd_naive))
       lengths
   in
+  (* -j sweep: the search phase partitioned across OCaml domains on the
+     largest measured chain; every j must extract the identical program *)
+  let sweep_chain = List.fold_left max 2 lengths in
+  let sweep =
+    List.map
+      (fun j ->
+        let m =
+          sat_best ~reps:5 ~scale:sweep_chain ~engine:Egglog.Egraph.Arena
+            ~seminaive:true ~jobs:j ()
+        in
+        (j, m))
+      [ 1; 2; 4 ]
+  in
+  let j1_out = snd (List.hd sweep) in
+  fprintf "\n-- arena -j sweep on %dMM (search domains; output must not vary) --\n"
+    sweep_chain;
+  List.iter
+    (fun (j, (m : sat_measure)) ->
+      fprintf "  -j%d  sat %8.2fms  search %8.2fms  %s\n" j
+        (m.sm_sat_time *. 1000.) (m.sm_search_time *. 1000.)
+        (if String.equal m.sm_output j1_out.sm_output then "identical" else "DIVERGED"))
+    sweep;
   let json =
-    let row_json (n, s, nv, same, speedup) =
+    let row_json (n, a, ls, ln, same, spd_semi, spd_naive) =
       Printf.sprintf
         "    {\"chain\": %d,\n\
-        \     \"seminaive\": %s,\n\
-        \     \"naive\": %s,\n\
-        \     \"speedup\": %.3f,\n\
-        \     \"identical_extraction\": %b}" n (json_of_measure s)
-        (json_of_measure nv) speedup same
+        \     \"arena\": %s,\n\
+        \     \"legacy_seminaive\": %s,\n\
+        \     \"legacy_naive\": %s,\n\
+        \     \"speedup_vs_legacy_seminaive\": %.3f,\n\
+        \     \"speedup_vs_legacy_naive\": %.3f,\n\
+        \     \"identical_extraction\": %b}" n (json_of_measure a)
+        (json_of_measure ls) (json_of_measure ln) spd_semi spd_naive same
+    in
+    let sweep_json (j, (m : sat_measure)) =
+      Printf.sprintf
+        "    {\"jobs\": %d, \"sat_time_s\": %.6f, \"search_time_s\": %.6f, \
+         \"identical_extraction\": %b}"
+        j m.sm_sat_time m.sm_search_time
+        (String.equal m.sm_output j1_out.sm_output)
     in
     Printf.sprintf
       "{\n\
       \  \"benchmark\": \"nmm-saturation\",\n\
       \  \"rules\": \"matmul_assoc\",\n\
-      \  \"lengths\": [\n%s\n  ]\n}\n"
+      \  \"engines\": [\"arena\", \"legacy\"],\n\
+      \  \"lengths\": [\n%s\n  ],\n\
+      \  \"jobs_sweep_chain\": %d,\n\
+      \  \"jobs_sweep\": [\n%s\n  ]\n}\n"
       (String.concat ",\n" (List.map row_json rows))
+      sweep_chain
+      (String.concat ",\n" (List.map sweep_json sweep))
   in
   let oc = open_out json_path in
   output_string oc json;
   close_out oc;
   fprintf "\nwrote %s\n\n" json_path;
-  if List.exists (fun (_, _, _, same, _) -> not same) rows then begin
-    prerr_endline
-      "FAIL: seminaive and naive matching extracted different programs";
+  if List.exists (fun (_, _, _, _, same, _, _) -> not same) rows then begin
+    prerr_endline "FAIL: arena and legacy engines extracted different programs";
+    exit 1
+  end;
+  if List.exists (fun (_, m) -> not (String.equal m.sm_output j1_out.sm_output)) sweep
+  then begin
+    prerr_endline "FAIL: -j sweep extracted different programs";
     exit 1
   end
 
@@ -475,7 +536,7 @@ let () =
       | _ :: tl -> opt key default tl
       | [] -> default
     in
-    let max_chain = int_of_string (opt "--max-chain" "10" rest) in
+    let max_chain = int_of_string (opt "--max-chain" "14" rest) in
     let json_path = opt "--json" "BENCH_saturation.json" rest in
     saturation ~max_chain ~json_path ()
   | cmd :: _ ->

@@ -16,7 +16,7 @@ let read_file path =
 
 let run input egg_file output jobs retries job_timeout grace backoff_ms resume
     faults iterations max_nodes timeout max_memory_mb on_limit no_vet show_stats
-    quiet verbose =
+    quiet verbose engine =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if egg_file = None then
@@ -34,6 +34,7 @@ let run input egg_file output jobs retries job_timeout grace backoff_ms resume
         max_memory_mb;
         on_limit;
         vet = not no_vet;
+        engine;
       }
     in
     (* vet once in the supervisor and fail fast before any worker forks;
@@ -267,6 +268,17 @@ let verbose =
     & info [ "verbose" ]
         ~doc:"Narrate dispatches, kills and retries on stderr")
 
+let engine =
+  let engines = Egglog.Egraph.[ ("arena", Arena); ("legacy", Legacy) ] in
+  Arg.(
+    value
+    & opt (enum engines) Egglog.Egraph.Arena
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "E-graph storage engine used by every worker: $(b,arena) (flat int \
+           arrays with indexed generic joins, default) or $(b,legacy) (boxed \
+           hashtables)")
+
 let cmd =
   let doc = "supervised multi-process batch driver for dialegg-opt" in
   Cmd.v
@@ -276,6 +288,6 @@ let cmd =
         (const run $ input $ egg_file $ output $ jobs $ retries $ job_timeout
         $ grace $ backoff_ms $ resume $ faults $ iterations $ max_nodes
         $ timeout $ max_memory_mb $ on_limit $ no_vet $ show_stats $ quiet
-        $ verbose))
+        $ verbose $ engine))
 
 let () = exit (Cmd.eval cmd)

@@ -15,7 +15,7 @@ let read_file path =
 let run input egg_file output iterations max_nodes timeout timeout_ms
     max_memory_mb on_limit inject_fault no_dce funcs show_timings dump_egg
     lint_only vet_only no_vet show_stats no_backoff naive_matching no_validate
-    analyze =
+    analyze engine jobs =
   try
     Serve.Atomic_io.install_signal_cleanup ();
     let rules = match egg_file with Some f -> read_file f | None -> "" in
@@ -99,6 +99,8 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
         vet = not no_vet;
         seminaive = not naive_matching;
         backoff = not no_backoff;
+        engine;
+        jobs;
       }
     in
     let only = match funcs with [] -> None | fs -> Some fs in
@@ -305,6 +307,22 @@ let no_validate =
         "Skip translation validation (the post-extraction check that types, \
          shapes and result value ranges still refine the input's)")
 
+let engine =
+  let engines = Egglog.Egraph.[ ("arena", Arena); ("legacy", Legacy) ] in
+  Arg.(
+    value
+    & opt (enum engines) Egglog.Egraph.Arena
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "E-graph storage engine: $(b,arena) (flat int arrays with indexed            generic joins, default) or $(b,legacy) (boxed hashtables).  Both            extract identical programs")
+
+let jobs =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Search rules on $(docv) OCaml domains per iteration (1 =            sequential).  Matches are merged in rule order and applied            sequentially, so the output is identical for every $(docv)")
+
 let analyze =
   Arg.(
     value & flag
@@ -323,6 +341,6 @@ let cmd =
         (const run $ input $ egg_file $ output $ iterations $ max_nodes $ timeout
         $ timeout_ms $ max_memory_mb $ on_limit $ inject_fault $ no_dce $ funcs
         $ show_timings $ dump_egg $ lint_only $ vet_only $ no_vet $ show_stats
-        $ no_backoff $ naive_matching $ no_validate $ analyze))
+        $ no_backoff $ naive_matching $ no_validate $ analyze $ engine $ jobs))
 
 let () = exit (Cmd.eval cmd)

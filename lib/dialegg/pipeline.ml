@@ -65,6 +65,13 @@ type config = {
   vet_cache_dir : string option;
       (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or
           the system temporary directory) *)
+  engine : Egglog.Egraph.engine;
+      (** e-graph storage engine: [Arena] (flat int arrays + generic join,
+          default) or [Legacy] (boxed hashtables) — [--engine] *)
+  jobs : int;
+      (** rule-search parallelism: partitions the due rules across this
+          many OCaml domains each iteration ([1] = sequential; results are
+          merged in registration order, so output is identical) — [-j] *)
   seminaive : bool;
       (** seminaive e-matching: rules scan only rows created since they
           last fired (default); off = full re-matching every iteration *)
@@ -96,6 +103,8 @@ let default_config =
     lint = true;
     vet = true;
     vet_cache_dir = None;
+    engine = Egglog.Egraph.Arena;
+    jobs = 1;
     seminaive = true;
     backoff = true;
     match_limit = 1000;
@@ -168,6 +177,7 @@ type timings = {
   t_saturate : float;  (** the saturation part of [t_egglog] *)
   t_search : float;  (** e-matching part of [t_saturate] *)
   t_apply : float;  (** action-application part of [t_saturate] *)
+  t_rebuild : float;  (** congruence-rebuild part of [t_saturate] *)
   t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
   iterations : int;
   matches : int;
@@ -188,6 +198,7 @@ let zero_timings =
     t_saturate = 0.;
     t_search = 0.;
     t_apply = 0.;
+    t_rebuild = 0.;
     t_egg_to_mlir = 0.;
     iterations = 0;
     matches = 0;
@@ -235,6 +246,7 @@ let add_timings a b =
     t_saturate = a.t_saturate +. b.t_saturate;
     t_search = a.t_search +. b.t_search;
     t_apply = a.t_apply +. b.t_apply;
+    t_rebuild = a.t_rebuild +. b.t_rebuild;
     t_egg_to_mlir = a.t_egg_to_mlir +. b.t_egg_to_mlir;
     iterations = a.iterations + b.iterations;
     matches = a.matches + b.matches;
@@ -249,10 +261,11 @@ let add_timings a b =
 
 let pp_timings ppf t =
   Fmt.pf ppf
-    "mlir->egg %.2fms | egglog %.2fms (sat %.2fms = search %.2fms + apply %.2fms, %d \
-     iters, %d matches, %a) | egg->mlir %.2fms | %d nodes %d classes | cost %d (dag %d)"
+    "mlir->egg %.2fms | egglog %.2fms (sat %.2fms = search %.2fms + apply %.2fms + \
+     rebuild %.2fms, %d iters, %d matches, %a) | egg->mlir %.2fms | %d nodes %d classes \
+     | cost %d (dag %d)"
     (t.t_mlir_to_egg *. 1000.) (t.t_egglog *. 1000.) (t.t_saturate *. 1000.)
-    (t.t_search *. 1000.) (t.t_apply *. 1000.) t.iterations
+    (t.t_search *. 1000.) (t.t_apply *. 1000.) (t.t_rebuild *. 1000.) t.iterations
     t.matches Egglog.Interp.pp_stop_reason t.stop
     (t.t_egg_to_mlir *. 1000.)
     t.n_nodes t.n_classes t.extracted_cost t.extracted_dag_cost
@@ -435,7 +448,9 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
               ?max_time_ms:(Option.map (fun s -> s *. 1000.) config.timeout)
               ?max_memory_mb:config.max_memory_mb ()
           in
-          let engine = Egglog.Interp.create ~limits () in
+          let engine =
+            Egglog.Interp.create ~limits ~engine:config.engine ~jobs:config.jobs ()
+          in
           Egglog.Interp.set_naive_matching engine (not config.seminaive);
           Egglog.Interp.set_backoff engine config.backoff;
           Egglog.Interp.set_match_limit engine config.match_limit;
@@ -472,6 +487,7 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
                   a.Egglog.Interp.sat_time <- a.Egglog.Interp.sat_time +. s.Egglog.Interp.sat_time;
                   a.Egglog.Interp.search_time <- a.Egglog.Interp.search_time +. s.Egglog.Interp.search_time;
                   a.Egglog.Interp.apply_time <- a.Egglog.Interp.apply_time +. s.Egglog.Interp.apply_time;
+                  a.Egglog.Interp.rebuild_time <- a.Egglog.Interp.rebuild_time +. s.Egglog.Interp.rebuild_time;
                   a.Egglog.Interp.stop <- s.Egglog.Interp.stop;
                   a.Egglog.Interp.peak_nodes <- max a.Egglog.Interp.peak_nodes s.Egglog.Interp.peak_nodes;
                   Some a)
@@ -486,6 +502,7 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
         t_saturate = stats.Egglog.Interp.sat_time;
         t_search = stats.Egglog.Interp.search_time;
         t_apply = stats.Egglog.Interp.apply_time;
+        t_rebuild = stats.Egglog.Interp.rebuild_time;
         iterations = stats.Egglog.Interp.iterations;
         matches = stats.Egglog.Interp.matches;
         stop;

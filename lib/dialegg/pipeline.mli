@@ -50,6 +50,13 @@ type config = {
   vet_cache_dir : string option;
       (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or the
           system temporary directory; [DIALEGG_VET_CACHE=""] disables) *)
+  engine : Egglog.Egraph.engine;
+      (** e-graph storage engine: [Arena] (flat int arrays + generic join,
+          default) or [Legacy] (boxed hashtables) — [dialegg-opt --engine] *)
+  jobs : int;
+      (** rule-search parallelism: due rules are partitioned across this
+          many OCaml domains each iteration ([1] = sequential; results
+          merge in registration order, so output is identical) — [-j] *)
   seminaive : bool;
       (** seminaive e-matching: rules scan only rows created since they
           last fired (default); off = full re-matching every iteration *)
@@ -82,6 +89,7 @@ type timings = {
   t_saturate : float;  (** the saturation part of [t_egglog] *)
   t_search : float;  (** e-matching part of [t_saturate] *)
   t_apply : float;  (** action-application part of [t_saturate] *)
+  t_rebuild : float;  (** congruence-rebuild part of [t_saturate] *)
   t_egg_to_mlir : float;  (** de-eggification (+DCE) *)
   iterations : int;
   matches : int;

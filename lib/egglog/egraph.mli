@@ -5,7 +5,11 @@
     are tables whose output sort is an equivalence sort: a lookup miss
     allocates a fresh e-class, making the table a hash-cons.  An e-node is
     a table row; congruence closure is table re-canonicalization
-    ({!rebuild}) after unions. *)
+    ({!rebuild}) after unions.
+
+    Two storage {!engine}s implement the table contract: [Legacy] (boxed
+    hashtables + a separate journal) and [Arena] (flat int arrays of codes,
+    appended in stamp order — see {!Arena}).  [Arena] is the default. *)
 
 exception Error of string
 
@@ -22,6 +26,19 @@ type sort_kind =
 
 val pp_sort_kind : Format.formatter -> sort_kind -> unit
 
+(** Row storage backend. *)
+type engine = Legacy | Arena
+
+val engine_of_string : string -> engine option
+val engine_to_string : engine -> string
+
+type row = { mutable out : Value.t; mutable stamp : int }
+
+type log_entry = { le_args : Value.t array; le_row : row; le_stamp : int }
+
+(** Row storage: boxed hashtable + journal, or a flat arena. *)
+type store = S_hash of row Value.Args_tbl.t | S_arena of Arena.table
+
 (** A function table.  [cost] and [unextractable] drive extraction;
     [merge] reconciles conflicting primitive outputs for one key. *)
 type func = private {
@@ -31,27 +48,29 @@ type func = private {
   cost : int option;
   unextractable : bool;
   merge : (Value.t -> Value.t -> Value.t) option;
-  mutable table : row Value.Args_tbl.t;
+  mutable store : store;
   mutable last_modified : int;
       (** stamp of the last change to this table (insert, output change,
           delete, canonicalization) — drives dirty-table rule skipping and
           matcher index invalidation *)
   mutable log : log_entry array;
-      (** append-only journal of insertions and rewrites in stamp order;
-          {!iter_rows_since} scans its suffix for seminaive deltas *)
+      (** legacy journal of insertions and rewrites in stamp order;
+          {!iter_rows_since} scans its suffix for seminaive deltas.  Arena
+          tables are their own journal and leave this empty. *)
   mutable log_len : int;
 }
-
-and row = { mutable out : Value.t; mutable stamp : int }
-
-and log_entry = { le_args : Value.t array; le_row : row; le_stamp : int }
 
 (** Is the function's output an equivalence sort (i.e. is it a
     constructor)? *)
 val is_constructor : func -> bool
 
+(** The arena table behind [f], when the arena engine is in use. *)
+val arena_of : func -> Arena.table option
+
 type t = {
+  engine : engine;
   uf : Union_find.t;
+  pool : Arena.pool;
   funcs : func Symbol.Tbl.t;
   mutable func_order : Symbol.t list;
   sorts : (string, sort_kind) Hashtbl.t;
@@ -63,9 +82,16 @@ type t = {
   mutable pending_unions : bool;
       (** a union happened since the last {!rebuild}; when false the tables
           are canonical and rebuild is O(1) *)
+  mutable n_rows_cache : int;
+      (** exact live row count, maintained incrementally — {!n_nodes} *)
 }
 
-val create : unit -> t
+(** [create ?engine ()] makes an empty e-graph.  Default engine: [Arena]. *)
+val create : ?engine:engine -> unit -> t
+
+val engine : t -> engine
+val pool : t -> Arena.pool
+val uf : t -> Union_find.t
 
 (** Monotonic change counter; equal clocks mean "nothing changed". *)
 val clock : t -> int
@@ -131,7 +157,31 @@ val union : t -> int -> int -> unit
 (** Union two values: e-class refs are merged; distinct primitives error. *)
 val union_values : t -> Value.t -> Value.t -> unit
 
-(** Restore congruence: re-canonicalize all tables to a fixed point. *)
+(** {2 Code-level operations (arena engine only)}
+
+    Used by the compiled (packed) apply path: arguments and results are
+    arena codes, so the hot path performs no [Value.t] allocation. *)
+
+(** Canonicalize an arena code under the current union-find. *)
+val canon_code : t -> int -> int
+
+(** Does the value behind a code inhabit the sort? *)
+val code_matches_sort : t -> sort_kind -> int -> bool
+
+(** Code-level {!apply}: the key codes are canonicalized {e in place};
+    returns the output code, or [-1] when the function has no defined
+    output.  Raises [Invalid_argument] on a legacy store. *)
+val apply_codes : t -> func -> int array -> int
+
+(** Code-level {!set}; key canonicalized in place.  Arena store only. *)
+val set_codes : t -> func -> int array -> int -> unit
+
+(** Code-level {!union_values}. *)
+val union_codes : t -> int -> int -> unit
+
+(** Restore congruence: re-canonicalize all tables to a fixed point, then
+    compact arena tables so searches only see dense live rows.  O(1) when
+    no union is pending. *)
 val rebuild : t -> unit
 
 (** {1 unstable-cost overrides (paper §6.2)} *)
@@ -140,20 +190,39 @@ val rebuild : t -> unit
     exist.  Cheaper overrides win on conflict. *)
 val set_cost : t -> func -> Value.t array -> int -> unit
 
+(** Code-level {!set_cost}: [key]/[out] must be canonical codes of a row
+    already in the table (as returned by {!apply_codes}), skipping the
+    existence lookup. *)
+val set_cost_codes : t -> func -> int array -> int -> int -> unit
+
 val cost_override : t -> func -> Value.t array -> int option
 
 (** {1 Statistics and iteration} *)
 
+(** Number of rows (e-nodes) across all tables.  O(1): maintained
+    incrementally, since the limits gauge polls it every iteration. *)
 val n_nodes : t -> int
+
+(** Recount rows by walking the tables (test-only consistency check
+    against {!n_nodes}). *)
+val recount_nodes : t -> int
+
 val n_classes : t -> int
 
 (** Approximate footprint in words (tables + journals + cost overrides +
-    union-find) — the gauge for {!Limits} memory budgets.  An estimate,
-    not an accounting: proportional to e-graph size, cheap to compute. *)
+    union-find + value pool) — the gauge for {!Limits} memory budgets.
+    An estimate, not an accounting: proportional to e-graph size, cheap to
+    compute. *)
 val approx_memory_words : t -> int
 
-(** Iterate rows as (canonical args, canonical output). *)
+(** Iterate rows as (canonical args, canonical output).  When the graph is
+    clean (no pending unions) rows are served as stored, with no per-row
+    canonicalization or copying. *)
 val iter_rows : t -> func -> (Value.t array -> Value.t -> unit) -> unit
+
+(** {!iter_rows} plus each row's stamp. *)
+val iter_rows_stamped :
+  t -> func -> (Value.t array -> Value.t -> int -> unit) -> unit
 
 val fold_rows : t -> func -> 'a -> ('a -> Value.t array -> Value.t -> 'a) -> 'a
 
@@ -167,7 +236,9 @@ val iter_rows_since :
     [f]. *)
 val rows_with_output : t -> func -> int -> (Value.t array * Value.t) list
 
-(** Deep copy of the whole e-graph (for push/pop). *)
+(** Deep copy of the whole e-graph (for push/pop).  Key arrays and the
+    value pool are shared with the original (neither is ever mutated in
+    place), so snapshots cost O(rows), not O(rows × arity). *)
 val copy : t -> t
 
 val pp_stats : Format.formatter -> t -> unit

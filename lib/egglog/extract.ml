@@ -64,6 +64,31 @@ let rec term_equal a b =
   | T_vec a1, T_vec a2 -> List.length a1 = List.length a2 && List.for_all2 term_equal a1 a2
   | _ -> false
 
+(** Total order on terms by structure only — symbol names and primitive
+    payloads, never e-class ids — so it agrees across storage engines that
+    number classes differently.  [Prim] leaves never contain e-classes, so
+    polymorphic compare is safe there. *)
+let rec term_compare a b =
+  match (a.t_kind, b.t_kind) with
+  | Prim v1, Prim v2 -> Stdlib.compare v1 v2
+  | Prim _, _ -> -1
+  | _, Prim _ -> 1
+  | Node (s1, a1), Node (s2, a2) ->
+    let c = String.compare (Symbol.name s1) (Symbol.name s2) in
+    if c <> 0 then c else term_list_compare a1 a2
+  | Node _, _ -> -1
+  | _, Node _ -> 1
+  | T_vec a1, T_vec a2 -> term_list_compare a1 a2
+
+and term_list_compare l1 l2 =
+  match (l1, l2) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys ->
+    let c = term_compare x y in
+    if c <> 0 then c else term_list_compare xs ys
+
 (** Head symbol name of a constructor term. *)
 let head t = match t.t_kind with Node (sym, _) -> Some (Symbol.name sym) | _ -> None
 
@@ -83,6 +108,9 @@ type t = {
   chosen : (int, int) Hashtbl.t;
       (** canonical class id -> base cost of the e-node extraction picked
           (with any unstable-cost override applied); feeds {!dag_cost} *)
+  extracting : (int, unit) Hashtbl.t;
+      (** classes currently being extracted — guards the tie-break against
+          zero-cost self-referencing candidates *)
 }
 
 let class_cost st cls =
@@ -112,7 +140,13 @@ let node_cost st (f : Egraph.func) args =
     iteration over all constructor tables.  The e-graph must be rebuilt. *)
 let make eg : t =
   let st =
-    { eg; class_cost = Hashtbl.create 64; memo = Hashtbl.create 64; chosen = Hashtbl.create 64 }
+    {
+      eg;
+      class_cost = Hashtbl.create 64;
+      memo = Hashtbl.create 64;
+      chosen = Hashtbl.create 64;
+      extracting = Hashtbl.create 16;
+    }
   in
   let funcs =
     List.filter
@@ -149,31 +183,71 @@ let rec extract_class st cls : term =
   match Hashtbl.find_opt st.memo cls with
   | Some t -> t
   | None ->
+    if Hashtbl.mem st.extracting cls then
+      error "e-class %d is cyclic through zero-cost e-nodes" cls;
     if class_cost st cls >= infinity_cost then
       error "e-class %d has no finite-cost term (cyclic with no base case)" cls;
-    let best = ref None in
-    List.iter
-      (fun (f : Egraph.func) ->
+    Hashtbl.replace st.extracting cls ();
+    (* Collect every minimal-cost candidate with its function's declaration
+       index.  Keeping just the first winner would make the choice depend on
+       row iteration order, which differs between storage engines. *)
+    let best_cost = ref infinity_cost in
+    let cands = ref [] in
+    List.iteri
+      (fun fi (f : Egraph.func) ->
         if Egraph.is_constructor f && not f.unextractable then
           List.iter
             (fun (args, _) ->
               let c = node_cost st f args in
-              match !best with
-              | Some (bc, _, _) when bc <= c -> ()
-              | _ -> best := Some (c, f, args))
+              if c < !best_cost then begin
+                best_cost := c;
+                cands := [ (fi, f, args) ]
+              end
+              else if c = !best_cost then cands := (fi, f, args) :: !cands)
             (Egraph.rows_with_output st.eg f cls))
       (Egraph.functions st.eg);
-    let _, f, args =
-      match !best with
-      | Some b -> b
-      | None -> error "e-class %d has no e-nodes to extract" cls
+    let f, args, sub =
+      match !cands with
+      | [] -> error "e-class %d has no e-nodes to extract" cls
+      | [ (_, f, args) ] ->
+        (f, args, Array.to_list args |> List.map (extract_value st))
+      | cands ->
+        (* Deterministic tie-break: declaration order of the head function,
+           then the extracted argument terms compared structurally.  Both
+           keys are independent of e-class numbering and row order, so every
+           engine extracts the same bytes.  Candidates whose extraction
+           cycles back into this class are discarded. *)
+        let keyed =
+          List.filter_map
+            (fun (fi, (f : Egraph.func), args) ->
+              match Array.to_list args |> List.map (extract_value st) with
+              | sub -> Some ((fi, sub), (f, args, sub))
+              | exception Error _ -> None)
+            cands
+        in
+        let best =
+          List.fold_left
+            (fun acc ((key, _) as cand) ->
+              match acc with
+              | Some ((bkey, _) : (int * term list) * _)
+                when compare_keys bkey key <= 0 ->
+                acc
+              | _ -> Some cand)
+            None keyed
+        in
+        (match best with
+        | Some (_, chosen) -> chosen
+        | None -> error "e-class %d has no acyclic minimal e-node" cls)
     in
+    Hashtbl.remove st.extracting cls;
     Hashtbl.replace st.chosen cls (node_base_cost st f args);
-    let term =
-      node ~cls f.Egraph.sym (Array.to_list args |> List.map (extract_value st))
-    in
+    let term = node ~cls f.Egraph.sym sub in
     Hashtbl.replace st.memo cls term;
     term
+
+and compare_keys (fi1, sub1) (fi2, sub2) =
+  let c = Int.compare fi1 fi2 in
+  if c <> 0 then c else term_list_compare sub1 sub2
 
 and extract_value st (v : Value.t) : term =
   match v with
@@ -200,26 +274,39 @@ let best_cost eg (v : Value.t) : int =
 let variants (st : t) cls n : (term * int) list =
   let cls = Egraph.find_class st.eg cls in
   let candidates =
-    List.concat_map
-      (fun (f : Egraph.func) ->
-        if Egraph.is_constructor f && not f.unextractable then
-          List.filter_map
-            (fun (args, _) ->
-              let c = node_cost st f args in
-              if c >= infinity_cost then None else Some (c, f, args))
-            (Egraph.rows_with_output st.eg f cls)
-        else [])
-      (Egraph.functions st.eg)
+    List.concat
+      (List.mapi
+         (fun fi (f : Egraph.func) ->
+           if Egraph.is_constructor f && not f.unextractable then
+             List.filter_map
+               (fun (args, _) ->
+                 let c = node_cost st f args in
+                 if c >= infinity_cost then None
+                 else
+                   match Array.to_list args |> List.map (extract_value st) with
+                   | sub -> Some (c, fi, f, args, sub)
+                   | exception Error _ -> None)
+               (Egraph.rows_with_output st.eg f cls)
+           else [])
+         (Egraph.functions st.eg))
   in
-  let sorted = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) candidates in
+  (* cheapest first; ties broken like {!extract_class}, so the listing is
+     identical whichever storage engine produced the rows *)
+  let sorted =
+    List.sort
+      (fun (c1, fi1, _, _, s1) (c2, fi2, _, _, s2) ->
+        let c = Int.compare c1 c2 in
+        if c <> 0 then c
+        else
+          let c = Int.compare fi1 fi2 in
+          if c <> 0 then c else term_list_compare s1 s2)
+      candidates
+  in
   let rec take k = function
     | [] -> []
     | _ when k = 0 -> []
-    | (c, f, args) :: rest ->
-      let term =
-        node ~cls f.Egraph.sym (Array.to_list args |> List.map (extract_value st))
-      in
-      (term, c) :: take (k - 1) rest
+    | (c, _, f, _, sub) :: rest ->
+      (node ~cls f.Egraph.sym sub, c) :: take (k - 1) rest
   in
   take n sorted
 

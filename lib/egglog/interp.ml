@@ -8,6 +8,37 @@ exception Error of string
 
 let error fmt = Fmt.kstr (fun s -> raise (Error s)) fmt
 
+(* Slot-compiled actions for the packed apply path: when a rule's matches
+   arrive as flat rows of arena codes (Matcher.gsolve_packed), its actions
+   are compiled once against the row's slot layout — variable names
+   resolved to slot indexes, table names interned, sorts checked
+   statically — so applying a match is array indexing and code-level
+   e-graph operations, with no Env maps, string hashing, or Value boxing
+   on the hot path. *)
+type cval =
+  | K_slot of int  (* read a packed-row / let slot *)
+  | K_global of string  (* resolved in [t.globals] at apply time *)
+  | K_const of int  (* pre-encoded code (the pool is append-only/shared) *)
+  | K_prim of string * cval array  (* decodes args, encodes the result *)
+  | K_table of Egraph.func * cval array * int array  (* + per-node key scratch *)
+  | K_check of Egraph.sort_kind * cval
+      (* runtime sort check, only where the sort isn't known statically
+         (primitive results and globals) *)
+
+type caction =
+  | KA_let of int * cval  (* evaluate, then write the slot *)
+  | KA_union of cval * cval
+  | KA_set of Egraph.func * cval array * int array * cval
+  | KA_expr of cval
+  | KA_cost of Egraph.func * cval array * int array * cval
+  | KA_delete of Egraph.func * cval array * int array
+  | KA_panic of string
+
+type capply = {
+  ca_acts : caction array;
+  ca_slots : int;  (* scratch row width: emitted vars + let bindings *)
+}
+
 type rule = {
   r_name : string;
   r_facts : Ast.fact list;
@@ -15,6 +46,14 @@ type rule = {
   r_ruleset : string option;  (** [None] = the default ruleset *)
   r_refs : Symbol.t list;  (** function tables the premises read *)
   r_plan : Matcher.plan;  (** compiled premises for seminaive matching *)
+  mutable r_gplan : Matcher.gplan option option;
+      (** generic-join compilation of [r_plan], resolved lazily at first
+          search ([None] = not yet attempted; [Some None] = falls back to
+          the env-list matcher) *)
+  mutable r_capply : capply option option;
+      (** slot-compiled actions for the packed apply path, resolved lazily
+          with [r_gplan] ([Some None] = action shape needs the env
+          interpreter) *)
   mutable r_last_scan : int;  (** e-graph clock at the last match scan *)
   (* backoff scheduler state (egg's BackoffScheduler) *)
   mutable r_times_banned : int;
@@ -77,6 +116,8 @@ type run_stats = {
   mutable sat_time : float;  (** seconds spent in [(run n)] *)
   mutable search_time : float;  (** seconds in rule search (e-matching) *)
   mutable apply_time : float;  (** seconds applying rule actions *)
+  mutable rebuild_time : float;
+      (** seconds restoring congruence (the deferred rebuild batches) *)
   mutable stop : stop_reason;
   mutable peak_nodes : int;  (** largest e-graph size seen during the run *)
 }
@@ -107,6 +148,9 @@ type t = {
       (** testing/ablation: always rescan every rule *)
   mutable naive_matching : bool;
       (** fall back to full re-matching instead of seminaive deltas *)
+  mutable jobs : int;
+      (** search-phase parallelism: rules are partitioned across this many
+          OCaml domains; 1 = fully sequential *)
   mutable backoff : bool;  (** enable the backoff rule scheduler *)
   mutable match_limit : int;  (** scheduler: base per-rule match budget *)
   mutable ban_length : int;  (** scheduler: base ban duration (iterations) *)
@@ -121,6 +165,12 @@ type t = {
   mutable ck_every : int;
       (** checkpoint every n successful iterations (0 = only on demand) *)
   mutable best_ck : checkpoint option;
+  costs_applied : (int array, int) Hashtbl.t;
+      (** arena fast path: cheapest cost already applied per canonical
+          [sym id :: key codes] — dedupes the re-derived [unstable-cost]
+          actions seminaive matching keeps producing.  A stale (merged)
+          key never matches a freshly canonicalized probe, so hits are
+          always sound skips.  Cleared on [pop]. *)
 }
 
 and snapshot = {
@@ -130,7 +180,8 @@ and snapshot = {
   s_rulesets : string list;
 }
 
-let create ?(max_nodes = 200_000) ?timeout ?limits () =
+let create ?(max_nodes = 200_000) ?timeout ?limits ?(engine = Egraph.Arena)
+    ?(jobs = 1) () =
   let limits =
     match limits with
     | Some l -> l
@@ -140,7 +191,7 @@ let create ?(max_nodes = 200_000) ?timeout ?limits () =
         ()
   in
   {
-    eg = Egraph.create ();
+    eg = Egraph.create ~engine ();
     globals = Hashtbl.create 64;
     rules = [];
     rulesets = [];
@@ -151,6 +202,7 @@ let create ?(max_nodes = 200_000) ?timeout ?limits () =
     snapshots = [];
     disable_dirty_skip = false;
     naive_matching = false;
+    jobs = max 1 jobs;
     backoff = true;
     match_limit = 1000;
     ban_length = 5;
@@ -159,12 +211,16 @@ let create ?(max_nodes = 200_000) ?timeout ?limits () =
     ck_root = None;
     ck_every = 0;
     best_ck = None;
+    costs_applied = Hashtbl.create 256;
   }
 
 let set_disable_dirty_skip t b = t.disable_dirty_skip <- b
 let set_limits t l = t.limits <- l
 let limits t = t.limits
 let set_naive_matching t b = t.naive_matching <- b
+let set_jobs t n = t.jobs <- max 1 n
+let jobs t = t.jobs
+let engine t = Egraph.engine t.eg
 let set_backoff t b = t.backoff <- b
 let set_match_limit t n = t.match_limit <- n
 let set_ban_length t n = t.ban_length <- n
@@ -279,6 +335,226 @@ let rec run_action t (env : Matcher.env) (a : Ast.action) : Matcher.env =
 and run_actions t env actions = ignore (List.fold_left (run_action t) env actions)
 
 (* ------------------------------------------------------------------ *)
+(* Slot-compiled actions (packed apply path)                           *)
+(* ------------------------------------------------------------------ *)
+
+exception Bail
+
+(** Compile [actions] against the packed-row slot layout [names] /
+    [slot_sorts] (one slot per emitted pattern variable, in row order).
+    [let]s get fresh slots after the emitted ones — shadowing an emitted
+    name reuses its slot, which is safe because each match is applied on
+    a freshly blitted scratch row.  Names bound by neither compile to
+    global references resolved at apply time, exactly like the env
+    interpreter's fallback.  Sorts are tracked during compilation:
+    a static argument-sort mismatch bails to the env interpreter (which
+    reports the proper error at apply time), and only positions whose
+    sort cannot be known statically get a runtime [K_check].  [None]
+    when an action shape needs the env interpreter (wildcards,
+    [set]/[delete]/[cost] on non-applications, primitive literals the
+    pool cannot host). *)
+let compile_actions eg (names : string array)
+    (slot_sorts : Egraph.sort_kind array) (actions : Ast.action list) :
+    capply option =
+  let pool = Egraph.pool eg in
+  let slots : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  Array.iteri (fun i x -> Hashtbl.replace slots x i) names;
+  let next = ref (Array.length names) in
+  (* static sort of each slot; [None] for a let bound to a value of
+     unknown sort *)
+  let let_sorts : (int, Egraph.sort_kind option) Hashtbl.t = Hashtbl.create 8 in
+  let slot_sort i =
+    if i < Array.length slot_sorts then Some slot_sorts.(i)
+    else Option.join (Hashtbl.find_opt let_sorts i)
+  in
+  (* a table must already be declared when the rule first fires, so
+     resolve it once here; an unknown name bails to the env interpreter
+     (which reports the same error at apply time) *)
+  let func f =
+    match Egraph.find_func_opt eg (Symbol.intern f) with
+    | Some fn -> fn
+    | None -> raise Bail
+  in
+  let lit_sort : Value.t -> Egraph.sort_kind = function
+    | Value.I64 _ -> Egraph.S_i64
+    | Value.F64 _ -> Egraph.S_f64
+    | Value.Str _ -> Egraph.S_string
+    | Value.Bool _ -> Egraph.S_bool
+    | Value.Unit -> Egraph.S_unit
+    | Value.Vec _ | Value.Eclass _ -> raise Bail  (* not literal shapes *)
+  in
+  let rec cexpr (e : Ast.expr) : cval * Egraph.sort_kind option =
+    match e with
+    | Var x -> (
+      match Hashtbl.find_opt slots x with
+      | Some i -> (K_slot i, slot_sort i)
+      | None -> (K_global x, None))
+    | Wildcard -> raise Bail
+    | Lit l ->
+      let v = Matcher.value_of_lit l in
+      (K_const (Arena.encode pool v), Some (lit_sort v))
+    | Call (f, args) ->
+      if Primitives.is_primitive f then
+        (K_prim (f, Array.of_list (List.map (fun a -> fst (cexpr a)) args)), None)
+      else
+        let fn = func f in
+        (K_table (fn, cargs fn args, Array.make (Array.length fn.Egraph.arg_sorts) 0),
+         Some fn.Egraph.ret_sort)
+  and coerce (expected : Egraph.sort_kind) (e : Ast.expr) : cval =
+    let cv, so = cexpr e in
+    match so with
+    | Some s -> if s = expected then cv else raise Bail
+    | None -> K_check (expected, cv)
+  and cargs (fn : Egraph.func) (args : Ast.expr list) : cval array =
+    let sorts = fn.Egraph.arg_sorts in
+    if List.length args <> Array.length sorts then raise Bail;
+    Array.of_list (List.mapi (fun i a -> coerce sorts.(i) a) args)
+  in
+  let capp f args =
+    if Primitives.is_primitive f then raise Bail
+    else
+      let fn = func f in
+      (fn, cargs fn args, Array.make (Array.length fn.Egraph.arg_sorts) 0)
+  in
+  let cact (a : Ast.action) : caction =
+    match a with
+    | A_let (x, e) ->
+      let cv, so = cexpr e in
+      (* bind after compiling the rhs, so the rhs sees the outer [x] *)
+      let slot =
+        match Hashtbl.find_opt slots x with
+        | Some i -> i
+        | None ->
+          let i = !next in
+          incr next;
+          Hashtbl.replace slots x i;
+          i
+      in
+      Hashtbl.replace let_sorts slot so;
+      KA_let (slot, cv)
+    | A_union (a, b) -> KA_union (fst (cexpr a), fst (cexpr b))
+    | A_set (Call (f, args), rhs) ->
+      let fn, cargs, key = capp f args in
+      KA_set (fn, cargs, key, coerce fn.Egraph.ret_sort rhs)
+    | A_expr e -> KA_expr (fst (cexpr e))
+    | A_cost (Call (f, args), c) ->
+      let fn, cargs, key = capp f args in
+      KA_cost (fn, cargs, key, fst (cexpr c))
+    | A_delete (Call (f, args)) ->
+      let fn, cargs, key = capp f args in
+      KA_delete (fn, cargs, key)
+    | A_panic msg -> KA_panic msg
+    | A_set _ | A_cost _ | A_delete _ -> raise Bail
+  in
+  match List.map cact actions with
+  | acts -> Some { ca_acts = Array.of_list acts; ca_slots = !next }
+  | exception Bail -> None
+
+let rec ceval t (vals : int array) (cv : cval) : int =
+  match cv with
+  | K_slot i -> Array.unsafe_get vals i
+  | K_const c -> c
+  | K_global x -> (
+    match Hashtbl.find_opt t.globals x with
+    | Some v -> Arena.encode (Egraph.pool t.eg) v
+    | None -> error "unbound name %s" x)
+  | K_prim _ ->
+    (* single pool round-trip at the code boundary; nested prims stay
+       value-level inside [ceval_value] *)
+    Arena.encode (Egraph.pool t.eg) (ceval_value t vals cv)
+  | K_table (fn, args, key) -> (
+    for i = 0 to Array.length args - 1 do
+      key.(i) <- ceval t vals (Array.unsafe_get args i)
+    done;
+    (* [key] is per-[K_table]-node scratch: distinct nodes have distinct
+       arrays, a child's evaluation never touches its parent's, and apply
+       is sequential, so in-place reuse is safe *)
+    match Egraph.apply_codes t.eg fn key with
+    | -1 ->
+      error "(%s ...) has no defined output (use set before reading it)"
+        (Symbol.name fn.Egraph.sym)
+    | c -> c)
+  | K_check (k, cv) ->
+    let c = ceval t vals cv in
+    if Egraph.code_matches_sort t.eg k c then c
+    else
+      error "value %a does not inhabit sort %a" Value.pp
+        (Arena.decode (Egraph.pool t.eg) c)
+        Egraph.pp_sort_kind k
+
+(* evaluate in value space; prim trees never touch the pool hash table *)
+and ceval_value t (vals : int array) (cv : cval) : Value.t =
+  match cv with
+  | K_prim (f, args) -> (
+    let rec loop i acc =
+      if i < 0 then acc else loop (i - 1) (ceval_value t vals args.(i) :: acc)
+    in
+    let vargs = loop (Array.length args - 1) [] in
+    match Primitives.apply f vargs with
+    | v -> v
+    | exception Primitives.Error msg -> error "primitive error: %s" msg)
+  | K_global x -> (
+    match Hashtbl.find_opt t.globals x with
+    | Some v -> v
+    | None -> error "unbound name %s" x)
+  | _ -> Arena.decode (Egraph.pool t.eg) (ceval t vals cv)
+
+(* each arm sequences sub-evaluations with [let] to keep the env
+   interpreter's left-to-right effect order (e-node creation) *)
+let run_caction t (vals : int array) (a : caction) : unit =
+  match a with
+  | KA_let (slot, cv) -> vals.(slot) <- ceval t vals cv
+  | KA_union (a, b) ->
+    let ca = ceval t vals a in
+    let cb = ceval t vals b in
+    Egraph.union_codes t.eg ca cb
+  | KA_set (fn, args, key, rhs) ->
+    for i = 0 to Array.length args - 1 do
+      key.(i) <- ceval t vals args.(i)
+    done;
+    let out = ceval t vals rhs in
+    Egraph.set_codes t.eg fn key out
+  | KA_expr cv -> ignore (ceval t vals cv)
+  | KA_cost (fn, args, key, c) ->
+    for i = 0 to Array.length args - 1 do
+      key.(i) <- ceval t vals args.(i)
+    done;
+    (* mirror the env interpreter: reading the node creates it *)
+    let out = Egraph.apply_codes t.eg fn key in
+    if out = -1 then
+      error "(%s ...) has no defined output (use set before reading it)"
+        (Symbol.name fn.Egraph.sym);
+    let cost =
+      match ceval_value t vals c with
+      | I64 n -> Int64.to_int n
+      | v -> error "unstable-cost expects an i64 cost, got %a" Value.pp v
+    in
+    let n = Array.length key in
+    let ck = Array.make (n + 1) (Symbol.id fn.Egraph.sym) in
+    Array.blit key 0 ck 1 n;
+    (match Hashtbl.find_opt t.costs_applied ck with
+    | Some c0 when c0 <= cost -> ()  (* set_cost would keep the cheaper *)
+    | _ ->
+      Hashtbl.replace t.costs_applied ck cost;
+      Egraph.set_cost_codes t.eg fn key out cost)
+  | KA_delete (fn, args, key) ->
+    let pool = Egraph.pool t.eg in
+    for i = 0 to Array.length args - 1 do
+      key.(i) <- ceval t vals args.(i)
+    done;
+    Egraph.delete t.eg fn (Array.map (Arena.decode pool) key)
+  | KA_panic msg -> error "panic: %s" msg
+
+(** One rule's matches from a search, in the applier's native shape. *)
+type matches =
+  | M_envs of Matcher.env list
+  | M_packed of capply * Matcher.packed
+
+let n_found = function
+  | M_envs l -> List.length l
+  | M_packed (_, pk) -> pk.Matcher.pk_rows
+
+(* ------------------------------------------------------------------ *)
 (* Anytime checkpoints                                                 *)
 (* ------------------------------------------------------------------ *)
 
@@ -331,73 +607,206 @@ let rule_dirty t r =
     Returns [(matches_applied, ban_skipped)] — [ban_skipped] is true when
     the backoff scheduler banned a rule or skipped a banned one, in which
     case a quiescent clock does {e not} mean saturation. *)
+(* every variable name a rule's actions mention: the matcher only needs to
+   decode these (plus residual-fact vars) into result environments *)
+let action_vars (actions : Ast.action list) : string list =
+  let acc = ref [] in
+  let rec expr = function
+    | Ast.Var x -> acc := x :: !acc
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Wildcard | Ast.Lit _ -> ()
+  in
+  List.iter
+    (function
+      | Ast.A_let (_, e) | Ast.A_expr e | Ast.A_delete e -> expr e
+      | Ast.A_union (e1, e2) | Ast.A_set (e1, e2) | Ast.A_cost (e1, e2) ->
+        expr e1;
+        expr e2
+      | Ast.A_panic _ -> ())
+    actions;
+  !acc
+
 let run_iteration ?ruleset t (stats : run_stats) : int * bool =
   (* cheap when the previous iteration left the graph clean: rebuild is a
      no-op unless unions are pending (the e-graph's dirty flag) *)
-  Egraph.rebuild t.eg;
+  let timed_rebuild () =
+    let t0 = Unix.gettimeofday () in
+    Egraph.rebuild t.eg;
+    stats.rebuild_time <- stats.rebuild_time +. (Unix.gettimeofday () -. t0)
+  in
+  timed_rebuild ();
   let scan_clock = Egraph.clock t.eg in
   let idx = get_index t in
   t.iter_counter <- t.iter_counter + 1;
   let iter = t.iter_counter in
   let ban_skipped = ref false in
-  (* search phase: all rules match against the same snapshot *)
-  let batches =
-    List.filter_map
+  (* which rules are due this iteration *)
+  let due =
+    List.filter
       (fun r ->
-        if r.r_ruleset <> ruleset then None
+        if r.r_ruleset <> ruleset then false
         else if t.backoff && iter < r.r_banned_until then begin
           (* banned: no search; r_last_scan stays put, so the delta it will
              eventually scan still covers everything it missed *)
           ban_skipped := true;
+          false
+        end
+        else rule_dirty t r)
+      t.rules
+  in
+  (* resolve each rule's search path up front (compiling generic-join
+     plans on first use): the search phase itself must not write any
+     shared state when it runs on several domains *)
+  let path r =
+    if t.naive_matching then `Naive
+    else begin
+      let gp =
+        match r.r_gplan with
+        | Some gp -> gp
+        | None ->
+          let gp = Matcher.gcompile ~keep:(action_vars r.r_actions) idx r.r_plan in
+          r.r_gplan <- Some gp;
+          gp
+      in
+      match gp with
+      | Some gp when Matcher.gp_packed_ok gp -> (
+        (* handles the first scan too: since = -1 *)
+        let ca =
+          match r.r_capply with
+          | Some ca -> ca
+          | None ->
+            let ca =
+              compile_actions t.eg (Matcher.gp_slot_names gp)
+                (Matcher.gp_slot_sorts idx gp) r.r_actions
+            in
+            r.r_capply <- Some ca;
+            ca
+        in
+        match ca with Some ca -> `Packed (gp, ca) | None -> `Generic gp)
+      | Some gp -> `Generic gp
+      | None ->
+        if r.r_last_scan >= 0 && Matcher.eligible r.r_plan then `Plan else `Naive
+    end
+  in
+  let paths = List.map (fun r -> (r, path r)) due in
+  let search (r, p) =
+    let t0 = Unix.gettimeofday () in
+    let ms =
+      match p with
+      | `Packed (gp, ca) ->
+        M_packed (ca, Matcher.gsolve_packed idx gp ~since:r.r_last_scan)
+      | `Generic gp -> M_envs (Matcher.gsolve idx gp ~since:r.r_last_scan)
+      | `Plan -> M_envs (Matcher.solve_plan_legacy idx r.r_plan ~since:r.r_last_scan)
+      | `Naive -> M_envs (Matcher.solve_facts idx r.r_facts)
+    in
+    (ms, Unix.gettimeofday () -. t0)
+  in
+  (* search phase: all rules match against the same snapshot *)
+  let searched =
+    let n_due = List.length paths in
+    let nd = min t.jobs n_due in
+    if nd <= 1 then List.map (fun rp -> (fst rp, search rp)) paths
+    else begin
+      (* parallel search across rule partitions.  The e-graph is strictly
+         read-only here: the union-find is frozen (fully compressed, then
+         lock-free walks), the value pool interns new primitives under its
+         mutex, and every per-function cache a search could touch is built
+         by prewarm before the first domain spawns.  Matches are merged
+         back in registration order and all scheduling (budgets, bans,
+         scan horizons) stays sequential, so [-jN] computes exactly what
+         [-j1] does. *)
+      List.iter
+        (fun (r, p) ->
+          Matcher.prewarm idx r.r_plan
+            (match p with
+            | `Packed (gp, _) | `Generic gp -> Some gp
+            | `Plan | `Naive -> None))
+        paths;
+      let arr = Array.of_list paths in
+      let results = Array.make (Array.length arr) (M_envs [], 0.) in
+      Union_find.freeze (Egraph.uf t.eg) true;
+      Arena.set_threadsafe (Egraph.pool t.eg) true;
+      let exns = ref [] in
+      let workers =
+        Array.init nd (fun w ->
+            Domain.spawn (fun () ->
+                (* round-robin partition: worker [w] takes rules w, w+nd, … *)
+                let out = ref [] in
+                let i = ref w in
+                while !i < Array.length arr do
+                  out := (!i, search arr.(!i)) :: !out;
+                  i := !i + nd
+                done;
+                !out))
+      in
+      Array.iter
+        (fun d ->
+          match Domain.join d with
+          | res -> List.iter (fun (i, r) -> results.(i) <- r) res
+          | exception e -> exns := e :: !exns)
+        workers;
+      Arena.set_threadsafe (Egraph.pool t.eg) false;
+      Union_find.freeze (Egraph.uf t.eg) false;
+      (match !exns with e :: _ -> raise e | [] -> ());
+      Array.to_list (Array.mapi (fun i (r, _) -> (r, results.(i))) arr)
+    end
+  in
+  (* sequential bookkeeping: budgets, bans, scan horizons *)
+  let batches =
+    List.filter_map
+      (fun (r, (ms, dt)) ->
+        r.r_n_searches <- r.r_n_searches + 1;
+        r.r_search_time <- r.r_search_time +. dt;
+        stats.search_time <- stats.search_time +. dt;
+        let n = n_found ms in
+        r.r_n_matches <- r.r_n_matches + n;
+        let threshold = t.match_limit lsl r.r_times_banned in
+        if t.backoff && n > threshold then begin
+          (* over budget: discard the matches and ban the rule; both the
+             budget and the ban double with each offence *)
+          let ban_len = t.ban_length lsl r.r_times_banned in
+          r.r_times_banned <- r.r_times_banned + 1;
+          r.r_banned_until <- iter + 1 + ban_len;
+          r.r_n_bans <- r.r_n_bans + 1;
+          ban_skipped := true;
           None
         end
-        else if not (rule_dirty t r) then None
         else begin
-          let t0 = Unix.gettimeofday () in
-          let envs =
-            if (not t.naive_matching) && r.r_last_scan >= 0 && Matcher.eligible r.r_plan
-            then Matcher.solve_plan idx r.r_plan ~since:r.r_last_scan
-            else Matcher.solve_facts idx r.r_facts
-          in
-          let dt = Unix.gettimeofday () -. t0 in
-          r.r_n_searches <- r.r_n_searches + 1;
-          r.r_search_time <- r.r_search_time +. dt;
-          stats.search_time <- stats.search_time +. dt;
-          let n = List.length envs in
-          r.r_n_matches <- r.r_n_matches + n;
-          let threshold = t.match_limit lsl r.r_times_banned in
-          if t.backoff && n > threshold then begin
-            (* over budget: discard the matches and ban the rule; both the
-               budget and the ban double with each offence *)
-            let ban_len = t.ban_length lsl r.r_times_banned in
-            r.r_times_banned <- r.r_times_banned + 1;
-            r.r_banned_until <- iter + 1 + ban_len;
-            r.r_n_bans <- r.r_n_bans + 1;
-            ban_skipped := true;
-            None
-          end
-          else begin
-            r.r_last_scan <- scan_clock;
-            Some (r, envs)
-          end
+          r.r_last_scan <- scan_clock;
+          Some (r, ms)
         end)
-      t.rules
+      searched
   in
   (* apply phase *)
   let n =
     List.fold_left
-      (fun acc (r, envs) ->
+      (fun acc (r, ms) ->
         let t0 = Unix.gettimeofday () in
-        List.iter (fun env -> run_actions t env r.r_actions) envs;
+        let k =
+          match ms with
+          | M_envs envs ->
+            List.iter (fun env -> run_actions t env r.r_actions) envs;
+            List.length envs
+          | M_packed (ca, pk) ->
+            (* each match applies on a scratch row blitted from the packed
+               search buffer; let slots beyond the blit are always written
+               before any read (reads before the let compile to globals) *)
+            let scratch = Array.make (max 1 ca.ca_slots) 0 in
+            let w = pk.Matcher.pk_width in
+            for i = 0 to pk.Matcher.pk_rows - 1 do
+              Array.blit pk.Matcher.pk_buf (i * w) scratch 0 w;
+              Array.iter (run_caction t scratch) ca.ca_acts
+            done;
+            pk.Matcher.pk_rows
+        in
         let dt = Unix.gettimeofday () -. t0 in
-        let k = List.length envs in
         r.r_n_applied <- r.r_n_applied + k;
         r.r_apply_time <- r.r_apply_time +. dt;
         stats.apply_time <- stats.apply_time +. dt;
         acc + k)
       0 batches
   in
-  Egraph.rebuild t.eg;
+  timed_rebuild ();
   (n, !ban_skipped)
 
 (** Render a captured saturation exception as a structured diagnostic. *)
@@ -429,6 +838,7 @@ let run ?ruleset t n : run_stats =
       sat_time = 0.;
       search_time = 0.;
       apply_time = 0.;
+      rebuild_time = 0.;
       stop = Saturated;
       peak_nodes = Egraph.n_nodes t.eg;
     }
@@ -584,6 +994,8 @@ let add_rule t ?name ?ruleset facts actions =
           r_ruleset = ruleset;
           r_refs = fact_refs facts;
           r_plan = Matcher.compile facts;
+          r_gplan = None;
+          r_capply = None;
           r_last_scan = -1;
           r_times_banned = 0;
           r_banned_until = 0;
@@ -714,8 +1126,13 @@ let run_command t (c : Ast.command) : unit =
       List.iter
         (fun r ->
           r.r_last_scan <- -1;
-          r.r_banned_until <- 0)
-        t.rules)
+          r.r_banned_until <- 0;
+          (* compiled appliers hold function records of the discarded
+             graph — recompile against the restored one *)
+          r.r_capply <- None)
+        t.rules;
+      (* applied-cost memo refers to the discarded graph's codes *)
+      Hashtbl.reset t.costs_applied)
 
 (** Execute a list of commands; outputs are appended to [t.outputs]. *)
 let run_commands t cmds = List.iter (run_command t) cmds

@@ -6,6 +6,10 @@
 
 exception Error of string
 
+(** Actions compiled against a packed-match slot layout (opaque): the
+    arena engine's fast apply path, with no per-match name lookups. *)
+type capply
+
 type rule = {
   r_name : string;
   r_facts : Ast.fact list;
@@ -13,6 +17,14 @@ type rule = {
   r_ruleset : string option;  (** [None] = the default ruleset *)
   r_refs : Symbol.t list;  (** function tables the premises read *)
   r_plan : Matcher.plan;  (** compiled premises for seminaive matching *)
+  mutable r_gplan : Matcher.gplan option option;
+      (** generic-join compilation of [r_plan], resolved lazily at first
+          search ([None] = not yet attempted; [Some None] = env-list
+          fallback) *)
+  mutable r_capply : capply option option;
+      (** slot-compiled actions for the packed apply path, resolved lazily
+          with [r_gplan] ([Some None] = action shape needs the env
+          interpreter) *)
   mutable r_last_scan : int;
       (** e-graph clock at the last match scan; seminaive matching scans
           only rows stamped after this, and rules none of whose referenced
@@ -68,6 +80,8 @@ type run_stats = {
   mutable sat_time : float;  (** seconds spent saturating *)
   mutable search_time : float;  (** seconds in rule search (e-matching) *)
   mutable apply_time : float;  (** seconds applying rule actions *)
+  mutable rebuild_time : float;
+      (** seconds restoring congruence (deferred rebuild batches) *)
   mutable stop : stop_reason;
   mutable peak_nodes : int;  (** largest e-graph size seen during the run *)
 }
@@ -90,6 +104,17 @@ val set_disable_dirty_skip : t -> bool -> unit
     the [--naive-matching] CLI escape hatch. *)
 val set_naive_matching : t -> bool -> unit
 
+(** Search-phase parallelism: partition due rules across [n] OCaml domains
+    per iteration (default 1 = sequential).  Matches are merged back in
+    registration order and applied sequentially, so results and statistics
+    are independent of [n]. *)
+val set_jobs : t -> int -> unit
+
+val jobs : t -> int
+
+(** Storage engine of the underlying e-graph. *)
+val engine : t -> Egraph.engine
+
 (** Enable/disable the backoff rule scheduler (default: enabled).  When
     disabled every due rule fires every iteration and saturation detection
     never waits on bans. *)
@@ -109,8 +134,17 @@ val rule_stats : t -> rule_stat list
 
 (** Fresh engine.  [limits] sets the full resource budget; the legacy
     [max_nodes] (default 200k) and [timeout] (seconds) are shorthands for
-    a node-and-time-only budget and are ignored when [limits] is given. *)
-val create : ?max_nodes:int -> ?timeout:float -> ?limits:Limits.t -> unit -> t
+    a node-and-time-only budget and are ignored when [limits] is given.
+    [engine] picks the e-graph storage backend (default [Arena]); [jobs]
+    the search-phase parallelism (default 1). *)
+val create :
+  ?max_nodes:int ->
+  ?timeout:float ->
+  ?limits:Limits.t ->
+  ?engine:Egraph.engine ->
+  ?jobs:int ->
+  unit ->
+  t
 
 (** Replace the engine's resource budgets (applies to subsequent runs). *)
 val set_limits : t -> Limits.t -> unit

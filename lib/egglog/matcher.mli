@@ -71,7 +71,58 @@ val eligible : plan -> bool
     both paths observationally identical). *)
 val plan_facts : plan -> Ast.fact list
 
+(** {1 Generic join (arena engine)} *)
+
+(** A rule body compiled for the worst-case-optimal generic join: flat
+    table atoms joined variable-by-variable over per-(function, column)
+    indexes of the arena tables, plus pure-primitive residual facts
+    evaluated on the decoded environments afterwards. *)
+type gplan
+
+(** Try to compile a plan for the generic join.  [None] when the rule
+    needs the env-list matcher: non-arena engine, nested or destructuring
+    patterns, multi-pattern equations, globals referenced in patterns. *)
+val gcompile : ?keep:string list -> index -> plan -> gplan option
+
+(** Generic-join seminaive solve ([~since:-1] degenerates to the full
+    naive join).  Same disjoint old/delta/full decomposition as the
+    env-list path, executed over sorted row-id columns. *)
+val gsolve : index -> gplan -> since:int -> env list
+
+(** Whether {!gsolve_packed} may be used for this plan: no residual facts
+    and no wildcard columns (those need env-level dedupe). *)
+val gp_packed_ok : gplan -> bool
+
+(** The emitted variables' names, in packed-row slot order. *)
+val gp_slot_names : gplan -> string array
+
+(** The sort of each packed-row slot. *)
+val gp_slot_sorts : index -> gplan -> Egraph.sort_kind array
+
+(** Packed matches: [pk_rows] consecutive rows of [pk_width] arena
+    codes, row-major in [pk_buf], in discovery order. *)
+type packed = { pk_buf : int array; pk_rows : int; pk_width : int }
+
+(** Like {!gsolve} but the matches land in one flat row-major code
+    buffer in {!gp_slot_names} slot order — no environment maps, no
+    decoding and no per-match allocation, so appliers compiled against
+    the slot order work at the code level end to end.  Only valid when
+    {!gp_packed_ok}. *)
+val gsolve_packed : index -> gplan -> since:int -> packed
+
+(** Build every per-function structure the rule's search needs (column
+    indexes or row caches), so a subsequent parallel search phase never
+    writes to the shared index. *)
+val prewarm : index -> plan -> gplan option -> unit
+
 (** Environments satisfying the plan that involve at least one row
     stamped strictly after [since].  Requires [eligible].  Results are
-    deduplicated. *)
-val solve_plan : index -> plan -> since:int -> env list
+    deduplicated.  [?gplan] short-circuits plan dispatch: [Some (Some g)]
+    uses the generic join with [g], [Some None] forces the env-list path,
+    [None] (default) compiles and dispatches on the fly. *)
+val solve_plan :
+  ?gplan:gplan option option -> index -> plan -> since:int -> env list
+
+(** The env-list (legacy) solver, regardless of engine. *)
+val solve_plan_legacy : index -> plan -> since:int -> env list
+

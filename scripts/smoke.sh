@@ -102,6 +102,17 @@ dune exec bin/dialegg_opt.exe -- benchmarks/2mm.mlir \
   --egg rules/matmul_assoc.egg | grep -q 'tensor<10x8xf64>'
 echo ok
 
+echo "== dialegg-opt: arena and legacy engines extract identical programs =="
+dune exec bin/dialegg_opt.exe -- benchmarks/2mm.mlir \
+  --egg rules/matmul_assoc.egg --engine arena > /tmp/dialegg_arena.mlir
+dune exec bin/dialegg_opt.exe -- benchmarks/2mm.mlir \
+  --egg rules/matmul_assoc.egg --engine legacy > /tmp/dialegg_legacy.mlir
+cmp /tmp/dialegg_arena.mlir /tmp/dialegg_legacy.mlir
+dune exec bin/dialegg_opt.exe -- benchmarks/2mm.mlir \
+  --egg rules/matmul_assoc.egg --engine arena -j 2 > /tmp/dialegg_arena_j2.mlir
+cmp /tmp/dialegg_arena.mlir /tmp/dialegg_arena_j2.mlir
+echo ok
+
 echo "== dialegg-opt: --dump-egg round-trips through the egglog CLI =="
 dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir --dump-egg \
   | cat rules/prelude.egg - > /tmp/dialegg_smoke.egg
