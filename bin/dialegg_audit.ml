@@ -1,0 +1,68 @@
+(* dialegg-audit: cross-layer encoding-contract auditor.
+
+   Runs Dialegg.Audit's four analyses (coverage/arity against the MLIR
+   dialect registry, sort soundness, extraction-cost totality,
+   effect/purity) over each rule file and prints the diagnostics.
+   Exits non-zero if any file has error-severity findings; with
+   --strict, warnings fail too.  Verdicts are memoized by a content
+   hash of the file and the registry fingerprint, so re-auditing an
+   unchanged configuration is a cache hit (disable with --no-cache). *)
+
+open Cmdliner
+
+let run strict verbose no_cache cache_dir files =
+  let n_errors = ref 0 and n_warnings = ref 0 in
+  List.iter
+    (fun file ->
+      match In_channel.with_open_text file In_channel.input_all with
+      | exception Sys_error msg ->
+        Fmt.epr "%a@." Egglog.Diag.pp
+          (Egglog.Diag.make ~file Egglog.Diag.Error "io-error" msg);
+        incr n_errors
+      | src ->
+        let report, status =
+          if no_cache then (Dialegg.Audit.audit ~file src, Dialegg.Audit.Computed)
+          else Dialegg.Audit.audit_cached ?cache_dir ~file src
+        in
+        List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Audit.a_diags;
+        if verbose then
+          Fmt.pr "%s: %a@.%a@." file Dialegg.Audit.pp_summary report
+            Dialegg.Audit.pp_coverage report
+        else
+          Fmt.pr "%s: %a [%s]@." file Dialegg.Audit.pp_summary report
+            (Dialegg.Audit.cache_status_name status);
+        n_errors := !n_errors + Egglog.Diag.count_errors report.Dialegg.Audit.a_diags;
+        n_warnings := !n_warnings + Egglog.Diag.count_warnings report.Dialegg.Audit.a_diags)
+    files;
+  if !n_errors > 0 || (strict && !n_warnings > 0) then exit 1;
+  `Ok ()
+
+let files =
+  Arg.(
+    value & pos_all file []
+    & info [] ~docv:"RULES.egg" ~doc:"Egglog rule file(s) to audit (none is a no-op success)")
+
+let strict = Arg.(value & flag & info [ "strict" ] ~doc:"Exit non-zero on warnings too")
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Print the per-constructor coverage table")
+
+let no_cache =
+  Arg.(value & flag & info [ "no-cache" ] ~doc:"Recompute even if a memoized verdict exists")
+
+let cache_dir =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "cache-dir" ] ~docv:"DIR"
+      ~doc:
+        "Disk cache directory for audit verdicts (default \\$DIALEGG_VET_CACHE or the \
+         system temporary directory; shared with dialegg-vet)")
+
+let cmd =
+  let doc = "cross-layer encoding-contract auditor for DialEgg rule files" in
+  Cmd.v
+    (Cmd.info "dialegg-audit" ~version:"1.0.0" ~doc)
+    Term.(ret (const run $ strict $ verbose $ no_cache $ cache_dir $ files))
+
+let () = exit (Cmd.eval cmd)

@@ -15,8 +15,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run input egg_file output jobs retries job_timeout grace backoff_ms resume
-    faults iterations max_nodes timeout max_memory_mb on_limit no_vet show_stats
-    quiet verbose engine =
+    faults iterations max_nodes timeout max_memory_mb on_limit no_vet no_audit
+    show_stats quiet verbose engine =
   try
     let rules = match egg_file with Some f -> read_file f | None -> "" in
     if egg_file = None then
@@ -34,18 +34,28 @@ let run input egg_file output jobs retries job_timeout grace backoff_ms resume
         max_memory_mb;
         on_limit;
         vet = not no_vet;
+        audit = not no_audit;
         engine;
       }
     in
-    (* vet once in the supervisor and fail fast before any worker forks;
-       a repeat invocation over the same ruleset hits the on-disk memo *)
+    (* vet and audit once in the supervisor and fail fast before any worker
+       forks; a repeat invocation over the same ruleset hits the on-disk
+       memo *)
     let vet_result = Dialegg.Pipeline.vet_rules_exn pipeline in
     (match vet_result with
     | Some (v, status) when show_stats ->
       Fmt.epr "%a [%s]@." Dialegg.Vet.pp_summary v
         (Dialegg.Vet.cache_status_name status)
     | _ -> ());
-    let pipeline = { pipeline with Dialegg.Pipeline.vet = false } in
+    let audit_result = Dialegg.Pipeline.audit_rules_exn pipeline in
+    (match audit_result with
+    | Some (a, status) when show_stats ->
+      Fmt.epr "%a [%s]@." Dialegg.Audit.pp_summary a
+        (Dialegg.Audit.cache_status_name status)
+    | _ -> ());
+    let pipeline =
+      { pipeline with Dialegg.Pipeline.vet = false; audit = false }
+    in
     let config journal_path =
       {
         Serve.Supervisor.pool = jobs;
@@ -251,13 +261,21 @@ let no_vet =
           "Skip the static ruleset verification the supervisor normally runs \
            (memoized by ruleset hash) before dispatching any job")
 
+let no_audit =
+  Arg.(
+    value & flag
+    & info [ "no-audit" ]
+        ~doc:
+          "Skip the cross-layer encoding audit the supervisor normally runs \
+           (memoized by ruleset and registry hash) before dispatching any job")
+
 let show_stats =
   Arg.(
     value & flag
     & info [ "stats" ]
         ~doc:
-          "Print the ruleset vet summary and its cache status (computed vs \
-           memo hit) to stderr")
+          "Print the ruleset vet and encoding-audit summaries and their \
+           cache status (computed vs memo hit) to stderr")
 
 let quiet =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress the batch report")
@@ -287,7 +305,7 @@ let cmd =
       ret
         (const run $ input $ egg_file $ output $ jobs $ retries $ job_timeout
         $ grace $ backoff_ms $ resume $ faults $ iterations $ max_nodes
-        $ timeout $ max_memory_mb $ on_limit $ no_vet $ show_stats $ quiet
-        $ verbose $ engine))
+        $ timeout $ max_memory_mb $ on_limit $ no_vet $ no_audit $ show_stats
+        $ quiet $ verbose $ engine))
 
 let () = exit (Cmd.eval cmd)

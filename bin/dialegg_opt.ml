@@ -14,8 +14,8 @@ let read_file path =
 
 let run input egg_file output iterations max_nodes timeout timeout_ms
     max_memory_mb on_limit inject_fault no_dce funcs show_timings dump_egg
-    lint_only vet_only no_vet show_stats no_backoff naive_matching no_validate
-    analyze engine jobs =
+    lint_only vet_only no_vet audit_only no_audit show_stats no_backoff
+    naive_matching no_validate analyze engine jobs =
   try
     Serve.Atomic_io.install_signal_cleanup ();
     let rules = match egg_file with Some f -> read_file f | None -> "" in
@@ -39,6 +39,18 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
         Fmt.epr "%a [%s]@." Dialegg.Vet.pp_summary report
           (Dialegg.Vet.cache_status_name status);
         if Egglog.Diag.has_errors report.Dialegg.Vet.v_diags then exit 1;
+        `Ok ()
+    end
+    else if audit_only then begin
+      (* cross-check the rules against the dialect registry and stop *)
+      match egg_file with
+      | None -> `Error (true, "--audit requires an --egg rules file to check")
+      | Some f ->
+        let report, status = Dialegg.Audit.audit_cached ~file:f rules in
+        List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Audit.a_diags;
+        Fmt.epr "%a [%s]@." Dialegg.Audit.pp_summary report
+          (Dialegg.Audit.cache_status_name status);
+        if Egglog.Diag.has_errors report.Dialegg.Audit.a_diags then exit 1;
         `Ok ()
     end
     else begin
@@ -97,6 +109,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
         run_dce = not no_dce;
         validate = not no_validate;
         vet = not no_vet;
+        audit = not no_audit;
         seminaive = not naive_matching;
         backoff = not no_backoff;
         engine;
@@ -142,6 +155,12 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
             (Dialegg.Vet.cache_status_name status)
             Dialegg.Vet.pp_classification v
         | None -> ());
+        (match report.Dialegg.Pipeline.r_audit with
+        | Some (a, status) ->
+          Fmt.epr "audit: %s@.%a@."
+            (Dialegg.Audit.cache_status_name status)
+            Dialegg.Audit.pp_coverage a
+        | None -> Fmt.epr "audit: disabled@.");
         Fmt.epr "stop reason: %a | peak e-graph size: %d nodes@."
           Egglog.Interp.pp_stop_reason timings.Dialegg.Pipeline.stop
           timings.Dialegg.Pipeline.peak_nodes;
@@ -281,6 +300,23 @@ let no_vet =
         "Skip the static ruleset verification that normally runs (memoized) \
          before saturation")
 
+let audit_only =
+  Arg.(
+    value & flag
+    & info [ "audit" ]
+      ~doc:
+        "Only run the cross-layer encoding audit (coverage/arity against the \
+         MLIR dialect registry, result sorts, cost totality, effects) on the \
+         $(b,--egg) rules file and exit (non-zero if it has errors)")
+
+let no_audit =
+  Arg.(
+    value & flag
+    & info [ "no-audit" ]
+      ~doc:
+        "Skip the cross-layer encoding audit that normally runs (memoized) \
+         before saturation")
+
 let show_stats =
   Arg.(
     value & flag
@@ -340,7 +376,8 @@ let cmd =
       ret
         (const run $ input $ egg_file $ output $ iterations $ max_nodes $ timeout
         $ timeout_ms $ max_memory_mb $ on_limit $ inject_fault $ no_dce $ funcs
-        $ show_timings $ dump_egg $ lint_only $ vet_only $ no_vet $ show_stats
-        $ no_backoff $ naive_matching $ no_validate $ analyze $ engine $ jobs))
+        $ show_timings $ dump_egg $ lint_only $ vet_only $ no_vet $ audit_only
+        $ no_audit $ show_stats $ no_backoff $ naive_matching $ no_validate
+        $ analyze $ engine $ jobs))
 
 let () = exit (Cmd.eval cmd)

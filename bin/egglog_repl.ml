@@ -123,8 +123,20 @@ let run files max_nodes timeout stats engine jobs =
         true files
     in
     print_outputs (Egglog.Interp.outputs engine);
-    if stats then
+    if stats then begin
       Fmt.epr "%a@." Egglog.Egraph.pp_stats (Egglog.Interp.egraph engine);
+      (* observability only: how each file fares under the DialEgg
+         encoding audit, and whether the verdict was memoized.  The REPL
+         runs arbitrary Egglog, so findings are informational here and
+         never affect the exit status — dialegg-opt/dialegg-audit are the
+         enforcing front-ends *)
+      List.iter
+        (fun f ->
+          let report, status = Dialegg.Audit.audit_cached ~file:f (read_file f) in
+          Fmt.epr "%s: %a [%s]@." f Dialegg.Audit.pp_summary report
+            (Dialegg.Audit.cache_status_name status))
+        files
+    end;
     let ok = if files = [] then repl engine check_env && ok else ok in
     if ok then `Ok () else `Error (false, "errors were reported")
   with

@@ -16,7 +16,7 @@ let run input output passes verify_only =
     (match Mlir.Verifier.verify m with
     | [] -> ()
     | errs ->
-      Fmt.epr "verification errors:@\n%a@." (Fmt.list ~sep:Fmt.cut Mlir.Verifier.pp_error) errs;
+      Fmt.epr "verification errors:@\n%a@." Egglog.Diag.pp_list errs;
       exit 1);
     if verify_only then (
       print_endline "OK";

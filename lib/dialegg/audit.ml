@@ -1,0 +1,543 @@
+(** Cross-layer encoding-contract auditor ([dialegg-audit]).
+
+    DialEgg's dialect-agnostic promise rests on a contract between three
+    worlds that nothing else checks end-to-end: the egg side (op
+    constructors and costs in the prelude plus the user's ruleset), the
+    MLIR side (the {!Mlir.Dialect} registry: arities, result counts,
+    regions, traits, effects), and the extraction cost model.  This
+    module builds a typed signature model of both worlds once per
+    (ruleset, registry) pair and cross-checks them statically, so a bad
+    configuration is rejected before any saturation runs — the third
+    fail-fast tier after the sort checker ({!Egglog.Check}/{!Lint}) and
+    the intra-ruleset verifier ({!Vet}).
+
+    Four analyses:
+
+    - {b Coverage/arity} — every egg op constructor must map to a
+      registered MLIR op with consistent operand/region arity and a
+      consistent result encoding (trailing [Type] iff exactly one
+      result): errors [egg-arity-mismatch] / [egg-results-mismatch];
+      constructors for unregistered ops get warning [egg-op-unknown]
+      (custom dialects are legal, the translation handles them opaquely,
+      but none of the registry-backed checks can see them).  Reverse
+      direction: a registered fixed-arity single-result [Pure] op of an
+      encoded dialect with no egg constructor gets warning
+      [mlir-op-unencoded] (eggify will treat it opaquely and rules can
+      never see through it).
+    - {b Sort soundness} — where a rule pins an op constructor's
+      trailing [Type] argument to a concrete type head, that type's
+      class must refine the registered op's result class (e.g.
+      [arith_addf] with an [I64] result sort): error [egg-sort-mismatch].
+    - {b Extraction totality} — a reachability fixpoint over the rule
+      dependency graph proves that every [Op] constructor any fireable
+      rule can introduce carries a cost model ([:cost] or an
+      [unstable-cost] rule), so extraction can never silently price a
+      reachable node at the default: error [cost-unreachable].
+    - {b Effect/purity} — rules mentioning ops without the [Pure] trait
+      are rejected (error [rule-impure-op]): saturation may duplicate,
+      share or delete matched subterms, which is unsound for ops that
+      read or mutate memory.  Ops whose only declared effect is [Call]
+      are exempt (outlining a subterm into a named callee is the
+      paper's own fast-inv-sqrt example), as are unregistered ops
+      (already covered by [egg-op-unknown]).
+
+    Verdicts are memoized by a content hash of the ruleset source
+    {e and} the registry fingerprint, in-process and on disk next to the
+    vet cache ({!audit_cached}); editing an op definition invalidates
+    every cached verdict. *)
+
+module Ast = Egglog.Ast
+module Check = Egglog.Check
+module Diag = Egglog.Diag
+module Sexp = Egglog.Sexp
+module Dialect = Mlir.Dialect
+
+(* ------------------------------------------------------------------ *)
+(* Report                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(** Where an op constructor's extraction cost comes from. *)
+type cost_model =
+  | Cost_static of int  (** a [:cost] annotation *)
+  | Cost_rule  (** an [unstable-cost] rule targets it *)
+  | Cost_default  (** nothing: extraction prices it at 1 *)
+
+(** Per-constructor verdict of the coverage analysis. *)
+type op_check = {
+  a_egg : string;  (** egg constructor name *)
+  a_mlir : string;  (** MLIR op it encodes *)
+  a_registered : bool;
+  a_cost : cost_model;
+  a_reachable : bool;  (** some fireable rule or global action introduces it *)
+}
+
+type report = {
+  a_hash : string;  (** content hash of (registry fingerprint, source) *)
+  a_file : string option;
+  a_ops : op_check list;  (** every op constructor in scope, sorted *)
+  a_rules : int;  (** directed rules audited *)
+  a_diags : Diag.t list;
+}
+
+(** Cache key: hex MD5 of the source prefixed with a format-version tag
+    and the {!Mlir.Dialect.fingerprint}, so both ruleset edits and
+    registry edits invalidate cached verdicts. *)
+let hash_source (src : string) : string =
+  Mlir.Registry.ensure_registered ();
+  Digest.to_hex
+    (Digest.string ("dialegg-audit-1\n" ^ Dialect.fingerprint () ^ "\n" ^ src))
+
+(* ------------------------------------------------------------------ *)
+(* Signature model of the egg side                                     *)
+(* ------------------------------------------------------------------ *)
+
+type egg_sig = { s_operands : int; s_regions : int; s_has_type : bool }
+
+let decompose (args : string list) : egg_sig =
+  List.fold_left
+    (fun acc s ->
+      match Vet.kind_of_sort s with
+      | Vet.K_operand -> { acc with s_operands = acc.s_operands + 1 }
+      | Vet.K_region -> { acc with s_regions = acc.s_regions + 1 }
+      | Vet.K_type -> { acc with s_has_type = true }
+      | Vet.K_attr | Vet.K_other -> acc)
+    { s_operands = 0; s_regions = 0; s_has_type = false }
+    args
+
+let dialect_of name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+(* Type class of a ground-enough type pattern head; [None] when the
+   pattern does not determine the class (variables, lets, opaque). *)
+let class_of_type_pattern (e : Ast.expr) : Dialect.type_class option =
+  match e with
+  | Ast.Call (("I1" | "I8" | "I16" | "I32" | "I64" | "IntegerType"), _) ->
+    Some Dialect.Int_like
+  | Ast.Call (("F16" | "F32" | "F64"), _) -> Some Dialect.Float_like
+  | Ast.Call ("IndexT", _) -> Some Dialect.Index_like
+  | Ast.Call (("RankedTensor" | "UnrankedTensor" | "MemRefType"), _) ->
+    Some Dialect.Shaped
+  | _ -> None
+
+(* The prelude's own rule commands take part in the reachability
+   fixpoint (its nrows/ncols rule), parsed once. *)
+let prelude_cmds =
+  lazy
+    (try Egglog.Parser.parse_program_located Prelude.source with _ -> [])
+
+let rec call_heads acc (e : Ast.expr) =
+  match e with
+  | Ast.Call (f, args) ->
+    if not (Egglog.Primitives.is_primitive f) then Hashtbl.replace acc f ();
+    List.iter (call_heads acc) args
+  | Ast.Var _ | Ast.Wildcard | Ast.Lit _ -> ()
+
+let heads_of es =
+  let acc = Hashtbl.create 8 in
+  List.iter (call_heads acc) es;
+  Hashtbl.fold (fun f () l -> f :: l) acc []
+
+let fact_exprs = function Ast.F_eq es -> es | Ast.F_expr e -> [ e ]
+
+let rec iter_subterms f (e : Ast.expr) =
+  f e;
+  match e with
+  | Ast.Call (_, args) -> List.iter (iter_subterms f) args
+  | Ast.Var _ | Ast.Wildcard | Ast.Lit _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The audit                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let audit ?file (src : string) : report =
+  Mlir.Registry.ensure_registered ();
+  let hash = hash_source src in
+  let env = Lint.fresh_env () in
+  let check_diags = Check.check_program ?file ~env src in
+  if Diag.has_errors check_diags then
+    (* a program the sort-checker rejects cannot be modelled; surface
+       the errors so a standalone audit still fails usefully *)
+    {
+      a_hash = hash;
+      a_file = file;
+      a_ops = [];
+      a_rules = 0;
+      a_diags = List.filter Diag.is_error check_diags;
+    }
+  else begin
+    let cmds = try Egglog.Parser.parse_program_located src with _ -> [] in
+    let all_cmds = Lazy.force prelude_cmds @ cmds in
+    let diags = ref [] in
+    let add ?span severity code fmt =
+      Fmt.kstr (fun m -> diags := Diag.make ?file ?span severity code m :: !diags) fmt
+    in
+    (* declaration sites of user functions, for located diagnostics *)
+    let decl_spans = Hashtbl.create 16 in
+    List.iter
+      (fun ((cmd : Ast.command), (cloc : Sexp.located)) ->
+        match cmd with
+        | Ast.C_function d -> Hashtbl.replace decl_spans d.Ast.f_name cloc.Sexp.span
+        | Ast.C_relation (name, _) -> Hashtbl.replace decl_spans name cloc.Sexp.span
+        | Ast.C_datatype (_, variants) ->
+          List.iter
+            (fun (v : Ast.variant) ->
+              Hashtbl.replace decl_spans v.Ast.v_name cloc.Sexp.span)
+            variants
+        | _ -> ())
+      cmds;
+    let span_of name = Hashtbl.find_opt decl_spans name in
+    (* which constructors does an unstable-cost action target? *)
+    let cost_targets = Hashtbl.create 8 in
+    List.iter
+      (fun ((cmd : Ast.command), _) ->
+        let actions =
+          match cmd with
+          | Ast.C_rule { actions; _ } -> actions
+          | Ast.C_action a -> [ a ]
+          | _ -> []
+        in
+        List.iter
+          (function
+            | Ast.A_cost (Ast.Call (f, _), _) -> Hashtbl.replace cost_targets f ()
+            | _ -> ())
+          actions)
+      all_cmds;
+    (* ---------------- extraction totality: reachability fixpoint ----- *)
+    (* matchable: heads a pattern can ever match (eggify output, hook
+       output, or anything a fireable rule introduces).  [type-of] is
+       populated by {!Sigs.type_of_rules}, generated per run. *)
+    let matchable = Hashtbl.create 64 in
+    let introduced = Hashtbl.create 16 in
+    Check.iter_funcs env (fun name _ ->
+        if Lint.emittable env name then Hashtbl.replace matchable name ());
+    Hashtbl.replace matchable "type-of" ();
+    let mark h =
+      Hashtbl.replace matchable h ();
+      Hashtbl.replace introduced h ()
+    in
+    let action_outputs (a : Ast.action) =
+      match a with
+      | Ast.A_let (_, e) | Ast.A_expr e -> heads_of [ e ]
+      | Ast.A_union (x, y) | Ast.A_set (x, y) -> heads_of [ x; y ]
+      | Ast.A_cost _ | Ast.A_delete _ | Ast.A_panic _ -> []
+    in
+    (* global lets and top-level actions put their terms in the e-graph
+       unconditionally *)
+    List.iter
+      (fun ((cmd : Ast.command), _) ->
+        match cmd with
+        | Ast.C_let (_, e) -> List.iter mark (heads_of [ e ])
+        | Ast.C_action a -> List.iter mark (action_outputs a)
+        | _ -> ())
+      all_cmds;
+    (* (triggers, outputs) per rule; a rule fires only if every
+       non-primitive head of its patterns is matchable *)
+    let rules_deps =
+      List.concat_map
+        (fun ((cmd : Ast.command), _) ->
+          match cmd with
+          | Ast.C_rewrite { lhs; rhs; conds; bidirectional; _ } ->
+            let cond_es = List.concat_map fact_exprs conds in
+            let fwd = (heads_of (lhs :: cond_es), heads_of [ rhs ]) in
+            if bidirectional then
+              [ fwd; (heads_of (rhs :: cond_es), heads_of [ lhs ]) ]
+            else [ fwd ]
+          | Ast.C_rule { facts; actions; _ } ->
+            [
+              ( heads_of (List.concat_map fact_exprs facts),
+                List.concat_map action_outputs actions );
+            ]
+          | _ -> [])
+        all_cmds
+    in
+    let changed = ref true in
+    let fired = Array.make (List.length rules_deps) false in
+    while !changed do
+      changed := false;
+      List.iteri
+        (fun i (triggers, outputs) ->
+          if (not fired.(i)) && List.for_all (Hashtbl.mem matchable) triggers
+          then begin
+            fired.(i) <- true;
+            changed := true;
+            List.iter mark outputs
+          end)
+        rules_deps
+    done;
+    (* ---------------- per-constructor coverage, arity, cost ---------- *)
+    let ops = ref [] in
+    Check.iter_funcs env (fun name fs ->
+        if String.equal fs.Check.fs_ret "Op" && not (String.equal name "Value")
+        then ops := (name, fs) :: !ops);
+    let ops = List.sort (fun (a, _) (b, _) -> String.compare a b) !ops in
+    let op_checks =
+      List.filter_map
+        (fun (name, (fs : Check.fsig)) ->
+          let span = span_of name in
+          match Lint.op_shape_error name fs.Check.fs_args with
+          | Some msg ->
+            (* standalone audits must reject these too; under the full
+               pipeline the lint tier already failed fast on them *)
+            add ?span Diag.Error "bad-op-constructor"
+              "%s: %s — the eggifier cannot emit this operation" name msg;
+            None
+          | None ->
+            let s = decompose fs.Check.fs_args in
+            let mlir = Sigs.mlir_name_of_egg name in
+            let registered =
+              match Dialect.find mlir with
+              | None ->
+                add ?span Diag.Warning "egg-op-unknown"
+                  "egg constructor %s maps to MLIR op %s, which is not in \
+                   the dialect registry: the verifier, sort and effect \
+                   audits cannot check it"
+                  name mlir;
+                false
+              | Some d ->
+                (match d.Dialect.d_n_operands with
+                | Some n when n <> s.s_operands ->
+                  add ?span Diag.Error "egg-arity-mismatch"
+                    "egg constructor %s declares %d operand parameter(s) but \
+                     %s takes %d operand(s)"
+                    name s.s_operands mlir n
+                | _ -> ());
+                if d.Dialect.d_n_regions <> s.s_regions then
+                  add ?span Diag.Error "egg-arity-mismatch"
+                    "egg constructor %s declares %d region parameter(s) but \
+                     %s has %d region(s)"
+                    name s.s_regions mlir d.Dialect.d_n_regions;
+                (match d.Dialect.d_n_results with
+                | Some 1 when not s.s_has_type ->
+                  add ?span Diag.Error "egg-results-mismatch"
+                    "%s has exactly one result, so egg constructor %s needs \
+                     a trailing Type parameter"
+                    mlir name
+                | Some 0 when s.s_has_type ->
+                  add ?span Diag.Error "egg-results-mismatch"
+                    "%s has no results, so egg constructor %s must not \
+                     have a trailing Type parameter"
+                    mlir name
+                | Some n when n > 1 ->
+                  add ?span Diag.Error "egg-results-mismatch"
+                    "%s has %d results; the encoding only supports 0 (no \
+                     trailing Type) or 1 (trailing Type)"
+                    mlir n
+                | _ -> ());
+                true
+            in
+            let cost =
+              match fs.Check.fs_cost with
+              | Some c -> Cost_static c
+              | None ->
+                if Hashtbl.mem cost_targets name then Cost_rule else Cost_default
+            in
+            let reachable = Hashtbl.mem introduced name in
+            if reachable && cost = Cost_default then
+              add ?span Diag.Error "cost-unreachable"
+                "op constructor %s is reachable from rule right-hand sides \
+                 but has no cost model (:cost or unstable-cost rule): \
+                 extraction would silently price it at the default 1"
+                name;
+            Some
+              {
+                a_egg = name;
+                a_mlir = mlir;
+                a_registered = registered;
+                a_cost = cost;
+                a_reachable = reachable;
+              })
+        ops
+    in
+    (* reverse coverage: registered ops of encoded dialects that eggify
+       could translate but no constructor declares *)
+    let encoded_dialects = Hashtbl.create 8 in
+    let have_constructor = Hashtbl.create 64 in
+    List.iter
+      (fun c ->
+        Hashtbl.replace have_constructor c.a_mlir ();
+        if c.a_registered then
+          Hashtbl.replace encoded_dialects (dialect_of c.a_mlir) ())
+      op_checks;
+    Dialect.iter (fun d ->
+        let name = d.Dialect.d_name in
+        if
+          Hashtbl.mem encoded_dialects (dialect_of name)
+          && List.mem Dialect.Pure d.Dialect.d_traits
+          && d.Dialect.d_n_operands <> None
+          && d.Dialect.d_n_results = Some 1
+          && d.Dialect.d_n_regions = 0
+          && not (Hashtbl.mem have_constructor name)
+        then
+          add Diag.Warning "mlir-op-unencoded"
+            "registered op %s has no egg constructor although its dialect is \
+             encoded: eggify will treat it opaquely and rules cannot see \
+             through it"
+            name);
+    (* ---------------- rule-level analyses ----------------------------- *)
+    let directed = Vet.directed_rules cmds in
+    let audit_call (d : Vet.directed) (e : Ast.expr) =
+      match e with
+      | Ast.Call (f, args) -> (
+        match Vet.op_constructor env f with
+        | Some arg_sorts when List.length arg_sorts = List.length args -> (
+          let mlir = Sigs.mlir_name_of_egg f in
+          match Dialect.find mlir with
+          | None -> () (* unregistered: already warned at the declaration *)
+          | Some dd ->
+            (* sort soundness: a pinned trailing Type must refine the
+               registered result class *)
+            (match dd.Dialect.d_result_class with
+            | [] -> ()
+            | allowed ->
+              List.iter2
+                (fun sort arg ->
+                  if Vet.kind_of_sort sort = Vet.K_type then
+                    match class_of_type_pattern arg with
+                    | Some c when not (List.mem c allowed) ->
+                      add ~span:d.Vet.d_span Diag.Error "egg-sort-mismatch"
+                        "rule %s builds %s with a %s result sort, but %s \
+                         produces %s results"
+                        d.Vet.d_name f
+                        (Dialect.type_class_name c)
+                        mlir
+                        (String.concat "/"
+                           (List.map Dialect.type_class_name allowed))
+                    | _ -> ())
+                arg_sorts args);
+            (* purity: saturation may duplicate, share or delete this
+               term — unsound for effectful ops *)
+            if not (List.mem Dialect.Pure dd.Dialect.d_traits) then begin
+              let call_only =
+                dd.Dialect.d_effects <> []
+                && List.for_all (( = ) Dialect.Call) dd.Dialect.d_effects
+              in
+              if not call_only then
+                add ~span:d.Vet.d_span Diag.Error "rule-impure-op"
+                  "rule %s mentions %s (via %s), which is not Pure%s: \
+                   equality saturation may duplicate, share or delete it"
+                  d.Vet.d_name mlir f
+                  (match dd.Dialect.d_effects with
+                  | [] -> ""
+                  | es ->
+                    " (effects: "
+                    ^ String.concat ", " (List.map Dialect.effect_name es)
+                    ^ ")")
+            end)
+        | _ -> ())
+      | _ -> ()
+    in
+    List.iter
+      (fun (d : Vet.directed) ->
+        List.iter
+          (iter_subterms (audit_call d))
+          ((d.Vet.d_lhs :: d.Vet.d_rhs :: d.Vet.d_conds)))
+      directed;
+    {
+      a_hash = hash;
+      a_file = file;
+      a_ops = op_checks;
+      a_rules = List.length directed;
+      a_diags = Diag.dedup (List.rev !diags);
+    }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Memoization (shares the vet cache directory)                        *)
+(* ------------------------------------------------------------------ *)
+
+type cache_status = Vet.cache_status = Hit_memory | Hit_disk | Computed
+
+let cache_status_name = Vet.cache_status_name
+
+let memo : (string, report) Hashtbl.t = Hashtbl.create 4
+
+(* Bump when {!report} changes shape: stale disk entries must fail the
+   magic check, not be mis-deserialized. *)
+let cache_magic = "dialegg-audit-cache-1"
+
+let cache_file dir hash = Filename.concat dir (hash ^ ".audit")
+
+let read_cache dir hash : report option =
+  match open_in_bin (cache_file dir hash) with
+  | exception _ -> None
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        try
+          let magic : string = Marshal.from_channel ic in
+          if not (String.equal magic cache_magic) then None
+          else
+            let (r : report) = Marshal.from_channel ic in
+            if String.equal r.a_hash hash then Some r else None
+        with _ -> None)
+
+let write_cache dir hash (r : report) =
+  try
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
+    let tmp = Filename.temp_file ~temp_dir:dir "audit" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        Marshal.to_channel oc cache_magic [];
+        Marshal.to_channel oc r []);
+    Sys.rename tmp (cache_file dir hash)
+  with _ -> ()
+
+(* A cached report may have been produced under another file name; point
+   its diagnostics at the caller's. *)
+let retarget file (r : report) =
+  { r with a_file = file; a_diags = List.map (fun d -> { d with Diag.file }) r.a_diags }
+
+let audit_cached ?cache_dir ?file (src : string) : report * cache_status =
+  let hash = hash_source src in
+  match Hashtbl.find_opt memo hash with
+  | Some r -> (retarget file r, Hit_memory)
+  | None -> (
+    let dir =
+      match cache_dir with Some _ as d -> d | None -> Vet.default_cache_dir ()
+    in
+    match Option.bind dir (fun d -> read_cache d hash) with
+    | Some r ->
+      Hashtbl.replace memo hash r;
+      (retarget file r, Hit_disk)
+    | None ->
+      let r = audit ?file src in
+      Hashtbl.replace memo hash r;
+      Option.iter (fun d -> write_cache d hash r) dir;
+      (r, Computed))
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let cost_model_name = function
+  | Cost_static c -> Printf.sprintf ":cost %d" c
+  | Cost_rule -> "cost rule"
+  | Cost_default -> "default"
+
+let pp_coverage ppf (r : report) =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "%-24s -> %-20s %-12s %-10s %s" c.a_egg c.a_mlir
+        (if c.a_registered then "registered" else "UNKNOWN")
+        (cost_model_name c.a_cost)
+        (if c.a_reachable then "reachable" else "-");
+      Fmt.cut ppf ())
+    r.a_ops;
+  Fmt.pf ppf "@]"
+
+let pp_summary ppf (r : report) =
+  let registered = List.length (List.filter (fun c -> c.a_registered) r.a_ops) in
+  Fmt.pf ppf
+    "audit: %d constructor(s) (%d registered, %d unknown), %d rule(s), %d \
+     error(s), %d warning(s)"
+    (List.length r.a_ops) registered
+    (List.length r.a_ops - registered)
+    r.a_rules
+    (Diag.count_errors r.a_diags)
+    (Diag.count_warnings r.a_diags)

@@ -98,6 +98,24 @@ let op_shape_error name (args : string list) : string option =
   | _ -> ());
   !err
 
+let well_formed_op env f =
+  match Check.find_func env f with
+  | Some fs when fs.Check.fs_ret = "Op" && f <> "Value" ->
+    op_shape_error f fs.Check.fs_args = None
+  | _ -> false
+
+(** Can the eggifier or a translation hook ever create this head? *)
+let emittable env f =
+  match Check.find_func env f with
+  | None -> true (* unknown: the checker already errored *)
+  | Some fs -> (
+    match fs.Check.fs_ret with
+    | "Op" -> f = "Value" || well_formed_op env f
+    | "Type" | "Attr" | "AttrPair" -> true (* translation hooks synthesise these *)
+    | _ -> false)
+
+let prelude_func f = Hashtbl.mem (Lazy.force prelude_funcs) f
+
 (* ------------------------------------------------------------------ *)
 (* The dialect lints                                                   *)
 (* ------------------------------------------------------------------ *)
@@ -157,11 +175,6 @@ let dialect_lints ?file env (cmds : (Ast.command * Sexp.located) list) : Diag.t 
         List.iter (fun (v : Ast.variant) -> Hashtbl.replace user_decls v.v_name cloc.span) variants
       | _ -> ())
     cmds;
-  let well_formed_op f =
-    match Check.find_func env f with
-    | Some fs when fs.fs_ret = "Op" && f <> "Value" -> op_shape_error f fs.fs_args = None
-    | _ -> false
-  in
   (* --- op constructor declarations --- *)
   List.iter
     (fun ((cmd : Ast.command), (cloc : Sexp.located)) ->
@@ -179,15 +192,6 @@ let dialect_lints ?file env (cmds : (Ast.command * Sexp.located) list) : Diag.t 
       | _ -> ())
     cmds;
   (* --- dead rules --- *)
-  let emittable f =
-    match Check.find_func env f with
-    | None -> true (* unknown: the checker already errored *)
-    | Some fs -> (
-      match fs.fs_ret with
-      | "Op" -> f = "Value" || well_formed_op f
-      | "Type" | "Attr" | "AttrPair" -> true (* translation hooks synthesise these *)
-      | _ -> false)
-  in
   let check_dead span (pats : Ast.expr list) =
     let refs = Hashtbl.create 8 in
     List.iter (call_heads refs) pats;
@@ -195,9 +199,9 @@ let dialect_lints ?file env (cmds : (Ast.command * Sexp.located) list) : Diag.t 
       (fun f () ->
         if
           Hashtbl.mem user_decls f
-          && (not (Hashtbl.mem (Lazy.force prelude_funcs) f))
+          && (not (prelude_func f))
           && (not (Hashtbl.mem produced f))
-          && not (emittable f)
+          && not (emittable env f)
         then
           warn span "dead-rule"
             "rule can never fire: %s is not an operation the eggifier can emit and no rule action or let ever produces it"

@@ -7,6 +7,21 @@
 (** A fresh checking environment preloaded with the DialEgg prelude. *)
 val fresh_env : unit -> Egglog.Check.env
 
+(** Mirror of the canonical parameter-order enforcement in
+    {!Sigs.sig_of_function}, over declared sort names: [None] when the
+    op constructor is well-formed, [Some msg] otherwise.  Shared with
+    the encoding auditor. *)
+val op_shape_error : string -> string list -> string option
+
+(** Can the eggifier or a translation hook ever create a term with this
+    head?  ([Op]-returning: [Value] or a well-formed op constructor;
+    [Type]/[Attr]/[AttrPair]: synthesized by hooks; unknown functions:
+    [true], the sort-checker already errored.) *)
+val emittable : Egglog.Check.env -> string -> bool
+
+(** Is this function declared by the DialEgg prelude? *)
+val prelude_func : string -> bool
+
 (** Lint a rules program (user declarations + rewrites).  Never raises:
     unparsable input becomes [parse-error] diagnostics. *)
 val lint_rules : ?file:string -> string -> Egglog.Diag.t list

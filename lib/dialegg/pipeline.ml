@@ -62,9 +62,15 @@ type config = {
           soundness errors raise {!Error}, expansion/overlap warnings go
           to stderr.  The verdict is memoized by ruleset content hash,
           so a batch run vets its ruleset once. *)
+  audit : bool;
+      (** cross-layer encoding audit before saturation (see {!Audit}):
+          contract errors between the ruleset, the MLIR dialect registry
+          and the cost model raise {!Error}, coverage warnings go to
+          stderr.  The verdict is memoized by (ruleset, registry
+          fingerprint) content hash. *)
   vet_cache_dir : string option;
-      (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or
-          the system temporary directory) *)
+      (** on-disk vet/audit cache override (default [$DIALEGG_VET_CACHE]
+          or the system temporary directory) *)
   engine : Egglog.Egraph.engine;
       (** e-graph storage engine: [Arena] (flat int arrays + generic join,
           default) or [Legacy] (boxed hashtables) — [--engine] *)
@@ -102,6 +108,7 @@ let default_config =
     validate = true;
     lint = true;
     vet = true;
+    audit = true;
     vet_cache_dir = None;
     engine = Egglog.Egraph.Arena;
     jobs = 1;
@@ -153,6 +160,31 @@ let vet_rules_exn config : (Vet.report * Vet.cache_status) option =
            (Fmt.str "rules failed vet:@\n%a"
               (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
               (List.filter Egglog.Diag.is_error report.Vet.v_diags)));
+    Some (report, status)
+  end
+  else None
+
+(* The third fail-fast tier: the cross-layer encoding audit (see
+   {!Audit}).  Contract violations between the ruleset, the dialect
+   registry and the cost model abort before any saturation runs;
+   coverage warnings are surfaced but not fatal.  Memoized by (ruleset,
+   registry fingerprint) content hash, like the vet tier. *)
+let audit_rules_exn config : (Audit.report * Audit.cache_status) option =
+  if config.audit && config.rules <> "" then begin
+    let report, status =
+      Audit.audit_cached ?cache_dir:config.vet_cache_dir ~file:"<rules>" config.rules
+    in
+    (* an in-process memo hit already printed its warnings *)
+    if status <> Audit.Hit_memory then
+      List.iter
+        (fun d -> if not (Egglog.Diag.is_error d) then Fmt.epr "%a@." Egglog.Diag.pp d)
+        report.Audit.a_diags;
+    if Egglog.Diag.has_errors report.Audit.a_diags then
+      raise
+        (Error
+           (Fmt.str "rules failed encoding audit:@\n%a"
+              (Fmt.list ~sep:Fmt.cut Egglog.Diag.pp)
+              (List.filter Egglog.Diag.is_error report.Audit.a_diags)));
     Some (report, status)
   end
   else None
@@ -312,6 +344,9 @@ type report = {
       (** the ruleset's static verification verdict and whether it was
           recomputed or served from the memo ([None] when vetting is off
           or there are no rules) *)
+  r_audit : (Audit.report * Audit.cache_status) option;
+      (** the encoding audit's verdict and cache provenance ([None] when
+          the audit is off or there are no rules) *)
 }
 
 let pp_outcome ppf = function
@@ -324,6 +359,10 @@ let pp_report ppf (r : report) =
   (match r.r_vet with
   | Some (v, status) ->
     Fmt.pf ppf "%a [%s]@." Vet.pp_summary v (Vet.cache_status_name status)
+  | None -> ());
+  (match r.r_audit with
+  | Some (a, status) ->
+    Fmt.pf ppf "%a [%s]@." Audit.pp_summary a (Audit.cache_status_name status)
   | None -> ());
   List.iter
     (fun fr ->
@@ -419,6 +458,7 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
   Mlir.Registry.ensure_registered ();
   lint_rules_exn config;
   ignore (vet_rules_exn config : (Vet.report * Vet.cache_status) option);
+  ignore (audit_rules_exn config : (Audit.report * Audit.cache_status) option);
   let fname = Mlir.Ir.func_name func in
   let strict = config.on_limit = Fail in
   let original = if strict then None else Some (snapshot_function func) in
@@ -625,8 +665,10 @@ let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.
     report =
   lint_rules_exn config;
   let vet_result = vet_rules_exn config in
-  (* the rules were just linted and vetted; don't redo either per function *)
-  let config = { config with lint = false; vet = false } in
+  let audit_result = audit_rules_exn config in
+  (* the rules were just linted, vetted and audited; don't redo any of
+     the static tiers per function *)
+  let config = { config with lint = false; vet = false; audit = false } in
   let should name = match only with None -> true | Some names -> List.mem name names in
   let reports =
     List.filter_map
@@ -641,6 +683,7 @@ let optimize_module_report ?(config = default_config) ?hooks ?only (m : Mlir.Ir.
     r_timings =
       List.fold_left (fun acc fr -> add_timings acc fr.fr_timings) zero_timings reports;
     r_vet = vet_result;
+    r_audit = audit_result;
   }
 
 (** Optimize every function of a module in place (or only those named in

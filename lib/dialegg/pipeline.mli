@@ -47,9 +47,17 @@ type config = {
           {!Error}, expansion/overlap warnings go to stderr.  The verdict
           is memoized by ruleset content hash, so a module or batch run
           vets its ruleset once ([dialegg-opt --no-vet] turns this off) *)
+  audit : bool;
+      (** cross-layer encoding audit (see {!Audit}, default on) before
+          saturation: contract errors between the ruleset, the MLIR
+          dialect registry and the extraction cost model raise {!Error},
+          coverage warnings go to stderr.  The verdict is memoized by
+          (ruleset, registry fingerprint) content hash
+          ([dialegg-opt --no-audit] turns this off) *)
   vet_cache_dir : string option;
-      (** on-disk vet cache override (default [$DIALEGG_VET_CACHE] or the
-          system temporary directory; [DIALEGG_VET_CACHE=""] disables) *)
+      (** on-disk vet/audit cache override (default [$DIALEGG_VET_CACHE]
+          or the system temporary directory; [DIALEGG_VET_CACHE=""]
+          disables) *)
   engine : Egglog.Egraph.engine;
       (** e-graph storage engine: [Arena] (flat int arrays + generic join,
           default) or [Legacy] (boxed hashtables) — [dialegg-opt --engine] *)
@@ -82,6 +90,12 @@ val default_config : config
     [config.vet] is off or there are no rules.
     @raise Error on any error-severity vet diagnostic. *)
 val vet_rules_exn : config -> (Vet.report * Vet.cache_status) option
+
+(** Run the {!Audit} fail-fast tier over [config.rules]: prints warnings
+    to stderr and returns the memoized (report, cache status); [None]
+    when [config.audit] is off or there are no rules.
+    @raise Error on any error-severity audit diagnostic. *)
+val audit_rules_exn : config -> (Audit.report * Audit.cache_status) option
 
 type timings = {
   t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
@@ -133,6 +147,9 @@ type report = {
       (** the ruleset's static verification verdict and whether it was
           recomputed or served from the memo ([None] when vetting is off
           or there are no rules) *)
+  r_audit : (Audit.report * Audit.cache_status) option;
+      (** the encoding audit's verdict and cache provenance ([None] when
+          the audit is off or there are no rules) *)
 }
 
 val pp_outcome : Format.formatter -> outcome -> unit

@@ -97,6 +97,8 @@ let source =
 (function arith_xori (Op Op Type) Op :cost 1)
 (function arith_minsi (Op Op Type) Op :cost 1)
 (function arith_maxsi (Op Op Type) Op :cost 1)
+(function arith_minui (Op Op Type) Op :cost 1)
+(function arith_maxui (Op Op Type) Op :cost 1)
 (function arith_cmpi (Op Op AttrPair Type) Op :cost 1)
 (function arith_addf (Op Op AttrPair Type) Op :cost 3)
 (function arith_subf (Op Op AttrPair Type) Op :cost 3)

@@ -37,9 +37,17 @@ let capture (func : Mlir.Ir.op) : snapshot =
   }
 
 let verify_diags ?file ~code (op : Mlir.Ir.op) =
+  (* the verifier already emits located Diag errors (code "verify-*",
+     op-path message); re-file them under the caller's code so pipeline
+     stages stay distinguishable (invalid-input vs invalid-extraction) *)
   List.map
-    (fun (e : Mlir.Verifier.error) ->
-      Egglog.Diag.error ?file code "%s: %s" e.Mlir.Verifier.e_op e.Mlir.Verifier.e_msg)
+    (fun (d : Egglog.Diag.t) ->
+      {
+        d with
+        Egglog.Diag.file;
+        code;
+        message = d.Egglog.Diag.code ^ ": " ^ d.Egglog.Diag.message;
+      })
     (Mlir.Verifier.verify op)
 
 let check ?file (snap : snapshot) (func : Mlir.Ir.op) : Egglog.Diag.t list =

@@ -75,3 +75,39 @@ val pp_classification : Format.formatter -> report -> unit
 
 (** One-line totals: rule counts per class, errors, warnings. *)
 val pp_summary : Format.formatter -> report -> unit
+
+(** {2 Rule-model internals}
+
+    Shared with the cross-layer encoding auditor ({!Audit}), which
+    analyzes the same directed-rule decomposition against the MLIR
+    dialect registry. *)
+
+(** What one argument sort of an op constructor encodes, per {!Sigs}'s
+    convention. *)
+type arg_kind = K_operand | K_attr | K_region | K_type | K_other
+
+val kind_of_sort : string -> arg_kind
+
+(** Argument sorts of an MLIR op constructor ([fs_ret = Op], not the
+    [Value] leaf and not a primitive), or [None]. *)
+val op_constructor : Egglog.Check.env -> string -> string list option
+
+(** One direction of a rewrite, or one [union] action of a [rule] with
+    its let/fact bindings substituted away. *)
+type directed = {
+  d_name : string;
+  d_span : Egglog.Sexp.span;
+  d_lhs : Egglog.Ast.expr;
+  d_rhs : Egglog.Ast.expr;
+  d_conds : Egglog.Ast.expr list;
+      (** additional LHS-side patterns (guards, other facts) *)
+  d_pure : bool;  (** an unconditional rewrite — eligible for shadowing *)
+}
+
+val directed_rules :
+  (Egglog.Ast.command * Egglog.Sexp.located) list -> directed list
+
+(** The cache directory [$DIALEGG_VET_CACHE] selects ([None] = disk
+    cache disabled).  The audit cache lives in the same directory with a
+    different file extension and format-version magic. *)
+val default_cache_dir : unit -> string option

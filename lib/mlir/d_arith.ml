@@ -165,17 +165,18 @@ let verify_float_binary op =
 
 let register () =
   let open Dialect in
-  def "arith.constant" ~n_operands:0 ~traits:[ Pure; Constant_like ]
+  def "arith.constant" ~n_operands:0 ~n_results:1 ~traits:[ Pure; Constant_like ]
     ~verify:(fun op ->
       match Ir.attr op "value" with
       | Some _ -> Ok ()
       | None -> Error "arith.constant requires a value attribute");
   let int_binop ?(traits = [ Pure ]) name f =
-    def name ~n_operands:2 ~traits ~verify:verify_int_binary
-      ~fold:(fold_int_binop f)
+    def name ~n_operands:2 ~n_results:1 ~result_class:[ Int_like; Index_like ]
+      ~traits ~verify:verify_int_binary ~fold:(fold_int_binop f)
   in
   let int_binop_id ?(traits = [ Pure ]) ?right_identity ?left_identity name f =
-    def name ~n_operands:2 ~traits ~verify:verify_int_binary
+    def name ~n_operands:2 ~n_results:1 ~result_class:[ Int_like; Index_like ]
+      ~traits ~verify:verify_int_binary
       ~fold:(fold_int_binop_id ?right_identity ?left_identity f)
   in
   int_binop_id "arith.addi" Ints.add ~traits:[ Pure; Commutative ] ~right_identity:0L
@@ -200,7 +201,8 @@ let register () =
   int_binop "arith.minui" Ints.minui ~traits:[ Pure; Commutative ];
   int_binop "arith.maxui" Ints.maxui ~traits:[ Pure; Commutative ];
   let float_binop ?(traits = [ Pure ]) name f =
-    def name ~n_operands:2 ~traits ~verify:verify_float_binary ~fold:(fold_float_binop f)
+    def name ~n_operands:2 ~n_results:1 ~result_class:[ Float_like ] ~traits
+      ~verify:verify_float_binary ~fold:(fold_float_binop f)
   in
   float_binop "arith.addf" Float.add ~traits:[ Pure; Commutative ];
   float_binop "arith.subf" Float.sub;
@@ -208,29 +210,38 @@ let register () =
   float_binop "arith.divf" Float.div;
   float_binop "arith.maximumf" Float.max ~traits:[ Pure; Commutative ];
   float_binop "arith.minimumf" Float.min ~traits:[ Pure; Commutative ];
-  def "arith.negf" ~n_operands:1 ~traits:[ Pure ] ~fold:(fun op consts ->
+  def "arith.negf" ~n_operands:1 ~n_results:1 ~result_class:[ Float_like ]
+    ~traits:[ Pure ] ~fold:(fun op consts ->
       match float_of_attr consts.(0) with
       | Some a -> Fold_to_attr (Attr.Float (-.a, op.Ir.results.(0).v_type))
       | None -> No_fold);
-  def "arith.cmpi" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+  def "arith.cmpi" ~n_operands:2 ~n_results:1 ~result_class:[ Int_like ]
+    ~traits:[ Pure ] ~fold:(fun op consts ->
       match (int_of_attr consts.(0), int_of_attr consts.(1), Ir.attr op "predicate") with
       | Some a, Some b, Some (Attr.Int (p, _)) ->
         let w = Typ.int_width op.Ir.operands.(0).v_type in
         Fold_to_attr (Attr.Int ((if Ints.cmpi w (Int64.to_int p) a b then 1L else 0L), Typ.i1))
       | _ -> No_fold);
-  def "arith.cmpf" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+  def "arith.cmpf" ~n_operands:2 ~n_results:1 ~result_class:[ Int_like ]
+    ~traits:[ Pure ] ~fold:(fun op consts ->
       match (float_of_attr consts.(0), float_of_attr consts.(1), Ir.attr op "predicate") with
       | Some a, Some b, Some (Attr.Int (p, _)) ->
         Fold_to_attr (Attr.Int ((if Ints.cmpf (Int64.to_int p) a b then 1L else 0L), Typ.i1))
       | _ -> No_fold);
-  def "arith.select" ~n_operands:3 ~traits:[ Pure ] ~fold:(fun _op consts ->
+  def "arith.select" ~n_operands:3 ~n_results:1 ~traits:[ Pure ]
+    ~fold:(fun _op consts ->
       match int_of_attr consts.(0) with
       | Some 1L -> Fold_to_operand 1
       | Some 0L -> Fold_to_operand 2
       | _ -> No_fold);
   List.iter
-    (fun name -> def name ~n_operands:1 ~traits:[ Pure ])
+    (fun (name, result_class) ->
+      def name ~n_operands:1 ~n_results:1 ~result_class ~traits:[ Pure ])
     [
-      "arith.index_cast"; "arith.sitofp"; "arith.fptosi"; "arith.truncf";
-      "arith.extf"; "arith.bitcast";
+      ("arith.index_cast", [ Int_like; Index_like ]);
+      ("arith.sitofp", [ Float_like ]);
+      ("arith.fptosi", [ Int_like ]);
+      ("arith.truncf", [ Float_like ]);
+      ("arith.extf", [ Float_like ]);
+      ("arith.bitcast", []);
     ]

@@ -50,8 +50,9 @@ let register () =
       | Some (Attr.String _), Some (Attr.Type (Typ.Function _)) -> Ok ()
       | _ -> Error "func.func requires sym_name and function_type attributes");
   def "func.return" ~n_results:0 ~traits:[ Terminator ];
-  (* calls are not Pure: the callee may have effects *)
-  def "func.call" ~verify:(fun op ->
+  (* calls are not Pure: the callee may have effects.  Operand and result
+     counts follow the callee signature: variadic on both sides. *)
+  def "func.call" ~effects:[ Call ] ~verify:(fun op ->
       match Ir.attr op "callee" with
       | Some (Attr.Symbol_ref _) -> Ok ()
       | _ -> Error "func.call requires a callee symbol")

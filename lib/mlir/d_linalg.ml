@@ -50,6 +50,9 @@ let verify_matmul (op : Ir.op) =
 
 let register () =
   let open Dialect in
-  def "linalg.matmul" ~n_operands:3 ~traits:[ Pure ] ~verify:verify_matmul;
-  def "linalg.fill" ~n_operands:2 ~traits:[ Pure ];
-  def "linalg.add" ~n_operands:3 ~traits:[ Pure ]
+  def "linalg.matmul" ~n_operands:3 ~n_results:1 ~result_class:[ Shaped ]
+    ~traits:[ Pure ] ~verify:verify_matmul;
+  def "linalg.fill" ~n_operands:2 ~n_results:1 ~result_class:[ Shaped ]
+    ~traits:[ Pure ];
+  def "linalg.add" ~n_operands:3 ~n_results:1 ~result_class:[ Shaped ]
+    ~traits:[ Pure ]

@@ -44,7 +44,10 @@ let fold_unary f (op : Ir.op) (consts : Attr.t option array) =
 
 let register () =
   let open Dialect in
-  let unary_def name f = def name ~n_operands:1 ~traits:[ Pure ] ~fold:(fold_unary f) in
+  let unary_def name f =
+    def name ~n_operands:1 ~n_results:1 ~result_class:[ Float_like ]
+      ~traits:[ Pure ] ~fold:(fold_unary f)
+  in
   unary_def "math.sqrt" Float.sqrt;
   unary_def "math.rsqrt" (fun x -> 1.0 /. Float.sqrt x);
   unary_def "math.sin" Float.sin;
@@ -54,8 +57,10 @@ let register () =
   unary_def "math.log2" (fun x -> Float.log x /. Float.log 2.0);
   unary_def "math.absf" Float.abs;
   unary_def "math.tanh" Float.tanh;
-  def "math.powf" ~n_operands:2 ~traits:[ Pure ] ~fold:(fun op consts ->
+  def "math.powf" ~n_operands:2 ~n_results:1 ~result_class:[ Float_like ]
+    ~traits:[ Pure ] ~fold:(fun op consts ->
       match (float_of_attr consts.(0), float_of_attr consts.(1)) with
       | Some a, Some b -> Fold_to_attr (Attr.Float (Float.pow a b, op.Ir.results.(0).v_type))
       | _ -> No_fold);
-  def "math.fma" ~n_operands:3 ~traits:[ Pure ]
+  def "math.fma" ~n_operands:3 ~n_results:1 ~result_class:[ Float_like ]
+    ~traits:[ Pure ]

@@ -56,10 +56,13 @@ let register () =
   let open Dialect in
   (* allocation is not Pure (it observably creates state), but it is
      removable when unused; we keep it conservative *)
-  def "memref.alloc" ~n_operands:0 ~verify:(fun op ->
+  def "memref.alloc" ~n_operands:0 ~n_results:1 ~result_class:[ Shaped ]
+    ~effects:[ Alloc ] ~verify:(fun op ->
       if Typ.is_shaped op.Ir.results.(0).v_type then Ok ()
       else Error "memref.alloc must produce a shaped type");
-  def "memref.dealloc" ~n_operands:1 ~n_results:0;
-  def "memref.load" ~traits:[] ~verify:(verify_memref_indexed ~base_operands:1);
-  def "memref.store" ~n_results:0 ~verify:(verify_memref_indexed ~base_operands:2);
-  def "memref.copy" ~n_operands:2 ~n_results:0
+  def "memref.dealloc" ~n_operands:1 ~n_results:0 ~effects:[ Free ];
+  def "memref.load" ~n_results:1 ~effects:[ Read ]
+    ~verify:(verify_memref_indexed ~base_operands:1);
+  def "memref.store" ~n_results:0 ~effects:[ Write ]
+    ~verify:(verify_memref_indexed ~base_operands:2);
+  def "memref.copy" ~n_operands:2 ~n_results:0 ~effects:[ Read; Write ]

@@ -68,10 +68,11 @@ let condition blk c (values : value list) =
 
 let register () =
   let open Dialect in
+  (* result counts follow the iter_args / branch signatures: variadic *)
   def "scf.for" ~n_regions:1 ~verify:(fun op ->
       if Array.length op.Ir.operands < 3 then Error "scf.for needs lb, ub, step"
       else Ok ());
-  def "scf.if" ~n_regions:2 ~verify:(fun op ->
+  def "scf.if" ~n_operands:1 ~n_regions:2 ~verify:(fun op ->
       if Array.length op.Ir.operands <> 1 then Error "scf.if takes one condition"
       else if List.length op.Ir.regions <> 2 then Error "scf.if needs then and else regions"
       else Ok ());

@@ -48,11 +48,15 @@ let from_elements blk (vs : value list) ty =
 
 let register () =
   let open Dialect in
-  def "tensor.empty" ~n_operands:0 ~traits:[ Pure ] ~verify:(fun op ->
+  def "tensor.empty" ~n_operands:0 ~n_results:1 ~result_class:[ Shaped ]
+    ~traits:[ Pure ] ~verify:(fun op ->
       if Typ.is_shaped op.Ir.results.(0).v_type then Ok ()
       else Error "tensor.empty must produce a shaped type");
-  def "tensor.extract" ~traits:[ Pure ];
-  def "tensor.insert" ~traits:[ Pure ];
-  def "tensor.dim" ~n_operands:2 ~traits:[ Pure ];
-  def "tensor.splat" ~n_operands:1 ~traits:[ Pure ];
-  def "tensor.from_elements" ~traits:[ Pure ]
+  (* extract/insert/from_elements take rank-dependent operand lists *)
+  def "tensor.extract" ~n_results:1 ~traits:[ Pure ];
+  def "tensor.insert" ~n_results:1 ~result_class:[ Shaped ] ~traits:[ Pure ];
+  def "tensor.dim" ~n_operands:2 ~n_results:1 ~result_class:[ Index_like ]
+    ~traits:[ Pure ];
+  def "tensor.splat" ~n_operands:1 ~n_results:1 ~result_class:[ Shaped ]
+    ~traits:[ Pure ];
+  def "tensor.from_elements" ~n_results:1 ~result_class:[ Shaped ] ~traits:[ Pure ]

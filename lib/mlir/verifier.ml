@@ -3,24 +3,41 @@
     Within a block, every operand must be defined by an earlier op in the
     same block, by a block argument of an enclosing block, or by an op in an
     enclosing scope that precedes the region-holding ancestor (MLIR's
-    dominance rule for single-block regions). *)
+    dominance rule for single-block regions).
 
-type error = { e_op : string; e_msg : string }
+    Errors are located [Egglog.Diag.t] values (code ["verify-*"], message
+    prefixed with the op path, e.g. ["func.func(@main)/scf.for/arith.addi"]),
+    so the pipeline, the translation validator and the encoding auditor all
+    speak one diagnostic type. *)
 
-let pp_error ppf e = Fmt.pf ppf "%s: %s" e.e_op e.e_msg
+module Diag = Egglog.Diag
 
-(** Verify [root] (a module or any op).  Returns all errors found. *)
-let verify (root : Ir.op) : error list =
+let sym_of (op : Ir.op) =
+  match Ir.attr op "sym_name" with
+  | Some (Attr.String s) -> "(@" ^ s ^ ")"
+  | _ -> ""
+
+let path_to_string path = String.concat "/" (List.rev path)
+
+(** Verify [root] (a module or any op).  Returns all errors found, each
+    tagged with a ["verify-*"] code and the path of the offending op. *)
+let verify (root : Ir.op) : Diag.t list =
   Registry.ensure_registered ();
   let errors = ref [] in
-  let err op fmt = Fmt.kstr (fun m -> errors := { e_op = op; e_msg = m } :: !errors) fmt in
+  let err path code fmt =
+    Fmt.kstr
+      (fun m ->
+        errors := Diag.error code "%s: %s" (path_to_string path) m :: !errors)
+      fmt
+  in
   (* set of value ids in scope *)
-  let rec check_op (scope : (int, unit) Hashtbl.t) (op : Ir.op) =
+  let rec check_op (scope : (int, unit) Hashtbl.t) path (op : Ir.op) =
+    let path = (op.Ir.op_name ^ sym_of op) :: path in
     (* operand visibility *)
     Array.iteri
       (fun i (v : Ir.value) ->
         if not (Hashtbl.mem scope v.Ir.v_id) then
-          err op.Ir.op_name "operand %d does not dominate this use" i)
+          err path "verify-dominance" "operand %d does not dominate this use" i)
       op.Ir.operands;
     (* registered structure checks *)
     (match Dialect.find op.Ir.op_name with
@@ -28,13 +45,21 @@ let verify (root : Ir.op) : error list =
     | Some d ->
       (match d.Dialect.d_n_operands with
       | Some n when Array.length op.Ir.operands <> n ->
-        err op.Ir.op_name "expected %d operands, got %d" n (Array.length op.Ir.operands)
+        err path "verify-operands" "expected %d operands, got %d" n
+          (Array.length op.Ir.operands)
+      | _ -> ());
+      (match d.Dialect.d_n_results with
+      | Some n when Array.length op.Ir.results <> n ->
+        err path "verify-results" "expected %d results, got %d" n
+          (Array.length op.Ir.results)
       | _ -> ());
       if List.length op.Ir.regions <> d.Dialect.d_n_regions then
-        err op.Ir.op_name "expected %d regions, got %d" d.Dialect.d_n_regions
+        err path "verify-regions" "expected %d regions, got %d"
+          d.Dialect.d_n_regions
           (List.length op.Ir.regions);
       (match d.Dialect.d_verify with
-      | Some f -> ( match f op with Ok () -> () | Error m -> err op.Ir.op_name "%s" m)
+      | Some f -> (
+        match f op with Ok () -> () | Error m -> err path "verify-op" "%s" m)
       | None -> ()));
     (* regions: nested scopes inherit the enclosing scope *)
     List.iter
@@ -43,24 +68,25 @@ let verify (root : Ir.op) : error list =
           (fun (b : Ir.block) ->
             let inner = Hashtbl.copy scope in
             Array.iter (fun (a : Ir.value) -> Hashtbl.replace inner a.Ir.v_id ()) b.Ir.blk_args;
-            check_block inner b)
+            check_block inner path b)
           r.Ir.blocks)
       op.Ir.regions;
     (* results become visible after the op *)
     Array.iter (fun (v : Ir.value) -> Hashtbl.replace scope v.Ir.v_id ()) op.Ir.results
-  and check_block scope (b : Ir.block) =
+  and check_block scope path (b : Ir.block) =
     (* terminator checks *)
     (match List.rev b.Ir.blk_ops with
     | last :: _ ->
       List.iteri
         (fun i (o : Ir.op) ->
           if Dialect.is_terminator o && o.Ir.op_id <> last.Ir.op_id then
-            err o.Ir.op_name "terminator in the middle of a block (position %d)" i)
+            err (o.Ir.op_name :: path) "verify-terminator"
+              "terminator in the middle of a block (position %d)" i)
         b.Ir.blk_ops
     | [] -> ());
-    List.iter (check_op scope) b.Ir.blk_ops
+    List.iter (check_op scope path) b.Ir.blk_ops
   in
-  check_op (Hashtbl.create 64) root;
+  check_op (Hashtbl.create 64) [] root;
   List.rev !errors
 
 (** Verify and raise [Failure] with a readable message on any error. *)
@@ -69,4 +95,4 @@ let verify_exn root =
   | [] -> ()
   | errs ->
     failwith
-      (Fmt.str "IR verification failed:@\n%a" (Fmt.list ~sep:Fmt.cut pp_error) errs)
+      (Fmt.str "IR verification failed:@\n%a" Diag.pp_list errs)

@@ -2,14 +2,15 @@
 
     Within a block, every operand must be defined by an earlier op in the
     same block, a block argument of an enclosing block, or an op in an
-    enclosing scope preceding the region-holding ancestor. *)
+    enclosing scope preceding the region-holding ancestor.
 
-type error = { e_op : string; e_msg : string }
-
-val pp_error : Format.formatter -> error -> unit
+    Errors are located [Egglog.Diag.t] values: code ["verify-dominance"] /
+    ["verify-operands"] / ["verify-results"] / ["verify-regions"] /
+    ["verify-terminator"] / ["verify-op"], message prefixed with the path
+    of the offending op (e.g. ["func.func(@main)/scf.for/arith.addi"]). *)
 
 (** Verify a module or any op; returns all errors found. *)
-val verify : Ir.op -> error list
+val verify : Ir.op -> Egglog.Diag.t list
 
 (** @raise Failure with a readable message on any error. *)
 val verify_exn : Ir.op -> unit

@@ -31,6 +31,39 @@ DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_vet.exe -- \
   rules/matmul_assoc.egg 2>&1 | grep -q expansive-cycle
 echo ok
 
+echo "== dialegg-audit: shipped rules honor the encoding contract =="
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_audit.exe -- rules/*.egg
+dune build @audit
+echo ok
+
+echo "== dialegg-audit: seeded contract violations are rejected statically =="
+for probe in audit_arity_mismatch:egg-arity-mismatch \
+             costless_reachable:cost-unreachable \
+             impure_rule:rule-impure-op; do
+  fixture=${probe%%:*}; code=${probe#*:}
+  if DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_audit.exe -- \
+    "test/fixtures/$fixture.egg" >/dev/null 2>/tmp/dialegg_audit.err; then
+    echo "expected an audit failure for $fixture.egg" >&2; exit 1
+  fi
+  grep -q "$code" /tmp/dialegg_audit.err
+done
+echo ok
+
+echo "== dialegg-audit: verdict memoized across invocations =="
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_audit.exe -- \
+  rules/const_fold.egg | grep -q 'hit ('
+echo ok
+
+echo "== dialegg-opt: --audit mode and the pipeline's audit tier =="
+if dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir \
+  --egg test/fixtures/costless_reachable.egg >/dev/null 2>/tmp/dialegg_audit_opt.err; then
+  echo "expected the pipeline audit tier to reject the ruleset" >&2; exit 1
+fi
+grep -q cost-unreachable /tmp/dialegg_audit_opt.err
+DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_opt.exe -- --audit \
+  --egg rules/const_fold.egg
+echo ok
+
 echo "== dialegg-opt: --vet mode and the pipeline's vet tier =="
 if dune exec bin/dialegg_opt.exe -- benchmarks/div_pow2_demo.mlir \
   --egg test/fixtures/unsound_rule.egg >/dev/null 2>/tmp/dialegg_vet_opt.err; then
@@ -41,7 +74,7 @@ DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_opt.exe -- --vet \
   --egg rules/const_fold.egg
 echo ok
 
-echo "== dialegg-batch: vet memoized across invocations (--stats) =="
+echo "== dialegg-batch: vet + audit memoized across invocations (--stats) =="
 BATCH_DIR=$(mktemp -d); BATCH_OUT=$(mktemp -d)
 cp benchmarks/div_pow2_demo.mlir "$BATCH_DIR"/
 DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_batch.exe -- "$BATCH_DIR" \
@@ -49,7 +82,8 @@ DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_batch.exe -- "$BATCH_DIR" \
 rm -rf "$BATCH_OUT"; BATCH_OUT=$(mktemp -d)
 DIALEGG_VET_CACHE="$VET_CACHE" dune exec bin/dialegg_batch.exe -- "$BATCH_DIR" \
   -o "$BATCH_OUT" --egg rules/div_pow2.egg --stats -q 2>/tmp/dialegg_batch2.err
-grep -q 'hit (disk)' /tmp/dialegg_batch2.err
+grep -q '^vet:.*hit (disk)' /tmp/dialegg_batch2.err
+grep -q '^audit:.*hit (disk)' /tmp/dialegg_batch2.err
 rm -rf "$VET_CACHE" "$BATCH_DIR" "$BATCH_OUT"
 echo ok
 
