@@ -176,6 +176,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
     end
   with
   | Usage e -> `Error (true, e)
+  | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
   | Mlir.Parser.Syntax_error { line; col; msg } ->
@@ -380,4 +381,4 @@ let cmd =
         $ no_audit $ show_stats $ no_backoff $ naive_matching $ no_validate
         $ analyze $ engine $ jobs))
 
-let () = exit (Cmd.eval cmd)
+let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)

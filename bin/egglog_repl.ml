@@ -140,6 +140,7 @@ let run files max_nodes timeout stats engine jobs =
     let ok = if files = [] then repl engine check_env && ok else ok in
     if ok then `Ok () else `Error (false, "errors were reported")
   with
+  | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE.egg")
@@ -172,4 +173,4 @@ let cmd =
     (Cmd.info "egglog" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ files $ max_nodes $ timeout $ stats $ engine $ jobs))
 
-let () = exit (Cmd.eval cmd)
+let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)

@@ -44,6 +44,7 @@ let run input output passes verify_only =
       `Ok ()
     end
   with
+  | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
   | Mlir.Parser.Syntax_error { line; col; msg } ->
@@ -77,4 +78,4 @@ let cmd =
     (Cmd.info "mlir-opt" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ input $ output $ passes $ verify_only))
 
-let () = exit (Cmd.eval cmd)
+let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)

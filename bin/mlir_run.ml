@@ -49,6 +49,7 @@ let run input func args =
     Fmt.epr "cycles: %d, wall: %.6fs@." r.Mlir.Interp.cycles r.Mlir.Interp.wall_time;
     `Ok ()
   with
+  | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
   | Mlir.Parser.Syntax_error { line; col; msg } ->
@@ -69,4 +70,4 @@ let cmd =
   let doc = "interpret an MLIR function and report the cycle cost proxy" in
   Cmd.v (Cmd.info "mlir-run" ~version:"1.0.0" ~doc) Term.(ret (const run $ input $ func $ args))
 
-let () = exit (Cmd.eval cmd)
+let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)

@@ -463,29 +463,30 @@ let read_cache dir hash : report option =
   match open_in_bin (cache_file dir hash) with
   | exception _ -> None
   | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          let magic : string = Marshal.from_channel ic in
-          if not (String.equal magic cache_magic) then None
-          else
-            let (r : report) = Marshal.from_channel ic in
-            if String.equal r.a_hash hash then Some r else None
-        with _ -> None)
+    let r =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            let magic : string = Marshal.from_channel ic in
+            if not (String.equal magic cache_magic) then None
+            else
+              let (r : report) = Marshal.from_channel ic in
+              if String.equal r.a_hash hash then Some r else None
+          with _ -> None)
+    in
+    (match r with
+    | Some _ -> Disk_cache.touch (cache_file dir hash)
+    | None ->
+      (* torn, corrupt or stale-format entry: drop it, the verdict will
+         be recomputed and rewritten *)
+      try Sys.remove (cache_file dir hash) with Sys_error _ -> ());
+    r
 
 let write_cache dir hash (r : report) =
-  try
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-    let tmp = Filename.temp_file ~temp_dir:dir "audit" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        Marshal.to_channel oc cache_magic [];
-        Marshal.to_channel oc r []);
-    Sys.rename tmp (cache_file dir hash)
-  with _ -> ()
+  Disk_cache.write_entry ~dir ~file:(hash ^ ".audit") (fun oc ->
+      Marshal.to_channel oc cache_magic [];
+      Marshal.to_channel oc r [])
 
 (* A cached report may have been produced under another file name; point
    its diagnostics at the caller's. *)

@@ -106,6 +106,46 @@ let parse_proc s =
     | None, _ -> err ())
   | _ -> err ()
 
+(* ------------------------------------------------------------------ *)
+(* Daemon-level faults (dialegg-serve)                                 *)
+(* ------------------------------------------------------------------ *)
+
+type serve_kind = S_cache_corrupt | S_hang_under_load | S_drain_kill
+
+let all_serve_kinds = [ S_cache_corrupt; S_hang_under_load; S_drain_kill ]
+
+let serve_kind_name = function
+  | S_cache_corrupt -> "cache-corrupt"
+  | S_hang_under_load -> "worker-hang-under-load"
+  | S_drain_kill -> "mid-drain-kill"
+
+let serve_kind_of_string s =
+  List.find_opt (fun k -> serve_kind_name k = s) all_serve_kinds
+
+type serve_fault = { sf_kind : serve_kind; sf_at : int }
+
+let serve_fault_to_string f =
+  Printf.sprintf "%s:%d" (serve_kind_name f.sf_kind) f.sf_at
+
+let parse_serve s =
+  let err () =
+    Error
+      (Printf.sprintf "expected KIND[:N] with KIND one of %s, got %S"
+         (String.concat "|" (List.map serve_kind_name all_serve_kinds))
+         s)
+  in
+  match String.split_on_char ':' s with
+  | [ kind ] -> (
+    match serve_kind_of_string kind with
+    | Some sf_kind -> Ok { sf_kind; sf_at = 1 }
+    | None -> err ())
+  | [ kind; n ] -> (
+    match (serve_kind_of_string kind, int_of_string_opt n) with
+    | Some sf_kind, Some n when n > 0 -> Ok { sf_kind; sf_at = n }
+    | Some _, _ -> Error (Printf.sprintf "bad trigger count %S in %S" n s)
+    | None, _ -> err ())
+  | _ -> err ()
+
 let proc_matches faults ~job ~attempt =
   List.find_map
     (fun f ->

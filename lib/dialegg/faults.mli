@@ -89,3 +89,45 @@ val parse_proc : string -> (proc_fault, string) result
 (** The kind to inject for [job] on [attempt] (0-based), if any armed
     fault matches. *)
 val proc_matches : proc_fault list -> job:string -> attempt:int -> proc_kind option
+
+(** {1 Daemon-level faults}
+
+    [dialegg-serve] adds failure modes above the worker-process boundary:
+    the result cache, load-coupled hangs, and the drain protocol.  Each
+    kind is deterministic — it arms at a specific point in the request
+    stream, never at a random moment:
+
+    - [S_cache_corrupt]: after the [sf_at]-th request completes, every
+      on-disk result entry is truncated mid-payload (a torn write).  The
+      next identical request must detect the damage, recompute, and still
+      answer byte-identically;
+    - [S_hang_under_load]: the [sf_at]-th dispatched function job carries
+      a [W_hang] worker fault — the worker ignores SIGTERM under real
+      load and the daemon's watchdog must SIGKILL and respawn it without
+      failing the request;
+    - [S_drain_kill]: the daemon SIGKILLs itself at the instant a
+      graceful drain would have completed (in-flight work done, stats
+      index not yet persisted, socket not yet unlinked) — the restart
+      must recover the stale socket and the durably-committed cache
+      entries.
+
+    Enactment lives in [Serve.Daemon]; the kinds are declared here so the
+    whole injection surface keeps one home. *)
+
+type serve_kind = S_cache_corrupt | S_hang_under_load | S_drain_kill
+
+val all_serve_kinds : serve_kind list
+
+(** ["cache-corrupt"], ["worker-hang-under-load"], ["mid-drain-kill"] *)
+val serve_kind_name : serve_kind -> string
+
+val serve_kind_of_string : string -> serve_kind option
+
+(** [sf_at] is the 1-based request / job / drain ordinal the fault
+    triggers at (default 1). *)
+type serve_fault = { sf_kind : serve_kind; sf_at : int }
+
+(** ["KIND:N"] — the CLI syntax (N optional on input, default 1). *)
+val serve_fault_to_string : serve_fault -> string
+
+val parse_serve : string -> (serve_fault, string) result

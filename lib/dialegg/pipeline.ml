@@ -189,6 +189,20 @@ let audit_rules_exn config : (Audit.report * Audit.cache_status) option =
   end
   else None
 
+(* Pre-warm a config for a long-lived serving process: run every
+   fail-fast static tier once (so their verdicts are memoized and any
+   error surfaces immediately, not on the first request), force the
+   prelude parse, and return the config with the per-run tiers disabled.
+   The daemon calls this at startup and on every SIGHUP reload; the
+   batch driver uses it so workers inherit pre-vetted rules. *)
+let prewarmed (config : config) : config =
+  Mlir.Registry.ensure_registered ();
+  lint_rules_exn config;
+  ignore (vet_rules_exn config : (Vet.report * Vet.cache_status) option);
+  ignore (audit_rules_exn config : (Audit.report * Audit.cache_status) option);
+  ignore (Lazy.force Prelude.commands : Egglog.Ast.command list);
+  { config with lint = false; vet = false; audit = false }
+
 (* Raise {!Error} if any diagnostic is error severity (warnings go to
    stderr), rendering them uniformly with the rule lint. *)
 let diags_exn what diags =

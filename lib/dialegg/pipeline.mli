@@ -97,6 +97,16 @@ val vet_rules_exn : config -> (Vet.report * Vet.cache_status) option
     @raise Error on any error-severity audit diagnostic. *)
 val audit_rules_exn : config -> (Audit.report * Audit.cache_status) option
 
+(** Pre-warm [config] for a long-lived serving or batch process: run the
+    lint / vet / audit fail-fast tiers once (memoizing their verdicts),
+    force the egglog prelude parse, and return the config with those
+    per-run tiers disabled — so every later
+    {!optimize_func_report} / {!optimize_source} under the returned
+    config skips straight to saturation while producing output
+    byte-identical to a cold run.
+    @raise Error if the rules fail any static tier. *)
+val prewarmed : config -> config
+
 type timings = {
   t_mlir_to_egg : float;  (** prelude + rules load + eggify *)
   t_egglog : float;  (** total engine time: saturation + extraction *)

@@ -657,11 +657,7 @@ let memo : (string, report) Hashtbl.t = Hashtbl.create 4
    entries must fail the magic check, not be mis-deserialized. *)
 let cache_magic = "dialegg-vet-cache-1"
 
-let default_cache_dir () =
-  match Sys.getenv_opt "DIALEGG_VET_CACHE" with
-  | Some "" -> None (* disk cache disabled *)
-  | Some d -> Some d
-  | None -> Some (Filename.concat (Filename.get_temp_dir_name ()) "dialegg-vet-cache")
+let default_cache_dir = Disk_cache.default_dir
 
 let cache_file dir hash = Filename.concat dir (hash ^ ".vet")
 
@@ -669,29 +665,30 @@ let read_cache dir hash : report option =
   match open_in_bin (cache_file dir hash) with
   | exception _ -> None
   | ic ->
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        try
-          let magic : string = Marshal.from_channel ic in
-          if not (String.equal magic cache_magic) then None
-          else
-            let (r : report) = Marshal.from_channel ic in
-            if String.equal r.v_hash hash then Some r else None
-        with _ -> None)
+    let r =
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            let magic : string = Marshal.from_channel ic in
+            if not (String.equal magic cache_magic) then None
+            else
+              let (r : report) = Marshal.from_channel ic in
+              if String.equal r.v_hash hash then Some r else None
+          with _ -> None)
+    in
+    (match r with
+    | Some _ -> Disk_cache.touch (cache_file dir hash)
+    | None ->
+      (* torn, corrupt or stale-format entry: drop it, the verdict will
+         be recomputed and rewritten *)
+      try Sys.remove (cache_file dir hash) with Sys_error _ -> ());
+    r
 
 let write_cache dir hash (r : report) =
-  try
-    (try Sys.mkdir dir 0o755 with Sys_error _ -> ());
-    let tmp = Filename.temp_file ~temp_dir:dir "vet" ".tmp" in
-    let oc = open_out_bin tmp in
-    Fun.protect
-      ~finally:(fun () -> close_out_noerr oc)
-      (fun () ->
-        Marshal.to_channel oc cache_magic [];
-        Marshal.to_channel oc r []);
-    Sys.rename tmp (cache_file dir hash)
-  with _ -> ()
+  Disk_cache.write_entry ~dir ~file:(hash ^ ".vet") (fun oc ->
+      Marshal.to_channel oc cache_magic [];
+      Marshal.to_channel oc r [])
 
 (* A cached report may have been produced under another file name; point
    its diagnostics at the caller's. *)

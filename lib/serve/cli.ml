@@ -1,0 +1,47 @@
+(** Shared CLI process hygiene; see the interface for the model. *)
+
+let sigpipe_exit = 128 + 13
+
+let is_epipe = function
+  | Unix.Unix_error (Unix.EPIPE, _, _) -> true
+  | Sys_error m ->
+    (* channel writes surface EPIPE as ["...: Broken pipe"] (strerror) *)
+    let needle = "Broken pipe" in
+    let nl = String.length needle and ml = String.length m in
+    let rec scan i =
+      i + nl <= ml && (String.sub m i nl = needle || scan (i + 1))
+    in
+    scan 0
+  | _ -> false
+
+(* Point stdout at /dev/null so the exit-time flush of whatever is still
+   buffered cannot raise on the dead pipe. *)
+let neuter_stdout () =
+  try
+    let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+    Unix.dup2 devnull Unix.stdout;
+    Unix.close devnull
+  with Unix.Unix_error _ | Sys_error _ -> ()
+
+let main run =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let code =
+    match run () with
+    | code -> (
+      match flush stdout with
+      | () -> code
+      | exception e when is_epipe e ->
+        neuter_stdout ();
+        sigpipe_exit)
+    | exception e when is_epipe e ->
+      neuter_stdout ();
+      sigpipe_exit
+    | exception e ->
+      (* the executables run cmdliner with [~catch:false] so EPIPE can
+         reach this guard; play cmdliner's backstop for everything else *)
+      Printf.eprintf "internal error: %s\n%s%!" (Printexc.to_string e)
+        (Printexc.get_backtrace ());
+      125
+  in
+  Stdlib.exit code

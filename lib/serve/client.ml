@@ -1,0 +1,64 @@
+(** Blocking daemon client; see the interface for the model. *)
+
+exception Error of string
+
+type t = { fd : Unix.file_descr; reader : Protocol.reader }
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX path) with
+  | () -> { fd; reader = Protocol.reader fd }
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    raise
+      (Error
+         (Printf.sprintf "cannot reach a daemon on %s: %s" path
+            (Unix.error_message e)))
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let roundtrip c msg =
+  (match Protocol.write_message c.fd msg with
+  | () -> ()
+  | exception (Unix.Unix_error _ | Sys_error _) ->
+    raise (Error "connection to the daemon broke mid-request"));
+  match Protocol.read_blocking c.reader with
+  | Protocol.Msg m -> m
+  | Protocol.Eof -> raise (Error "the daemon closed the connection")
+  | Protocol.Garbage m -> raise (Error ("protocol garbage from the daemon: " ^ m))
+  | Protocol.Incomplete -> raise (Error "unreachable: blocking read returned")
+
+let optimize ?deadline_ms ?(retries = 3) c source =
+  let request =
+    Protocol.C_optimize
+      { Protocol.sv_source = source; sv_deadline_ms = deadline_ms }
+  in
+  let rec go shed_left =
+    match roundtrip c request with
+    | Protocol.C_reply r -> r
+    | Protocol.C_error m -> raise (Error m)
+    | Protocol.C_overloaded { retry_after_s } ->
+      if shed_left <= 0 then
+        raise (Error "daemon persistently overloaded; giving up")
+      else begin
+        ignore (Unix.select [] [] [] (Stdlib.max 0.01 retry_after_s));
+        go (shed_left - 1)
+      end
+    | _ -> raise (Error "unexpected reply from the daemon")
+  in
+  go retries
+
+let stats c =
+  match roundtrip c Protocol.C_stats_request with
+  | Protocol.C_stats s -> s
+  | _ -> raise (Error "unexpected reply to a stats request")
+
+let ping c =
+  match roundtrip c Protocol.M_ping with
+  | Protocol.M_pong -> true
+  | _ -> false
+  | exception Error _ -> false
+
+let with_connection path f =
+  let c = connect path in
+  Fun.protect ~finally:(fun () -> close c) (fun () -> f c)

@@ -1,0 +1,34 @@
+(** A blocking client for the [dialegg-serve] daemon.
+
+    One connection, one request at a time (the daemon replies in
+    request order per connection).  {!optimize} transparently honors
+    the daemon's load-shedding: a [C_overloaded] reply is retried after
+    the hinted delay, up to [retries] times. *)
+
+exception Error of string
+
+type t
+
+(** Connect to a daemon's Unix-domain socket.
+    @raise Error when nothing is listening there. *)
+val connect : string -> t
+
+val close : t -> unit
+
+(** Round-trip an optimization request.  [deadline_ms] is forwarded to
+    the daemon, which tightens per-function budgets to fit it.
+    [retries] (default 3) bounds how many [C_overloaded] sheds are
+    retried before giving up.
+    @raise Error on a daemon-side error reply, persistent overload, or
+    a broken connection. *)
+val optimize :
+  ?deadline_ms:float -> ?retries:int -> t -> string -> Protocol.serve_reply
+
+(** Fetch the daemon's counters. *)
+val stats : t -> Protocol.daemon_stats
+
+(** Liveness probe: true iff the daemon answers a ping. *)
+val ping : t -> bool
+
+(** [with_connection path f] connects, runs [f], and always closes. *)
+val with_connection : string -> (t -> 'a) -> 'a

@@ -2,7 +2,7 @@
     workers; see the interface for the model. *)
 
 let magic = "DGGB"
-let version = 1
+let version = 2
 let header_size = 4 + 1 + 4 (* magic, version byte, big-endian length *)
 
 (* An upper bound nothing legitimate approaches: a length beyond it means
@@ -12,8 +12,12 @@ let max_frame = 256 * 1024 * 1024
 type job_input =
   | J_file of string
   | J_func of { path : string; func : string }
+  | J_text of { name : string; src : string }
 
-let job_input_path = function J_file p -> p | J_func { path; _ } -> path
+let job_input_path = function
+  | J_file p -> p
+  | J_func { path; _ } -> path
+  | J_text { name; _ } -> "<" ^ name ^ ">"
 
 type request = {
   rq_id : string;
@@ -29,7 +33,83 @@ type response = {
   rs_degraded : int;
 }
 
-type message = M_request of request | M_response of response
+(* ------------------------------------------------------------------ *)
+(* Daemon (client ↔ dialegg-serve) messages                            *)
+(* ------------------------------------------------------------------ *)
+
+type serve_request = {
+  sv_source : string;
+  sv_deadline_ms : float option;
+}
+
+type cache_mark = Sv_hit_mem | Sv_hit_disk | Sv_miss
+
+let cache_mark_name = function
+  | Sv_hit_mem -> "hit-memory"
+  | Sv_hit_disk -> "hit-disk"
+  | Sv_miss -> "miss"
+
+type serve_reply = {
+  sv_output : string;
+  sv_degraded : int;
+  sv_marks : (string * cache_mark) list;
+  sv_latency_s : float;
+}
+
+type daemon_stats = {
+  ds_requests : int;
+  ds_funcs : int;
+  ds_hits_mem : int;
+  ds_hits_disk : int;
+  ds_misses : int;
+  ds_shed : int;
+  ds_errors : int;
+  ds_deadline_misses : int;
+  ds_reloads : int;
+  ds_reload_failures : int;
+  ds_respawns : int;
+  ds_recycled : int;
+  ds_workers : int;
+  ds_queue : int;
+  ds_uptime_s : float;
+  ds_cache_mem_entries : int;
+  ds_cache_disk_entries : int;
+  ds_cache_disk_bytes : int;
+  ds_p50_ms : float;
+  ds_p99_ms : float;
+  ds_draining : bool;
+}
+
+let hit_rate st =
+  let hits = st.ds_hits_mem + st.ds_hits_disk in
+  let total = hits + st.ds_misses in
+  if total = 0 then 0.0 else float_of_int hits /. float_of_int total
+
+let pp_daemon_stats ppf st =
+  Format.fprintf ppf
+    "requests %d (funcs %d) | cache: %d mem-hit, %d disk-hit, %d miss \
+     (hit-rate %.2f) | shed %d | errors %d | deadline-miss %d | reloads \
+     %d ok, %d failed | workers %d (%d respawns, %d recycled) | queue %d \
+     | latency p50 %.2fms p99 %.2fms | cache store: %d mem, %d disk \
+     (%d bytes) | uptime %.1fs%s"
+    st.ds_requests st.ds_funcs st.ds_hits_mem st.ds_hits_disk st.ds_misses
+    (hit_rate st) st.ds_shed st.ds_errors st.ds_deadline_misses st.ds_reloads
+    st.ds_reload_failures st.ds_workers st.ds_respawns st.ds_recycled
+    st.ds_queue st.ds_p50_ms st.ds_p99_ms st.ds_cache_mem_entries
+    st.ds_cache_disk_entries st.ds_cache_disk_bytes st.ds_uptime_s
+    (if st.ds_draining then " | DRAINING" else "")
+
+type message =
+  | M_request of request
+  | M_response of response
+  | M_ping
+  | M_pong
+  | C_optimize of serve_request
+  | C_reply of serve_reply
+  | C_error of string
+  | C_overloaded of { retry_after_s : float }
+  | C_stats_request
+  | C_stats of daemon_stats
 
 (* ------------------------------------------------------------------ *)
 (* Writing                                                             *)

@@ -10,11 +10,14 @@
     is no way back, and the supervisor's only safe move is to kill the
     worker and retry the job elsewhere. *)
 
-(** What a worker is asked to optimize: a whole [.mlir] file, or one
-    function of a multi-function module. *)
+(** What a worker is asked to optimize: a whole [.mlir] file, one
+    function of a multi-function module, or — in the daemon — a
+    single-function module passed by text, so workers never touch the
+    filesystem on the serving path. *)
 type job_input =
   | J_file of string
   | J_func of { path : string; func : string }
+  | J_text of { name : string; src : string }
 
 val job_input_path : job_input -> string
 
@@ -36,7 +39,73 @@ type response = {
   rs_degraded : int;  (** functions that fell back inside the worker *)
 }
 
-type message = M_request of request | M_response of response
+(** {1 Daemon messages}
+
+    [dialegg-serve] speaks the same framed protocol over its Unix-domain
+    socket, with client-facing constructors.  A client sends
+    [C_optimize] or [C_stats_request]; the daemon answers [C_reply],
+    [C_error], [C_overloaded] (load shed — retry after the hinted
+    delay), or [C_stats].  [M_ping]/[M_pong] double as worker heartbeats
+    and client liveness probes. *)
+
+(** One optimization request: a full MLIR module as text, with an
+    optional client deadline (milliseconds from receipt) that the daemon
+    propagates into the per-function time budgets. *)
+type serve_request = { sv_source : string; sv_deadline_ms : float option }
+
+(** Where each function's result came from. *)
+type cache_mark = Sv_hit_mem | Sv_hit_disk | Sv_miss
+
+val cache_mark_name : cache_mark -> string
+
+type serve_reply = {
+  sv_output : string;  (** printed module, byte-identical to a cold run *)
+  sv_degraded : int;  (** functions served by identity fallback *)
+  sv_marks : (string * cache_mark) list;  (** per-function provenance *)
+  sv_latency_s : float;  (** daemon-side wall time for the request *)
+}
+
+(** Daemon counters, as returned by [C_stats]. *)
+type daemon_stats = {
+  ds_requests : int;
+  ds_funcs : int;
+  ds_hits_mem : int;
+  ds_hits_disk : int;
+  ds_misses : int;
+  ds_shed : int;
+  ds_errors : int;
+  ds_deadline_misses : int;
+  ds_reloads : int;
+  ds_reload_failures : int;
+  ds_respawns : int;
+  ds_recycled : int;
+  ds_workers : int;
+  ds_queue : int;
+  ds_uptime_s : float;
+  ds_cache_mem_entries : int;
+  ds_cache_disk_entries : int;
+  ds_cache_disk_bytes : int;
+  ds_p50_ms : float;
+  ds_p99_ms : float;
+  ds_draining : bool;
+}
+
+(** Cache hit rate over everything served so far (0 when nothing has). *)
+val hit_rate : daemon_stats -> float
+
+val pp_daemon_stats : Format.formatter -> daemon_stats -> unit
+
+type message =
+  | M_request of request
+  | M_response of response
+  | M_ping
+  | M_pong
+  | C_optimize of serve_request
+  | C_reply of serve_reply
+  | C_error of string
+  | C_overloaded of { retry_after_s : float }
+  | C_stats_request
+  | C_stats of daemon_stats
 
 (** Write one frame; retries partial writes.  Raises [Unix.Unix_error]
     ([EPIPE] with SIGPIPE ignored) if the peer is gone. *)

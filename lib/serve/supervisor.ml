@@ -253,6 +253,9 @@ let fallback_identity st (job : Queue.job) ~attempts cls =
     | Protocol.J_file path ->
       Some (Dialegg.Pipeline.identity_source (read_file path))
     | Protocol.J_func _ -> None
+    | Protocol.J_text { src; _ } ->
+      (* daemon path: the input is already in hand *)
+      Some (Dialegg.Pipeline.identity_source src)
   with
   | output ->
     let bytes =
@@ -445,8 +448,12 @@ let handle_readable st readable =
           | _ ->
             worker_died st w (`Garbage "response for the wrong job");
             if incomplete st then spawn st)
-        | Protocol.Msg (Protocol.M_request _) ->
-          worker_died st w (`Garbage "worker sent a request");
+        | Protocol.Msg
+            ( Protocol.M_request _ | Protocol.M_ping | Protocol.M_pong
+            | Protocol.C_optimize _ | Protocol.C_reply _ | Protocol.C_error _
+            | Protocol.C_overloaded _ | Protocol.C_stats_request
+            | Protocol.C_stats _ ) ->
+          worker_died st w (`Garbage "worker sent a non-response message");
           if incomplete st then spawn st
         | Protocol.Eof ->
           worker_died st w `Eof;

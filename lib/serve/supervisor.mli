@@ -103,3 +103,10 @@ val run : ?config:config -> Queue.job list -> batch_report
 (** Module mode: splice each [J_func] job's output function back into
     the parsed module (identity/failed jobs leave the original body). *)
 val splice_results : Mlir.Ir.op -> batch_report -> unit
+
+(** [splice_function func src] replaces [func]'s attributes and regions
+    with those of the single function printed in [src] (the same splice
+    the pipeline's identity fallback and {!splice_results} use; the
+    daemon reassembles cached per-function results with it).
+    @raise Error if [src] is not exactly one function. *)
+val splice_function : Mlir.Ir.op -> string -> unit

@@ -51,33 +51,40 @@ let process (rq : Protocol.request) : Protocol.response =
   let respond result degraded =
     { Protocol.rs_id = rq.rq_id; rs_result = result; rs_degraded = degraded }
   in
+  let optimize_one_func ~func src =
+    let m = Mlir.Parser.parse_module src in
+    match
+      List.find_opt
+        (fun op ->
+          op.Mlir.Ir.op_name = "func.func" && Mlir.Ir.func_name op = func)
+        (Mlir.Ir.module_ops m)
+    with
+    | None -> failwith (Printf.sprintf "no function @%s in the input" func)
+    | Some op ->
+      let fr = Dialegg.Pipeline.optimize_func_report ~config:rq.rq_config op in
+      let degraded =
+        match fr.Dialegg.Pipeline.fr_outcome with
+        | Dialegg.Pipeline.Degraded _ -> 1
+        | Dialegg.Pipeline.Optimized -> 0
+      in
+      (Mlir.Printer.op_to_string op, degraded)
+  in
   match
-    let src = read_file (Protocol.job_input_path rq.rq_input) in
     match rq.rq_input with
     | Protocol.J_file path ->
       (* the exact sequential dialegg-opt sequence, so batch outputs are
          byte-identical to one-process runs *)
       let out, report =
-        Dialegg.Pipeline.optimize_source ~config:rq.rq_config ~file:path src
+        Dialegg.Pipeline.optimize_source ~config:rq.rq_config ~file:path
+          (read_file path)
       in
       (out, count_degraded report)
-    | Protocol.J_func { path = _; func } -> (
-      let m = Mlir.Parser.parse_module src in
-      match
-        List.find_opt
-          (fun op ->
-            op.Mlir.Ir.op_name = "func.func" && Mlir.Ir.func_name op = func)
-          (Mlir.Ir.module_ops m)
-      with
-      | None -> failwith (Printf.sprintf "no function @%s in the input" func)
-      | Some op ->
-        let fr = Dialegg.Pipeline.optimize_func_report ~config:rq.rq_config op in
-        let degraded =
-          match fr.Dialegg.Pipeline.fr_outcome with
-          | Dialegg.Pipeline.Degraded _ -> 1
-          | Dialegg.Pipeline.Optimized -> 0
-        in
-        (Mlir.Printer.op_to_string op, degraded))
+    | Protocol.J_func { path; func } ->
+      optimize_one_func ~func (read_file path)
+    | Protocol.J_text { name; src } ->
+      (* the daemon path: the single-function module arrives by value, so
+         a serving worker never reads the filesystem *)
+      optimize_one_func ~func:name src
   with
   | out, degraded -> respond (Ok out) degraded
   | exception Sys.Break -> raise Sys.Break
@@ -96,8 +103,17 @@ let main ~in_fd ~out_fd =
   let rec loop () =
     match Protocol.read_blocking r with
     | Protocol.Eof -> Stdlib.exit 0 (* supervisor closed the queue: done *)
-    | Protocol.Garbage _ | Protocol.Msg (Protocol.M_response _) -> Stdlib.exit 3
+    | Protocol.Garbage _ -> Stdlib.exit 3
     | Protocol.Incomplete -> loop () (* read_blocking never returns this *)
+    | Protocol.Msg Protocol.M_ping ->
+      (* liveness probe from the daemon's heartbeat loop *)
+      Protocol.write_message out_fd Protocol.M_pong;
+      loop ()
+    | Protocol.Msg
+        ( Protocol.M_response _ | Protocol.M_pong | Protocol.C_optimize _
+        | Protocol.C_reply _ | Protocol.C_error _ | Protocol.C_overloaded _
+        | Protocol.C_stats_request | Protocol.C_stats _ ) ->
+      Stdlib.exit 3
     | Protocol.Msg (Protocol.M_request rq) ->
       (match rq.Protocol.rq_fault with
       | Some k -> enact_fault out_fd k

@@ -1,0 +1,89 @@
+#!/bin/sh
+# daemon-smoke: the persistent optimization daemon end-to-end.  Starts
+# dialegg-serve on a Unix-domain socket, checks a cold request is
+# byte-identical to a sequential dialegg-opt run (and marked "miss"), a
+# repeat is served from memory, a SIGTERM drain exits 0 / unlinks the
+# socket / persists the stats index, a restarted daemon answers the same
+# request from the on-disk store — and that a CLI writing into a closed
+# pipe exits 141 cleanly instead of dying of SIGPIPE.
+#
+# Usage: daemon_smoke.sh DIALEGG_SERVE DIALEGG_CLIENT DIALEGG_OPT INPUT.mlir FUNC RULES.egg
+set -e
+
+SERVE="$1"
+CLIENT="$2"
+OPT="$3"
+INPUT="$4"
+FUNC="$5"
+RULES="$6"
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/dialegg-daemon-smoke.XXXXXX")
+SOCK="$WORK/d.sock"
+CACHE="$WORK/cache"
+DPID=
+trap 'if [ -n "$DPID" ]; then kill "$DPID" 2>/dev/null || :; fi; rm -rf "$WORK"' EXIT
+
+await_daemon() {
+  i=0
+  until "$CLIENT" -s "$SOCK" --ping 2>/dev/null; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || { echo "daemon never came up" >&2; exit 1; }
+    sleep 0.1
+  done
+}
+
+echo "-- sequential reference"
+"$OPT" "$INPUT" --egg "$RULES" -o "$WORK/seq.mlir"
+
+echo "-- daemon up, answers a ping"
+"$SERVE" -s "$SOCK" --egg "$RULES" --cache-dir "$CACHE" --pool 2 &
+DPID=$!
+await_daemon
+
+echo "-- cold request: a miss, byte-identical to dialegg-opt"
+"$CLIENT" -s "$SOCK" "$INPUT" --stats -o "$WORK/cold.mlir" 2> "$WORK/cold.err"
+cmp "$WORK/seq.mlir" "$WORK/cold.mlir"
+grep -q ": miss" "$WORK/cold.err"
+
+echo "-- warm request: served from memory, still byte-identical"
+"$CLIENT" -s "$SOCK" "$INPUT" --stats -o "$WORK/warm.mlir" 2> "$WORK/warm.err"
+cmp "$WORK/seq.mlir" "$WORK/warm.mlir"
+grep -q ": hit-memory" "$WORK/warm.err"
+
+echo "-- SIGTERM drains: exit 0, socket unlinked, stats index persisted"
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=
+test ! -e "$SOCK"
+test -s "$CACHE/serve-index"
+
+echo "-- restart: committed entries survive, served from disk"
+"$SERVE" -s "$SOCK" --egg "$RULES" --cache-dir "$CACHE" --pool 2 &
+DPID=$!
+await_daemon
+"$CLIENT" -s "$SOCK" "$INPUT" --stats -o "$WORK/disk.mlir" 2> "$WORK/disk.err"
+cmp "$WORK/seq.mlir" "$WORK/disk.mlir"
+grep -q ": hit-disk" "$WORK/disk.err"
+"$CLIENT" -s "$SOCK" --stats-only | grep -q "disk-hit"
+kill -TERM "$DPID"
+wait "$DPID"
+DPID=
+
+echo "-- a broken output pipe is a clean exit 141, not a signal death"
+# enough renamed copies of the input that the printed module overflows a
+# 64 KiB pipe buffer, so the early-exiting reader really breaks the pipe
+awk -v n=200 -v f="@$FUNC" '
+  { lines[NR] = $0 }
+  END {
+    for (i = 1; i <= n; i++)
+      for (j = 1; j <= NR; j++) { l = lines[j]; sub(f, f "_" i, l); print l }
+  }' "$INPUT" > "$WORK/big.mlir"
+{ "$OPT" "$WORK/big.mlir" --egg "$RULES" || echo $? > "$WORK/rc"; } \
+  | head -c 10 > /dev/null
+rc=$(cat "$WORK/rc" 2>/dev/null || echo 0)
+if [ "$rc" -ne 141 ]; then
+  echo "expected exit 141 on a broken pipe, got $rc" >&2
+  exit 1
+fi
+
+echo "daemon-smoke ok"

@@ -103,6 +103,15 @@ echo "== serve-smoke: supervised batch driver, injected hang + crash, resume =="
 dune build @serve-smoke
 echo ok
 
+echo "== daemon-smoke: dialegg-serve lifecycle, cache provenance, SIGPIPE hygiene =="
+dune build bin/dialegg_serve.exe bin/dialegg_client.exe bin/dialegg_opt.exe
+sh scripts/daemon_smoke.sh \
+  _build/default/bin/dialegg_serve.exe \
+  _build/default/bin/dialegg_client.exe \
+  _build/default/bin/dialegg_opt.exe \
+  benchmarks/poly.mlir poly_eval rules/const_fold.egg >/dev/null
+echo ok
+
 echo "== egglog: a piped session with errors exits non-zero =="
 if echo '(bogus-command 1)' | dune exec bin/egglog_repl.exe >/dev/null 2>&1; then
   echo "expected a non-zero exit from a failing piped session" >&2; exit 1

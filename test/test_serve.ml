@@ -1,9 +1,16 @@
-(* Tests for the supervised batch driver: the wire protocol (roundtrip,
-   garbage detection), process-fault parsing and targeting, the
-   crash-safe journal (replay, torn tails, first-wins), the supervisor's
-   injection matrix (hang/segv/garbage/oom x retry budgets), resume
-   after a simulated mid-batch kill, and the batch == sequential
-   byte-identity property. *)
+(* Tests for the supervised batch driver and the serving daemon: the
+   wire protocol (roundtrip, garbage detection), process-fault parsing
+   and targeting, the crash-safe journal (replay, torn tails,
+   first-wins), the supervisor's injection matrix (hang/segv/garbage/oom
+   x retry budgets), resume after a simulated mid-batch kill, the batch
+   == sequential byte-identity property; then the content-addressed
+   result cache (key sensitivity, LRU, disk roundtrip, corruption
+   tolerance), the shared disk-cache layer (LRU pruning, size cap,
+   vet/audit/result coexistence), and a live dialegg-serve daemon
+   end-to-end: cold/warm byte-identity, warm-across-restart, bounded
+   admission, deadline propagation, the injected daemon fault matrix
+   (cache-corrupt, mid-drain-kill), SIGHUP reload, and the warm == cold
+   QCheck property. *)
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
@@ -606,6 +613,609 @@ let test_batch_equals_sequential_prop () =
          done;
          true))
 
+(* ------------------------------------------------------------------ *)
+(* Result cache: keys, LRU, disk roundtrip, corruption                 *)
+(* ------------------------------------------------------------------ *)
+
+let mk_entry ?(degraded = 0) output =
+  { Serve.Cache.ce_output = output; ce_degraded = degraded }
+
+let test_cache_key_sensitivity () =
+  let src = div_src 256 "f" in
+  let k = Serve.Cache.key ~config:pipeline_config ~src in
+  checks "deterministic" k (Serve.Cache.key ~config:pipeline_config ~src);
+  checkb "source participates" false
+    (k = Serve.Cache.key ~config:pipeline_config ~src:(div_src 16 "f"));
+  checkb "ruleset participates" false
+    (k
+    = Serve.Cache.key
+        ~config:{ pipeline_config with Dialegg.Pipeline.rules = "" }
+        ~src);
+  checkb "budgets participate" false
+    (k
+    = Serve.Cache.key
+        ~config:{ pipeline_config with Dialegg.Pipeline.max_iterations = 3 }
+        ~src);
+  checkb "engine participates" false
+    (k
+    = Serve.Cache.key
+        ~config:
+          { pipeline_config with Dialegg.Pipeline.engine = Egglog.Egraph.Legacy }
+        ~src);
+  checkb "degradation policy participates" false
+    (k
+    = Serve.Cache.key
+        ~config:
+          { pipeline_config with
+            Dialegg.Pipeline.on_limit = Dialegg.Pipeline.Identity }
+        ~src);
+  (* the two fields that cannot steer output bytes are pinned, so they
+     never fragment the cache *)
+  checks "fault injection is normalized away" k
+    (Serve.Cache.key
+       ~config:
+         { pipeline_config with
+           Dialegg.Pipeline.inject =
+             Some
+               { Dialegg.Faults.stage = Dialegg.Faults.Saturate;
+                 kind = Dialegg.Faults.K_exn } }
+       ~src);
+  checks "vet cache location is normalized away" k
+    (Serve.Cache.key
+       ~config:
+         { pipeline_config with Dialegg.Pipeline.vet_cache_dir = Some "/x" }
+       ~src)
+
+let test_cache_lru_eviction () =
+  let c = Serve.Cache.create ~capacity:2 ~dir:None () in
+  Serve.Cache.add c "k1" (mk_entry "one");
+  Serve.Cache.add c "k2" (mk_entry "two");
+  (* touch k1, making k2 the least recently used *)
+  checkb "k1 readable" true (Serve.Cache.find c "k1" <> None);
+  Serve.Cache.add c "k3" (mk_entry "three");
+  let m, _, _ = Serve.Cache.stats c in
+  checki "capacity bound holds" 2 m;
+  checkb "the LRU entry was evicted" true (Serve.Cache.find c "k2" = None);
+  checkb "the recently used entry survives" true (Serve.Cache.find c "k1" <> None);
+  checkb "the new entry is present" true (Serve.Cache.find c "k3" <> None);
+  (* capacity 0 disables the memory tier entirely *)
+  let c0 = Serve.Cache.create ~capacity:0 ~dir:None () in
+  Serve.Cache.add c0 "k" (mk_entry "x");
+  checkb "zero capacity stores nothing" true (Serve.Cache.find c0 "k" = None)
+
+let test_cache_disk_roundtrip () =
+  let dir = Some (fresh_dir ()) in
+  let k = Serve.Cache.key ~config:pipeline_config ~src:(div_src 256 "f") in
+  let entry = mk_entry ~degraded:1 "func.func @f() { }\n" in
+  Serve.Cache.add (Serve.Cache.create ~dir ()) k entry;
+  (* a fresh cache instance: empty memory tier, same store — like a
+     daemon restart *)
+  let c2 = Serve.Cache.create ~dir () in
+  (match Serve.Cache.find c2 k with
+  | Some (e, Serve.Protocol.Sv_hit_disk) ->
+    checkb "bytes and degraded count survive" true (e = entry)
+  | Some (_, m) ->
+    Alcotest.failf "expected a disk hit, got %s" (Serve.Protocol.cache_mark_name m)
+  | None -> Alcotest.fail "committed entry not found after restart");
+  match Serve.Cache.find c2 k with
+  | Some (_, Serve.Protocol.Sv_hit_mem) -> ()
+  | _ -> Alcotest.fail "a disk hit must be promoted into the memory tier"
+
+let test_cache_corruption_tolerated () =
+  let d = fresh_dir () in
+  let dir = Some d in
+  let c1 = Serve.Cache.create ~dir () in
+  let k = Serve.Cache.key ~config:pipeline_config ~src:(div_src 64 "g") in
+  Serve.Cache.add c1 k (mk_entry (String.make 400 'x'));
+  checki "one entry damaged" 1 (Serve.Cache.corrupt_disk_entries c1);
+  let c2 = Serve.Cache.create ~dir () in
+  checkb "a torn entry is a miss, never bad bytes" true
+    (Serve.Cache.find c2 k = None);
+  let _, disk, _ = Serve.Cache.stats c2 in
+  checki "the torn entry was deleted" 0 disk;
+  (* junk under the right name must not be served either *)
+  write_file (Filename.concat d (k ^ ".result")) "not a cache entry at all";
+  checkb "junk is a miss" true (Serve.Cache.find c2 k = None);
+  (* a valid entry renamed to the wrong key must not satisfy it *)
+  let k2 = Serve.Cache.key ~config:pipeline_config ~src:(div_src 16 "h") in
+  Serve.Cache.add c2 k2 (mk_entry "y");
+  Sys.rename (Filename.concat d (k2 ^ ".result")) (Filename.concat d (k ^ ".result"));
+  checkb "renamed entry must not satisfy the wrong key" true
+    (Serve.Cache.find (Serve.Cache.create ~dir ()) k = None)
+
+(* ------------------------------------------------------------------ *)
+(* Shared disk-cache layer: pruning, size cap, coexistence             *)
+(* ------------------------------------------------------------------ *)
+
+let test_disk_cache_prune_lru () =
+  let d = fresh_dir () in
+  let mk name age =
+    let p = Filename.concat d name in
+    write_file p (String.make 100 'z');
+    Unix.utimes p age age
+  in
+  mk "old.vet" 1000.;
+  mk "mid.audit" 2000.;
+  mk "new.result" 3000.;
+  mk "README" 500.;
+  (* foreign, despite being oldest *)
+  Dialegg.Disk_cache.prune ~max:250 ~dir:d ();
+  checkb "the oldest cache entry is evicted first" false
+    (Sys.file_exists (Filename.concat d "old.vet"));
+  checkb "newer entries are kept" true
+    (Sys.file_exists (Filename.concat d "mid.audit")
+    && Sys.file_exists (Filename.concat d "new.result"));
+  checkb "foreign files are never counted or deleted" true
+    (Sys.file_exists (Filename.concat d "README"));
+  Dialegg.Disk_cache.prune ~max:0 ~dir:d ();
+  checkb "every cache extension is evictable" false
+    (Sys.file_exists (Filename.concat d "mid.audit")
+    || Sys.file_exists (Filename.concat d "new.result"));
+  checkb "foreign files survive even a full prune" true
+    (Sys.file_exists (Filename.concat d "README"))
+
+let test_disk_cache_max_bytes_env () =
+  let prev = Sys.getenv_opt "DIALEGG_CACHE_MAX_MB" in
+  Fun.protect
+    ~finally:(fun () ->
+      Unix.putenv "DIALEGG_CACHE_MAX_MB" (Option.value prev ~default:""))
+    (fun () ->
+      Unix.putenv "DIALEGG_CACHE_MAX_MB" "3";
+      checki "megabytes parsed" (3 * 1024 * 1024) (Dialegg.Disk_cache.max_bytes ());
+      Unix.putenv "DIALEGG_CACHE_MAX_MB" "not-a-number";
+      checki "unparseable falls back to the default" (256 * 1024 * 1024)
+        (Dialegg.Disk_cache.max_bytes ());
+      Unix.putenv "DIALEGG_CACHE_MAX_MB" "-5";
+      checki "nonpositive falls back to the default" (256 * 1024 * 1024)
+        (Dialegg.Disk_cache.max_bytes ()))
+
+let test_disk_cache_coexistence () =
+  (* vet verdicts, audit verdicts, and serve results share one store
+     without stepping on each other *)
+  let d = fresh_dir () in
+  (* a ruleset no other test uses, so the verdicts are computed (and
+     persisted) here rather than answered from the in-process memo *)
+  let config =
+    { pipeline_config with
+      Dialegg.Pipeline.rules = div_rule ^ "\n; coexistence fixture\n";
+      vet_cache_dir = Some d }
+  in
+  ignore (Dialegg.Pipeline.vet_rules_exn config);
+  ignore (Dialegg.Pipeline.audit_rules_exn config);
+  let cache = Serve.Cache.create ~dir:(Some d) () in
+  let k = Serve.Cache.key ~config ~src:(div_src 256 "f") in
+  Serve.Cache.add cache k (mk_entry "o");
+  let names = Array.to_list (Sys.readdir d) in
+  let has ext = List.exists (fun n -> Filename.check_suffix n ext) names in
+  checkb "a vet verdict is present" true (has ".vet");
+  checkb "an audit verdict is present" true (has ".audit");
+  checkb "a serve result is present" true (has ".result");
+  checkb "the result still reads back" true (Serve.Cache.find cache k <> None);
+  ignore (Dialegg.Pipeline.vet_rules_exn config);
+  ignore (Dialegg.Pipeline.audit_rules_exn config)
+
+(* ------------------------------------------------------------------ *)
+(* Atomic writes: the failure path leaves no temp litter               *)
+(* ------------------------------------------------------------------ *)
+
+let test_atomic_failure_leaves_no_temp () =
+  let d = fresh_dir () in
+  (* force the final rename to fail: the destination is a directory *)
+  let target = Filename.concat d "out" in
+  Unix.mkdir target 0o755;
+  write_file (Filename.concat target "occupant") "x";
+  (match Serve.Atomic_io.write_atomic ~path:target "data" with
+  | () -> Alcotest.fail "writing over a non-empty directory must fail"
+  | exception (Unix.Unix_error _ | Sys_error _) -> ());
+  let leftovers = List.filter (fun n -> n <> "out") (Array.to_list (Sys.readdir d)) in
+  checkb "a failed write leaves no temp file behind" true (leftovers = [])
+
+(* ------------------------------------------------------------------ *)
+(* Daemon harness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let daemon_config ?(pool = 1) ?(max_queue = 16) ?(retries = 1) ?cache_dir
+    ?(cache_capacity = 64) ?rules_path ?fault ?(pipeline = pipeline_config)
+    socket_path =
+  {
+    Serve.Daemon.socket_path;
+    pool;
+    max_queue;
+    retries;
+    job_timeout = 10.;
+    grace = 0.3;
+    heartbeat = 0.;
+    recycle_jobs = 0;
+    recycle_rss_mb = 0.;
+    cache_dir;
+    cache_capacity;
+    pipeline;
+    rules_path;
+    fault;
+    verbose = false;
+  }
+
+let start_daemon (cfg : Serve.Daemon.config) =
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    (try Serve.Daemon.run cfg with _ -> ());
+    Unix._exit 0
+  | pid ->
+    let rec await n =
+      if n = 0 then begin
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        Alcotest.fail "daemon did not come up"
+      end
+      else
+        match Serve.Client.connect cfg.Serve.Daemon.socket_path with
+        | c -> Serve.Client.close c
+        | exception Serve.Client.Error _ ->
+          ignore (Unix.select [] [] [] 0.05);
+          await (n - 1)
+    in
+    await 200;
+    pid
+
+(* SIGTERM the daemon and harvest its exit status (drain is graceful,
+   so this waits for in-flight work) *)
+let stop_daemon pid =
+  (try Unix.kill pid Sys.sigterm with Unix.Unix_error _ -> ());
+  let _, status = Unix.waitpid [] pid in
+  status
+
+let with_daemon cfg f =
+  let pid = start_daemon cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      (* kill hard if the test did not already stop it *)
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        ignore (Unix.waitpid [] pid)
+      | _ -> ()
+      | exception Unix.Unix_error (Unix.ECHILD, _, _) -> ())
+    (fun () -> f pid)
+
+let optimize_once ?deadline_ms ?(retries = 0) sock src =
+  Serve.Client.with_connection sock (fun c ->
+      Serve.Client.optimize ?deadline_ms ~retries c src)
+
+let daemon_stats sock = Serve.Client.with_connection sock Serve.Client.stats
+
+let rec await_stats ?(tries = 100) sock pred =
+  let s = daemon_stats sock in
+  if pred s then s
+  else if tries = 0 then
+    Alcotest.fail "daemon stats never satisfied the condition"
+  else begin
+    ignore (Unix.select [] [] [] 0.05);
+    await_stats ~tries:(tries - 1) sock pred
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: cold/warm byte-identity and counters                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_cold_warm () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let cfg = daemon_config ~cache_dir:(Filename.concat d "cache") sock in
+  with_daemon cfg (fun pid ->
+      checkb "daemon answers a ping" true
+        (Serve.Client.with_connection sock Serve.Client.ping);
+      let expect = sequential two_func_module in
+      checkb "the ruleset has a real effect" true (contains expect "arith.shrsi");
+      let cold = optimize_once sock two_func_module in
+      let warm = optimize_once sock two_func_module in
+      checks "cold request == dialegg-opt" expect cold.Serve.Protocol.sv_output;
+      checks "warm request == dialegg-opt" expect warm.Serve.Protocol.sv_output;
+      checki "one mark per function" 2 (List.length warm.Serve.Protocol.sv_marks);
+      List.iter
+        (fun (f, m) ->
+          checkb (f ^ " misses on the cold pass") true (m = Serve.Protocol.Sv_miss))
+        cold.Serve.Protocol.sv_marks;
+      List.iter
+        (fun (f, m) ->
+          checkb (f ^ " hits memory on the warm pass") true
+            (m = Serve.Protocol.Sv_hit_mem))
+        warm.Serve.Protocol.sv_marks;
+      let s = daemon_stats sock in
+      checki "requests counted" 2 s.Serve.Protocol.ds_requests;
+      checki "functions counted" 4 s.Serve.Protocol.ds_funcs;
+      checki "misses counted" 2 s.Serve.Protocol.ds_misses;
+      checki "memory hits counted" 2 s.Serve.Protocol.ds_hits_mem;
+      checki "no errors" 0 s.Serve.Protocol.ds_errors;
+      checkb "hit rate is one half" true
+        (abs_float (Serve.Protocol.hit_rate s -. 0.5) < 1e-9);
+      (* a bad input is an error reply, not a dead daemon *)
+      (match optimize_once sock "func.func @broken( {{{\n" with
+      | exception Serve.Client.Error _ -> ()
+      | _ -> Alcotest.fail "a parse error must be refused");
+      checkb "still serving after an error reply" true
+        (Serve.Client.with_connection sock Serve.Client.ping);
+      checkb "daemon drains clean on SIGTERM" true
+        (stop_daemon pid = Unix.WEXITED 0));
+  checkb "socket unlinked after drain" false (Sys.file_exists sock);
+  checkb "stats index persisted on drain" true
+    (Sys.file_exists (Filename.concat d "cache/serve-index"))
+
+let test_daemon_restart_disk_warm () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let cache_dir = Filename.concat d "cache" in
+  let expect = sequential two_func_module in
+  with_daemon (daemon_config ~cache_dir sock) (fun pid ->
+      checks "cold == dialegg-opt" expect
+        (optimize_once sock two_func_module).Serve.Protocol.sv_output;
+      checkb "drain" true (stop_daemon pid = Unix.WEXITED 0));
+  with_daemon (daemon_config ~cache_dir sock) (fun pid ->
+      let r = optimize_once sock two_func_module in
+      checks "warm across a restart == dialegg-opt" expect
+        r.Serve.Protocol.sv_output;
+      List.iter
+        (fun (f, m) ->
+          checkb (f ^ " served from the surviving store") true
+            (m = Serve.Protocol.Sv_hit_disk))
+        r.Serve.Protocol.sv_marks;
+      ignore (stop_daemon pid))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: bounded admission and deadline propagation                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_overload_shed () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let cache_dir = Filename.concat d "cache" in
+  (* warm @f through a normally-sized daemon … *)
+  with_daemon (daemon_config ~cache_dir sock) (fun pid ->
+      ignore (optimize_once sock (div_src 256 "f"));
+      ignore (stop_daemon pid));
+  (* … then serve with a zero-length queue: warm work is served, fresh
+     work is shed *)
+  with_daemon (daemon_config ~max_queue:0 ~cache_dir sock) (fun pid ->
+      let r = optimize_once sock (div_src 256 "f") in
+      List.iter
+        (fun (_, m) ->
+          checkb "cache hits bypass admission entirely" true
+            (m = Serve.Protocol.Sv_hit_disk))
+        r.Serve.Protocol.sv_marks;
+      (match optimize_once sock (div_src 16 "fresh") with
+      | exception Serve.Client.Error m ->
+        checkb "shed reply names the overload" true (contains m "overloaded")
+      | _ -> Alcotest.fail "a zero-length queue must shed fresh work");
+      (* the client retry loop also gives up cleanly *)
+      (match
+         Serve.Client.with_connection sock (fun c ->
+             Serve.Client.optimize ~retries:1 c (div_src 1024 "fresh2"))
+       with
+      | exception Serve.Client.Error m ->
+        checkb "persistent overload surfaces" true (contains m "overloaded")
+      | _ -> Alcotest.fail "persistent overload must surface");
+      let s = daemon_stats sock in
+      checki "sheds counted" 3 s.Serve.Protocol.ds_shed;
+      checki "sheds are not errors" 0 s.Serve.Protocol.ds_errors;
+      checkb "a shed daemon keeps serving" true
+        (Serve.Client.with_connection sock Serve.Client.ping);
+      ignore (stop_daemon pid))
+
+let test_daemon_deadline () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  with_daemon (daemon_config ~cache_dir:(Filename.concat d "cache") sock)
+    (fun pid ->
+      (* an already-expired deadline on cold work is refused before any
+         budget is spent *)
+      (match optimize_once sock ~deadline_ms:0.0001 (div_src 256 "f") with
+      | exception Serve.Client.Error m ->
+        checkb "refusal names the deadline" true (contains m "deadline")
+      | _ -> Alcotest.fail "an expired deadline must be refused");
+      (* warm the function; the same deadline is then satisfiable
+         entirely from cache *)
+      ignore (optimize_once sock (div_src 256 "f"));
+      let r = optimize_once sock ~deadline_ms:0.0001 (div_src 256 "f") in
+      checkb "a warm request beats any deadline" true
+        (List.for_all
+           (fun (_, m) -> m <> Serve.Protocol.Sv_miss)
+           r.Serve.Protocol.sv_marks);
+      let s = daemon_stats sock in
+      checki "deadline miss counted" 1 s.Serve.Protocol.ds_deadline_misses;
+      ignore (stop_daemon pid))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: the injected fault matrix                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_cache_corrupt_fault () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let expect = sequential (div_src 256 "f") in
+  (* memory tier disabled so every lookup exercises the disk path *)
+  with_daemon
+    (daemon_config ~cache_capacity:0
+       ~cache_dir:(Filename.concat d "cache")
+       ~fault:{ Dialegg.Faults.sf_kind = Dialegg.Faults.S_cache_corrupt; sf_at = 1 }
+       sock)
+    (fun pid ->
+      let r1 = optimize_once sock (div_src 256 "f") in
+      checks "request 1 == cold" expect r1.Serve.Protocol.sv_output;
+      (* the fault tore every committed entry after request 1: request 2
+         must detect the damage, recompute, and answer identically *)
+      let r2 = optimize_once sock (div_src 256 "f") in
+      checks "request 2 recovers the same bytes" expect r2.Serve.Protocol.sv_output;
+      List.iter
+        (fun (_, m) ->
+          checkb "a torn entry reads as a miss" true (m = Serve.Protocol.Sv_miss))
+        r2.Serve.Protocol.sv_marks;
+      (* and the recompute healed the store *)
+      let r3 = optimize_once sock (div_src 256 "f") in
+      checks "request 3 == cold" expect r3.Serve.Protocol.sv_output;
+      List.iter
+        (fun (_, m) ->
+          checkb "the store was rewritten" true (m = Serve.Protocol.Sv_hit_disk))
+        r3.Serve.Protocol.sv_marks;
+      checki "corruption never surfaced as an error" 0
+        (daemon_stats sock).Serve.Protocol.ds_errors;
+      ignore (stop_daemon pid))
+
+let test_daemon_drain_kill_fault () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let cache_dir = Filename.concat d "cache" in
+  let expect = sequential (div_src 256 "f") in
+  with_daemon
+    (daemon_config ~cache_dir
+       ~fault:{ Dialegg.Faults.sf_kind = Dialegg.Faults.S_drain_kill; sf_at = 1 }
+       sock)
+    (fun pid ->
+      ignore (optimize_once sock (div_src 256 "f"));
+      checkb "killed at the worst drain instant" true
+        (stop_daemon pid = Unix.WSIGNALED Sys.sigkill));
+  checkb "the kill left a stale socket behind" true (Sys.file_exists sock);
+  checkb "no index was persisted" false
+    (Sys.file_exists (Filename.concat cache_dir "serve-index"));
+  (* restart on the same path: the stale socket is reclaimed, and every
+     entry committed before the kill survives *)
+  with_daemon (daemon_config ~cache_dir sock) (fun pid ->
+      let r = optimize_once sock (div_src 256 "f") in
+      checks "bytes survive the kill" expect r.Serve.Protocol.sv_output;
+      List.iter
+        (fun (_, m) ->
+          checkb "served from the surviving store" true
+            (m = Serve.Protocol.Sv_hit_disk))
+        r.Serve.Protocol.sv_marks;
+      checkb "the restarted daemon drains clean" true
+        (stop_daemon pid = Unix.WEXITED 0))
+
+(* ------------------------------------------------------------------ *)
+(* Daemon: SIGHUP ruleset reload                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_reload () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let rules_file = Filename.concat d "rules.egg" in
+  write_file rules_file div_rule;
+  with_daemon
+    (daemon_config ~cache_dir:(Filename.concat d "cache") ~rules_path:rules_file
+       sock)
+    (fun pid ->
+      let r1 = optimize_once sock (div_src 256 "f") in
+      checkb "old ruleset rewrites" true
+        (contains r1.Serve.Protocol.sv_output "arith.shrsi");
+      (* good reload: an empty ruleset is valid and rewrites nothing *)
+      write_file rules_file "";
+      Unix.kill pid Sys.sighup;
+      ignore (await_stats sock (fun s -> s.Serve.Protocol.ds_reloads = 1));
+      let r2 = optimize_once sock (div_src 256 "f") in
+      checkb "new ruleset in effect" true
+        (contains r2.Serve.Protocol.sv_output "arith.divsi");
+      checks "reloaded daemon == cold run under the new rules"
+        (fst
+           (Dialegg.Pipeline.optimize_source
+              ~config:{ pipeline_config with Dialegg.Pipeline.rules = "" }
+              (div_src 256 "f")))
+        r2.Serve.Protocol.sv_output;
+      (* bad reload: rejected by the static tiers, the old ruleset keeps
+         serving *)
+      write_file rules_file "(rule broken";
+      Unix.kill pid Sys.sighup;
+      let s = await_stats sock (fun s -> s.Serve.Protocol.ds_reload_failures = 1) in
+      checki "the good reload is still counted" 1 s.Serve.Protocol.ds_reloads;
+      let r3 = optimize_once sock (div_src 256 "f") in
+      checks "still serving the last good ruleset" r2.Serve.Protocol.sv_output
+        r3.Serve.Protocol.sv_output;
+      ignore (stop_daemon pid))
+
+(* ------------------------------------------------------------------ *)
+(* Worker heartbeat: ping / pong                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_ping_pong () =
+  let req_r, req_w = Unix.pipe () in
+  let resp_r, resp_w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+    Unix.close req_w;
+    Unix.close resp_r;
+    (try ignore (Serve.Worker.main ~in_fd:req_r ~out_fd:resp_w) with _ -> ());
+    Unix._exit 0
+  | pid ->
+    Unix.close req_r;
+    Unix.close resp_w;
+    Serve.Protocol.write_message req_w Serve.Protocol.M_ping;
+    let rd = Serve.Protocol.reader resp_r in
+    (match Serve.Protocol.read_blocking rd with
+    | Serve.Protocol.Msg Serve.Protocol.M_pong -> ()
+    | _ -> Alcotest.fail "worker did not answer the heartbeat");
+    (* and a ping does not disturb real work *)
+    Serve.Protocol.write_message req_w
+      (Serve.Protocol.M_request
+         {
+           Serve.Protocol.rq_id = "f";
+           rq_attempt = 0;
+           rq_input =
+             Serve.Protocol.J_text { name = "f"; src = div_src 256 "f" };
+           rq_config = pipeline_config;
+           rq_fault = None;
+         });
+    (match Serve.Protocol.read_blocking rd with
+    | Serve.Protocol.Msg (Serve.Protocol.M_response rs) ->
+      checkb "job succeeds after a ping" true
+        (match rs.Serve.Protocol.rs_result with
+        | Ok out -> contains out "arith.shrsi"
+        | Error _ -> false)
+    | _ -> Alcotest.fail "worker did not answer the job");
+    Unix.close req_w;
+    let _, status = Unix.waitpid [] pid in
+    checkb "worker exits 0 on EOF" true (status = Unix.WEXITED 0);
+    Unix.close resp_r
+
+(* ------------------------------------------------------------------ *)
+(* Property: warm daemon replies == cold runs                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_daemon_warm_equals_cold_prop () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "p.sock" in
+  with_daemon
+    (daemon_config ~pool:2 ~cache_dir:(Filename.concat d "cache") sock)
+    (fun pid ->
+      QCheck.Test.check_exn
+        (QCheck.Test.make ~name:"daemon replies are byte-identical to cold runs"
+           ~count:6
+           QCheck.(pair (int_range 1 3) (int_range 0 5))
+           (fun (nfuncs, seed) ->
+             let divisors = [| 2; 8; 64; 256; 1024; 4096 |] in
+             let src =
+               "module {\n"
+               ^ String.concat ""
+                   (List.init nfuncs (fun i ->
+                        div_src
+                          divisors.((seed + i) mod Array.length divisors)
+                          (Printf.sprintf "q%d_%d" seed i)))
+               ^ "}\n"
+             in
+             let cold = sequential src in
+             Serve.Client.with_connection sock (fun c ->
+                 let r1 = Serve.Client.optimize c src in
+                 let r2 = Serve.Client.optimize c src in
+                 if r1.Serve.Protocol.sv_output <> cold then
+                   QCheck.Test.fail_report "first daemon reply differs from cold";
+                 if r2.Serve.Protocol.sv_output <> cold then
+                   QCheck.Test.fail_report "warm daemon reply differs from cold";
+                 List.iter
+                   (fun (_, m) ->
+                     if m = Serve.Protocol.Sv_miss then
+                       QCheck.Test.fail_report "second pass was not cache-served")
+                   r2.Serve.Protocol.sv_marks);
+             true));
+      ignore (stop_daemon pid))
+
 let () =
   Alcotest.run "serve"
     [
@@ -652,5 +1262,43 @@ let () =
         [
           Alcotest.test_case "batch == sequential (random pools)" `Quick
             test_batch_equals_sequential_prop;
+        ] );
+      ( "result-cache",
+        [
+          Alcotest.test_case "key sensitivity" `Quick test_cache_key_sensitivity;
+          Alcotest.test_case "memory LRU eviction" `Quick test_cache_lru_eviction;
+          Alcotest.test_case "disk roundtrip and promotion" `Quick
+            test_cache_disk_roundtrip;
+          Alcotest.test_case "corruption tolerated" `Quick
+            test_cache_corruption_tolerated;
+        ] );
+      ( "disk-cache",
+        [
+          Alcotest.test_case "LRU pruning respects extensions" `Quick
+            test_disk_cache_prune_lru;
+          Alcotest.test_case "size cap from the environment" `Quick
+            test_disk_cache_max_bytes_env;
+          Alcotest.test_case "vet/audit/result coexistence" `Quick
+            test_disk_cache_coexistence;
+          Alcotest.test_case "failed atomic write leaves no temp" `Quick
+            test_atomic_failure_leaves_no_temp;
+        ] );
+      ( "daemon",
+        [
+          Alcotest.test_case "cold/warm byte-identity and counters" `Quick
+            test_daemon_cold_warm;
+          Alcotest.test_case "warm across a restart" `Quick
+            test_daemon_restart_disk_warm;
+          Alcotest.test_case "bounded admission sheds, cache hits pass" `Quick
+            test_daemon_overload_shed;
+          Alcotest.test_case "deadline propagation" `Quick test_daemon_deadline;
+          Alcotest.test_case "fault: cache-corrupt" `Quick
+            test_daemon_cache_corrupt_fault;
+          Alcotest.test_case "fault: mid-drain-kill" `Quick
+            test_daemon_drain_kill_fault;
+          Alcotest.test_case "SIGHUP ruleset reload" `Quick test_daemon_reload;
+          Alcotest.test_case "worker ping/pong" `Quick test_worker_ping_pong;
+          Alcotest.test_case "warm == cold (property)" `Quick
+            test_daemon_warm_equals_cold_prop;
         ] );
     ]
