@@ -65,4 +65,4 @@ let cmd =
     (Cmd.info "dialegg-audit" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ strict $ verbose $ no_cache $ cache_dir $ files))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

@@ -124,7 +124,7 @@ let run input egg_file output jobs retries job_timeout grace backoff_ms resume
       else `Error (false, "some jobs failed outright; see the report above")
     end
   with
-  | Usage e -> `Error (true, e)
+  | Usage e -> raise (Serve.Cli.Usage_error e)
   | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
   | Serve.Queue.Error e -> `Error (false, e)
@@ -309,4 +309,4 @@ let cmd =
         $ timeout $ max_memory_mb $ on_limit $ no_vet $ no_audit $ show_stats
         $ quiet $ verbose $ engine))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

@@ -25,7 +25,7 @@ let run socket input output deadline_ms retries stats_only do_ping show_stats =
         end
         else
           match input with
-          | None -> `Error (true, "required argument INPUT.mlir is missing")
+          | None -> raise (Serve.Cli.Usage_error "required argument INPUT.mlir is missing")
           | Some path ->
             let src = read_file path in
             let reply = Serve.Client.optimize ?deadline_ms ~retries c src in
@@ -106,4 +106,4 @@ let cmd =
         (const run $ socket $ input $ output $ deadline_ms $ retries
         $ stats_only $ do_ping $ show_stats))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

@@ -51,4 +51,4 @@ let cmd =
     (Cmd.info "dialegg-lint" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ strict $ no_prelude $ files))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

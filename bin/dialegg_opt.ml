@@ -22,7 +22,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
     if lint_only then begin
       (* check the rules and stop: no MLIR input needed *)
       match egg_file with
-      | None -> `Error (true, "--lint requires an --egg rules file to check")
+      | None -> raise (Serve.Cli.Usage_error "--lint requires an --egg rules file to check")
       | Some f ->
         let diags = Dialegg.Lint.lint_rules ~file:f rules in
         List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) diags;
@@ -32,7 +32,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
     else if vet_only then begin
       (* statically verify the rules and stop: no MLIR input needed *)
       match egg_file with
-      | None -> `Error (true, "--vet requires an --egg rules file to check")
+      | None -> raise (Serve.Cli.Usage_error "--vet requires an --egg rules file to check")
       | Some f ->
         let report, status = Dialegg.Vet.vet_cached ~file:f rules in
         List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Vet.v_diags;
@@ -44,7 +44,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
     else if audit_only then begin
       (* cross-check the rules against the dialect registry and stop *)
       match egg_file with
-      | None -> `Error (true, "--audit requires an --egg rules file to check")
+      | None -> raise (Serve.Cli.Usage_error "--audit requires an --egg rules file to check")
       | Some f ->
         let report, status = Dialegg.Audit.audit_cached ~file:f rules in
         List.iter (fun d -> Fmt.epr "%a@." Egglog.Diag.pp d) report.Dialegg.Audit.a_diags;
@@ -175,7 +175,7 @@ let run input egg_file output iterations max_nodes timeout timeout_ms
     end
     end
   with
-  | Usage e -> `Error (true, e)
+  | Usage e -> raise (Serve.Cli.Usage_error e)
   | Sys_error _ as e when Serve.Cli.is_epipe e -> raise e
   | Sys_error e -> `Error (false, e)
   | Mlir.Parser.Error e -> `Error (false, "parse error: " ^ e)
@@ -381,4 +381,4 @@ let cmd =
         $ no_audit $ show_stats $ no_backoff $ naive_matching $ no_validate
         $ analyze $ engine $ jobs))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

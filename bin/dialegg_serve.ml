@@ -197,4 +197,4 @@ let cmd =
         $ cache_dir $ cache_capacity $ iterations $ max_nodes $ timeout
         $ on_limit $ engine $ no_dce $ no_validate $ fault $ verbose))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

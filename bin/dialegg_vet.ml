@@ -63,4 +63,4 @@ let cmd =
     (Cmd.info "dialegg-vet" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ strict $ verbose $ no_cache $ cache_dir $ files))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

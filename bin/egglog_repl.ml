@@ -173,4 +173,4 @@ let cmd =
     (Cmd.info "egglog" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ files $ max_nodes $ timeout $ stats $ engine $ jobs))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

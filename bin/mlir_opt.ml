@@ -78,4 +78,4 @@ let cmd =
     (Cmd.info "mlir-opt" ~version:"1.0.0" ~doc)
     Term.(ret (const run $ input $ output $ passes $ verify_only))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

@@ -70,4 +70,4 @@ let cmd =
   let doc = "interpret an MLIR function and report the cycle cost proxy" in
   Cmd.v (Cmd.info "mlir-run" ~version:"1.0.0" ~doc) Term.(ret (const run $ input $ func $ args))
 
-let () = Serve.Cli.main (fun () -> Cmd.eval ~catch:false cmd)
+let () = Serve.Cli.main (fun () -> Serve.Cli.eval cmd)

@@ -30,14 +30,24 @@ type t = {
   eggify : Eggify.t;  (** side tables from the forward translation *)
   rebuilt_opaque : (int, Mlir.Ir.op) Hashtbl.t;  (** orig op id -> new op *)
   mutable arg_remap : (int * Mlir.Ir.value) list;  (** orig block-arg value id -> new *)
+  unsafe_share_allocs : bool;
+      (** fault injection only: disable the never-share guard below *)
 }
 
 (** A build scope: the block ops are being appended to, plus the chain of
     per-block memo tables (e-class -> built value). *)
 type scope = { block : Mlir.Ir.block; memos : (int, Mlir.Ir.value option) Hashtbl.t list }
 
-let create ~sigs ~hooks ~extractor ~eggify =
-  { sigs; hooks; extractor; eggify; rebuilt_opaque = Hashtbl.create 16; arg_remap = [] }
+let create ?(unsafe_share_allocs = false) ~sigs ~hooks ~extractor ~eggify () =
+  {
+    sigs;
+    hooks;
+    extractor;
+    eggify;
+    rebuilt_opaque = Hashtbl.create 16;
+    arg_remap = [];
+    unsafe_share_allocs;
+  }
 
 let push_scope scope block = { block; memos = Hashtbl.create 32 :: scope.memos }
 
@@ -66,6 +76,8 @@ let term_head t =
    identical [tensor_empty]s in one e-class; materializing that class once
    would alias two matmuls' accumulators. *)
 let never_share (d : t) (term : term) =
+  (not d.unsafe_share_allocs)
+  &&
   match term.t_kind with
   | Node (name, _) -> (
     match Sigs.find_egg d.sigs (Egglog.Symbol.name name) with

@@ -12,11 +12,18 @@ exception Error of string
 
 type t
 
+(** [?unsafe_share_allocs] disables the guard that keeps allocation ops
+    ([tensor.empty] / [memref.alloc]) out of the per-class memo — i.e. it
+    re-introduces the destination-aliasing miscompilation this module
+    once shipped.  Fault injection only ([--inject-fault deeggify:alias]);
+    never set it otherwise. *)
 val create :
+  ?unsafe_share_allocs:bool ->
   sigs:Sigs.t ->
   hooks:Translate.hooks ->
   extractor:Egglog.Extract.t ->
   eggify:Eggify.t ->
+  unit ->
   t
 
 (** Replace the body of a [func.func] with the program denoted by the

@@ -56,10 +56,18 @@ let prune ?max ~dir () =
       let excess = ref (total - cap) in
       List.iter
         (fun (path, size, _) ->
-          if !excess > 0 then begin
-            (try Sys.remove path with Sys_error _ -> ());
-            excess := !excess - size
-          end)
+          if !excess > 0 then
+            (* a concurrent pruner may have unlinked the entry between
+               our readdir and here: ENOENT means the bytes are gone
+               either way, so it still counts as freed.  Any other
+               failure (permissions, read-only media) must NOT be
+               credited, or we'd stop early with the cache still over
+               its cap. *)
+            match Unix.unlink path with
+            | () -> excess := !excess - size
+            | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+              excess := !excess - size
+            | exception Unix.Unix_error _ -> ())
         oldest
     end
   with Sys_error _ | Unix.Unix_error _ -> ()

@@ -2,11 +2,11 @@
     interface for the model. *)
 
 type stage = Eggify | Saturate | Extract | Deeggify | Validate
-type kind = K_exn | K_error | K_overflow
+type kind = K_exn | K_error | K_overflow | K_alias
 type t = { stage : stage; kind : kind }
 
 let all_stages = [ Eggify; Saturate; Extract; Deeggify; Validate ]
-let all_kinds = [ K_exn; K_error; K_overflow ]
+let all_kinds = [ K_exn; K_error; K_overflow; K_alias ]
 
 let stage_name = function
   | Eggify -> "eggify"
@@ -19,6 +19,7 @@ let kind_name = function
   | K_exn -> "exn"
   | K_error -> "error"
   | K_overflow -> "overflow"
+  | K_alias -> "alias"
 
 let to_string f = stage_name f.stage ^ ":" ^ kind_name f.kind
 
@@ -56,11 +57,19 @@ let raise_fault f =
   | K_error ->
     raise (Egglog.Interp.Error (Printf.sprintf "injected engine fault at %s" where))
   | K_overflow -> raise Stack_overflow
+  | K_alias -> ()
+
+let effective armed = match armed with Some _ -> armed | None -> from_env ()
 
 let trip armed stage =
-  match (match armed with Some _ -> armed | None -> from_env ()) with
-  | Some f when f.stage = stage -> raise_fault f
+  match effective armed with
+  | Some f when f.stage = stage && f.kind <> K_alias -> raise_fault f
   | _ -> ()
+
+let alias_armed armed =
+  match effective armed with
+  | Some { stage = Deeggify; kind = K_alias } -> true
+  | _ -> false
 
 (* ------------------------------------------------------------------ *)
 (* Process-level faults (batch-driver workers)                         *)

@@ -18,8 +18,13 @@ type stage = Eggify | Saturate | Extract | Deeggify | Validate
     - [K_exn]: a generic [Failure] — an unanticipated crash;
     - [K_error]: the engine's own error exception ({!Egglog.Interp.Error})
       — an anticipated, message-carrying failure;
-    - [K_overflow]: [Stack_overflow] — a runaway recursion. *)
-type kind = K_exn | K_error | K_overflow
+    - [K_overflow]: [Stack_overflow] — a runaway recursion;
+    - [K_alias]: raises nothing.  Only meaningful at the [Deeggify]
+      stage, where it re-enables the pre-PR-4 destination-sharing
+      miscompilation (shared [tensor.empty]/[memref.alloc] results) —
+      a seeded *silent* wrong-code bug for the differential fuzzer to
+      find, as opposed to the loud crashes above. *)
+type kind = K_exn | K_error | K_overflow | K_alias
 
 type t = { stage : stage; kind : kind }
 
@@ -42,8 +47,13 @@ val from_env : unit -> t option
 
 (** [trip fault stage] raises [fault]'s exception if it targets [stage];
     when [fault] is [None] the environment variable is consulted.  A
-    no-op otherwise. *)
+    no-op otherwise (including for [K_alias], which injects wrong code
+    rather than an exception — see {!alias_armed}). *)
 val trip : t option -> stage -> unit
+
+(** Whether the [deeggify:alias] miscompilation fault is armed, either
+    programmatically or via the environment variable. *)
+val alias_armed : t option -> bool
 
 (** {1 Process-level faults}
 

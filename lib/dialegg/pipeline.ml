@@ -627,7 +627,11 @@ let optimize_func_report ?(config = default_config) ?(hooks = Translate.make_hoo
           | Some ex -> ex
           | None -> Egglog.Extract.make (Egglog.Interp.egraph engine)
         in
-        let deeggify = Deeggify.create ~sigs ~hooks ~extractor ~eggify in
+        let deeggify =
+          Deeggify.create
+            ~unsafe_share_allocs:(Faults.alias_armed config.inject)
+            ~sigs ~hooks ~extractor ~eggify ()
+        in
         Deeggify.rebuild_function deeggify func root_term;
         if config.run_dce then ignore (Mlir.Transforms.dce func));
     let t3 = now () in

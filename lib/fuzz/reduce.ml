@@ -1,0 +1,314 @@
+(** ddmin-based repro reduction; see the interface for the model. *)
+
+type input = { rd_mlir : string; rd_egg : string }
+type predicate = input -> bool
+
+(* ------------------------------------------------------------------ *)
+(* Generic ddmin                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let split_chunks items n =
+  let len = List.length items in
+  let base = len / n and extra = len mod n in
+  let rec take k xs =
+    if k = 0 then ([], xs)
+    else
+      match xs with
+      | [] -> ([], [])
+      | x :: xs' ->
+        let hd, tl = take (k - 1) xs' in
+        (x :: hd, tl)
+  in
+  let rec go i xs =
+    if i >= n || xs = [] then []
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take size xs in
+      chunk :: go (i + 1) rest
+  in
+  go 0 items |> List.filter (fun c -> c <> [])
+
+let ddmin test items =
+  if test [] then []
+  else
+    let rec go items n =
+      let len = List.length items in
+      if len <= 1 then items
+      else begin
+        let chunks = split_chunks items n in
+        match List.find_opt test chunks with
+        | Some c -> go c 2
+        | None -> (
+          let complements =
+            List.mapi
+              (fun i _ ->
+                List.concat
+                  (List.filteri (fun j _ -> j <> i) chunks))
+              chunks
+          in
+          match List.find_opt test complements with
+          | Some c -> go c (max (n - 1) 2)
+          | None -> if n < len then go items (min len (2 * n)) else items)
+      end
+    in
+    go items 2
+
+(* ------------------------------------------------------------------ *)
+(* Egglog source chunking                                              *)
+(* ------------------------------------------------------------------ *)
+
+let split_sexprs src =
+  let n = String.length src in
+  let out = ref [] in
+  let i = ref 0 in
+  let skip_comment j =
+    let j = ref j in
+    while !j < n && src.[!j] <> '\n' do
+      incr j
+    done;
+    !j
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ';' then i := skip_comment !i
+    else if c = '(' then begin
+      let start = !i in
+      let depth = ref 0 in
+      let in_str = ref false in
+      let j = ref !i in
+      (try
+         while !j < n do
+           let ch = src.[!j] in
+           if !in_str then begin
+             if ch = '\\' then incr j
+             else if ch = '"' then in_str := false
+           end
+           else if ch = '"' then in_str := true
+           else if ch = ';' then j := skip_comment !j - 1
+           else if ch = '(' then incr depth
+           else if ch = ')' then begin
+             decr depth;
+             if !depth = 0 then raise Exit
+           end;
+           incr j
+         done
+       with Exit -> ());
+      let stop = min !j (n - 1) in
+      out := String.sub src start (stop - start + 1) :: !out;
+      i := stop + 1
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let starts_with prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let is_rule chunk =
+  starts_with "(rule" chunk || starts_with "(rewrite" chunk
+  || starts_with "(birewrite" chunk
+
+(* ------------------------------------------------------------------ *)
+(* MLIR manipulation                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let parse = Mlir.Parser.parse_module
+let print = Mlir.Printer.module_to_string
+
+let func_names m =
+  List.filter_map
+    (fun op ->
+      if op.Mlir.Ir.op_name = "func.func" then Some (Mlir.Ir.func_name op)
+      else None)
+    (Mlir.Ir.module_ops m)
+
+let restrict_funcs src keep =
+  let m = parse src in
+  List.iter
+    (fun op ->
+      if
+        op.Mlir.Ir.op_name = "func.func"
+        && not (List.mem (Mlir.Ir.func_name op) keep)
+      then Mlir.Ir.erase_op op)
+    (Mlir.Ir.module_ops m);
+  print m
+
+let op_count src =
+  match parse src with
+  | exception _ -> max_int
+  | m ->
+    let count = ref 0 in
+    List.iter
+      (fun op ->
+        if op.Mlir.Ir.op_name = "func.func" then
+          Mlir.Ir.walk_block (fun _ -> incr count) (Mlir.Ir.func_body op))
+      (Mlir.Ir.module_ops m);
+    !count
+
+(** Remove the op at [idx] of [fname]'s body, redirecting any uses of
+    its results to earlier same-typed values ([choice] selects among
+    replacement candidates).  Returns the new module text, or [None]
+    when the edit is impossible (terminator, or a used result with no
+    in-scope replacement). *)
+let apply_removal src fname idx choice =
+  match parse src with
+  | exception _ -> None
+  | m -> (
+    match Mlir.Ir.find_function m fname with
+    | None -> None
+    | Some f ->
+      let body = Mlir.Ir.func_body f in
+      let ops = body.Mlir.Ir.blk_ops in
+      let nops = List.length ops in
+      if idx >= nops - 1 then None (* never the terminator *)
+      else begin
+        let op = List.nth ops idx in
+        let earlier = List.filteri (fun j _ -> j < idx) ops in
+        let candidates ty =
+          let args =
+            Array.to_list body.Mlir.Ir.blk_args
+            |> List.filter (fun v -> Mlir.Typ.equal v.Mlir.Ir.v_type ty)
+          in
+          let results =
+            List.concat_map
+              (fun o -> Array.to_list o.Mlir.Ir.results)
+              earlier
+            |> List.filter (fun v -> Mlir.Typ.equal v.Mlir.Ir.v_type ty)
+          in
+          args @ results
+        in
+        let ok = ref true in
+        Array.iter
+          (fun r ->
+            if !ok && Mlir.Ir.has_uses ~within:f r then
+              match candidates r.Mlir.Ir.v_type with
+              | [] -> ok := false
+              | cands ->
+                let pick =
+                  List.nth cands (min choice (List.length cands - 1))
+                in
+                Mlir.Ir.replace_uses ~within:f ~from:r ~to_:pick)
+          op.Mlir.Ir.results;
+        if not !ok then None
+        else begin
+          Mlir.Ir.erase_op op;
+          Some (print m)
+        end
+      end)
+
+(** Greedy op elimination to fixpoint: last-to-first, up to three
+    replacement choices per op, keeping the first edit the predicate
+    accepts. *)
+let reduce_ops still_fails src =
+  let shrink_once src =
+    match parse src with
+    | exception _ -> None
+    | m ->
+      let result = ref None in
+      List.iter
+        (fun fname ->
+          if !result = None then begin
+            let nops =
+              match Mlir.Ir.find_function m fname with
+              | Some f -> List.length (Mlir.Ir.func_body f).Mlir.Ir.blk_ops
+              | None -> 0
+            in
+            let idx = ref (nops - 2) in
+            while !result = None && !idx >= 0 do
+              let tried = ref [] in
+              for choice = 0 to 2 do
+                if !result = None then
+                  match apply_removal src fname !idx choice with
+                  | Some src' when src' <> src && not (List.mem src' !tried) ->
+                    tried := src' :: !tried;
+                    if still_fails src' then result := Some src'
+                  | _ -> ()
+              done;
+              decr idx
+            done
+          end)
+        (func_names m);
+      !result
+  in
+  let rec fixpoint src =
+    match shrink_once src with Some src' -> fixpoint src' | None -> src
+  in
+  fixpoint src
+
+(* ------------------------------------------------------------------ *)
+(* The three axes                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let reduce_funcs still_fails src =
+  match parse src with
+  | exception _ -> src
+  | m ->
+    let names = func_names m in
+    if List.length names <= 1 then src
+    else begin
+      let test keep = keep <> [] && still_fails (restrict_funcs src keep) in
+      let kept = ddmin test names in
+      if kept <> [] && List.length kept < List.length names then
+        restrict_funcs src kept
+      else src
+    end
+
+let reduce_rules still_fails egg =
+  let chunks = List.mapi (fun i c -> (i, c)) (split_sexprs egg) in
+  let rules, decls = List.partition (fun (_, c) -> is_rule c) chunks in
+  let rebuild kept =
+    List.sort compare (decls @ kept) |> List.map snd |> String.concat "\n"
+  in
+  if rules = [] then rebuild []
+  else
+    let kept = ddmin (fun kept -> still_fails (rebuild kept)) rules in
+    rebuild kept
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let reduce ?(max_rounds = 4) (pred : predicate) input =
+  if not (pred input) then input
+  else begin
+    (* canonicalize first, so the fixpoint result is stable under
+       re-reduction; fall back when canonicalization loses the failure *)
+    let canonical =
+      {
+        rd_mlir =
+          (match print (parse input.rd_mlir) with
+          | s -> s
+          | exception _ -> input.rd_mlir);
+        rd_egg = String.concat "\n" (split_sexprs input.rd_egg);
+      }
+    in
+    if not (pred canonical) then input
+    else begin
+      let cur = ref canonical in
+      let round = ref 0 in
+      let progress = ref true in
+      while !progress && !round < max_rounds do
+        incr round;
+        let before = !cur in
+        let mlir1 =
+          reduce_funcs
+            (fun mlir -> pred { !cur with rd_mlir = mlir })
+            !cur.rd_mlir
+        in
+        cur := { !cur with rd_mlir = mlir1 };
+        let mlir2 =
+          reduce_ops
+            (fun mlir -> pred { !cur with rd_mlir = mlir })
+            !cur.rd_mlir
+        in
+        cur := { !cur with rd_mlir = mlir2 };
+        let egg' =
+          reduce_rules (fun egg -> pred { !cur with rd_egg = egg }) !cur.rd_egg
+        in
+        cur := { !cur with rd_egg = egg' };
+        progress := !cur <> before
+      done;
+      !cur
+    end
+  end

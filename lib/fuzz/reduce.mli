@@ -1,0 +1,40 @@
+(** Delta-debugging reduction of failing repros.
+
+    Given a repro (module text + ruleset text) and a failure predicate
+    — "does this candidate still fail the same way?" — the reducer
+    shrinks along three axes, to fixpoint:
+
+    - {e functions}: classic ddmin over the module's [func.func] list;
+    - {e ops}: greedy dependency-aware elimination inside each surviving
+      function — an op is dropped if its results are unused, or if every
+      use can be redirected to an earlier value of the same type; each
+      candidate edit is kept only if the predicate still holds;
+    - {e rules}: ddmin over the ruleset's top-level rule s-expressions
+      (declarations are never dropped), after first trying the empty
+      ruleset.
+
+    Everything is deterministic, and the result is canonical (parsed and
+    re-printed), so reducing an already-reduced repro is a no-op — the
+    idempotence property [scripts/fuzz_smoke.sh] checks. *)
+
+type input = { rd_mlir : string; rd_egg : string }
+
+(** [true] = the candidate still exhibits the failure. *)
+type predicate = input -> bool
+
+(** Zeller-Hildebrandt ddmin: a minimal sublist still satisfying [test]
+    (assuming [test] holds on the full list).  Deterministic; preserves
+    element order. *)
+val ddmin : ('a list -> bool) -> 'a list -> 'a list
+
+(** Top-level s-expressions of an Egglog source (comments dropped). *)
+val split_sexprs : string -> string list
+
+(** Ops in every function body of a module text, nested regions
+    included — the "≤ N ops" metric for reduced repros. *)
+val op_count : string -> int
+
+(** Shrink [input] under [pred].  If [pred input] is false the input is
+    returned unchanged.  [max_rounds] bounds the outer
+    functions→ops→rules fixpoint iteration (default 4). *)
+val reduce : ?max_rounds:int -> predicate -> input -> input

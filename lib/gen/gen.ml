@@ -1,0 +1,291 @@
+(** Seeded, deterministic fuzzing-case generation; see the interface for
+    the model. *)
+
+module Rng = Workloads.Rng
+
+type shape = Arith | Matmul | Loop
+
+let all_shapes = [ Arith; Matmul; Loop ]
+
+let shape_name = function
+  | Arith -> "arith"
+  | Matmul -> "matmul"
+  | Loop -> "loop"
+
+let shape_of_string s =
+  List.find_opt (fun sh -> shape_name sh = s) all_shapes
+
+type case = {
+  c_index : int;
+  c_seed : int;
+  c_shape : shape;
+  c_func : string;
+  c_mlir : string;
+  c_egg : string;
+}
+
+(* Distinct large odd multipliers keep nearby (seed, index) pairs from
+   colliding before splitmix64's finalizer scrambles them. *)
+let sub_rng ~seed ~index salt =
+  Rng.create ((seed * 1_000_003) + (index * 8191) + (salt * 97) + 1)
+
+(* ------------------------------------------------------------------ *)
+(* Module synthesis                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(** Straight-line i64 arithmetic: every operand is a function argument,
+    a constant, or an earlier result, so the program is well-typed and
+    dominance-correct by construction.  Shift amounts and divisors are
+    constrained at generation time (0–7, powers of two) rather than
+    checked after. *)
+let gen_arith rng =
+  let nargs = 1 + Rng.int rng 3 in
+  let buf = Buffer.create 512 in
+  let pool = ref (List.init nargs (fun i -> Printf.sprintf "%%a%d" i)) in
+  let pick () = List.nth !pool (Rng.int rng (List.length !pool)) in
+  let fresh = ref 0 in
+  let def () =
+    let v = Printf.sprintf "%%v%d" !fresh in
+    incr fresh;
+    v
+  in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  emit "func.func @fz_main(%s) -> i64 {\n"
+    (String.concat ", "
+       (List.init nargs (fun i -> Printf.sprintf "%%a%d: i64" i)));
+  let const value =
+    let v = def () in
+    emit "  %s = arith.constant %d : i64\n" v value;
+    v
+  in
+  let binops =
+    [| "arith.addi"; "arith.subi"; "arith.muli"; "arith.andi"; "arith.ori";
+       "arith.xori"; "arith.maxsi"; "arith.minsi" |]
+  in
+  let last = ref (List.hd !pool) in
+  let nops = 4 + Rng.int rng 9 in
+  for _ = 1 to nops do
+    let v =
+      match Rng.int rng 10 with
+      | 0 | 1 | 2 -> const (Rng.int rng 128 - 64)
+      | 9 when Rng.int rng 2 = 0 ->
+        (* shift by a fresh in-range constant amount *)
+        let amt = const (Rng.int rng 8) in
+        let v = def () in
+        let op = if Rng.int rng 2 = 0 then "arith.shli" else "arith.shrsi" in
+        emit "  %s = %s %s, %s : i64\n" v op (pick ()) amt;
+        v
+      | 9 ->
+        (* division by a fresh power-of-two constant (never zero).  The
+           dividend is masked non-negative first: the div-pow2 rewrite
+           (divsi x, 2^k -> shrsi x, k) is only sound for x >= 0 —
+           divsi truncates toward zero where shrsi floors — and the
+           campaign's well-formed cases must stay inside the rules'
+           intended domain (the fuzzer rediscovered exactly this
+           signedness split when they did not) *)
+        let mask = const max_int in
+        let nn = def () in
+        emit "  %s = arith.andi %s, %s : i64\n" nn (pick ()) mask;
+        let d = const (1 lsl Rng.int rng 7) in
+        let v = def () in
+        emit "  %s = arith.divsi %s, %s : i64\n" v nn d;
+        v
+      | _ ->
+        let op = binops.(Rng.int rng (Array.length binops)) in
+        let v = def () in
+        emit "  %s = %s %s, %s : i64\n" v op (pick ()) (pick ());
+        v
+    in
+    pool := v :: !pool;
+    last := v
+  done;
+  emit "  func.return %s : i64\n}\n" !last;
+  Buffer.contents buf
+
+(** Matmul chains reuse the benchmark emitter; half the cases force a
+    uniform (square) dimension chain so distinct [tensor.empty]
+    destinations share a type — the aliasing-bug trigger. *)
+let gen_matmul rng =
+  (* 3-4 matrices = 2-3 matmuls: at least two [tensor.empty] destinations *)
+  let n = 3 + Rng.int rng 2 in
+  let dims =
+    if Rng.int rng 2 = 0 then
+      let d = 2 + Rng.int rng 3 in
+      List.init (n + 1) (fun _ -> d)
+    else List.init (n + 1) (fun _ -> 2 + Rng.int rng 3)
+  in
+  Workloads.Matmul_chain.source_chain dims
+
+(** An [scf.for] accumulator: the loop body is a small arith expression
+    over the carried value and the function argument. *)
+let gen_loop rng =
+  let trips = 1 + Rng.int rng 6 in
+  let init = Rng.int rng 64 - 32 in
+  let body_op =
+    [| "arith.addi"; "arith.subi"; "arith.muli"; "arith.xori" |]
+      .(Rng.int rng 4)
+  in
+  let extra = Rng.int rng 32 in
+  Printf.sprintf
+    {|func.func @fz_main(%%a0: i64) -> i64 {
+  %%lo = arith.constant 0 : index
+  %%hi = arith.constant %d : index
+  %%st = arith.constant 1 : index
+  %%init = arith.constant %d : i64
+  %%k = arith.constant %d : i64
+  %%out = scf.for %%i = %%lo to %%hi step %%st iter_args(%%acc = %%init) -> (i64) {
+    %%t0 = %s %%acc, %%a0 : i64
+    %%t1 = arith.addi %%t0, %%k : i64
+    scf.yield %%t1 : i64
+  }
+  func.return %%out : i64
+}
+|}
+    trips init extra body_op
+
+(* ------------------------------------------------------------------ *)
+(* Ruleset synthesis                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Each template instantiates with fresh pattern-variable names (the
+    renaming mutation); all of them mirror shipped, audit-clean rules.
+    Templates spell variables as [?$x]; [instantiate] replaces the [$]
+    marker with the fresh prefix. *)
+let instantiate template v =
+  String.concat v (String.split_on_char '$' template)
+
+let const_bin op fold v =
+  instantiate
+    (Printf.sprintf
+       {|(rewrite (%s
+           (arith_constant (NamedAttr "value" (IntegerAttr ?$x ?$t)) ?$t)
+           (arith_constant (NamedAttr "value" (IntegerAttr ?$y ?$t)) ?$t) ?$t)
+         (arith_constant (NamedAttr "value" (IntegerAttr (%s ?$x ?$y) ?$t)) ?$t))|}
+       op fold)
+    v
+
+let identity_right op unit_val v =
+  instantiate
+    (Printf.sprintf
+       {|(rewrite (%s ?$x
+           (arith_constant (NamedAttr "value" (IntegerAttr %d ?$t)) ?$t) ?$t)
+         ?$x)|}
+       op unit_val)
+    v
+
+let commute op v =
+  instantiate
+    (Printf.sprintf "(rewrite (%s ?$x ?$y ?$t) (%s ?$y ?$x ?$t))" op op)
+    v
+
+let div_pow2_rule v =
+  instantiate
+    {|(rule ((= ?$lhs (arith_divsi ?$x
+                 (arith_constant (NamedAttr "value" (IntegerAttr ?$n ?$t)) ?$t) ?$t))
+       (= ?$k (log2 ?$n))
+       (= (pow 2 ?$k) ?$n))
+      ((union ?$lhs
+         (arith_shrsi ?$x
+           (arith_constant (NamedAttr "value" (IntegerAttr ?$k ?$t)) ?$t) ?$t))))|}
+    v
+
+let matmul_assoc_rules v =
+  instantiate
+    {|(rule ((= ?$e (linalg_matmul ?$x ?$y ?$xy ?$t))
+       (= ?$a (nrows (type-of ?$x)))
+       (= ?$b (ncols (type-of ?$x)))
+       (= ?$c (ncols (type-of ?$y))))
+      ((unstable-cost (linalg_matmul ?$x ?$y ?$xy ?$t) (* (* ?$a ?$b) ?$c))))
+(rule ((= ?$lhs (linalg_matmul
+                 (linalg_matmul ?$x ?$y ?$xy ?$xy_t)
+                 ?$z ?$xy_z ?$xyz_t))
+       (= ?$b (nrows (type-of ?$y)))
+       (= ?$d (ncols (type-of ?$z)))
+       (= ?$xyz_t (RankedTensor ?$d1 ?$et)))
+      ((let $yz_t (RankedTensor (vec-of ?$b ?$d) ?$et))
+       (union ?$lhs
+         (linalg_matmul ?$x
+           (linalg_matmul ?$y ?$z (tensor_empty $yz_t) $yz_t)
+           ?$xy_z ?$xyz_t))))|}
+    v
+
+let arith_templates =
+  [
+    (fun v -> const_bin "arith_addi" "+" v);
+    (fun v -> const_bin "arith_subi" "-" v);
+    (fun v -> const_bin "arith_muli" "*" v);
+    (fun v -> identity_right "arith_addi" 0 v);
+    (fun v -> identity_right "arith_muli" 1 v);
+    (fun v -> commute "arith_addi" v);
+    (fun v -> commute "arith_muli" v);
+    div_pow2_rule;
+  ]
+
+(** Sample a mutated ruleset: a random subset of the shape's template
+    pool, in shuffled order, each instantiated with fresh variable
+    names.  May be empty — zero-rule saturation is a case worth fuzzing
+    (it exercises the pure eggify / extract / deeggify round trip). *)
+let gen_rules rng shape =
+  let fresh_var () = Printf.sprintf "g%d" (Rng.int rng 1000) in
+  match shape with
+  | Matmul ->
+    if Rng.int rng 3 = 0 then "" else matmul_assoc_rules (fresh_var ())
+  | Arith | Loop ->
+    let picked =
+      List.filter (fun _ -> Rng.int rng 3 > 0) arith_templates
+    in
+    (* shuffle: rule order must never matter, so we vary it *)
+    let decorated =
+      List.map (fun t -> (Rng.int rng 1_000_000, t)) picked
+    in
+    let shuffled =
+      List.sort (fun (a, _) (b, _) -> compare a b) decorated
+    in
+    String.concat "\n" (List.map (fun (_, t) -> t (fresh_var ())) shuffled)
+
+(* ------------------------------------------------------------------ *)
+(* Cases                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let case ?(shapes = all_shapes) ~seed index =
+  if shapes = [] then invalid_arg "Gen.case: empty shape list";
+  let rng = sub_rng ~seed ~index 0 in
+  let c_shape = List.nth shapes (Rng.int rng (List.length shapes)) in
+  let c_mlir =
+    match c_shape with
+    | Arith -> gen_arith rng
+    | Matmul -> gen_matmul rng
+    | Loop -> gen_loop rng
+  in
+  let c_egg = gen_rules rng c_shape in
+  let c_func = match c_shape with Matmul -> "mm_chain" | _ -> "fz_main" in
+  { c_index = index; c_seed = seed; c_shape; c_func; c_mlir; c_egg }
+
+(* ------------------------------------------------------------------ *)
+(* Concrete arguments                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let random_rv rng (ty : Mlir.Typ.t) : Mlir.Interp.rv =
+  match ty with
+  | Mlir.Typ.Integer w -> Mlir.Interp.Ri (Int64.of_int (Rng.int rng 256 - 128), w)
+  | Mlir.Typ.Index -> Mlir.Interp.Ri (Int64.of_int (Rng.int rng 8), 64)
+  | Mlir.Typ.Float k -> Mlir.Interp.Rf (Rng.float_range rng (-1.0) 1.0, k)
+  | Mlir.Typ.Ranked_tensor _ | Mlir.Typ.Memref _ ->
+    let t = Mlir.Interp.alloc_tensor ty in
+    (match t.Mlir.Interp.data with
+    | Mlir.Interp.Df a ->
+      Array.iteri (fun i _ -> a.(i) <- Rng.float_range rng (-1.0) 1.0) a
+    | Mlir.Interp.Di a ->
+      Array.iteri
+        (fun i _ -> a.(i) <- Int64.of_int (Rng.int rng 256 - 128))
+        a);
+    Mlir.Interp.Rt t
+  | _ -> Mlir.Interp.Runit
+
+let random_args ~seed m func =
+  match Mlir.Ir.find_function m func with
+  | None -> raise Not_found
+  | Some f ->
+    let args, _ = Mlir.Ir.func_type f in
+    let rng = Rng.create ((seed * 65_537) + 11) in
+    List.map (random_rv rng) args

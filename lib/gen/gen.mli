@@ -1,0 +1,51 @@
+(** Seeded, deterministic generation of fuzzing cases: well-typed
+    mini-MLIR modules plus mutated-but-audit-clean rulesets.
+
+    This is ROADMAP item 4(b)'s nelli-style combinator frontend put to
+    work as a corpus synthesizer: every case is a pure function of
+    [(seed, index)], so a fuzzing campaign is reproducible bit-for-bit
+    and any case can be regenerated in isolation from its journal line
+    (which is what makes [--resume] and triage replays trustworthy).
+
+    Module shapes are drawn from the registered dialect surface the
+    pipeline actually optimizes:
+
+    - [Arith]: straight-line [i64] arithmetic over function arguments and
+      constants — masked shift amounts, power-of-two divisors — the
+      territory of the const-fold / div-pow2 rulesets;
+    - [Matmul]: [linalg.matmul] chains over [tensor<..xf64>] with
+      sometimes-uniform dimensions, so distinct [tensor.empty]
+      destinations land in one e-class (the PR 4 aliasing-bug trigger);
+    - [Loop]: an [scf.for] accumulator whose body is a small arith
+      expression — regions ride through eggify as opaque terms.
+
+    Rulesets are sampled from a pool of templates mirroring the shipped
+    rules (constant folding, div-by-pow2, algebraic identities,
+    commutativity, matmul associativity), mutated by variable renaming,
+    subsetting and reordering.  Every template is audit-clean by
+    construction; [test_fuzz] asserts that over many seeds. *)
+
+type shape = Arith | Matmul | Loop
+
+val all_shapes : shape list
+val shape_name : shape -> string
+val shape_of_string : string -> shape option
+
+type case = {
+  c_index : int;  (** position in the campaign *)
+  c_seed : int;  (** the campaign's master seed *)
+  c_shape : shape;
+  c_func : string;  (** entry function name *)
+  c_mlir : string;  (** module text *)
+  c_egg : string;  (** ruleset text (possibly empty) *)
+}
+
+(** [case ~seed index] synthesizes case [index] of the campaign seeded
+    with [seed]; deterministic in [(seed, index, shapes)]. *)
+val case : ?shapes:shape list -> seed:int -> int -> case
+
+(** Deterministic concrete arguments for [@func] of a parsed module:
+    integers get small values, floats land in [[-1, 1)], static tensors
+    are filled elementwise.  Deterministic in [seed] and the signature.
+    @raise Not_found if the function does not exist. *)
+val random_args : seed:int -> Mlir.Ir.op -> string -> Mlir.Interp.rv list

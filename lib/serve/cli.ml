@@ -2,6 +2,57 @@
 
 let sigpipe_exit = 128 + 13
 
+exception Usage_error of string
+
+let usage_error fmt = Printf.ksprintf (fun m -> raise (Usage_error m)) fmt
+
+(* One diagnostic line, exit 2 — the uniform argument-error contract
+   every executable shares (covered by scripts/cli_matrix.sh). *)
+let usage_exit name msg =
+  let first =
+    match String.index_opt msg '\n' with
+    | Some i -> String.sub msg 0 i
+    | None -> msg
+  in
+  Printf.eprintf "%s Try '%s --help' for more information.\n%!"
+    (String.trim first) name;
+  2
+
+let eval cmd =
+  let name = Cmdliner.Cmd.name cmd in
+  let buf = Buffer.create 256 in
+  let err = Format.formatter_of_buffer buf in
+  let captured () =
+    Format.pp_print_flush err ();
+    Buffer.contents buf
+  in
+  (* cmdliner 1.3 splits argument errors across [`Parse] (converter
+     failures) and [`Term] (unknown options, missing required
+     operands); the latter shares a variant with [Term.ret `Error]
+     runtime failures.  Only the argument errors carry a "Usage:"
+     synopsis, which is how we tell them apart. *)
+  let is_cli_error msg =
+    String.split_on_char '\n' msg
+    |> List.exists (fun l ->
+           let l = String.trim l in
+           String.length l >= 6 && String.sub l 0 6 = "Usage:")
+  in
+  match Cmdliner.Cmd.eval_value ~catch:false ~err cmd with
+  | Ok (`Ok ()) -> 0
+  | Ok (`Version | `Help) -> 0
+  | Error `Parse -> usage_exit name (captured ())
+  | Error (`Term | `Exn) ->
+    let msg = captured () in
+    if is_cli_error msg then usage_exit name msg
+    else begin
+      prerr_string msg;
+      flush stderr;
+      Cmdliner.Cmd.Exit.cli_error
+    end
+  | exception Usage_error m ->
+    ignore (captured ());
+    usage_exit name (Printf.sprintf "%s: %s." name m)
+
 let is_epipe = function
   | Unix.Unix_error (Unix.EPIPE, _, _) -> true
   | Sys_error m ->

@@ -15,6 +15,24 @@
 (** 141: the conventional "died of SIGPIPE" exit code. *)
 val sigpipe_exit : int
 
+(** A command-line usage error detected inside a term (a missing
+    operand, mutually exclusive flags, …).  {!eval} turns it into the
+    same one-line diagnostic and exit code 2 as a parse error. *)
+exception Usage_error of string
+
+(** [usage_error fmt …] raises {!Usage_error} with a formatted message. *)
+val usage_error : ('a, unit, string, 'b) format4 -> 'a
+
+(** [eval cmd] evaluates a cmdliner command with uniform error
+    handling: argument parse errors (unknown flag, bad value, missing
+    required operand) and {!Usage_error} print a single
+    ["name: reason. Try 'name --help' for more information."] line on
+    stderr and return 2 — never a backtrace; term-evaluation errors
+    print cmdliner's diagnostic and return
+    [Cmdliner.Cmd.Exit.cli_error]; other exceptions propagate to
+    {!main}'s backstop. *)
+val eval : unit Cmdliner.Cmd.t -> int
+
 (** Is this exception a broken-pipe error ([Unix.EPIPE], or the
     [Sys_error] OCaml channels raise for one)?  Exposed so executables
     with broad [Sys_error] handlers can re-raise EPIPE into {!main}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Bounded fuzzing smoke: a fixed-seed clean campaign must be green and
+# bit-reproducible; the seeded PR-4 aliasing regression must be found,
+# bucketed, and ddmin-shrunk to a small repro; and the reducer must be
+# idempotent (reducing a reduced repro is a no-op).
+# Usage: fuzz_smoke.sh FUZZ_EXE REDUCE_EXE
+set -e
+
+fuzz=$1
+reduce=$2
+
+work=$(mktemp -d)
+trap 'rm -rf "$work"' EXIT
+
+echo "== fuzz: fixed-seed clean campaign (200 cases) =="
+"$fuzz" --runs 200 --seed 7 --corpus "$work/clean-a" -q
+test -f "$work/clean-a/journal.jsonl"
+
+echo "== fuzz: same seed, bit-identical journal =="
+"$fuzz" --runs 200 --seed 7 --corpus "$work/clean-b" -q
+cmp "$work/clean-a/journal.jsonl" "$work/clean-b/journal.jsonl"
+
+echo "== fuzz: --resume continues after the journaled tail =="
+"$fuzz" --runs 10 --seed 7 --corpus "$work/clean-a" --resume -q
+test "$(wc -l < "$work/clean-a/journal.jsonl")" -eq 210
+
+echo "== fuzz: the seeded aliasing miscompile is found and bucketed =="
+status=0
+"$fuzz" --runs 30 --seed 42 --shape matmul --inject-fault deeggify:alias \
+  --corpus "$work/alias" -q >"$work/alias-summary" || status=$?
+test "$status" -eq 1
+grep -q 'semantics' "$work/alias-summary"
+bucket=$(ls "$work/alias/buckets" | head -n 1)
+test -n "$bucket"
+repro=$(ls "$work/alias/buckets/$bucket"/*.mlir | head -n 1)
+repro=${repro%.mlir}
+
+echo "== reduce: the repro shrinks to <= 10 ops, same bucket =="
+"$reduce" "$repro.mlir" "$repro.egg" --inject-fault deeggify:alias \
+  --signature "$bucket" --func mm_chain -o "$work/min" >"$work/reduce-out"
+grep -q "signature $bucket preserved" "$work/reduce-out"
+ops=$(sed -n 's/^reduce: [0-9]* -> \([0-9]*\) ops.*/\1/p' "$work/reduce-out")
+if [ -z "$ops" ] || [ "$ops" -gt 10 ]; then
+  echo "fuzz-smoke: reduced repro has $ops ops (want <= 10)" >&2
+  cat "$work/reduce-out" >&2
+  exit 1
+fi
+
+echo "== reduce: idempotent on its own output =="
+"$reduce" "$work/min.mlir" "$work/min.egg" --inject-fault deeggify:alias \
+  --signature "$bucket" --func mm_chain -o "$work/min2" >/dev/null
+cmp "$work/min.mlir" "$work/min2.mlir"
+cmp "$work/min.egg" "$work/min2.egg"
+
+echo "fuzz-smoke: campaign reproducible, seeded bug found, repro minimal"

@@ -103,6 +103,14 @@ echo "== serve-smoke: supervised batch driver, injected hang + crash, resume =="
 dune build @serve-smoke
 echo ok
 
+echo "== cli-matrix: argument errors exit 2 with a one-line usage message =="
+dune build @cli-matrix
+echo ok
+
+echo "== fuzz-smoke: reproducible campaign, seeded miscompile found + reduced =="
+dune build @fuzz-smoke
+echo ok
+
 echo "== daemon-smoke: dialegg-serve lifecycle, cache provenance, SIGPIPE hygiene =="
 dune build bin/dialegg_serve.exe bin/dialegg_client.exe bin/dialegg_opt.exe
 sh scripts/daemon_smoke.sh \

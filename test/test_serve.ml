@@ -754,6 +754,33 @@ let test_disk_cache_prune_lru () =
   checkb "foreign files survive even a full prune" true
     (Sys.file_exists (Filename.concat d "README"))
 
+let test_disk_cache_prune_concurrent () =
+  (* two pruners race over one directory: an entry the other pruner
+     already unlinked reads as ENOENT and must count as freed — the
+     race must neither error nor leave the directory over cap *)
+  let d = fresh_dir () in
+  for i = 0 to 199 do
+    let p = Filename.concat d (Printf.sprintf "e%03d.result" i) in
+    write_file p (String.make 64 'z');
+    Unix.utimes p (float_of_int (i + 1)) (float_of_int (i + 1))
+  done;
+  flush stdout;
+  flush stderr;
+  (match Unix.fork () with
+  | 0 ->
+    (try Dialegg.Disk_cache.prune ~max:0 ~dir:d ()
+     with _ -> Unix._exit 1);
+    Unix._exit 0
+  | child ->
+    Dialegg.Disk_cache.prune ~max:0 ~dir:d ();
+    let _, status = Unix.waitpid [] child in
+    checkb "the racing pruner exits clean" true (status = Unix.WEXITED 0));
+  let left =
+    Array.to_list (Sys.readdir d)
+    |> List.filter (fun n -> Filename.check_suffix n ".result")
+  in
+  checkb "every entry is gone despite the race" true (left = [])
+
 let test_disk_cache_max_bytes_env () =
   let prev = Sys.getenv_opt "DIALEGG_CACHE_MAX_MB" in
   Fun.protect
@@ -816,13 +843,13 @@ let test_atomic_failure_leaves_no_temp () =
 
 let daemon_config ?(pool = 1) ?(max_queue = 16) ?(retries = 1) ?cache_dir
     ?(cache_capacity = 64) ?rules_path ?fault ?(pipeline = pipeline_config)
-    socket_path =
+    ?(job_timeout = 10.) socket_path =
   {
     Serve.Daemon.socket_path;
     pool;
     max_queue;
     retries;
-    job_timeout = 10.;
+    job_timeout;
     grace = 0.3;
     heartbeat = 0.;
     recycle_jobs = 0;
@@ -1129,6 +1156,76 @@ let test_daemon_reload () =
         r3.Serve.Protocol.sv_output;
       ignore (stop_daemon pid))
 
+(* A reload must not disturb work already in flight: a job enqueued
+   under the old ruleset keeps it to the end (its post-watchdog retry
+   included — jobs snapshot their pipeline config at admission), while
+   requests arriving after the SIGHUP run under the new ruleset with a
+   diverged cache key, so old-config entries can never answer them. *)
+let test_daemon_reload_in_flight () =
+  let d = fresh_dir () in
+  let sock = Filename.concat d "d.sock" in
+  let rules_file = Filename.concat d "rules.egg" in
+  write_file rules_file div_rule;
+  with_daemon
+    (daemon_config ~pool:1 ~retries:1 ~job_timeout:1.5
+       ~cache_dir:(Filename.concat d "cache")
+       ~rules_path:rules_file
+       ~fault:
+         {
+           Dialegg.Faults.sf_kind = Dialegg.Faults.S_hang_under_load;
+           sf_at = 2;
+         }
+       sock)
+    (fun pid ->
+      let r0 = optimize_once sock (div_src 16 "b") in
+      checkb "request 0 rewrites under the old ruleset" true
+        (contains r0.Serve.Protocol.sv_output "arith.shrsi");
+      (* the in-flight request: dispatch 2 arms the worker hang, so its
+         reply only arrives after watchdog kill + retry — park the
+         client in a forked child and assert over its exit code *)
+      flush stdout;
+      flush stderr;
+      let child =
+        match Unix.fork () with
+        | 0 ->
+          let code =
+            match optimize_once sock (div_src 256 "a") with
+            | r ->
+              if contains r.Serve.Protocol.sv_output "arith.shrsi" then 0
+              else 1
+            | exception _ -> 2
+          in
+          Unix._exit code
+        | child -> child
+      in
+      (* once the daemon has admitted the hanging request... *)
+      ignore (await_stats sock (fun s -> s.Serve.Protocol.ds_misses = 2));
+      (* ...swap in the empty ruleset while it is still in flight *)
+      write_file rules_file "";
+      Unix.kill pid Sys.sighup;
+      ignore (await_stats sock (fun s -> s.Serve.Protocol.ds_reloads = 1));
+      let _, status = Unix.waitpid [] child in
+      checkb "the in-flight job finished under the OLD ruleset" true
+        (status = Unix.WEXITED 0);
+      (* request 0's source again: the ruleset is part of the cache key,
+         so the reload diverges it — a miss, served under the NEW rules *)
+      let r2 = optimize_once sock (div_src 16 "b") in
+      checkb "new-config request misses the old-config cache" true
+        (r2.Serve.Protocol.sv_marks <> []
+        && List.for_all
+             (fun (_, m) -> m = Serve.Protocol.Sv_miss)
+             r2.Serve.Protocol.sv_marks);
+      checkb "and runs under the new (empty) ruleset" true
+        (contains r2.Serve.Protocol.sv_output "arith.divsi");
+      (* the diverged key then caches normally *)
+      let r3 = optimize_once sock (div_src 16 "b") in
+      checkb "the new key is warm on repeat" true
+        (r3.Serve.Protocol.sv_marks <> []
+        && List.for_all
+             (fun (_, m) -> m = Serve.Protocol.Sv_hit_mem)
+             r3.Serve.Protocol.sv_marks);
+      ignore (stop_daemon pid))
+
 (* ------------------------------------------------------------------ *)
 (* Worker heartbeat: ping / pong                                       *)
 (* ------------------------------------------------------------------ *)
@@ -1276,6 +1373,8 @@ let () =
         [
           Alcotest.test_case "LRU pruning respects extensions" `Quick
             test_disk_cache_prune_lru;
+          Alcotest.test_case "concurrent pruners tolerate ENOENT" `Quick
+            test_disk_cache_prune_concurrent;
           Alcotest.test_case "size cap from the environment" `Quick
             test_disk_cache_max_bytes_env;
           Alcotest.test_case "vet/audit/result coexistence" `Quick
@@ -1297,6 +1396,8 @@ let () =
           Alcotest.test_case "fault: mid-drain-kill" `Quick
             test_daemon_drain_kill_fault;
           Alcotest.test_case "SIGHUP ruleset reload" `Quick test_daemon_reload;
+          Alcotest.test_case "SIGHUP with requests in flight" `Quick
+            test_daemon_reload_in_flight;
           Alcotest.test_case "worker ping/pong" `Quick test_worker_ping_pong;
           Alcotest.test_case "warm == cold (property)" `Quick
             test_daemon_warm_equals_cold_prop;
